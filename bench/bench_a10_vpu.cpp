@@ -1,0 +1,95 @@
+// Ablation A10: instruction-level validation of the bulk accounting.
+//
+// The same scatter kernel three ways: (1) the bulk machine on the full
+// 3-stream trace (the Vm/model layer's view), (2) a naive vector-code
+// loop on the register-level core (in-order pipe, no scheduling), and
+// (3) the software-pipelined vector loop (loads hoisted, 2x unrolled).
+// Low contention: the naive loop stalls its pipe on every round trip
+// and runs ~2x over the model; the pipelined loop closes most of that
+// gap — quantifying the "vectorization hides latency" premise the
+// paper's model builds on. High contention: the hot bank dominates all
+// three and they converge.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/machine.hpp"
+#include "util/table.hpp"
+#include "vpu/core.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1 << 15);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  sim::MachineConfig cfg;
+  cfg.processors = 1;  // the VPU models one core
+  cfg.gap = 1;
+  cfg.latency = 30;
+  cfg.bank_delay = 14;
+  cfg.expansion = 256;
+  cfg.slackness = 1 << 20;
+
+  bench::banner("Ablation A10 (instruction-level validation)",
+                "Scatter kernel: bulk model vs naive vs software-pipelined "
+                "vector code; n = " + std::to_string(n) +
+                    ", one core, d = 14, 256 banks");
+
+  util::Table t({"k", "bulk (3-stream)", "naive vpu", "pipelined vpu",
+                 "naive/bulk", "pipelined/bulk"});
+  for (const std::uint64_t k :
+       {std::uint64_t{1}, std::uint64_t{256}, std::uint64_t{4096}, n / 2,
+        n}) {
+    const auto idx = workload::k_hot(n, k, n, seed + k);
+
+    sim::Machine machine(cfg);
+    std::vector<std::uint64_t> full;
+    full.reserve(3 * n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      full.push_back(i);
+      full.push_back(n + i);
+      full.push_back(3 * n + idx[i]);
+    }
+    const auto bulk = machine.scatter(full);
+
+    auto run_core = [&](bool pipelined) {
+      vpu::Core core(cfg, 8 * n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        core.store(i, idx[i]);
+        core.store(n + i, i);
+      }
+      const auto prog = pipelined
+                            ? vpu::program_scatter_pipelined(0, n, 3 * n)
+                            : vpu::program_scatter(0, n, 3 * n);
+      const std::uint64_t trips =
+          pipelined ? n / (2 * vpu::kVlen) : n / vpu::kVlen;
+      const auto res = core.run(prog, trips);
+      // Validate the scatter result against a reference winner-take-last.
+      std::vector<std::uint64_t> expect(n, 0);
+      for (std::uint64_t i = 0; i < n; ++i) expect[idx[i]] = i;
+      for (std::uint64_t c = 0; c < n; ++c) {
+        // Only cells written this run are comparable; unwritten stay 0 —
+        // the last writer in element order must match.
+        if (core.load(3 * n + c) != expect[c]) {
+          std::cerr << "vpu scatter validation failed\n";
+          std::exit(1);
+        }
+      }
+      return res.cycles;
+    };
+
+    const auto naive = run_core(false);
+    const auto piped = run_core(true);
+    t.add_row(k, bulk.cycles, naive, piped,
+              static_cast<double>(naive) / bulk.cycles,
+              static_cast<double>(piped) / bulk.cycles);
+  }
+  bench::emit(cli, t);
+  std::cout << "Pipelining recovers the bulk model's assumption at low k;\n"
+               "at high k every layer is the hot bank's queue. The model's\n"
+               "numbers are the numbers of *well-scheduled* vector code —\n"
+               "which is what [ZB91]/[BHZ93] codes were.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation A7: block vs cyclic element-to-processor distribution.
+//
+// The machine assigns a bulk operation's elements to processors either
+// block-wise (Cray-style vector chunks) or cyclically. For random
+// patterns the two are statistically identical; for *structured* traces
+// they differ: a trace whose hot requests cluster in one region lands
+// entirely on one processor under the block distribution (h_proc = the
+// cluster size) but spreads under the cyclic one. The (d,x)-BSP's
+// g·h_proc term prices exactly that imbalance.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/machine.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  auto cfg = bench::machine_from_cli(cli);
+  const std::uint64_t n = cli.get_int("n", 1 << 18);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("Ablation A7 (element distribution)",
+                "Block vs cyclic processor assignment; n = " +
+                    std::to_string(n) + ", machine = " + cfg.name);
+
+  // Patterns: uniform random (distribution-insensitive) and a
+  // "clustered" trace where the first n/p elements carry all the work
+  // (the rest are repeats of one cheap cached... no — they are all
+  // distinct too; the imbalance is in *who issues* the contended part).
+  const auto random_trace = workload::uniform_random(n, 1ULL << 30, seed);
+  // Clustered contention: the hot location's k requests sit contiguously
+  // at the front of the trace (e.g. a sorted input), so block assignment
+  // gives them all to processor 0's issue pipeline.
+  std::vector<std::uint64_t> clustered =
+      workload::distinct_random(n, 1ULL << 30, seed + 1);
+  const std::uint64_t k = n / cfg.processors;
+  for (std::uint64_t i = 0; i < k; ++i) clustered[i] = clustered[0];
+
+  util::Table t({"pattern", "block cycles", "cyclic cycles",
+                 "block/cyclic"});
+  for (const auto& [name, trace] :
+       {std::pair<const char*, const std::vector<std::uint64_t>*>{
+            "uniform random", &random_trace},
+        {"front-clustered hot location", &clustered}}) {
+    cfg.distribution = sim::Distribution::kBlock;
+    sim::Machine m_block(cfg);
+    cfg.distribution = sim::Distribution::kCyclic;
+    sim::Machine m_cyclic(cfg);
+    const auto rb = m_block.scatter(*trace);
+    const auto rc = m_cyclic.scatter(*trace);
+    t.add_row(name, rb.cycles, rc.cycles,
+              static_cast<double>(rb.cycles) / rc.cycles);
+  }
+  bench::emit(cli, t);
+  std::cout << "Random traces do not care; structured traces can. Note the\n"
+               "hot-location case is bank-bound either way (d*k dominates),\n"
+               "so even a pessimal issue imbalance hides behind the bank\n"
+               "queue — contention, not distribution, is the lever here.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation A9: multi-ported banks vs more banks.
+//
+// A bank with b ports serves b overlapping requests (C90-style dual
+// pipes). For balanced traffic, b ports on B banks behave like 1 port on
+// b·B banks — but for a hot *location* the two differ: extra banks do
+// nothing for a single hot word (it lives in one bank), while extra
+// ports drain its queue b-fold faster. Ports are therefore the only
+// machine-side mitigation of the d·k term; the (d,x)-BSP conservatively
+// models single-ported banks (d_effective = d/b extends it trivially).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/machine.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1 << 18);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("Ablation A9 (bank ports vs expansion)",
+                "b ports on B banks vs 1 port on b*B banks; n = " +
+                    std::to_string(n));
+
+  auto time_for = [&](std::uint64_t x, std::uint64_t ports,
+                      const std::vector<std::uint64_t>& addrs) {
+    sim::MachineConfig cfg;
+    cfg.name = "sweep";
+    cfg.processors = 8;
+    cfg.gap = 1;
+    cfg.latency = 30;
+    cfg.bank_delay = 14;
+    cfg.expansion = x;
+    cfg.bank_ports = ports;
+    cfg.slackness = 64 * 1024;
+    sim::Machine m(cfg);
+    return m.scatter(addrs).cycles;
+  };
+
+  {
+    const auto addrs = workload::uniform_random(n, 1ULL << 30, seed);
+    util::Table t({"config (random pattern)", "cycles"});
+    t.add_row("x=4, 1 port", time_for(4, 1, addrs));
+    t.add_row("x=4, 2 ports", time_for(4, 2, addrs));
+    t.add_row("x=8, 1 port", time_for(8, 1, addrs));
+    t.add_row("x=8, 2 ports", time_for(8, 2, addrs));
+    t.add_row("x=16, 1 port", time_for(16, 1, addrs));
+    bench::emit(cli, t);
+  }
+  {
+    const auto addrs = workload::k_hot(n, n / 8, 1ULL << 30, seed + 1);
+    util::Table t({"config (hot location k=n/8)", "cycles"});
+    t.add_row("x=32, 1 port", time_for(32, 1, addrs));
+    t.add_row("x=64, 1 port (more banks: no help)", time_for(64, 1, addrs));
+    t.add_row("x=32, 2 ports (drains 2x)", time_for(32, 2, addrs));
+    t.add_row("x=32, 4 ports (drains 4x)", time_for(32, 4, addrs));
+    bench::emit(cli, t);
+  }
+  std::cout << "Balanced traffic: ports == expansion. Hot location: only\n"
+               "ports help — the d·k term is a location property, not a\n"
+               "bank-count property.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+#pragma once
+// Shared plumbing for the experiment binaries: every bench prints the
+// rows/series of one paper table or figure (ASCII by default, CSV with
+// --csv), takes --seed, and sizes down cleanly with --n for smoke runs.
+
+#include <iostream>
+#include <string>
+
+#include "sim/machine_config.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace dxbsp::bench {
+
+/// Prints the experiment banner: id, description, machine.
+inline void banner(const std::string& id, const std::string& what) {
+  std::cout << "=== " << id << " ===\n" << what << "\n\n";
+}
+
+/// Emits the table as ASCII or CSV per the --csv flag.
+inline void emit(const util::Cli& cli, const util::Table& table) {
+  if (cli.has("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+/// Machine selection: --machine=j90 (default) | c90 | tera.
+inline sim::MachineConfig machine_from_cli(const util::Cli& cli) {
+  const std::string name = cli.get("machine", "j90");
+  if (name == "j90") return sim::MachineConfig::cray_j90();
+  if (name == "c90") return sim::MachineConfig::cray_c90();
+  if (name == "tera") return sim::MachineConfig::tera_like();
+  throw std::invalid_argument("unknown --machine '" + name + "'");
+}
+
+}  // namespace dxbsp::bench

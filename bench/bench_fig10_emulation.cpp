@@ -1,0 +1,83 @@
+// Emulation figure (§5, Theorems 5.1/5.2): slowdown of the QRQW PRAM
+// emulation on the (d,x)-BSP as a function of d and x.
+//
+// For a synthetic QRQW step (fixed ops and contention), we emulate on
+// machines sweeping the bank delay d at fixed expansion, and the
+// expansion x at fixed delay, reporting the measured slowdown against
+// the QRQW charge, the theory bound, and the asymptotic slowdown
+// max(g, d/x) — the nonlinear dependence the abstract advertises.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "qrqw/emulation.hpp"
+#include "qrqw/theory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1 << 17);
+  const std::uint64_t k = cli.get_int("k", 64);
+  const std::uint64_t p = cli.get_int("p", 8);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("Fig 10 (QRQW emulation)",
+                "Emulation slowdown vs d and x; step of n = " +
+                    std::to_string(n) + " ops, contention k = " +
+                    std::to_string(k));
+
+  const auto step = qrqw::synthetic_step(n, k, 1ULL << 30, n, seed);
+
+  auto run = [&](std::uint64_t d, std::uint64_t x) {
+    sim::MachineConfig cfg;
+    cfg.name = "sweep";
+    cfg.processors = p;
+    cfg.gap = 1;
+    cfg.latency = 30;
+    cfg.bank_delay = d;
+    cfg.expansion = x;
+    cfg.slackness = 64 * 1024;
+    qrqw::EmulationEngine eng(cfg, seed);
+    return std::pair(eng.emulate_step(step), eng.params());
+  };
+
+  {
+    const std::uint64_t x = cli.get_int("x", 8);
+    util::Table t({"d (x=" + std::to_string(x) + ")", "sim cycles",
+                   "slowdown/op", "asymptotic max(g,d/x)", "theory bound",
+                   "within bound"});
+    for (std::uint64_t d = 1; d <= 64; d *= 2) {
+      const auto [r, m] = run(d, x);
+      t.add_row(d, r.sim_cycles,
+                static_cast<double>(r.sim_cycles) /
+                    (static_cast<double>(n) / static_cast<double>(p)),
+                qrqw::asymptotic_slowdown(m), r.bound,
+                static_cast<double>(r.sim_cycles) <= r.bound ? "yes" : "NO");
+    }
+    bench::emit(cli, t);
+  }
+  {
+    const std::uint64_t d = cli.get_int("d", 14);
+    util::Table t({"x (d=" + std::to_string(d) + ")", "sim cycles",
+                   "slowdown/op", "asymptotic max(g,d/x)", "theory bound",
+                   "regime"});
+    for (std::uint64_t x = 1; x <= 128; x *= 2) {
+      const auto [r, m] = run(d, x);
+      t.add_row(x, r.sim_cycles,
+                static_cast<double>(r.sim_cycles) /
+                    (static_cast<double>(n) / static_cast<double>(p)),
+                qrqw::asymptotic_slowdown(m), r.bound,
+                x <= d ? "Thm 5.1 (x<=d)" : "Thm 5.2 (x>=d)");
+    }
+    bench::emit(cli, t);
+    std::cout << "required slackness (ops/processor) for work-preserving "
+                 "emulation within 50% of the asymptote:\n";
+    for (std::uint64_t x : {std::uint64_t{2}, std::uint64_t{8},
+                            std::uint64_t{32}, std::uint64_t{128}}) {
+      const core::DxBspParams m{p, 1, 30, d, x};
+      std::cout << "  x = " << x << ": " << qrqw::required_slackness(m)
+                << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 11: random permutation generation, QRQW vs EREW.
+//
+// QRQW: dart throwing into a 2n table, retrying losers (contention per
+// round stays logarithmic, rounds geometric). EREW: draw random keys and
+// radix-sort (the [ZB91] vectorized sort). The paper's point — repeated
+// here across problem sizes — is that the contention-tolerant algorithm
+// wins even though every dart round pays bank queueing, because the EREW
+// route pays several full sorting passes.
+
+#include <iostream>
+
+#include "algos/random_permutation.hpp"
+#include "algos/vm.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const auto cfg = bench::machine_from_cli(cli);
+  const std::uint64_t n_max = cli.get_int("n", 1 << 19);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("Fig 11 (random permutation)",
+                "QRQW dart-throwing vs EREW radix-sort permutation; "
+                "machine = " + cfg.name);
+
+  util::Table t({"n", "qrqw cycles", "erew cycles", "erew/qrqw",
+                 "qrqw cyc/elt", "erew cyc/elt", "dart rounds",
+                 "max round contention"});
+  for (std::uint64_t n = 1 << 10; n <= n_max; n *= 4) {
+    algos::Vm vm_q(cfg);
+    algos::DartStats stats;
+    const auto pq = algos::random_permutation_qrqw(vm_q, n, seed, 2.0, &stats);
+    algos::Vm vm_e(cfg);
+    const auto pe = algos::random_permutation_erew(vm_e, n, seed);
+    if (!algos::is_permutation_of_iota(pq) ||
+        !algos::is_permutation_of_iota(pe)) {
+      std::cerr << "validation failed at n = " << n << "\n";
+      return 1;
+    }
+    std::uint64_t max_k = 0;
+    for (const auto& r : stats.rounds)
+      max_k = std::max(max_k, r.max_contention);
+    t.add_row(n, vm_q.cycles(), vm_e.cycles(),
+              static_cast<double>(vm_e.cycles()) / vm_q.cycles(),
+              static_cast<double>(vm_q.cycles()) / n,
+              static_cast<double>(vm_e.cycles()) / n, stats.rounds.size(),
+              max_k);
+  }
+  bench::emit(cli, t);
+
+  // Phase breakdown at the largest size.
+  algos::Vm vm(cfg);
+  (void)algos::random_permutation_qrqw(vm, n_max, seed);
+  std::cout << "QRQW phase breakdown at n = " << n_max << ":\n";
+  vm.ledger().print(std::cout);
+  return 0;
+}

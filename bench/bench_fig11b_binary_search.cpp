@@ -1,0 +1,64 @@
+// Binary-search experiment ([GMR94a] via this paper's §5 discussion):
+// n keys searched in a balanced tree of m keys.
+//
+// Three contenders: the QRQW replicated tree (top levels duplicated,
+// random replica per level — bounded, well-accounted contention), the
+// naive unreplicated tree (the root alone absorbs all n lookups:
+// contention n, murdered by d·n bank serialization), and the EREW
+// sort-and-merge baseline (contention-free, pays full sorting).
+
+#include <algorithm>
+#include <iostream>
+
+#include "algos/binary_search.hpp"
+#include "algos/vm.hpp"
+#include "bench_common.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const auto cfg = bench::machine_from_cli(cli);
+  const std::uint64_t m = cli.get_int("m", (1 << 14) - 1);
+  const std::uint64_t n_max = cli.get_int("n", 1 << 18);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("Fig 11b (binary search)",
+                "Search n keys in a tree of m = " + std::to_string(m) +
+                    " keys: QRQW replicated tree vs naive vs EREW "
+                    "sort-merge; machine = " + cfg.name);
+
+  auto keys = workload::distinct_random(m, 1ULL << 40, seed);
+  std::sort(keys.begin(), keys.end());
+
+  util::Table t({"n", "qrqw cycles", "naive cycles", "erew cycles",
+                 "naive/qrqw", "erew/qrqw", "qrqw tree words"});
+  for (std::uint64_t n = 1 << 12; n <= n_max; n *= 4) {
+    const auto queries = workload::uniform_random(n, 1ULL << 40, seed + n);
+    const auto reference = algos::reference_lower_bound(keys, queries);
+
+    algos::Vm vm_q(cfg);
+    const algos::ReplicatedTree tree(vm_q, keys, n, 4);
+    const std::uint64_t build = vm_q.cycles();
+    const auto rq = tree.lower_bound(vm_q, queries, seed);
+
+    algos::Vm vm_n(cfg);
+    const algos::ReplicatedTree naive(vm_n, keys, n, 0);
+    const auto rn = naive.lower_bound(vm_n, queries, seed);
+
+    algos::Vm vm_e(cfg);
+    const auto re = algos::erew_lower_bound(vm_e, keys, queries);
+
+    if (rq != reference || rn != reference || re != reference) {
+      std::cerr << "validation failed at n = " << n << "\n";
+      return 1;
+    }
+    const std::uint64_t q_cycles = vm_q.cycles() - build;  // search only
+    t.add_row(n, q_cycles, vm_n.cycles(), vm_e.cycles(),
+              static_cast<double>(vm_n.cycles()) / q_cycles,
+              static_cast<double>(vm_e.cycles()) / q_cycles,
+              tree.footprint());
+  }
+  bench::emit(cli, t);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// List ranking (the [RM94] workload the paper's conclusion targets):
+// Wyllie pointer jumping on the bank-delay machine.
+//
+// The contention signature: every round, the set of nodes pointing at
+// the terminal doubles, so the gather contention at the tail grows
+// 2, 4, 8, ..., n — the early rounds are bandwidth-bound and the late
+// rounds bank-bound. The per-round table shows the crossover, and the
+// size sweep compares total measured time against the ledger's (d,x)-BSP
+// and BSP predictions.
+
+#include <iostream>
+
+#include "algos/list_ranking.hpp"
+#include "algos/vm.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const auto cfg = bench::machine_from_cli(cli);
+  const std::uint64_t n_max = cli.get_int("n", 1 << 17);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("Fig 14 (list ranking)",
+                "Wyllie pointer jumping; machine = " + cfg.name);
+
+  {
+    util::Table t({"n", "cycles", "cyc/elt", "rounds", "dxbsp/sim",
+                   "bsp/sim"});
+    for (std::uint64_t n = 1 << 11; n <= n_max; n *= 4) {
+      algos::Vm vm(cfg);
+      algos::ListRankStats stats;
+      const auto next = algos::random_list(n, seed);
+      const auto rank = algos::list_rank(vm, next, &stats);
+      if (rank != algos::reference_list_rank(next)) {
+        std::cerr << "validation failed at n = " << n << "\n";
+        return 1;
+      }
+      t.add_row(n, vm.cycles(), static_cast<double>(vm.cycles()) / n,
+                stats.rounds.size(),
+                static_cast<double>(vm.ledger().total_dxbsp()) / vm.cycles(),
+                static_cast<double>(vm.ledger().total_bsp()) / vm.cycles());
+    }
+    bench::emit(cli, t);
+  }
+
+  // Per-round contention profile at the largest size.
+  algos::Vm vm(cfg);
+  algos::ListRankStats stats;
+  (void)algos::list_rank(vm, algos::random_list(n_max, seed), &stats);
+  util::Table t({"round", "gather contention (tail)", "active nodes"});
+  t.set_caption("per-round profile, n = " + std::to_string(n_max));
+  std::uint64_t round = 0;
+  for (const auto& r : stats.rounds)
+    t.add_row(++round, r.gather_contention, r.active);
+  bench::emit(cli, t);
+  std::cout << "The tail's contention doubles every round: pointer jumping\n"
+               "turns an initially contention-free structure into a maximal\n"
+               "hot spot — exactly the pattern the (d,x)-BSP prices and\n"
+               "BSP/LogP miss.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Multiprefix ([She93], named in the paper's conclusion): fetch-add
+// (QRQW mechanics) vs sort-based (EREW mechanics) across key skew.
+//
+// Key distribution sweeps from uniform over many counters (fetch-add is
+// a single cheap scatter) to all-one-key (fetch-add serializes at d·n).
+// The punchline the measurements deliver: the sorted route does NOT
+// escape the skew — its processor-private histograms concentrate on the
+// hot digit and serialize at d·(n/p) per pass — so "avoid contention by
+// sorting" loses across the entire skew range on a bank-delay machine,
+// paying both the fixed sorting passes and an inherited skew term.
+
+#include <iostream>
+
+#include "algos/multiprefix.hpp"
+#include "algos/vm.hpp"
+#include "bench_common.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const auto cfg = bench::machine_from_cli(cli);
+  const std::uint64_t n = cli.get_int("n", 1 << 17);
+  const std::uint64_t num_keys = cli.get_int("keys", 1 << 12);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("Fig 15 (multiprefix)",
+                "Fetch-add vs sort-based multiprefix vs key skew; n = " +
+                    std::to_string(n) + ", " + std::to_string(num_keys) +
+                    " keys, machine = " + cfg.name);
+
+  const std::vector<std::uint64_t> values(n, 1);
+  util::Table t({"hot-key share", "max key mult", "fetch-add", "sorted",
+                 "sorted/fetch-add"});
+  for (const double share : {0.0, 0.01, 0.05, 0.25, 0.5, 1.0}) {
+    // share of the elements use key 0; the rest are uniform.
+    auto keys = workload::uniform_random(n, num_keys, seed);
+    const auto hot = static_cast<std::uint64_t>(share * static_cast<double>(n));
+    for (std::uint64_t i = 0; i < hot; ++i) keys[i] = 0;
+    workload::shuffle(keys, seed + hot);
+
+    algos::Vm vm_fa(cfg);
+    const auto fa = algos::multiprefix_fetch_add(vm_fa, keys, values, num_keys);
+    algos::Vm vm_so(cfg);
+    const auto so = algos::multiprefix_sorted(vm_so, keys, values, num_keys);
+    const auto ref = algos::reference_multiprefix(keys, values, num_keys);
+    if (fa.prefix != ref.prefix || so.prefix != ref.prefix) {
+      std::cerr << "validation failed at share = " << share << "\n";
+      return 1;
+    }
+    t.add_row(share, vm_fa.ledger().max_contention(), vm_fa.cycles(),
+              vm_so.cycles(),
+              static_cast<double>(vm_so.cycles()) / vm_fa.cycles());
+  }
+  bench::emit(cli, t);
+  std::cout << "Fetch-add degrades linearly with the hottest key (d·k) — and\n"
+               "the sort degrades with it, because its private histograms\n"
+               "inherit the skew (d·k/p per pass) on top of the fixed sorting\n"
+               "passes. Well-accounted contention wins at every skew here.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Parallel hashing ([KU86] lineage): building and probing a hash table
+// with synchronous rounds on the bank-delay machine.
+//
+// Build rounds shrink geometrically and each round's QRQW charge (the
+// max cell contention) stays ~log n / log log n, so construction costs a
+// small constant per key. Lookups cost ~1 + alpha probes. The table-
+// density sweep shows the classic load-factor tradeoff through the
+// memory system's eyes.
+
+#include <iostream>
+
+#include "algos/parallel_hashing.hpp"
+#include "algos/vm.hpp"
+#include "bench_common.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const auto cfg = bench::machine_from_cli(cli);
+  const std::uint64_t n = cli.get_int("n", 1 << 16);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("Fig 17 (parallel hashing)",
+                "Hash table build/lookup vs load factor; n = " +
+                    std::to_string(n) + " keys, machine = " + cfg.name);
+
+  const auto keys = workload::distinct_random(n, 1ULL << 40, seed);
+  const auto queries = workload::uniform_random(n, 1ULL << 40, seed + 1);
+
+  util::Table t({"slots/keys", "build cycles", "build/key", "rounds",
+                 "max round k", "lookup cycles", "lookup/query"});
+  for (const double density : {1.2, 1.5, 2.0, 4.0, 8.0}) {
+    const auto slots = static_cast<std::uint64_t>(
+        density * static_cast<double>(n));
+    algos::Vm vm_b(cfg);
+    algos::HashBuildStats stats;
+    const algos::ParallelHashTable table(vm_b, keys, slots, seed, &stats);
+    std::uint64_t max_k = 0;
+    for (const auto& r : stats.rounds)
+      max_k = std::max(max_k, r.max_probe_contention);
+
+    algos::Vm vm_l(cfg);
+    (void)table.lookup(vm_l, queries, 0);
+
+    t.add_row(density, vm_b.cycles(),
+              static_cast<double>(vm_b.cycles()) / n, table.rounds_used(),
+              max_k, vm_l.cycles(),
+              static_cast<double>(vm_l.cycles()) / queries.size());
+  }
+  bench::emit(cli, t);
+  std::cout << "Sparser tables finish in fewer rounds (fewer collisions)\n"
+               "but cost memory; per-round contention stays logarithmic\n"
+               "at every density — the QRQW charge that makes hashing an\n"
+               "efficient shared-memory implementation [KU86] survives the\n"
+               "bank delay intact.\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Model exposition figure: the (d,x)-BSP superstep cost surface.
+// For a fixed request volume, sweeps the bank load h_bank and shows the
+// two regimes (processor-bound plateau, bank-bound ramp), for both the
+// C90-like (d=6) and J90-like (d=14) delays, against the bank-blind BSP
+// line. Pure model, no simulation.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/cost.hpp"
+#include "core/params.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1 << 20);
+  bench::banner("Fig 2 (model)",
+                "Superstep cost vs max bank load h_bank, n = " +
+                    std::to_string(n) + " requests, p = 8, g = 1");
+
+  const core::DxBspParams c90{8, 1, 24, 6, 64};
+  const core::DxBspParams j90{8, 1, 30, 14, 32};
+  const std::uint64_t h_proc = n / 8;
+
+  util::Table t({"h_bank", "T dxbsp d=6", "T dxbsp d=14", "T bsp",
+                 "bank-bound d=6", "bank-bound d=14"});
+  for (std::uint64_t h_bank = 64; h_bank <= n; h_bank *= 4) {
+    const core::StepProfile s{h_proc, h_bank, n};
+    t.add_row(h_bank, core::dxbsp_step_time(c90, s),
+              core::dxbsp_step_time(j90, s), core::bsp_step_time(j90, s),
+              core::bank_bound(c90, s) ? "yes" : "no",
+              core::bank_bound(j90, s) ? "yes" : "no");
+  }
+  bench::emit(cli, t);
+
+  std::cout << "knee (contention where the bank term starts to bind):\n"
+            << "  d=6:  k = " << core::contention_knee(c90, n) << "\n"
+            << "  d=14: k = " << core::contention_knee(j90, n) << "\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Queue dynamics inside the memory system (mechanism exposition).
+//
+// Per-request timing from the simulator shows *why* the (d,x)-BSP's
+// d·h_bank term is the right charge: as contention k grows, the hot
+// bank's queue-wait distribution develops a linear tail — the p99 wait
+// approaches d·k while the median stays near zero (most requests still
+// go to cold banks). The aggregate makespan is governed by that tail,
+// which bank-blind models cannot see.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/machine.hpp"
+#include "util/stats.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const auto cfg = bench::machine_from_cli(cli);
+  const std::uint64_t n = cli.get_int("n", 1 << 18);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("Fig 3 (queue dynamics)",
+                "Per-request bank queue waits vs contention; n = " +
+                    std::to_string(n) + ", machine = " + cfg.name);
+
+  sim::Machine machine(cfg);
+  util::Table t({"k", "mean wait", "p50", "p95", "p99", "max wait",
+                 "d*k", "makespan"});
+  for (std::uint64_t k = 1; k <= n; k *= 16) {
+    const auto addrs = workload::k_hot(n, k, 1ULL << 30, seed + k);
+    sim::Machine::RequestTiming timing;
+    const auto res = machine.scatter_detailed(addrs, timing);
+
+    std::vector<double> waits(addrs.size());
+    for (std::size_t i = 0; i < addrs.size(); ++i)
+      waits[i] = static_cast<double>(timing.wait(i));
+    const auto s = util::summarize(waits);
+    t.add_row(k, s.mean, util::quantile(waits, 0.50),
+              util::quantile(waits, 0.95), util::quantile(waits, 0.99),
+              s.max, cfg.bank_delay * k, res.cycles);
+  }
+  bench::emit(cli, t);
+  std::cout << "The max wait tracks d*k (the hot bank drains one request\n"
+               "per d cycles) while the median stays near zero: the\n"
+               "contended tail, not the typical request, sets the time.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// §4 figure: the cost of module-map contention under random mappings.
+//
+// Worst-case pattern for a module map: n requests to n *distinct*
+// locations (no location contention at all, so any slowdown is pure
+// mapping artifact). For each expansion x, we compare the measured time
+// under a hashed mapping against the location-only ideal
+// max(g·n/p, d·ceil(n/B)) and report the ratio — the paper's point is
+// that this ratio decays toward 1 as the expansion grows, so pseudo-
+// random mappings are safe on bank-rich machines.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "mem/bank_mapping.hpp"
+#include "sim/machine.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1 << 18);
+  const std::uint64_t p = cli.get_int("p", 8);
+  const std::uint64_t d = cli.get_int("d", 14);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+  const unsigned draws = static_cast<unsigned>(cli.get_int("draws", 5));
+
+  bench::banner("Fig 8 (module map, §4)",
+                "Ratio of time with module-map contention to the location-"
+                "only ideal, worst-case distinct pattern, cubic hashing; "
+                "n = " + std::to_string(n));
+
+  const auto addrs = workload::distinct_random(n, 1ULL << 34, seed);
+  util::Table t({"x", "banks", "ideal cycles", "hashed cycles (mean)",
+                 "hashed (max)", "ratio mean", "ratio max"});
+  for (std::uint64_t x = 1; x <= 128; x *= 2) {
+    sim::MachineConfig cfg;
+    cfg.name = "sweep";
+    cfg.processors = p;
+    cfg.gap = 1;
+    cfg.latency = 0;
+    cfg.bank_delay = d;
+    cfg.expansion = x;
+    cfg.slackness = 64 * 1024;
+
+    const double ideal = static_cast<double>(
+        std::max(cfg.gap * util::ceil_div(n, p),
+                 d * util::ceil_div(n, cfg.banks())));
+    double sum = 0.0, worst = 0.0;
+    for (unsigned i = 0; i < draws; ++i) {
+      util::Xoshiro256 rng(util::substream(seed, 70 + i));
+      sim::Machine machine(cfg, std::make_shared<mem::HashedMapping>(
+                                    cfg.banks(), mem::HashDegree::kCubic, rng));
+      const double c = static_cast<double>(machine.scatter(addrs).cycles);
+      sum += c;
+      worst = std::max(worst, c);
+    }
+    const double mean = sum / draws;
+    t.add_row(x, cfg.banks(), ideal, mean, worst, mean / ideal,
+              worst / ideal);
+  }
+  bench::emit(cli, t);
+  return 0;
+}

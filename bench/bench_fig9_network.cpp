@@ -1,0 +1,115 @@
+// Network-placement experiment (versions (a)/(b)/(c)).
+//
+// The paper times three variants of the same scatter differing only in
+// how processors address the network's subsections: (a) spread evenly,
+// (b) random, and (c) an adversarial placement that funnels everything
+// through one subsection. Versions (a) and (b) match the model; version
+// (c) is off by up to ~2.5x because the (d,x)-BSP does not model
+// intra-network congestion. We reproduce all three against the sectioned
+// network simulator and report the model/measured ratio.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/predictor.hpp"
+#include "sim/machine.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1 << 18);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  // Default to p sections at one request/cycle each: aggregate network
+  // bandwidth matches aggregate processor issue bandwidth, so a spread
+  // placement is not network-limited — only placement skew is.
+  sim::MachineConfig cfg = sim::MachineConfig::cray_j90();
+  cfg.network_sections = cli.get_int("sections", cfg.processors);
+  cfg.section_period = cli.get_int("section-period", 1);
+
+  bench::banner("Fig 9 (network versions a/b/c)",
+                "Same scatter volume, three processor-to-section placements; "
+                "sections = " + std::to_string(cfg.network_sections) +
+                    ", machine = " + cfg.name);
+
+  sim::Machine machine(cfg);
+  const std::uint64_t B = cfg.banks();
+  const std::uint64_t S = cfg.network_sections;
+
+  // (a) spread: consecutive requests walk all sections round-robin.
+  std::vector<std::uint64_t> spread(n);
+  for (std::uint64_t i = 0; i < n; ++i) spread[i] = i % B;
+  // (b) random banks.
+  const auto random_banks = workload::uniform_random(n, B, seed);
+  // (c) concentrated: banks drawn from 3 of the S sections only — the
+  // paper's adversarial placement funnels most traffic through a few
+  // subsection ports (it observed up to ~2.5x; 3-of-8 gives ~8/3 here).
+  const std::uint64_t hot_sections = std::max<std::uint64_t>(1, (S * 3) / 8);
+  std::vector<std::uint64_t> hot(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t sec = i % hot_sections;
+    const std::uint64_t row = (i / hot_sections) % (B / S);
+    hot[i] = row * S + sec;
+  }
+
+  util::Table t({"version", "measured", "dxbsp model", "meas/model",
+                 "port conflicts"});
+  const struct {
+    const char* name;
+    const std::vector<std::uint64_t>* banks;
+  } versions[] = {{"(a) spread", &spread},
+                  {"(b) random", &random_banks},
+                  {"(c) concentrated", &hot}};
+  for (const auto& v : versions) {
+    const auto meas = machine.scatter_banks(*v.banks);
+    // Model prediction from the bank loads alone (the (d,x)-BSP has no
+    // network congestion term — that is the experiment's point).
+    const core::DxBspParams m = core::DxBspParams::from_config(cfg);
+    const std::uint64_t pred =
+        core::dxbsp_step_time(m, {meas.max_proc_requests, meas.max_bank_load,
+                                  n});
+    t.add_row(v.name, meas.cycles, pred,
+              static_cast<double>(meas.cycles) / static_cast<double>(pred),
+              meas.port_conflicts);
+  }
+  bench::emit(cli, t);
+  std::cout << "Versions (a)/(b) sit near ratio 1; version (c) exceeds the\n"
+               "model because one section port serializes the traffic —\n"
+               "the paper observed up to ~2.5x on the C90.\n\n";
+
+  // The refined model the paper points to ([ST91]): a log2(B)-stage
+  // butterfly where congestion (or its absence) emerges from shared
+  // wires instead of being declared per section. Two wire speeds:
+  // full-rate wires validate the paper's "high-bandwidth network"
+  // premise (no placement hurts); quarter-rate wires make the network
+  // the constraint, with the concentrated placement worst.
+  for (const std::uint64_t period :
+       {std::uint64_t{1}, static_cast<std::uint64_t>(
+                              cli.get_int("slow-link-period", 4))}) {
+    auto bcfg = sim::MachineConfig::cray_j90();
+    bcfg.butterfly_network = true;
+    bcfg.link_period = period;
+    sim::Machine bm(bcfg);
+    util::Table t2({"version (butterfly, link period " +
+                        std::to_string(period) + ")",
+                    "measured", "dxbsp model", "meas/model",
+                    "wire conflicts"});
+    for (const auto& v : versions) {
+      const auto meas = bm.scatter_banks(*v.banks);
+      const core::DxBspParams m = core::DxBspParams::from_config(bcfg);
+      const std::uint64_t pred = core::dxbsp_step_time(
+          m, {meas.max_proc_requests, meas.max_bank_load, n});
+      t2.add_row(v.name, meas.cycles, pred,
+                 static_cast<double>(meas.cycles) / static_cast<double>(pred),
+                 meas.port_conflicts);
+    }
+    bench::emit(cli, t2);
+  }
+  std::cout << "Full-rate wires: every placement tracks the model — the\n"
+               "high-bandwidth-network premise under which the (d,x)-BSP\n"
+               "needs no network term. Quarter-rate wires: the network\n"
+               "binds for all placements and the concentrated one worst —\n"
+               "the regime where [ST91]-style modeling becomes necessary.\n";
+  return 0;
+}

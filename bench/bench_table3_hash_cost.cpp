@@ -1,0 +1,66 @@
+// Table 3: evaluation cost of the universal hash functions.
+//
+// The paper reports clock cycles per element on a C90 CPU for the
+// linear, quadratic and cubic polynomial hashes. We report (a) the
+// per-element operation counts of our implementations (the analytic
+// analogue of the paper's column) and (b) measured ns/element on the
+// host via google-benchmark. The relative ordering and rough ratios —
+// linear cheapest, cubic roughly 2-3x linear — are what carries over
+// from the paper's machine.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "mem/hash.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dxbsp::mem::HashDegree;
+using dxbsp::mem::PolynomialHash;
+
+void bm_hash(benchmark::State& state, HashDegree degree) {
+  dxbsp::util::Xoshiro256 rng(42);
+  const PolynomialHash h(degree, 32, rng);
+  std::vector<std::uint64_t> xs(1 << 16);
+  for (auto& x : xs) x = rng();
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto x : xs) acc ^= h(x);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xs.size()));
+}
+
+void register_all() {
+  benchmark::RegisterBenchmark("hash/linear", bm_hash, HashDegree::kLinear);
+  benchmark::RegisterBenchmark("hash/quadratic", bm_hash,
+                               HashDegree::kQuadratic);
+  benchmark::RegisterBenchmark("hash/cubic", bm_hash, HashDegree::kCubic);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Table 3 ===\n");
+  std::printf(
+      "Evaluation cost of pseudo-random mapping hash functions.\n"
+      "Analytic per-element operation counts (mul/add/shift):\n");
+  dxbsp::util::Xoshiro256 rng(1);
+  for (const auto deg :
+       {HashDegree::kLinear, HashDegree::kQuadratic, HashDegree::kCubic}) {
+    const PolynomialHash h(deg, 32, rng);
+    std::printf("  %-10s : %u ops/element\n",
+                dxbsp::mem::to_string(deg).c_str(), h.op_count());
+  }
+  std::printf("\nMeasured host throughput (items/s; see items_per_second):\n");
+
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// machine_explorer: find the expansion factor a workload actually needs.
+//
+// Sweeps the number of banks for a user-described workload (request
+// volume + hottest-location contention) and reports where adding banks
+// stops paying — the paper's design question ("how many banks should a
+// machine with bank delay d provide?") answered per-workload. Uses both
+// the analytic balls-in-bins model and the simulator.
+//
+//   ./machine_explorer [--n=1048576] [--k=1024] [--d=14] [--p=8]
+
+#include <iostream>
+
+#include "core/balls_bins.hpp"
+#include "core/predictor.hpp"
+#include "sim/machine.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1 << 18);
+  const std::uint64_t k = cli.get_int("k", 1 << 10);
+  const std::uint64_t d = cli.get_int("d", 14);
+  const std::uint64_t p = cli.get_int("p", 8);
+
+  std::cout << "Workload: n = " << n << " requests, hottest location k = "
+            << k << "; machine: p = " << p << ", g = 1, d = " << d << "\n\n";
+
+  const auto addrs = workload::k_hot(n, k, 1ULL << 30, /*seed=*/21);
+  util::Table t({"x", "banks", "sim cycles", "dxbsp", "marginal speedup",
+                 "verdict"});
+  std::uint64_t prev = 0;
+  std::uint64_t chosen = 0;
+  for (std::uint64_t x = 1; x <= 256; x *= 2) {
+    sim::MachineConfig cfg;
+    cfg.name = "explore";
+    cfg.processors = p;
+    cfg.gap = 1;
+    cfg.latency = 30;
+    cfg.bank_delay = d;
+    cfg.expansion = x;
+    cfg.slackness = 64 * 1024;
+    sim::Machine machine(cfg);
+    const auto meas = machine.scatter(addrs);
+    const auto pred = core::predict_scatter(addrs, cfg, &machine.mapping());
+    const double marginal =
+        prev == 0 ? 1.0
+                  : static_cast<double>(prev) /
+                        static_cast<double>(meas.cycles);
+    const bool worth = marginal > 1.02;
+    if (!worth && chosen == 0 && prev != 0) chosen = x / 2;
+    t.add_row(x, cfg.banks(), meas.cycles, pred.dxbsp_mapped, marginal,
+              prev == 0 ? "-" : (worth ? "still paying" : "diminishing"));
+    prev = meas.cycles;
+  }
+  t.print(std::cout);
+
+  if (chosen == 0) chosen = 256;
+  std::cout << "\nrecommended expansion for this workload: x ~ " << chosen
+            << " (natural balance point would be x = d/g = " << d << ")\n"
+            << "analytic limit for pure-random patterns: x = "
+            << core::effective_expansion_limit(n, p, 1, d, 1024) << "\n"
+            << "note: location contention k caps what banks can do — the "
+               "d*k term\nis mapping-independent, so past the balance point "
+               "the win comes only\nfrom thinning the random module-map "
+               "tail.\n";
+  return 0;
+}

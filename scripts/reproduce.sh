@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Rebuilds everything, runs the full test suite, regenerates every
+# table/figure of the paper into results/, and runs the claim tour.
+# Usage: scripts/reproduce.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" -j"$(nproc)" --output-on-failure
+
+mkdir -p results
+for b in "$BUILD"/bench/bench_*; do
+  name="$(basename "$b")"
+  echo "== $name"
+  "$b" | tee "results/${name}.txt"
+done
+
+"$BUILD"/examples/paper_tour | tee results/paper_tour.txt
+echo "All outputs in results/."

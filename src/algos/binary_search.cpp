@@ -1,0 +1,272 @@
+#include "algos/binary_search.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "algos/radix_sort.hpp"
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace dxbsp::algos {
+
+namespace {
+
+/// Fills eytz[1..m] from the sorted keys and records each node's sorted
+/// position in pos_of (recursion via explicit stack to survive deep m).
+void build_eytzinger(std::span<const std::uint64_t> sorted,
+                     std::vector<std::uint64_t>& eytz,
+                     std::vector<std::uint64_t>& pos_of) {
+  const std::uint64_t m = sorted.size();
+  std::uint64_t next = 0;
+  // In-order traversal of the implicit tree 1..m.
+  struct Frame {
+    std::uint64_t t;
+    bool left_done;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({1, false});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.t > m) {
+      stack.pop_back();
+      continue;
+    }
+    if (!f.left_done) {
+      f.left_done = true;
+      stack.push_back({2 * f.t, false});
+    } else {
+      eytz[f.t] = sorted[next];
+      pos_of[f.t] = next;
+      ++next;
+      const std::uint64_t right = 2 * f.t + 1;
+      stack.pop_back();
+      stack.push_back({right, false});
+    }
+  }
+}
+
+}  // namespace
+
+ReplicatedTree::ReplicatedTree(Vm& vm,
+                               std::span<const std::uint64_t> sorted_keys,
+                               std::uint64_t expected_queries,
+                               std::uint64_t target_contention,
+                               std::uint64_t max_replication)
+    : vm_(&vm), m_(sorted_keys.size()) {
+  if (m_ == 0)
+    throw std::invalid_argument("ReplicatedTree: need at least one key");
+  if (!std::is_sorted(sorted_keys.begin(), sorted_keys.end()))
+    throw std::invalid_argument("ReplicatedTree: keys must be sorted");
+
+  eytz_.assign(m_ + 1, 0);
+  pos_of_.assign(m_ + 1, 0);
+  build_eytzinger(sorted_keys, eytz_, pos_of_);
+
+  const unsigned levels = util::log2_floor(m_) + 1;
+  level_base_.resize(levels);
+  level_copies_.resize(levels);
+
+  // Lay out the replicated levels back to back and copy node keys in.
+  std::uint64_t offset = 0;
+  for (unsigned l = 0; l < levels; ++l) {
+    const std::uint64_t first = 1ULL << l;
+    const std::uint64_t width = std::min<std::uint64_t>(first, m_ - first + 1);
+    std::uint64_t copies = 1;
+    if (target_contention > 0) {
+      copies = util::ceil_div(expected_queries, first * target_contention);
+      copies = std::clamp<std::uint64_t>(copies, 1, max_replication);
+    }
+    level_base_[l] = offset;
+    level_copies_[l] = copies;
+    offset += copies * width;
+  }
+  footprint_ = offset;
+  storage_ = vm.make_array<std::uint64_t>(footprint_);
+  for (unsigned l = 0; l < levels; ++l) {
+    const std::uint64_t first = 1ULL << l;
+    const std::uint64_t width = std::min<std::uint64_t>(first, m_ - first + 1);
+    for (std::uint64_t c = 0; c < level_copies_[l]; ++c)
+      for (std::uint64_t j = 0; j < width; ++j)
+        storage_.data[level_base_[l] + c * width + j] = eytz_[first + j];
+  }
+  // Building the replicas is a contiguous copy of the footprint.
+  vm.contiguous(storage_.region, footprint_, 2.0, "search-build-tree");
+}
+
+std::vector<std::uint64_t> ReplicatedTree::lower_bound(
+    Vm& vm, std::span<const std::uint64_t> queries, std::uint64_t seed) const {
+  const std::uint64_t n = queries.size();
+  std::vector<std::uint64_t> t(n, 1);
+  util::Xoshiro256 rng(util::substream(seed, 50));
+
+  const unsigned levels = this->levels();
+  std::vector<std::uint64_t> addrs;
+  for (unsigned l = 0; l < levels; ++l) {
+    const std::uint64_t first = 1ULL << l;
+    const std::uint64_t width = std::min<std::uint64_t>(first, m_ - first + 1);
+    const std::uint64_t copies = level_copies_[l];
+    addrs.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (t[i] > m_) continue;  // already past a leaf (non-full bottom level)
+      const std::uint64_t copy = copies == 1 ? 0 : rng.below(copies);
+      addrs.push_back(storage_.region.addr(level_base_[l] + copy * width +
+                                           (t[i] - first)));
+      const std::uint64_t node_key = eytz_[t[i]];
+      t[i] = 2 * t[i] + (node_key < queries[i] ? 1 : 0);
+    }
+    if (!addrs.empty()) {
+      // Register-resident descent: the node index and comparison result
+      // live in vector registers, so the level costs one gather plus one
+      // auxiliary stream (the query keys), not the generic two.
+      vm.bulk(addrs, "search-level-gather", 1.0);
+      vm.compute(addrs.size(), 3.0, "search-level-step");
+    }
+  }
+
+  // Decode the descent path: strip trailing 1-bits plus one 0-bit; the
+  // remaining value is the Eytzinger index of the first key >= query
+  // (0 means the query exceeds every key).
+  std::vector<std::uint64_t> result(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const unsigned strip = static_cast<unsigned>(std::countr_one(t[i])) + 1;
+    const std::uint64_t j = strip >= 64 ? 0 : (t[i] >> strip);
+    result[i] = j == 0 ? m_ : pos_of_[j];
+  }
+  vm.compute(n, 2.0, "search-decode");
+  return result;
+}
+
+std::vector<std::uint64_t> erew_lower_bound(
+    Vm& vm, std::span<const std::uint64_t> sorted_keys,
+    std::span<const std::uint64_t> queries) {
+  const std::uint64_t n = queries.size();
+  const std::uint64_t m = sorted_keys.size();
+  if (n == 0) return {};
+
+  // Sort the queries (EREW radix sort).
+  std::uint64_t maxq = 0;
+  for (const auto q : queries) maxq = std::max(maxq, q);
+  const unsigned bits = maxq == 0 ? 1 : util::log2_floor(maxq) + 1;
+  const RadixSortResult sorted = radix_sort(vm, queries, bits);
+
+  // Co-merge the sorted queries with the sorted keys: one contiguous
+  // sweep over both arrays.
+  std::vector<std::uint64_t> merged(n);
+  {
+    std::uint64_t ki = 0;
+    for (std::uint64_t qi = 0; qi < n; ++qi) {
+      const std::uint64_t q = sorted.sorted_keys[qi];
+      while (ki < m && sorted_keys[ki] < q) ++ki;
+      merged[qi] = ki;
+    }
+    auto scratch = vm.reserve(n + m);
+    vm.contiguous(scratch, n + m, 2.0, "search-merge");
+  }
+
+  // Send each answer back to its original query slot: a permutation
+  // scatter (distinct destinations, no location contention).
+  auto result = vm.make_array<std::uint64_t>(n);
+  std::vector<std::uint64_t> dest(n);
+  for (std::uint64_t qi = 0; qi < n; ++qi) dest[qi] = sorted.order[qi];
+  vm.scatter(result, dest, merged, "search-unsort-scatter");
+  return result.data;
+}
+
+FanoutTree::FanoutTree(Vm& vm, std::span<const std::uint64_t> sorted_keys,
+                       std::uint64_t fanout)
+    : fanout_(fanout),
+      m_(sorted_keys.size()),
+      keys_(sorted_keys.begin(), sorted_keys.end()) {
+  if (fanout_ < 2) throw std::invalid_argument("FanoutTree: fanout must be >= 2");
+  if (m_ == 0) throw std::invalid_argument("FanoutTree: need at least one key");
+  if (!std::is_sorted(sorted_keys.begin(), sorted_keys.end()))
+    throw std::invalid_argument("FanoutTree: keys must be sorted");
+
+  // Levels: smallest L with fanout^L >= m (ranges shrink by f per level).
+  std::uint64_t span = 1;
+  unsigned levels = 0;
+  while (span < m_) {
+    span *= fanout_;
+    ++levels;
+  }
+  // Lay out separator blocks: level l has ceil(m / span_l) nodes of
+  // (f-1) separators, span_l = fanout^(levels-l).
+  std::uint64_t offset = 0;
+  std::uint64_t span_l = span;
+  for (unsigned l = 0; l < levels; ++l) {
+    const std::uint64_t nodes = util::ceil_div(m_, span_l);
+    level_offset_.push_back(offset);
+    level_nodes_.push_back(nodes);
+    offset += nodes * (fanout_ - 1);
+    span_l /= fanout_;
+  }
+  footprint_ = std::max<std::uint64_t>(offset, 1);
+  storage_ = vm.make_array<std::uint64_t>(footprint_, ~0ULL);
+
+  span_l = span;
+  for (unsigned l = 0; l < levels; ++l) {
+    const std::uint64_t child = span_l / fanout_;
+    for (std::uint64_t j = 0; j < level_nodes_[l]; ++j) {
+      for (std::uint64_t t = 1; t < fanout_; ++t) {
+        const std::uint64_t pos = j * span_l + t * child;
+        storage_.data[level_offset_[l] + j * (fanout_ - 1) + t - 1] =
+            pos < m_ ? keys_[pos] : ~0ULL;  // +inf sentinel past the end
+      }
+    }
+    span_l /= fanout_;
+  }
+  vm.contiguous(storage_.region, footprint_, 2.0, "fanout-build");
+}
+
+std::vector<std::uint64_t> FanoutTree::lower_bound(
+    Vm& vm, std::span<const std::uint64_t> queries) const {
+  const std::uint64_t n = queries.size();
+  std::vector<std::uint64_t> pos(n, 0);  // range start, shrinking per level
+
+  std::uint64_t span = 1;
+  for (unsigned l = 0; l < levels(); ++l) span *= fanout_;
+
+  std::vector<std::uint64_t> addrs;
+  for (unsigned l = 0; l < levels(); ++l) {
+    const std::uint64_t child = span / fanout_;
+    addrs.clear();
+    addrs.reserve(n * (fanout_ - 1));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t node = pos[i] / span;
+      const std::uint64_t base = level_offset_[l] + node * (fanout_ - 1);
+      std::uint64_t c = 0;
+      for (std::uint64_t t = 0; t + 1 < fanout_; ++t) {
+        addrs.push_back(storage_.region.addr(base + t));
+        const std::uint64_t sep = storage_.data[base + t];
+        if (sep != ~0ULL && sep < queries[i]) ++c;
+      }
+      pos[i] = node * span + c * child;
+    }
+    vm.bulk(addrs, "fanout-level-gather", 1.0);
+    vm.compute(n, static_cast<double>(fanout_), "fanout-level-step");
+    span = child;
+  }
+
+  std::vector<std::uint64_t> result(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t p = std::min(pos[i], m_ - 1);
+    result[i] = p + ((keys_[p] < queries[i]) ? 1 : 0);
+  }
+  vm.compute(n, 2.0, "fanout-finish");
+  return result;
+}
+
+std::vector<std::uint64_t> reference_lower_bound(
+    std::span<const std::uint64_t> sorted_keys,
+    std::span<const std::uint64_t> queries) {
+  std::vector<std::uint64_t> out(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out[i] = static_cast<std::uint64_t>(
+        std::lower_bound(sorted_keys.begin(), sorted_keys.end(), queries[i]) -
+        sorted_keys.begin());
+  }
+  return out;
+}
+
+}  // namespace dxbsp::algos

@@ -1,0 +1,123 @@
+#pragma once
+// Parallel binary search of n keys in a balanced search tree of size m —
+// the paper's first QRQW algorithm experiment ([GMR94a]).
+//
+// QRQW version: the tree (Eytzinger layout of the sorted keys) has its
+// top levels replicated; each query descends root-to-leaf, reading a
+// uniformly random replica of the node it visits at each level. A level
+// at depth l has ~2^l distinct nodes, so replication r_l ~ n/(2^l·c)
+// keeps the expected per-copy contention near the constant c; total
+// extra memory is O((n/c)·log m). The QRQW cost of each level is the
+// max number of queries landing on one replica cell.
+//
+// Naive version: the same search with no replication — the root is read
+// by all n queries (contention n), showing what the QRQW accounting
+// punishes.
+//
+// EREW version: radix-sort the queries, co-merge the sorted queries with
+// the sorted keys (contiguous, contention-free), then send each result
+// back with a permutation scatter. Sort-based and contention-free, but
+// pays the full sorting passes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// A search tree over sorted keys, with per-level replication, resident
+/// in a Vm's simulated address space.
+class ReplicatedTree {
+ public:
+  /// Builds the tree over `sorted_keys` (must be ascending). Replication
+  /// is sized for about `expected_queries` concurrent queries with target
+  /// per-replica contention `target_contention` (>= 1); max_replication
+  /// caps the copies of any level. target_contention == 0 disables
+  /// replication entirely (the "naive" configuration).
+  ReplicatedTree(Vm& vm, std::span<const std::uint64_t> sorted_keys,
+                 std::uint64_t expected_queries,
+                 std::uint64_t target_contention,
+                 std::uint64_t max_replication = 1ULL << 20);
+
+  /// Number of levels (ceil(log2(m+1))).
+  [[nodiscard]] unsigned levels() const noexcept {
+    return static_cast<unsigned>(level_base_.size());
+  }
+  /// Replication factor of level l.
+  [[nodiscard]] std::uint64_t replication(unsigned level) const {
+    return level_copies_.at(level);
+  }
+  /// Total simulated words occupied by the replicated tree.
+  [[nodiscard]] std::uint64_t footprint() const noexcept { return footprint_; }
+  [[nodiscard]] std::uint64_t num_keys() const noexcept { return m_; }
+
+  /// lower_bound of each query: the number of tree keys < query (i.e. the
+  /// insertion position in the sorted key array). Executes level-
+  /// synchronously on `vm`, accounting one gather per level. `seed`
+  /// drives the replica choices.
+  [[nodiscard]] std::vector<std::uint64_t> lower_bound(
+      Vm& vm, std::span<const std::uint64_t> queries, std::uint64_t seed) const;
+
+ private:
+  Vm* vm_;
+  std::uint64_t m_ = 0;
+  // Eytzinger tree: eytz_[t] for t in [1, m]; children of t are 2t, 2t+1.
+  std::vector<std::uint64_t> eytz_;
+  std::vector<std::uint64_t> pos_of_;  // sorted position of eytz_ node t
+  VArray<std::uint64_t> storage_;         // all replicated levels
+  std::vector<std::uint64_t> level_base_;   // offset of level l in storage_
+  std::vector<std::uint64_t> level_copies_; // replication of level l
+  std::uint64_t footprint_ = 0;
+};
+
+/// EREW baseline: sort-and-merge lower_bound for all queries
+/// (deterministic; no replica choices to seed).
+[[nodiscard]] std::vector<std::uint64_t> erew_lower_bound(
+    Vm& vm, std::span<const std::uint64_t> sorted_keys,
+    std::span<const std::uint64_t> queries);
+
+/// Wide-node (B-tree style) search: an implicit tree of fanout f over
+/// the sorted keys — log_f(m) levels instead of log_2(m), each level
+/// gathering f-1 separator keys per query. Trades tree depth (fewer
+/// contended levels, fewer round trips) for per-level traffic; on a
+/// bank-delay machine the optimum fanout balances d·(root contention)
+/// against g·(f-1) per level (probed by bench_a8). No replication: the
+/// root block's contention is n·(f-1)/f — this is the *unreplicated*
+/// wide-tree point of the design space.
+class FanoutTree {
+ public:
+  /// Builds over ascending `sorted_keys` with fanout f >= 2.
+  FanoutTree(Vm& vm, std::span<const std::uint64_t> sorted_keys,
+             std::uint64_t fanout);
+
+  [[nodiscard]] unsigned levels() const noexcept {
+    return static_cast<unsigned>(level_offset_.size());
+  }
+  [[nodiscard]] std::uint64_t fanout() const noexcept { return fanout_; }
+  [[nodiscard]] std::uint64_t footprint() const noexcept { return footprint_; }
+
+  /// lower_bound of each query (count of keys < query), level-synchronous
+  /// with one gather of (f-1) separators per query per level.
+  [[nodiscard]] std::vector<std::uint64_t> lower_bound(
+      Vm& vm, std::span<const std::uint64_t> queries) const;
+
+ private:
+  std::uint64_t fanout_ = 0;
+  std::uint64_t m_ = 0;
+  std::vector<std::uint64_t> keys_;          // the sorted keys
+  VArray<std::uint64_t> storage_;            // separator blocks per level
+  std::vector<std::uint64_t> level_offset_;  // offset of level l in storage_
+  std::vector<std::uint64_t> level_nodes_;   // node count at level l
+  std::uint64_t footprint_ = 0;
+};
+
+/// Host reference for validation (std::lower_bound semantics: first
+/// index whose key >= query... see note) — returns the count of keys
+/// strictly less than each query.
+[[nodiscard]] std::vector<std::uint64_t> reference_lower_bound(
+    std::span<const std::uint64_t> sorted_keys,
+    std::span<const std::uint64_t> queries);
+
+}  // namespace dxbsp::algos

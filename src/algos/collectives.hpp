@@ -1,0 +1,51 @@
+#pragma once
+// Broadcast and reduction on a bank-delay machine — the single-location
+// contention story in its purest form.
+//
+// Broadcasting one value to n consumers by having everyone read the same
+// word is free on a CRCW PRAM, Θ(d·n) on a bank-delay machine (the word
+// lives in one bank). The QRQW-style fix is the paper's replication
+// idea: double the number of copies each round (log n rounds of
+// contention-free copying), then read with bounded per-copy contention.
+// Reduction is the mirror image: a naive fetch-add tree of height 0
+// costs d·n at the root cell; partial sums per processor plus a small
+// combine are contention-free. These are the library's collective
+// primitives, instrumented like everything else.
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// Instrumentation of a broadcast.
+struct BroadcastStats {
+  std::uint64_t rounds = 0;       ///< replication doublings performed
+  std::uint64_t copies = 0;       ///< replicas available at read time
+  std::uint64_t read_contention = 0;  ///< hottest replica at the final read
+};
+
+/// Naive broadcast: all n consumers gather the same cell (contention n).
+/// Returns the delivered values (all equal to `value`).
+[[nodiscard]] std::vector<std::uint64_t> broadcast_naive(
+    Vm& vm, std::uint64_t value, std::uint64_t n);
+
+/// Replicating broadcast: doubles the replica count each round until
+/// `copies` replicas exist (default: enough for per-copy contention
+/// ~`target_contention`), then every consumer reads a random replica.
+[[nodiscard]] std::vector<std::uint64_t> broadcast_replicated(
+    Vm& vm, std::uint64_t value, std::uint64_t n, std::uint64_t seed,
+    std::uint64_t target_contention = 4, BroadcastStats* stats = nullptr);
+
+/// Naive reduction: every element fetch-adds one root cell (contention
+/// n). Returns the sum.
+[[nodiscard]] std::uint64_t reduce_naive(Vm& vm,
+                                         std::span<const std::uint64_t> xs);
+
+/// Tree reduction: per-processor partial sums (contiguous), then a
+/// log p combine. Contention-free. Returns the sum.
+[[nodiscard]] std::uint64_t reduce_tree(Vm& vm,
+                                        std::span<const std::uint64_t> xs);
+
+}  // namespace dxbsp::algos

@@ -1,0 +1,78 @@
+#pragma once
+// Connected components by parallel hook-and-contract, in the style of
+// Greiner's data-parallel algorithm [Gre94] (hooking, repeated
+// shortcutting, contraction) — the paper's closing experiment and the
+// source of the Figure-1 access patterns.
+//
+// Each iteration (the forest is kept flat, i.e. all trees are stars):
+//   1. gather the component labels of both endpoints of every live edge
+//      (contention = degree of popular components — the star graph drives
+//      this to m);
+//   2. hook: every edge with differing labels writes the smaller label
+//      over the larger one's root (arbitrary winner scatter);
+//   3. shortcut: pointer-jump until the forest is flat again;
+//   4. contract: discard edges that became internal.
+// Terminates because every iteration with a live edge removes at least
+// one root.
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/vm.hpp"
+#include "workload/graphs.hpp"
+
+namespace dxbsp::algos {
+
+/// Per-iteration instrumentation.
+struct CcIteration {
+  std::uint64_t live_edges = 0;
+  std::uint64_t hooks = 0;                ///< edges that attempted a hook
+  std::uint64_t gather_contention = 0;    ///< hottest label in the gathers
+  std::uint64_t hook_contention = 0;      ///< hottest hook target
+  std::uint64_t shortcut_rounds = 0;
+  std::uint64_t components = 0;           ///< roots remaining afterwards
+};
+
+/// Whole-run instrumentation.
+struct CcStats {
+  std::vector<CcIteration> iterations;
+  /// When requested, the label-gather address traces of each iteration
+  /// (the "patterns extracted from a trace" of Figure 1).
+  std::vector<std::vector<std::uint64_t>> gather_traces;
+};
+
+/// Options for the run.
+struct CcOptions {
+  bool keep_traces = false;  ///< record gather_traces in the stats
+  /// When true, run only ONE pointer-jump round per iteration instead of
+  /// flattening the forest completely (Greiner's design space: cheaper
+  /// iterations, deeper trees, more of them). Correctness is preserved —
+  /// parent pointers always decrease, so the forest stays acyclic.
+  bool single_shortcut = false;
+};
+
+/// Computes per-vertex component labels on the simulated machine.
+/// Labels equal the smallest vertex id reachable... more precisely, all
+/// vertices of a component share one label (a vertex id in the
+/// component); validate against workload::reference_components by
+/// partition equivalence. Cost breakdown lands in vm.ledger().
+[[nodiscard]] std::vector<std::uint32_t> connected_components(
+    Vm& vm, const workload::Graph& g, CcStats* stats = nullptr,
+    CcOptions options = {});
+
+/// Random-mate variant (the coin-flipping alternative in Greiner's
+/// comparison [Gre94]): every root flips a coin; each live edge whose
+/// endpoints' roots drew head/tail hooks the tail root under the head
+/// root. Trees stay depth <= 2, so a single shortcut per iteration
+/// flattens — at the price of more iterations (each edge merges with
+/// probability 1/4 per round) and therefore more full-size gathers.
+/// Deterministic in `seed`.
+[[nodiscard]] std::vector<std::uint32_t> connected_components_random_mate(
+    Vm& vm, const workload::Graph& g, std::uint64_t seed,
+    CcStats* stats = nullptr);
+
+/// True iff two labelings induce the same partition of [0, n).
+[[nodiscard]] bool same_partition(const std::vector<std::uint32_t>& a,
+                                  const std::vector<std::uint32_t>& b);
+
+}  // namespace dxbsp::algos

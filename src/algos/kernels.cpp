@@ -1,0 +1,119 @@
+#include "algos/kernels.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace dxbsp::algos {
+
+void transpose(Vm& vm, const VArray<double>& a, VArray<double>& b,
+               std::uint64_t rows, std::uint64_t cols) {
+  if (a.size() != rows * cols || b.size() != rows * cols)
+    throw std::invalid_argument("transpose: dimension mismatch");
+  // Reads are row-major contiguous; writes stride by `rows`.
+  std::vector<std::uint64_t> write_addrs;
+  write_addrs.reserve(rows * cols);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    for (std::uint64_t j = 0; j < cols; ++j) {
+      b.data[j * rows + i] = a.data[i * cols + j];
+      write_addrs.push_back(b.region.addr(j * rows + i));
+    }
+  }
+  vm.contiguous(a.region, rows * cols, 1.0, "transpose-read");
+  vm.bulk(write_addrs, "transpose-write", 1.0);
+}
+
+void walsh_hadamard(Vm& vm, VArray<double>& data) {
+  const std::uint64_t n = data.size();
+  if (!util::is_pow2(n))
+    throw std::invalid_argument("walsh_hadamard: size must be a power of 2");
+  for (std::uint64_t half = 1; half < n; half *= 2) {
+    // One stage: butterflies on pairs (i, i + half); the memory system
+    // sees two interleaved stride patterns plus the writes back.
+    std::vector<std::uint64_t> addrs;
+    addrs.reserve(2 * n);
+    for (std::uint64_t base = 0; base < n; base += 2 * half) {
+      for (std::uint64_t i = base; i < base + half; ++i) {
+        const double x = data.data[i];
+        const double y = data.data[i + half];
+        data.data[i] = x + y;
+        data.data[i + half] = x - y;
+        addrs.push_back(data.region.addr(i));
+        addrs.push_back(data.region.addr(i + half));
+      }
+    }
+    vm.bulk(addrs, "wht-stage", 1.0);
+    vm.compute(n, 1.0, "wht-stage-flops");
+  }
+}
+
+void stencil5(Vm& vm, const VArray<double>& in, VArray<double>& out,
+              std::uint64_t w, std::uint64_t h) {
+  if (in.size() != w * h || out.size() != w * h)
+    throw std::invalid_argument("stencil5: dimension mismatch");
+  // E/W neighbours are contiguous streams; N/S stride by w.
+  std::vector<std::uint64_t> ns_addrs;
+  ns_addrs.reserve(2 * w * h);
+  for (std::uint64_t y = 0; y < h; ++y) {
+    for (std::uint64_t x = 0; x < w; ++x) {
+      const auto at = [&](std::int64_t xx, std::int64_t yy) -> double {
+        if (xx < 0 || yy < 0 || xx >= static_cast<std::int64_t>(w) ||
+            yy >= static_cast<std::int64_t>(h))
+          return 0.0;
+        return in.data[static_cast<std::uint64_t>(yy) * w +
+                       static_cast<std::uint64_t>(xx)];
+      };
+      const auto xi = static_cast<std::int64_t>(x);
+      const auto yi = static_cast<std::int64_t>(y);
+      out.data[y * w + x] = (at(xi, yi - 1) + at(xi, yi + 1) +
+                             at(xi - 1, yi) + at(xi + 1, yi)) /
+                            4.0;
+      if (y > 0) ns_addrs.push_back(in.region.addr((y - 1) * w + x));
+      if (y + 1 < h) ns_addrs.push_back(in.region.addr((y + 1) * w + x));
+    }
+  }
+  vm.contiguous(in.region, w * h, 3.0, "stencil-ew-streams");
+  vm.bulk(ns_addrs, "stencil-ns", 1.0);
+  vm.contiguous(out.region, w * h, 1.0, "stencil-write");
+  vm.compute(w * h, 4.0, "stencil-flops");
+}
+
+std::vector<double> reference_transpose(const std::vector<double>& a,
+                                        std::uint64_t rows,
+                                        std::uint64_t cols) {
+  std::vector<double> b(rows * cols);
+  for (std::uint64_t i = 0; i < rows; ++i)
+    for (std::uint64_t j = 0; j < cols; ++j) b[j * rows + i] = a[i * cols + j];
+  return b;
+}
+
+std::vector<double> reference_walsh_hadamard(std::vector<double> x) {
+  for (std::size_t half = 1; half < x.size(); half *= 2) {
+    for (std::size_t base = 0; base < x.size(); base += 2 * half) {
+      for (std::size_t i = base; i < base + half; ++i) {
+        const double a = x[i], b = x[i + half];
+        x[i] = a + b;
+        x[i + half] = a - b;
+      }
+    }
+  }
+  return x;
+}
+
+std::vector<double> reference_stencil5(const std::vector<double>& in,
+                                       std::uint64_t w, std::uint64_t h) {
+  std::vector<double> out(w * h, 0.0);
+  for (std::uint64_t y = 0; y < h; ++y) {
+    for (std::uint64_t x = 0; x < w; ++x) {
+      double acc = 0.0;
+      if (y > 0) acc += in[(y - 1) * w + x];
+      if (y + 1 < h) acc += in[(y + 1) * w + x];
+      if (x > 0) acc += in[y * w + x - 1];
+      if (x + 1 < w) acc += in[y * w + x + 1];
+      out[y * w + x] = acc / 4.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace dxbsp::algos

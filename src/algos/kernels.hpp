@@ -1,0 +1,47 @@
+#pragma once
+// Structured-access kernels: the regular counterparts of the paper's
+// irregular workloads.
+//
+// The related work the paper cites ([OL85], [CS86], [Soh93]) studies
+// bank contention for *strided* access — transposes, FFT butterflies,
+// stencils. These kernels complete the library's workload spectrum: all
+// of them are contention-free in the QRQW sense (every location touched
+// once per pass) yet can be catastrophic for an interleaved bank map
+// when their stride shares factors with the bank count — the module-map
+// problem §4 solves by hashing. Each kernel computes a real, testable
+// result while its access trace runs through the machine.
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// Out-of-place matrix transpose: b[j*rows + i] = a[i*cols + j].
+/// The write side strides by `rows` — the canonical bank pathology when
+/// rows is a multiple of the bank count.
+void transpose(Vm& vm, const VArray<double>& a, VArray<double>& b,
+               std::uint64_t rows, std::uint64_t cols);
+
+/// In-place Walsh–Hadamard transform of data (size must be a power of
+/// two). Stage s performs butterflies on pairs (i, i + 2^s): the classic
+/// FFT-style stride ladder, hitting every power-of-two stride up to n/2.
+/// Self-inverse up to scaling: wht(wht(x)) == n * x.
+void walsh_hadamard(Vm& vm, VArray<double>& data);
+
+/// One Jacobi sweep of the 5-point stencil on a w x h grid with zero
+/// boundaries: out = (N + S + E + W) / 4. The N/S neighbours stride by
+/// w. Returns nothing; out.data holds the result.
+void stencil5(Vm& vm, const VArray<double>& in, VArray<double>& out,
+              std::uint64_t w, std::uint64_t h);
+
+/// Host references for the three kernels.
+[[nodiscard]] std::vector<double> reference_transpose(
+    const std::vector<double>& a, std::uint64_t rows, std::uint64_t cols);
+[[nodiscard]] std::vector<double> reference_walsh_hadamard(
+    std::vector<double> x);
+[[nodiscard]] std::vector<double> reference_stencil5(
+    const std::vector<double>& in, std::uint64_t w, std::uint64_t h);
+
+}  // namespace dxbsp::algos

@@ -1,0 +1,51 @@
+#pragma once
+// Parallel list ranking by pointer jumping (Wyllie), the [RM94] workload
+// the paper names among the algorithms whose contention it wants
+// analyzed.
+//
+// Each round every node gathers its successor's rank and successor
+// (rank[i] += rank[next[i]]; next[i] = next[next[i]]). The interesting
+// contention behaviour: as pointers collapse, more and more nodes point
+// at the terminal, so the gather contention at the tail grows
+// geometrically round by round — on a bank-delay machine the *late*
+// rounds are the expensive ones even though every round moves the same
+// n words. The instrumentation exposes exactly that profile.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// Per-round instrumentation of a list-ranking run.
+struct ListRankRound {
+  std::uint64_t gather_contention = 0;  ///< hottest successor this round
+  std::uint64_t active = 0;             ///< nodes still jumping
+};
+
+struct ListRankStats {
+  std::vector<ListRankRound> rounds;
+};
+
+/// Ranks a linked list given as a successor array: next[i] is the
+/// successor of node i, and the tail points to itself. Returns rank[i] =
+/// number of links from i to the tail (tail gets 0). Throws
+/// std::invalid_argument if `next` is not a valid single-tail list
+/// structure (out-of-range successor) — cycles are detected during the
+/// run and reported the same way.
+[[nodiscard]] std::vector<std::uint64_t> list_rank(
+    Vm& vm, std::span<const std::uint64_t> next,
+    ListRankStats* stats = nullptr);
+
+/// A random list over n nodes: returns the successor array of a single
+/// chain visiting all nodes in a seeded random order.
+[[nodiscard]] std::vector<std::uint64_t> random_list(std::uint64_t n,
+                                                     std::uint64_t seed);
+
+/// Host reference (sequential walk).
+[[nodiscard]] std::vector<std::uint64_t> reference_list_rank(
+    std::span<const std::uint64_t> next);
+
+}  // namespace dxbsp::algos

@@ -1,0 +1,43 @@
+#pragma once
+// Parallel merge by co-ranking — the "merging" substep the paper's
+// binary-search discussion points at ([RV87] and the sort-and-merge
+// EREW baselines).
+//
+// Merging two sorted sequences is the EREW-friendliest of primitives:
+// each processor binary-searches the split points of its output range
+// (O(p log(n+m)) scattered reads with contention <= p), then emits its
+// chunk with purely contiguous traffic. On a bank-delay machine it is
+// bandwidth-bound end to end — the counterpoint to the contention-
+// carrying algorithms, and the building block of the EREW merge sort
+// (also provided) that completes the sort-algorithm family next to
+// radix_sort.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// Merges sorted sequences a and b into one sorted vector, charging the
+/// co-ranking searches and the contiguous merge traffic to `vm`.
+[[nodiscard]] std::vector<std::uint64_t> parallel_merge(
+    Vm& vm, std::span<const std::uint64_t> a,
+    std::span<const std::uint64_t> b);
+
+/// EREW merge sort built on parallel_merge: log2(ceil(n/p)) ... standard
+/// bottom-up passes, each a sweep of pairwise merges. Returns the sorted
+/// keys. (radix_sort is the practical competitor; this exists to
+/// complete the comparison family and for non-integer-width keys.)
+[[nodiscard]] std::vector<std::uint64_t> merge_sort(
+    Vm& vm, std::span<const std::uint64_t> keys);
+
+/// Co-rank: the split position pair (i, j) with i + j = k such that
+/// merging a[0..i) and b[0..j) yields the first k outputs. Exposed for
+/// tests.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> co_rank(
+    std::uint64_t k, std::span<const std::uint64_t> a,
+    std::span<const std::uint64_t> b);
+
+}  // namespace dxbsp::algos

@@ -1,0 +1,118 @@
+#include "algos/multiprefix.hpp"
+
+#include <stdexcept>
+
+#include "algos/primitives.hpp"
+#include "algos/radix_sort.hpp"
+#include "util/bits.hpp"
+
+namespace dxbsp::algos {
+
+namespace {
+void check_inputs(std::span<const std::uint64_t> keys,
+                  std::span<const std::uint64_t> values,
+                  std::uint64_t num_keys) {
+  if (keys.size() != values.size())
+    throw std::invalid_argument("multiprefix: keys/values size mismatch");
+  if (num_keys == 0)
+    throw std::invalid_argument("multiprefix: need at least one key slot");
+  for (const auto k : keys)
+    if (k >= num_keys)
+      throw std::invalid_argument("multiprefix: key out of range");
+}
+}  // namespace
+
+MultiprefixResult multiprefix_fetch_add(Vm& vm,
+                                        std::span<const std::uint64_t> keys,
+                                        std::span<const std::uint64_t> values,
+                                        std::uint64_t num_keys) {
+  check_inputs(keys, values, num_keys);
+  const std::uint64_t n = keys.size();
+
+  auto counters = vm.make_array<std::uint64_t>(num_keys, 0);
+  vm.contiguous(counters.region, num_keys, 1.0, "mp-zero");
+
+  MultiprefixResult r;
+  r.prefix.resize(n);
+  // Semantics: FIFO fetch-and-add in element order; the memory system
+  // sees one scatter_add trace whose location contention is the largest
+  // key multiplicity.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    r.prefix[i] = counters.data[keys[i]];
+    counters.data[keys[i]] += values[i];
+  }
+  {
+    std::vector<std::uint64_t> addrs(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+      addrs[i] = counters.region.addr(keys[i]);
+    vm.bulk(addrs, "mp-fetch-add");
+  }
+  r.totals = counters.data;
+  return r;
+}
+
+MultiprefixResult multiprefix_sorted(Vm& vm,
+                                     std::span<const std::uint64_t> keys,
+                                     std::span<const std::uint64_t> values,
+                                     std::uint64_t num_keys,
+                                     unsigned key_bits) {
+  check_inputs(keys, values, num_keys);
+  const std::uint64_t n = keys.size();
+  if (key_bits == 0)
+    key_bits = num_keys <= 1 ? 1 : util::log2_ceil(num_keys);
+
+  MultiprefixResult r;
+  r.prefix.assign(n, 0);
+  r.totals.assign(num_keys, 0);
+  if (n == 0) return r;
+
+  // (1) Stable sort element ids by key: equal keys keep element order,
+  // which is exactly the fetch-add serialization order.
+  const RadixSortResult sorted = radix_sort(vm, keys, key_bits);
+
+  // (2) Gather values into sorted order (a permutation gather).
+  auto vals = vm.make_array<std::uint64_t>(n);
+  for (std::uint64_t i = 0; i < n; ++i) vals.data[i] = values[i];
+  std::vector<std::uint64_t> sorted_vals;
+  vm.gather(sorted_vals, vals, sorted.order, "mp-sort-gather-values");
+
+  // (3) Segmented exclusive scan within equal-key runs (one contiguous
+  // sweep, [BHZ93] style).
+  std::vector<std::uint64_t> sorted_prefix(n);
+  std::vector<std::uint64_t> run_total_key;
+  {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (i > 0 && sorted.sorted_keys[i] != sorted.sorted_keys[i - 1]) {
+        r.totals[sorted.sorted_keys[i - 1]] = acc;
+        acc = 0;
+      }
+      sorted_prefix[i] = acc;
+      acc += sorted_vals[i];
+    }
+    r.totals[sorted.sorted_keys[n - 1]] = acc;
+    vm.contiguous(vals.region, n, 3.0, "mp-segscan");
+  }
+
+  // (4) Unsort: permutation scatter of the prefixes back to element order.
+  auto out = vm.make_array<std::uint64_t>(n);
+  vm.scatter(out, sorted.order, sorted_prefix, "mp-unsort-scatter");
+  r.prefix = out.data;
+  return r;
+}
+
+MultiprefixResult reference_multiprefix(std::span<const std::uint64_t> keys,
+                                        std::span<const std::uint64_t> values,
+                                        std::uint64_t num_keys) {
+  check_inputs(keys, values, num_keys);
+  MultiprefixResult r;
+  r.prefix.resize(keys.size());
+  r.totals.assign(num_keys, 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    r.prefix[i] = r.totals[keys[i]];
+    r.totals[keys[i]] += values[i];
+  }
+  return r;
+}
+
+}  // namespace dxbsp::algos

@@ -1,0 +1,53 @@
+#pragma once
+// Multiprefix ([She93], named by the paper as a contention study target):
+// given keys and values, compute for every element the exclusive running
+// sum of the values of earlier elements with the *same key* (and,
+// as a byproduct, the per-key totals).
+//
+// Two implementations spanning the paper's design axis:
+//  * fetch-add (QRQW style): every element performs an atomic
+//    fetch-and-add on counter[key]. The memory system serializes the
+//    per-key queues at one request per d cycles, so the time is
+//    max(g·n/p, d·k) with k the largest key multiplicity — cheap when
+//    keys are spread, expensive when one key dominates, and the model
+//    charges exactly that.
+//  * sort-based (EREW style): radix-sort by key, segmented scan within
+//    key runs, unsort. Contention-free, cost independent of the key
+//    distribution — the safe-but-slow route.
+// The crossover between the two as the hottest key grows is the
+// QRQW-vs-EREW story in miniature (bench_fig15_multiprefix).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// Result of a multiprefix: per-element exclusive prefix within its key
+/// class, plus the final per-key totals (indexed by key).
+struct MultiprefixResult {
+  std::vector<std::uint64_t> prefix;  ///< size n
+  std::vector<std::uint64_t> totals;  ///< size num_keys
+};
+
+/// Fetch-add multiprefix. Keys must be < num_keys. Element order defines
+/// the serialization order (matching a FIFO memory system).
+[[nodiscard]] MultiprefixResult multiprefix_fetch_add(
+    Vm& vm, std::span<const std::uint64_t> keys,
+    std::span<const std::uint64_t> values, std::uint64_t num_keys);
+
+/// Sort-based multiprefix (same semantics, EREW mechanics). `key_bits`
+/// must cover num_keys (0 = derive from num_keys).
+[[nodiscard]] MultiprefixResult multiprefix_sorted(
+    Vm& vm, std::span<const std::uint64_t> keys,
+    std::span<const std::uint64_t> values, std::uint64_t num_keys,
+    unsigned key_bits = 0);
+
+/// Host reference.
+[[nodiscard]] MultiprefixResult reference_multiprefix(
+    std::span<const std::uint64_t> keys,
+    std::span<const std::uint64_t> values, std::uint64_t num_keys);
+
+}  // namespace dxbsp::algos

@@ -1,0 +1,72 @@
+#pragma once
+// Parallel hash table construction and lookup — the [KU86] workload
+// ("Parallel hashing: an efficient implementation of shared memory")
+// that underlies the random-mapping story of §4, run as an algorithm on
+// the simulated machine.
+//
+// Build: n distinct keys are inserted into a table of size m > n by
+// synchronous rounds. In round r, every still-unplaced key writes its id
+// at cell h_r(key) (a fresh universal hash per round); a key wins its
+// cell if it reads its own id back AND the cell was previously empty;
+// losers move to round r+1. The QRQW charge per round is the maximum
+// number of keys probing one cell — O(log n / log log n) w.h.p. — and
+// the live set shrinks geometrically, so the build is contention-cheap
+// on a bank-delay machine.
+//
+// Lookup replays the same probe sequence: round-r probes cost one gather
+// each; a key inserted in round r is found after r+1 probes, so the
+// expected lookup cost is a small constant of gathers.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// Per-round build instrumentation.
+struct HashBuildRound {
+  std::uint64_t live = 0;
+  std::uint64_t placed = 0;
+  std::uint64_t max_probe_contention = 0;
+};
+
+struct HashBuildStats {
+  std::vector<HashBuildRound> rounds;
+};
+
+/// A hash table resident in a Vm's simulated memory.
+class ParallelHashTable {
+ public:
+  /// Builds the table over `keys` (must be distinct) with `slots` cells
+  /// (slots >= 2*keys.size() recommended). Deterministic in `seed`.
+  ParallelHashTable(Vm& vm, std::span<const std::uint64_t> keys,
+                    std::uint64_t slots, std::uint64_t seed,
+                    HashBuildStats* stats = nullptr);
+
+  /// Looks up each query key; out[i] is the index into the build key set
+  /// (the key's id) or kNotFound. Accounts one gather per probe round.
+  static constexpr std::uint64_t kNotFound = ~0ULL;
+  [[nodiscard]] std::vector<std::uint64_t> lookup(
+      Vm& vm, std::span<const std::uint64_t> queries,
+      std::uint64_t) const;
+
+  [[nodiscard]] std::uint64_t slots() const noexcept { return slots_; }
+  [[nodiscard]] std::uint64_t rounds_used() const noexcept {
+    return static_cast<std::uint64_t>(hash_seeds_.size());
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t probe(std::uint64_t key,
+                                    std::uint64_t round) const;
+
+  std::uint64_t slots_ = 0;
+  std::uint64_t seed_ = 0;
+  std::vector<std::uint64_t> hash_seeds_;   // one per round
+  std::vector<std::uint64_t> keys_;         // build keys by id
+  VArray<std::uint64_t> table_;             // cell -> key id or kNotFound
+  std::vector<std::uint64_t> round_of_;     // id -> round it was placed
+};
+
+}  // namespace dxbsp::algos

@@ -1,0 +1,107 @@
+#include "algos/radix_sort.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace dxbsp::algos {
+
+RadixSortResult radix_sort(Vm& vm, std::span<const std::uint64_t> keys,
+                           unsigned key_bits, unsigned radix_bits) {
+  if (key_bits == 0 || key_bits > 64)
+    throw std::invalid_argument("radix_sort: key_bits must be in [1,64]");
+  if (radix_bits == 0 || radix_bits > 24)
+    throw std::invalid_argument("radix_sort: radix_bits must be in [1,24]");
+
+  const std::uint64_t n = keys.size();
+  const std::uint64_t p = vm.config().processors;
+  const std::uint64_t radix = 1ULL << radix_bits;
+  const unsigned passes =
+      static_cast<unsigned>(util::ceil_div(key_bits, radix_bits));
+
+  RadixSortResult result;
+  result.passes = passes;
+  if (n == 0) return result;
+
+  // Ping-pong key/id buffers in simulated memory.
+  auto key_a = vm.make_array<std::uint64_t>(n);
+  auto key_b = vm.make_array<std::uint64_t>(n);
+  auto id_a = vm.make_array<std::uint64_t>(n);
+  auto id_b = vm.make_array<std::uint64_t>(n);
+  auto hist = vm.make_array<std::uint64_t>(p * radix);
+
+  for (std::uint64_t i = 0; i < n; ++i) {
+    key_a.data[i] = keys[i];
+    id_a.data[i] = i;
+  }
+
+  VArray<std::uint64_t>* cur_key = &key_a;
+  VArray<std::uint64_t>* cur_id = &id_a;
+  VArray<std::uint64_t>* nxt_key = &key_b;
+  VArray<std::uint64_t>* nxt_id = &id_b;
+
+  std::vector<std::uint64_t> hist_addr(n);
+  std::vector<std::uint64_t> ones(n, 1);
+  std::vector<std::uint64_t> dest(n);
+
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    const unsigned shift = pass * radix_bits;
+    const std::uint64_t mask = radix - 1;
+
+    // (0) digit extraction: one shift+mask per element.
+    vm.compute(n, 2.0, "sort-digits");
+
+    // (1) per-processor private histograms: element i increments
+    // hist[proc(i)*radix + digit(i)]. Location contention is bounded by
+    // the largest digit count within one processor's block.
+    std::fill(hist.data.begin(), hist.data.end(), 0);
+    vm.contiguous(hist.region, hist.size(), 1.0, "sort-hist-zero");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t digit = (cur_key->data[i] >> shift) & mask;
+      hist_addr[i] = vm.proc_of(i, n) * radix + digit;
+    }
+    vm.scatter_add(hist, hist_addr, ones, "sort-hist-count");
+
+    // (2) global exclusive scan in digit-major order (digit, then
+    // processor), yielding the stable base offset of every (proc,digit)
+    // bucket. The scan itself is a contiguous sweep.
+    {
+      std::uint64_t acc = 0;
+      for (std::uint64_t digit = 0; digit < radix; ++digit) {
+        for (std::uint64_t proc = 0; proc < p; ++proc) {
+          std::uint64_t& slot = hist.data[proc * radix + digit];
+          const std::uint64_t v = slot;
+          slot = acc;
+          acc += v;
+        }
+      }
+      vm.contiguous(hist.region, hist.size(), 2.0, "sort-hist-scan");
+    }
+
+    // (3) rank: each processor walks its block in order, taking and
+    // bumping its private bucket cursor. The memory system sees one
+    // gather and one scatter of the same histogram addresses.
+    std::vector<std::uint64_t> rank_out;
+    vm.gather(rank_out, hist, hist_addr, "sort-rank-gather");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      dest[i] = hist.data[hist_addr[i]]++;
+    }
+    vm.scatter_add(hist, hist_addr, ones, "sort-rank-bump");
+
+    // (4) permutation scatter of keys and ids to their new positions.
+    vm.scatter(*nxt_key, dest, cur_key->data, "sort-permute-keys");
+    vm.scatter(*nxt_id, dest, cur_id->data, "sort-permute-ids");
+
+    std::swap(cur_key, nxt_key);
+    std::swap(cur_id, nxt_id);
+  }
+
+  result.sorted_keys = cur_key->data;
+  result.order = cur_id->data;
+  result.rank.assign(n, 0);
+  for (std::uint64_t pos = 0; pos < n; ++pos)
+    result.rank[result.order[pos]] = pos;
+  return result;
+}
+
+}  // namespace dxbsp::algos

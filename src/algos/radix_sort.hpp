@@ -1,0 +1,40 @@
+#pragma once
+// Vectorized LSD radix sort with processor-private histograms, after
+// Zagha & Blelloch [ZB91] — the paper's EREW workhorse (it is the basis
+// of the EREW random-permutation baseline in Figure 11 and was the
+// fastest NAS sort of the time).
+//
+// Each pass: (1) per-processor digit histograms built with scatter-adds
+// into private copies (bounded location contention by construction);
+// (2) a global scan of the histograms; (3) a stable rank computation and
+// permutation scatter. The permutation scatter has no location
+// contention (all destinations distinct) but real module-map contention,
+// which is why sorting is sensitive to d even though it is "EREW".
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// Result of a radix sort.
+struct RadixSortResult {
+  std::vector<std::uint64_t> sorted_keys;
+  /// order[i] = original index of the i-th smallest element.
+  std::vector<std::uint64_t> order;
+  /// rank[i] = final position of input element i (inverse of order).
+  std::vector<std::uint64_t> rank;
+  unsigned passes = 0;
+};
+
+/// Sorts `keys` (values < 2^key_bits) stably. radix_bits is the digit
+/// width per pass (default 8, i.e. 256 buckets). All passes are executed
+/// on `vm`, so vm.ledger() afterwards holds the full cost breakdown.
+[[nodiscard]] RadixSortResult radix_sort(Vm& vm,
+                                         std::span<const std::uint64_t> keys,
+                                         unsigned key_bits,
+                                         unsigned radix_bits = 8);
+
+}  // namespace dxbsp::algos

@@ -1,0 +1,56 @@
+#pragma once
+// Random permutation generation — the paper's head-to-head of a QRQW
+// algorithm against its EREW counterpart (Figure 11).
+//
+// QRQW (dart throwing, [GMR94a]): each element repeatedly writes its id
+// into a random cell of a destination array of size rho*n; an element
+// whose write survives the round (read-back sees its own id) is done,
+// the rest retry. Contention per round is the maximum number of darts on
+// one cell — small with high probability, and the QRQW model charges
+// exactly that. After all elements land, the occupied cells are packed
+// by a prefix sum to give each element its rank. O(n/p + log n) time.
+//
+// EREW (sort-based, [ZB91]): draw random keys and radix-sort the element
+// ids by key; an element's final position is its rank. Contention-free
+// by construction but pays several full sorting passes — the paper's
+// point is that the well-accounted contention of the QRQW version is
+// cheaper than avoiding contention altogether.
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// Per-round instrumentation of the dart-throwing permutation.
+struct DartRound {
+  std::uint64_t live = 0;            ///< elements still throwing
+  std::uint64_t winners = 0;         ///< darts that survived this round
+  std::uint64_t max_contention = 0;  ///< hottest cell this round
+};
+
+/// Statistics of one QRQW permutation run.
+struct DartStats {
+  std::vector<DartRound> rounds;
+  std::uint64_t total_darts = 0;
+};
+
+/// Generates a permutation of [0, n) by dart throwing into a table of
+/// size ceil(rho*n), rho > 1 (paper-style; 2.0 default). Returns
+/// perm[i] = final position of element i. Deterministic in `seed`.
+[[nodiscard]] std::vector<std::uint64_t> random_permutation_qrqw(
+    Vm& vm, std::uint64_t n, std::uint64_t seed, double rho = 2.0,
+    DartStats* stats = nullptr);
+
+/// Generates a permutation of [0, n) by sorting random keys with the
+/// EREW radix sort. `key_bits` defaults to 2*ceil(log2 n) so duplicate
+/// keys are rare (ties are broken stably and still yield a permutation).
+[[nodiscard]] std::vector<std::uint64_t> random_permutation_erew(
+    Vm& vm, std::uint64_t n, std::uint64_t seed, unsigned key_bits = 0);
+
+/// True iff `perm` is a permutation of [0, perm.size()).
+[[nodiscard]] bool is_permutation_of_iota(
+    const std::vector<std::uint64_t>& perm);
+
+}  // namespace dxbsp::algos

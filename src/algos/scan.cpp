@@ -1,0 +1,28 @@
+#include "algos/scan.hpp"
+
+namespace dxbsp::algos {
+
+std::vector<std::uint8_t> seg_ptr_to_flags(
+    std::span<const std::uint64_t> seg_ptr, std::uint64_t n) {
+  if (seg_ptr.empty() || seg_ptr.front() != 0 || seg_ptr.back() != n)
+    throw std::invalid_argument("seg_ptr_to_flags: bad segment pointers");
+  std::vector<std::uint8_t> flags(n, 0);
+  for (std::size_t s = 0; s + 1 < seg_ptr.size(); ++s) {
+    if (seg_ptr[s] > seg_ptr[s + 1])
+      throw std::invalid_argument("seg_ptr_to_flags: seg_ptr not monotone");
+    if (seg_ptr[s] < n && seg_ptr[s] != seg_ptr[s + 1]) flags[seg_ptr[s]] = 1;
+  }
+  return flags;
+}
+
+std::vector<std::uint64_t> flags_to_seg_ptr(
+    std::span<const std::uint8_t> flags) {
+  std::vector<std::uint64_t> seg_ptr;
+  seg_ptr.push_back(0);
+  for (std::size_t i = 1; i < flags.size(); ++i)
+    if (flags[i] != 0) seg_ptr.push_back(i);
+  seg_ptr.push_back(flags.size());
+  return seg_ptr;
+}
+
+}  // namespace dxbsp::algos

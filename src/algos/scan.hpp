@@ -1,0 +1,128 @@
+#pragma once
+// Generic and segmented scans — the [BHZ93] substrate.
+//
+// "Segmented operations for sparse matrix computation on vector
+// multiprocessors" is the implementation technology behind the paper's
+// SpMV experiment: scans and segmented scans vectorize with contiguous
+// memory streams only, so their cost on a bank-delay machine is pure
+// bandwidth — they are the contention-free glue between the contention-
+// carrying gathers and scatters. This header provides them generically
+// (any element type, any associative operator) with Vm cost accounting,
+// plus conversions between the two segment representations (CSR-style
+// pointers and head flags).
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "algos/vm.hpp"
+
+namespace dxbsp::algos {
+
+/// Built-in operator functors (any associative callable works).
+struct OpAdd {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a + b;
+  }
+};
+struct OpMax {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a > b ? a : b;
+  }
+};
+struct OpMin {
+  template <typename T>
+  T operator()(T a, T b) const {
+    return a < b ? a : b;
+  }
+};
+struct OpOr {
+  std::uint64_t operator()(std::uint64_t a, std::uint64_t b) const {
+    return a | b;
+  }
+};
+
+/// Exclusive scan of xs.data in place under `op` with the given
+/// identity; returns the grand total. Charges 2 contiguous passes.
+template <typename T, typename Op>
+T exclusive_scan(Vm& vm, VArray<T>& xs, Op op, T identity,
+                 const std::string& label) {
+  T acc = identity;
+  for (auto& x : xs.data) {
+    const T v = x;
+    x = acc;
+    acc = op(acc, v);
+  }
+  vm.contiguous(xs.region, xs.size(), 2.0, label);
+  return acc;
+}
+
+/// Inclusive scan in place; returns the grand total. Same accounting.
+template <typename T, typename Op>
+T inclusive_scan(Vm& vm, VArray<T>& xs, Op op, T identity,
+                 const std::string& label) {
+  T acc = identity;
+  for (auto& x : xs.data) {
+    acc = op(acc, x);
+    x = acc;
+  }
+  vm.contiguous(xs.region, xs.size(), 2.0, label);
+  return acc;
+}
+
+/// Segmented exclusive scan under head flags: flags[i] != 0 marks the
+/// first element of a segment (flags[0] is implicitly a head). The scan
+/// restarts at `identity` at every head. Charges 3 contiguous passes
+/// (data read/write + flag stream), the [BHZ93] formulation that hides
+/// latency regardless of segment structure.
+template <typename T, typename Op>
+void segmented_exclusive_scan(Vm& vm, VArray<T>& xs,
+                              std::span<const std::uint8_t> flags, Op op,
+                              T identity, const std::string& label) {
+  if (flags.size() != xs.size())
+    throw std::invalid_argument("segmented scan: flag size mismatch: " +
+                                label);
+  T acc = identity;
+  for (std::uint64_t i = 0; i < xs.size(); ++i) {
+    if (i == 0 || flags[i] != 0) acc = identity;
+    const T v = xs.data[i];
+    xs.data[i] = acc;
+    acc = op(acc, v);
+  }
+  vm.contiguous(xs.region, xs.size(), 3.0, label);
+}
+
+/// Segmented inclusive scan under head flags (same conventions).
+template <typename T, typename Op>
+void segmented_inclusive_scan(Vm& vm, VArray<T>& xs,
+                              std::span<const std::uint8_t> flags, Op op,
+                              T identity, const std::string& label) {
+  if (flags.size() != xs.size())
+    throw std::invalid_argument("segmented scan: flag size mismatch: " +
+                                label);
+  T acc = identity;
+  for (std::uint64_t i = 0; i < xs.size(); ++i) {
+    if (i == 0 || flags[i] != 0) acc = identity;
+    acc = op(acc, xs.data[i]);
+    xs.data[i] = acc;
+  }
+  vm.contiguous(xs.region, xs.size(), 3.0, label);
+}
+
+/// Converts CSR-style segment pointers (size segments+1, monotone,
+/// endpoints 0 and n) to head flags of length n. Empty segments are
+/// representable in pointers but not in flags; they are dropped (their
+/// zero-length extent marks no head), which matches how segmented sums
+/// treat them.
+[[nodiscard]] std::vector<std::uint8_t> seg_ptr_to_flags(
+    std::span<const std::uint64_t> seg_ptr, std::uint64_t n);
+
+/// Converts head flags to segment pointers. flags[0] is implicitly set.
+[[nodiscard]] std::vector<std::uint64_t> flags_to_seg_ptr(
+    std::span<const std::uint8_t> flags);
+
+}  // namespace dxbsp::algos

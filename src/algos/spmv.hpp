@@ -1,0 +1,31 @@
+#pragma once
+// Sparse matrix–vector multiplication, the Figure-12 experiment.
+//
+// The implementation follows [BHZ93]: CSR storage, a gather of x[col]
+// for every nonzero (the only irregular access — its location contention
+// equals the hottest column's frequency, e.g. the dense-column length),
+// an elementwise multiply, and a segmented sum per row. The (d,x)-BSP
+// predicts the crossover where the dense column's bank serialization
+// (d·c) overtakes the bandwidth term; plain BSP predicts a flat line.
+
+#include <cstdint>
+#include <vector>
+
+#include "algos/vm.hpp"
+#include "workload/sparse.hpp"
+
+namespace dxbsp::algos {
+
+/// Instrumentation of one SpMV run.
+struct SpmvStats {
+  std::uint64_t nnz = 0;
+  std::uint64_t gather_contention = 0;  ///< hottest x element (column freq)
+};
+
+/// y = A·x on the simulated machine. Throws on dimension mismatch.
+/// Cost breakdown lands in vm.ledger().
+[[nodiscard]] std::vector<double> spmv(Vm& vm, const workload::CsrMatrix& a,
+                                       const std::vector<double>& x,
+                                       SpmvStats* stats = nullptr);
+
+}  // namespace dxbsp::algos

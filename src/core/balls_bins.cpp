@@ -1,0 +1,88 @@
+#include "core/balls_bins.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dxbsp::core {
+
+double approx_expected_max_load(double balls, double bins) {
+  if (balls <= 0.0) return 0.0;
+  if (bins < 1.0) throw std::invalid_argument("need at least one bin");
+  if (bins == 1.0) return balls;
+  const double mu = balls / bins;
+  const double lnb = std::log(bins);
+  if (mu >= lnb) {
+    // Dense regime: Gaussian-tail max of b Poisson(mu) variables.
+    return mu + std::sqrt(2.0 * mu * lnb);
+  }
+  // Sparse regime: max load ~ ln b / ln((b ln b)/m), at least 1.
+  const double denom = std::log((bins / balls) * lnb);
+  if (denom <= 0.0) return mu + std::sqrt(2.0 * mu * lnb);
+  return std::max(1.0, lnb / denom);
+}
+
+double simulate_expected_max_load(std::uint64_t balls, std::uint64_t bins,
+                                  unsigned trials, std::uint64_t seed) {
+  if (bins == 0) throw std::invalid_argument("need at least one bin");
+  if (trials == 0) throw std::invalid_argument("need at least one trial");
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> load(bins);
+  double acc = 0.0;
+  for (unsigned t = 0; t < trials; ++t) {
+    std::fill(load.begin(), load.end(), 0);
+    std::uint32_t maxload = 0;
+    for (std::uint64_t i = 0; i < balls; ++i) {
+      const std::uint32_t l = ++load[rng.below(bins)];
+      maxload = std::max(maxload, l);
+    }
+    acc += maxload;
+  }
+  return acc / trials;
+}
+
+double chernoff_upper_tail(double mean, double delta) {
+  if (mean <= 0.0 || delta <= 0.0) return 1.0;
+  const double log_bound =
+      mean * (delta - (1.0 + delta) * std::log1p(delta));
+  return std::exp(std::min(0.0, log_bound));
+}
+
+double hoeffding_tail(double n, double t) {
+  if (n <= 0.0 || t <= 0.0) return 1.0;
+  return std::exp(-2.0 * n * t * t);
+}
+
+double predicted_random_pattern_cycles(std::uint64_t n, std::uint64_t p,
+                                       std::uint64_t g, std::uint64_t L,
+                                       std::uint64_t d, std::uint64_t x) {
+  const double banks = static_cast<double>(x) * static_cast<double>(p);
+  const double h_bank =
+      approx_expected_max_load(static_cast<double>(n), banks);
+  const double h_proc =
+      std::ceil(static_cast<double>(n) / static_cast<double>(p));
+  return std::max(static_cast<double>(g) * h_proc,
+                  static_cast<double>(d) * h_bank) +
+         2.0 * static_cast<double>(L);
+}
+
+std::uint64_t effective_expansion_limit(std::uint64_t n, std::uint64_t p,
+                                        std::uint64_t g, std::uint64_t d,
+                                        std::uint64_t x_max) {
+  const double h_proc =
+      static_cast<double>(g) *
+      std::ceil(static_cast<double>(n) / static_cast<double>(p));
+  for (std::uint64_t x = 1; x <= x_max; ++x) {
+    const double banks = static_cast<double>(x) * static_cast<double>(p);
+    const double bank_term =
+        static_cast<double>(d) *
+        approx_expected_max_load(static_cast<double>(n), banks);
+    if (bank_term <= h_proc) return x;
+  }
+  return x_max;
+}
+
+}  // namespace dxbsp::core

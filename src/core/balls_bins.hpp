@@ -1,0 +1,53 @@
+#pragma once
+// Balls-in-bins estimates and tail bounds for random bank mappings.
+//
+// Under a (pseudo-)random mapping, n distinct locations land in B banks
+// like balls in bins; the max bank load governs d·h_bank. These helpers
+// provide the standard closed-form approximations, Chernoff/Hoeffding
+// style tails (the Raghavan–Spencer inequality the paper's Theorem 5.2
+// proof uses), and a Monte-Carlo reference estimator.
+
+#include <cstdint>
+
+namespace dxbsp::core {
+
+/// Closed-form approximation of E[max load] for m balls in b bins.
+/// Piecewise: the sparse regime (m <= b·ln b) uses the classical
+/// ln b / ln((b/m)·ln b) form; the dense regime uses m/b + sqrt(2(m/b)ln b).
+[[nodiscard]] double approx_expected_max_load(double balls, double bins);
+
+/// Monte-Carlo estimate of E[max load] (trials independent draws).
+[[nodiscard]] double simulate_expected_max_load(std::uint64_t balls,
+                                                std::uint64_t bins,
+                                                unsigned trials,
+                                                std::uint64_t seed);
+
+/// Multiplicative Chernoff upper tail for a sum with mean `mean`:
+/// P[X > (1+delta)·mean] <= (e^delta / (1+delta)^(1+delta))^mean.
+/// This is the Raghavan–Spencer bound used in the Theorem 5.2 analysis.
+[[nodiscard]] double chernoff_upper_tail(double mean, double delta);
+
+/// Hoeffding bound for n summands in [0,1]: P[X - E[X] >= t·n] <= exp(-2nt²).
+[[nodiscard]] double hoeffding_tail(double n, double t);
+
+/// Predicted (d,x)-BSP scatter time per element for a *random* pattern of
+/// n requests on machine (p,g,L,d,x), using the expected-max-load
+/// approximation for the bank term. Used by the expansion-sweep figure to
+/// overlay the analytic curve on the simulated one.
+[[nodiscard]] double predicted_random_pattern_cycles(std::uint64_t n,
+                                                     std::uint64_t p,
+                                                     std::uint64_t g,
+                                                     std::uint64_t L,
+                                                     std::uint64_t d,
+                                                     std::uint64_t x);
+
+/// The expansion x beyond which further banks stop helping for random
+/// patterns of n requests (where the bank term, including the max-load
+/// tail, drops below the processor term). Found by scanning x upward.
+[[nodiscard]] std::uint64_t effective_expansion_limit(std::uint64_t n,
+                                                      std::uint64_t p,
+                                                      std::uint64_t g,
+                                                      std::uint64_t d,
+                                                      std::uint64_t x_max);
+
+}  // namespace dxbsp::core

@@ -1,0 +1,67 @@
+#include "core/calibrate.hpp"
+
+#include <vector>
+
+#include "util/bits.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp::core {
+
+CalibratedParams calibrate(sim::Machine& machine, std::uint64_t probe_size) {
+  CalibratedParams cal;
+  const std::uint64_t p = machine.config().processors;
+
+  // Probe 1 — bank delay: all requests to one address serialize at one
+  // per d. Two sizes difference out the latency constant.
+  {
+    const std::vector<std::uint64_t> big(probe_size, 0);
+    const std::vector<std::uint64_t> half(probe_size / 2, 0);
+    const auto tb = machine.scatter(big).cycles;
+    const auto th = machine.scatter(half).cycles;
+    cal.d = static_cast<double>(tb - th) /
+            static_cast<double>(probe_size - probe_size / 2);
+  }
+
+  // Probe 2 — latency: a single request costs 2L + d.
+  {
+    const std::vector<std::uint64_t> one(1, 0);
+    const auto t1 = static_cast<double>(machine.scatter(one).cycles);
+    cal.L = (t1 - cal.d) / 2.0;
+    if (cal.L < 0.0) cal.L = 0.0;
+  }
+
+  // Probe 3 — bank count: stride-s traces collapse onto one bank exactly
+  // when s is a multiple of B (interleaved placement). Doubling the
+  // probe stride, the first stride whose max bank load equals the trace
+  // length is B. (For hashed machines this probe reports "no collapse".)
+  {
+    const std::uint64_t n = 1024;
+    for (std::uint64_t s = 1; s <= (1ULL << 26); s *= 2) {
+      const auto trace = workload::strided(n, s);
+      const auto r = machine.scatter(trace);
+      if (r.max_bank_load == n) {
+        cal.banks = s;
+        break;
+      }
+    }
+    cal.x = cal.banks / std::max<std::uint64_t>(p, 1);
+  }
+
+  // Probe 4 — gap: spread requests over all banks so the banks never
+  // bind; the slope of the time in requests-per-processor is g.
+  {
+    const std::uint64_t banks =
+        cal.banks != 0 ? cal.banks : machine.config().banks();
+    std::vector<std::uint64_t> big(probe_size), half(probe_size / 2);
+    for (std::uint64_t i = 0; i < big.size(); ++i) big[i] = i % banks;
+    for (std::uint64_t i = 0; i < half.size(); ++i) half[i] = i % banks;
+    const auto tb = machine.scatter(big).cycles;
+    const auto th = machine.scatter(half).cycles;
+    cal.g = static_cast<double>(tb - th) /
+            (static_cast<double>(probe_size - probe_size / 2) /
+             static_cast<double>(p));
+  }
+  return cal;
+}
+
+}  // namespace dxbsp::core

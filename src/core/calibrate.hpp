@@ -1,0 +1,39 @@
+#pragma once
+// Black-box parameter extraction: measure (g, L, d, B) from a machine by
+// microbenchmark, the way LogP parameters were measured on real systems.
+//
+// On a real Cray the modeler does not get to read MachineConfig — the
+// parameters come from probes: a single request's round trip bounds L,
+// the slope of all-same-address scatters is d, the slope of
+// distinct-bank scatters is g, and the bank count reveals itself as the
+// smallest power-of-two stride that collapses onto one bank. Running the
+// extraction against the simulator (whose true parameters we know)
+// validates both the probes and the machine: if calibrate() cannot
+// recover MachineConfig, the mechanism is not the one the model assumes.
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace dxbsp::core {
+
+/// Parameters recovered by probing.
+struct CalibratedParams {
+  /// Effective per-processor request cost for spread traffic. Equals the
+  /// issue gap g on bandwidth-balanced machines (x >= d/g); on
+  /// bank-starved machines (x < d/g) the spread probe is bank-bound and
+  /// this reports ~d/x instead — itself the number a programmer needs.
+  double g = 0.0;
+  double L = 0.0;          ///< one-way latency
+  double d = 0.0;          ///< bank delay
+  std::uint64_t banks = 0; ///< detected bank count
+  std::uint64_t x = 0;     ///< banks / processors
+};
+
+/// Probes `machine` with microbenchmarks and returns the recovered
+/// parameters. Non-destructive (bulk operations only). `probe_size`
+/// trades accuracy for time (default 64K requests per probe).
+[[nodiscard]] CalibratedParams calibrate(sim::Machine& machine,
+                                         std::uint64_t probe_size = 1 << 16);
+
+}  // namespace dxbsp::core

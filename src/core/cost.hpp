@@ -1,0 +1,70 @@
+#pragma once
+// Superstep cost formulas of the BSP and (d,x)-BSP models.
+//
+// For a superstep in which some processor issues h_proc requests and some
+// bank receives h_bank requests, the (d,x)-BSP charges
+//
+//     T = max( g · h_proc , d · h_bank ) + latency terms
+//
+// while plain BSP, blind to banks, charges only g·h_proc. We account the
+// latency additively as 2L (request + response traversal), which matches
+// the pipelined simulator: the issue/service pipelines overlap, the wire
+// time does not.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace dxbsp::core {
+
+/// The request profile of one superstep.
+struct StepProfile {
+  std::uint64_t h_proc = 0;  ///< max requests issued by any processor
+  std::uint64_t h_bank = 0;  ///< max requests received by any bank
+  std::uint64_t total = 0;   ///< total requests (for bookkeeping)
+};
+
+/// (d,x)-BSP superstep time.
+[[nodiscard]] inline std::uint64_t dxbsp_step_time(
+    const DxBspParams& m, const StepProfile& s) noexcept {
+  return std::max(m.g * s.h_proc, m.d * s.h_bank) + 2 * m.L;
+}
+
+/// Plain BSP superstep time (no bank term) — the baseline the paper shows
+/// mispredicts under contention.
+[[nodiscard]] inline std::uint64_t bsp_step_time(const DxBspParams& m,
+                                                 const StepProfile& s) noexcept {
+  return m.g * s.h_proc + 2 * m.L;
+}
+
+/// The bank-side component alone (d·h_bank): useful to see which side of
+/// the max binds.
+[[nodiscard]] inline std::uint64_t bank_time(const DxBspParams& m,
+                                             const StepProfile& s) noexcept {
+  return m.d * s.h_bank;
+}
+
+/// The processor-side component alone (g·h_proc).
+[[nodiscard]] inline std::uint64_t proc_time(const DxBspParams& m,
+                                             const StepProfile& s) noexcept {
+  return m.g * s.h_proc;
+}
+
+/// True iff the bank term is the binding constraint of the superstep (the
+/// regime where BSP and (d,x)-BSP predictions diverge).
+[[nodiscard]] inline bool bank_bound(const DxBspParams& m,
+                                     const StepProfile& s) noexcept {
+  return bank_time(m, s) > proc_time(m, s);
+}
+
+/// The contention value k at which the bank term starts to dominate for a
+/// balanced workload of n requests: d·k > g·n/p  =>  k > g·n/(p·d).
+/// Points left of this knee look identical under BSP and (d,x)-BSP.
+[[nodiscard]] inline double contention_knee(const DxBspParams& m,
+                                            std::uint64_t n) noexcept {
+  return static_cast<double>(m.g) * static_cast<double>(n) /
+         (static_cast<double>(m.p) * static_cast<double>(m.d));
+}
+
+}  // namespace dxbsp::core

@@ -1,0 +1,52 @@
+#include "core/design.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/balls_bins.hpp"
+#include "util/bits.hpp"
+
+namespace dxbsp::core {
+
+ExpansionRecommendation recommend_expansion(std::uint64_t n, std::uint64_t k,
+                                            const DxBspParams& base,
+                                            double eps, std::uint64_t x_max) {
+  if (n == 0) throw std::invalid_argument("recommend_expansion: empty workload");
+  if (k == 0 || k > n)
+    throw std::invalid_argument("recommend_expansion: k must be in [1, n]");
+  if (eps <= 0.0) throw std::invalid_argument("recommend_expansion: eps <= 0");
+
+  ExpansionRecommendation rec;
+  rec.x_throughput = util::ceil_div(base.d, base.g);
+
+  const double proc_term =
+      static_cast<double>(base.g) *
+      std::ceil(static_cast<double>(n) / static_cast<double>(base.p));
+  const double hot_term =
+      static_cast<double>(base.d) * static_cast<double>(k);
+  rec.contention_limited = hot_term >= proc_term;
+
+  // The binding lower bound no expansion can beat: the issue pipeline or
+  // the hot location, whichever is larger.
+  const double floor_time = std::max(proc_term, hot_term);
+
+  rec.x_tail = x_max;
+  for (std::uint64_t x = 1; x <= x_max; x *= 2) {
+    const double banks =
+        static_cast<double>(x) * static_cast<double>(base.p);
+    const double spread =
+        approx_expected_max_load(static_cast<double>(n), banks);
+    const double bank_term =
+        static_cast<double>(base.d) *
+        std::max(static_cast<double>(k), spread);
+    if (std::max(bank_term, proc_term) <= (1.0 + eps) * floor_time) {
+      rec.x_tail = x;
+      break;
+    }
+  }
+  rec.x_recommended = std::max(rec.x_throughput, rec.x_tail);
+  return rec;
+}
+
+}  // namespace dxbsp::core

@@ -1,0 +1,41 @@
+#pragma once
+// Machine-design helpers: the paper's "how many banks?" question as an
+// API. Given a workload profile (request volume, hottest-location
+// contention) and the fixed machine parameters (p, g, L, d), recommend
+// an expansion factor: enough banks for throughput balance plus the
+// random max-load tail, and a flag for workloads whose location
+// contention no number of banks can fix (the d·k term is
+// mapping-independent — one location lives in one bank).
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace dxbsp::core {
+
+/// Outcome of an expansion analysis.
+struct ExpansionRecommendation {
+  /// Bandwidth balance point ceil(d/g): below this the banks throttle
+  /// even perfectly spread traffic.
+  std::uint64_t x_throughput = 0;
+  /// Smallest x at which the random-pattern bank term (mean + tail) sits
+  /// within `eps` of the binding lower bound; where extra banks stop
+  /// paying for this workload.
+  std::uint64_t x_tail = 0;
+  /// max(x_throughput, x_tail), the actionable answer.
+  std::uint64_t x_recommended = 0;
+  /// True when d·k >= g·n/p: the hot location saturates its bank no
+  /// matter how many banks exist; fix the algorithm (replicate the hot
+  /// data, QRQW-style), not the machine.
+  bool contention_limited = false;
+};
+
+/// Analyzes a workload of n requests with hottest-location contention k
+/// on a machine with the given (p, g, L, d) (the x in `base` is
+/// ignored). `eps` is the acceptable slack over the lower bound; x_max
+/// caps the search.
+[[nodiscard]] ExpansionRecommendation recommend_expansion(
+    std::uint64_t n, std::uint64_t k, const DxBspParams& base,
+    double eps = 0.05, std::uint64_t x_max = 4096);
+
+}  // namespace dxbsp::core

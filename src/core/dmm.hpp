@@ -1,0 +1,65 @@
+#pragma once
+// The (d,x)-DMM: Mehlhorn & Vishkin's Distributed Memory Machine [MV84]
+// with the paper's two parameters.
+//
+// The DMM is the original module-granularity model: p processors access
+// m memory modules, and a step in which some module receives H requests
+// costs H (the module serves one request per step) — it is the ancestor
+// of the h_bank term. The paper notes its d/x extension is as direct as
+// the BSP's: give the machine x·p modules that serve one request every
+// d cycles, and a step costs
+//
+//     T = max( ceil(n/p) , d·H )        (synchronous step, no g/L split)
+//
+// where the DMM's lockstep execution folds the issue gap into the step
+// count (g = 1) and synchronization is implicit (no separate L). The
+// value of carrying this model alongside the (d,x)-BSP is historical
+// fidelity (the module-contention literature the paper builds on speaks
+// DMM) and a cleaner lower bound: the DMM cost never exceeds the BSP
+// cost, and the gap between them is exactly the latency/overhead terms.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/cost.hpp"
+#include "core/params.hpp"
+
+namespace dxbsp::core {
+
+/// Parameters of the (d,x)-DMM.
+struct DxDmmParams {
+  std::uint64_t p = 8;  ///< processors
+  std::uint64_t d = 6;  ///< module delay
+  std::uint64_t x = 16; ///< modules per processor
+
+  [[nodiscard]] std::uint64_t modules() const noexcept { return x * p; }
+
+  [[nodiscard]] static DxDmmParams from_bsp(const DxBspParams& m) {
+    return DxDmmParams{m.p, m.d, m.x};
+  }
+};
+
+/// Synchronous-step time of the (d,x)-DMM.
+[[nodiscard]] inline std::uint64_t dxdmm_step_time(
+    const DxDmmParams& m, const StepProfile& s) noexcept {
+  return std::max(s.h_proc, m.d * s.h_bank);
+}
+
+/// Classic DMM step time (d = 1 modules, module count = s's banks):
+/// max(h_proc, h_bank).
+[[nodiscard]] inline std::uint64_t dmm_step_time(
+    const StepProfile& s) noexcept {
+  return std::max(s.h_proc, s.h_bank);
+}
+
+/// The (d,x)-DMM is the latency-free core of the (d,x)-BSP: for any
+/// step, dxdmm <= dxbsp, with equality up to the 2L term when g = 1.
+/// (Checked by tests; exposed for model-comparison tables.)
+[[nodiscard]] inline std::uint64_t dxbsp_minus_dxdmm(
+    const DxBspParams& bsp, const StepProfile& s) noexcept {
+  const std::uint64_t b = dxbsp_step_time(bsp, s);
+  const std::uint64_t m = dxdmm_step_time(DxDmmParams::from_bsp(bsp), s);
+  return b > m ? b - m : 0;
+}
+
+}  // namespace dxbsp::core

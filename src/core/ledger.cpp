@@ -1,0 +1,65 @@
+#include "core/ledger.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace dxbsp::core {
+
+void CostLedger::add(LedgerEntry entry) {
+  sim_ += entry.sim_cycles;
+  dxbsp_ += entry.pred_dxbsp;
+  bsp_ += entry.pred_bsp;
+  n_ += entry.n;
+  k_ = std::max(k_, entry.max_contention);
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<LedgerEntry> CostLedger::by_label() const {
+  std::map<std::string, LedgerEntry> agg;
+  std::vector<std::string> order;
+  for (const auto& e : entries_) {
+    auto [it, inserted] = agg.try_emplace(e.label, LedgerEntry{e.label, 0, 0, 0, 0, 0});
+    if (inserted) order.push_back(e.label);
+    it->second.n += e.n;
+    it->second.max_contention = std::max(it->second.max_contention, e.max_contention);
+    it->second.sim_cycles += e.sim_cycles;
+    it->second.pred_dxbsp += e.pred_dxbsp;
+    it->second.pred_bsp += e.pred_bsp;
+  }
+  std::vector<LedgerEntry> out;
+  out.reserve(order.size());
+  for (const auto& label : order) out.push_back(agg.at(label));
+  return out;
+}
+
+void CostLedger::print(std::ostream& os) const {
+  util::Table t({"phase", "requests", "max k", "sim cycles", "dxbsp pred",
+                 "bsp pred"});
+  for (const auto& e : by_label()) {
+    t.add_row(e.label, e.n, e.max_contention, e.sim_cycles, e.pred_dxbsp,
+              e.pred_bsp);
+  }
+  t.add_row("TOTAL", n_, k_, sim_, dxbsp_, bsp_);
+  t.print(os);
+}
+
+void CostLedger::print_csv(std::ostream& os) const {
+  util::Table t({"phase", "requests", "max_k", "sim_cycles", "dxbsp_pred",
+                 "bsp_pred"});
+  for (const auto& e : by_label()) {
+    t.add_row(e.label, e.n, e.max_contention, e.sim_cycles, e.pred_dxbsp,
+              e.pred_bsp);
+  }
+  t.add_row("TOTAL", n_, k_, sim_, dxbsp_, bsp_);
+  t.print_csv(os);
+}
+
+void CostLedger::clear() {
+  entries_.clear();
+  sim_ = dxbsp_ = bsp_ = n_ = k_ = 0;
+}
+
+}  // namespace dxbsp::core

@@ -1,0 +1,58 @@
+#pragma once
+// Multi-superstep cost accounting for algorithm instrumentation.
+//
+// Algorithms built on the Vm facade record one entry per bulk operation
+// (scatter, gather, scan phase, ...). The ledger accumulates simulated
+// cycles alongside BSP and (d,x)-BSP predictions so a whole algorithm run
+// can be compared against the model phase by phase — the methodology
+// behind the paper's Figures 1 and 12 and the connected-components study.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dxbsp::core {
+
+/// One recorded bulk operation.
+struct LedgerEntry {
+  std::string label;                ///< e.g. "hook-scatter", "spmv-gather"
+  std::uint64_t n = 0;              ///< requests in this operation
+  std::uint64_t max_contention = 0; ///< hottest-location multiplicity
+  std::uint64_t sim_cycles = 0;     ///< measured on the simulator
+  std::uint64_t pred_dxbsp = 0;     ///< (d,x)-BSP prediction
+  std::uint64_t pred_bsp = 0;       ///< BSP prediction
+};
+
+/// Accumulates entries over an algorithm run.
+class CostLedger {
+ public:
+  void add(LedgerEntry entry);
+
+  [[nodiscard]] const std::vector<LedgerEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::uint64_t total_sim() const noexcept { return sim_; }
+  [[nodiscard]] std::uint64_t total_dxbsp() const noexcept { return dxbsp_; }
+  [[nodiscard]] std::uint64_t total_bsp() const noexcept { return bsp_; }
+  [[nodiscard]] std::uint64_t total_requests() const noexcept { return n_; }
+  [[nodiscard]] std::uint64_t max_contention() const noexcept { return k_; }
+
+  /// Collapses consecutive entries with the same label into per-label
+  /// totals (useful for phase summaries of iterative algorithms).
+  [[nodiscard]] std::vector<LedgerEntry> by_label() const;
+
+  /// Prints an aligned per-entry breakdown plus totals.
+  void print(std::ostream& os) const;
+
+  /// Machine-readable per-label CSV (same aggregation as print()).
+  void print_csv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::vector<LedgerEntry> entries_;
+  std::uint64_t sim_ = 0, dxbsp_ = 0, bsp_ = 0, n_ = 0, k_ = 0;
+};
+
+}  // namespace dxbsp::core

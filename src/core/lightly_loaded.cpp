@@ -1,0 +1,44 @@
+#include "core/lightly_loaded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dxbsp::core {
+
+double lightly_loaded_conflict_probability(std::uint64_t requesters,
+                                           std::uint64_t banks,
+                                           std::uint64_t d) {
+  if (banks == 0) throw std::invalid_argument("need at least one bank");
+  if (requesters <= 1) return 0.0;
+  // Each of the other requesters occupies its bank for d of every
+  // (d + idle) cycles; with one outstanding request per processor the
+  // occupancy fraction seen by a newcomer is d/banks per competitor.
+  const double per = static_cast<double>(d) / static_cast<double>(banks);
+  const double miss =
+      std::pow(1.0 - std::min(1.0, per),
+               static_cast<double>(requesters - 1));
+  return 1.0 - miss;
+}
+
+double lightly_loaded_access_time(std::uint64_t requesters,
+                                  std::uint64_t banks, std::uint64_t d,
+                                  std::uint64_t base_latency) {
+  const double p = lightly_loaded_conflict_probability(requesters, banks, d);
+  // On conflict the request waits on average half the busy period.
+  return static_cast<double>(base_latency) + static_cast<double>(d) +
+         p * static_cast<double>(d) / 2.0;
+}
+
+std::uint64_t lightly_loaded_banks_needed(std::uint64_t requesters,
+                                          std::uint64_t d, double target) {
+  if (target <= 0.0 || target >= 1.0)
+    throw std::invalid_argument("target must be in (0,1)");
+  for (std::uint64_t banks = 1; banks <= (1ULL << 30); banks *= 2) {
+    if (lightly_loaded_conflict_probability(requesters, banks, d) <= target)
+      return banks;
+  }
+  return 1ULL << 30;
+}
+
+}  // namespace dxbsp::core

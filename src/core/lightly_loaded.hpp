@@ -1,0 +1,41 @@
+#pragma once
+// Bailey's lightly-loaded bank-conflict analysis [Bai87].
+//
+// The paper contrasts its heavily-loaded regime (every processor keeps S
+// requests in flight) with Bailey's earlier analysis "in the context of
+// a lightly-loaded system where a processor may have at most one request
+// outstanding and at most one request is ever waiting at a bank", which
+// asked how many banks compensate for a given bank delay. These helpers
+// implement that classical analysis so the two regimes can be compared
+// (see bench_a4_models): under light load the criterion is the
+// *probability of a conflict* — driving it down needs ~(p-1)·d/target
+// banks, more than the d·p that balances heavy-load throughput — whereas
+// the heavily loaded machines the paper models tolerate routine queueing
+// and only pay when a bank's queue outlasts the issue pipeline.
+
+#include <cstdint>
+
+namespace dxbsp::core {
+
+/// Probability that a random single request finds its bank busy, given
+/// `requesters` independent processors each holding one outstanding
+/// random request among `banks` banks with delay d (steady state,
+/// Poissonized): p_busy ~ 1 - (1 - d/(banks·(1+...)))^{requesters-1},
+/// approximated to first order as (requesters-1)·d / banks, clamped.
+[[nodiscard]] double lightly_loaded_conflict_probability(
+    std::uint64_t requesters, std::uint64_t banks, std::uint64_t d);
+
+/// Expected memory access time for one random request in the lightly
+/// loaded regime: base latency plus half a bank period on conflict.
+[[nodiscard]] double lightly_loaded_access_time(std::uint64_t requesters,
+                                                std::uint64_t banks,
+                                                std::uint64_t d,
+                                                std::uint64_t base_latency);
+
+/// Bailey's question inverted: banks needed so the lightly-loaded
+/// conflict probability stays below `target` (e.g. 0.05) for the given
+/// requesters and delay.
+[[nodiscard]] std::uint64_t lightly_loaded_banks_needed(
+    std::uint64_t requesters, std::uint64_t d, double target);
+
+}  // namespace dxbsp::core

@@ -1,0 +1,74 @@
+#pragma once
+// The (d,x)-LogP model.
+//
+// The paper notes that its two new parameters extend other bandwidth
+// models directly: "Although we have chosen the bsp model to extend it
+// should be straightforward to extend other related models, such as the
+// logp or dmm models, with the d and x parameters. To extend the logp it
+// is assumed that the banks are separate modules from the processors."
+// This header carries that out for LogP [CKP+93]: latency L, per-message
+// overhead o, message gap g, P processors — plus bank delay d and
+// expansion x.
+//
+// For a bulk operation of h_proc requests per processor and h_bank
+// requests at the hottest bank:
+//
+//   T = o + max( (o + g)·h_proc , d·h_bank ) + L    (one-way delivery)
+//
+// and a round-trip (gather-style) costs an extra L + o. The difference
+// from the (d,x)-BSP is the explicit software overhead o, which binds on
+// machines where injection is processor-limited rather than wire-limited.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/cost.hpp"
+#include "core/params.hpp"
+
+namespace dxbsp::core {
+
+/// Parameters of the (d,x)-LogP model.
+struct DxLogPParams {
+  std::uint64_t L = 50;  ///< network latency
+  std::uint64_t o = 2;   ///< per-message processor overhead (send or recv)
+  std::uint64_t g = 1;   ///< minimum inter-message gap at a processor
+  std::uint64_t P = 8;   ///< processors
+  std::uint64_t d = 6;   ///< bank delay
+  std::uint64_t x = 16;  ///< banks per processor
+
+  [[nodiscard]] std::uint64_t banks() const noexcept { return x * P; }
+
+  /// Builds from (d,x)-BSP parameters with an explicit overhead.
+  [[nodiscard]] static DxLogPParams from_bsp(const DxBspParams& m,
+                                             std::uint64_t overhead) {
+    return DxLogPParams{m.L, overhead, m.g, m.p, m.d, m.x};
+  }
+};
+
+/// One-way bulk-delivery time under (d,x)-LogP.
+[[nodiscard]] inline std::uint64_t dxlogp_step_time(
+    const DxLogPParams& m, const StepProfile& s) noexcept {
+  const std::uint64_t inject = (m.o + m.g) * s.h_proc;
+  return m.o + std::max(inject, m.d * s.h_bank) + m.L;
+}
+
+/// Round-trip (request/response) bulk time under (d,x)-LogP.
+[[nodiscard]] inline std::uint64_t dxlogp_roundtrip_time(
+    const DxLogPParams& m, const StepProfile& s) noexcept {
+  return dxlogp_step_time(m, s) + m.L + m.o;
+}
+
+/// Plain LogP (bank-blind) one-way time, for comparison.
+[[nodiscard]] inline std::uint64_t logp_step_time(
+    const DxLogPParams& m, const StepProfile& s) noexcept {
+  return m.o + (m.o + m.g) * s.h_proc + m.L;
+}
+
+/// The per-processor request count below which the overhead term (o+g)
+/// rather than the banks governs: h_bank < (o+g)·h_proc/d.
+[[nodiscard]] inline bool overhead_bound(const DxLogPParams& m,
+                                         const StepProfile& s) noexcept {
+  return (m.o + m.g) * s.h_proc >= m.d * s.h_bank;
+}
+
+}  // namespace dxbsp::core

@@ -1,0 +1,41 @@
+#pragma once
+// The (d,x)-BSP parameter tuple.
+//
+// Valiant's BSP describes a machine by (p, g, L). The paper extends it
+// with the bank delay d and the expansion factor x, giving the
+// "(d,x)-BSP" (the paper nicknames it the deluxe BSP). This header is the
+// model-side mirror of sim::MachineConfig: the simulator implements the
+// mechanism, these parameters drive the analytic predictions.
+
+#include <cstdint>
+
+#include "sim/machine_config.hpp"
+
+namespace dxbsp::core {
+
+/// Parameters of the (d,x)-BSP model.
+struct DxBspParams {
+  std::uint64_t p = 8;   ///< processors
+  std::uint64_t g = 1;   ///< gap: cycles per request at a processor
+  std::uint64_t L = 50;  ///< latency/synchronization term (one-way)
+  std::uint64_t d = 6;   ///< bank delay: cycles per request at a bank
+  std::uint64_t x = 16;  ///< expansion: banks per processor
+
+  [[nodiscard]] std::uint64_t banks() const noexcept { return x * p; }
+
+  /// Extracts the model parameters from a simulator configuration.
+  [[nodiscard]] static DxBspParams from_config(const sim::MachineConfig& c) {
+    return DxBspParams{c.processors, c.gap, c.latency, c.bank_delay,
+                       c.expansion};
+  }
+
+  /// The expansion at which aggregate bank bandwidth (x·p/d requests per
+  /// cycle) equals aggregate processor bandwidth (p/g): x* = d/g. The
+  /// paper's "natural choice" of d banks per processor (for g = 1); one of
+  /// its results is that exceeding this still helps.
+  [[nodiscard]] double balanced_expansion() const noexcept {
+    return static_cast<double>(d) / static_cast<double>(g);
+  }
+};
+
+}  // namespace dxbsp::core

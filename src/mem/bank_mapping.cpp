@@ -1,0 +1,69 @@
+#include "mem/bank_mapping.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace dxbsp::mem {
+
+BankMapping::BankMapping(std::uint64_t num_banks) : num_banks_(num_banks) {
+  if (num_banks == 0)
+    throw std::invalid_argument("BankMapping: need at least one bank");
+}
+
+void BankMapping::map(std::span<const std::uint64_t> addrs,
+                      std::span<std::uint64_t> banks) const {
+  if (addrs.size() != banks.size())
+    throw std::invalid_argument("BankMapping::map: size mismatch");
+  for (std::size_t i = 0; i < addrs.size(); ++i) banks[i] = bank_of(addrs[i]);
+}
+
+std::uint64_t BitReversalMapping::bank_of(std::uint64_t addr) const {
+  // Classic bit-reversal interleave: reverse the low ceil(log2 B) bits of
+  // the address, multiply-shift-reduced when B is not a power of two.
+  // Consecutive addresses land on maximally separated banks; strides that
+  // are multiples of B still collapse (like any deterministic mapping —
+  // the reason §4 of the paper hashes instead).
+  const unsigned bits = util::log2_ceil(num_banks_);
+  if (bits == 0) return 0;
+  const std::uint64_t rev =
+      util::reverse_bits(addr & ((1ULL << bits) - 1), bits);
+  return util::is_pow2(num_banks_) ? rev
+                                   : (rev * num_banks_) >> bits;
+}
+
+HashedMapping::HashedMapping(std::uint64_t num_banks, HashDegree degree,
+                             util::Xoshiro256& rng)
+    : BankMapping(num_banks), hash_(degree, 32, rng) {
+  if (num_banks > (1ULL << 32))
+    throw std::invalid_argument("HashedMapping: too many banks");
+}
+
+HashedMapping::HashedMapping(std::uint64_t num_banks, PolynomialHash hash)
+    : BankMapping(num_banks), hash_(hash) {
+  if (hash_.out_bits() != 32)
+    throw std::invalid_argument(
+        "HashedMapping: hash must emit 32 bits for the multiply-shift "
+        "reduction");
+  if (num_banks > (1ULL << 32))
+    throw std::invalid_argument("HashedMapping: too many banks");
+}
+
+std::unique_ptr<BankMapping> make_mapping(const std::string& name,
+                                          std::uint64_t num_banks,
+                                          util::Xoshiro256& rng) {
+  if (name == "interleaved")
+    return std::make_unique<InterleavedMapping>(num_banks);
+  if (name == "bit-reversal")
+    return std::make_unique<BitReversalMapping>(num_banks);
+  if (name == "linear")
+    return std::make_unique<HashedMapping>(num_banks, HashDegree::kLinear, rng);
+  if (name == "quadratic")
+    return std::make_unique<HashedMapping>(num_banks, HashDegree::kQuadratic,
+                                           rng);
+  if (name == "cubic")
+    return std::make_unique<HashedMapping>(num_banks, HashDegree::kCubic, rng);
+  throw std::invalid_argument("make_mapping: unknown mapping '" + name + "'");
+}
+
+}  // namespace dxbsp::mem

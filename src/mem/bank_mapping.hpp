@@ -1,0 +1,99 @@
+#pragma once
+// Mappings from memory addresses (word indices) to memory banks.
+//
+// The machine has B = x·p banks. An address pattern interacts with the
+// banks through one of these mappings:
+//   * Interleaved  — bank = addr mod B (the classic vector-machine layout;
+//                    pathological for strides sharing factors with B).
+//   * BitReversal  — bank = reverse(addr) mod B; scrambles locality cheaply.
+//   * Hashed       — bank = h(addr) mod B for a universal polynomial hash
+//                    (the paper's pseudo-random mapping, §4).
+//
+// Mappings are value types behind a small interface so the simulator, the
+// model and the contention analyzer all observe the same placement.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mem/hash.hpp"
+#include "util/rng.hpp"
+
+namespace dxbsp::mem {
+
+/// Abstract address→bank mapping over a fixed number of banks.
+class BankMapping {
+ public:
+  explicit BankMapping(std::uint64_t num_banks);
+  virtual ~BankMapping() = default;
+
+  [[nodiscard]] std::uint64_t num_banks() const noexcept { return num_banks_; }
+
+  /// Bank holding word `addr`; result is in [0, num_banks()).
+  [[nodiscard]] virtual std::uint64_t bank_of(std::uint64_t addr) const = 0;
+
+  /// Human-readable name for tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Maps a whole trace at once (banks.size() == addrs.size()); the default
+  /// loops over bank_of, subclasses may vectorize.
+  virtual void map(std::span<const std::uint64_t> addrs,
+                   std::span<std::uint64_t> banks) const;
+
+ protected:
+  std::uint64_t num_banks_;
+};
+
+/// bank = addr mod B. Matches Cray-style word interleaving.
+class InterleavedMapping final : public BankMapping {
+ public:
+  explicit InterleavedMapping(std::uint64_t num_banks)
+      : BankMapping(num_banks) {}
+  [[nodiscard]] std::uint64_t bank_of(std::uint64_t addr) const override {
+    return addr % num_banks_;
+  }
+  [[nodiscard]] std::string name() const override { return "interleaved"; }
+};
+
+/// bank = bit_reverse_64(addr) mod B. A deterministic scrambling that
+/// breaks up small power-of-two strides without a hash draw.
+class BitReversalMapping final : public BankMapping {
+ public:
+  explicit BitReversalMapping(std::uint64_t num_banks)
+      : BankMapping(num_banks) {}
+  [[nodiscard]] std::uint64_t bank_of(std::uint64_t addr) const override;
+  [[nodiscard]] std::string name() const override { return "bit-reversal"; }
+};
+
+/// bank = floor(h(addr)·B / 2^32) for a universal polynomial hash h with
+/// 32 output bits (paper §4). The multiply-shift reduction consumes the
+/// hash's *top* bits — the well-mixed ones in multiplicative hashing —
+/// where a plain "mod B" would consume the low bits and collapse strided
+/// address patterns onto a handful of banks. A fresh draw of the
+/// coefficients gives an independent mapping.
+class HashedMapping final : public BankMapping {
+ public:
+  HashedMapping(std::uint64_t num_banks, HashDegree degree,
+                util::Xoshiro256& rng);
+  HashedMapping(std::uint64_t num_banks, PolynomialHash hash);
+
+  [[nodiscard]] std::uint64_t bank_of(std::uint64_t addr) const override {
+    return (hash_(addr) * num_banks_) >> 32;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "hashed-" + to_string(hash_.degree());
+  }
+  [[nodiscard]] const PolynomialHash& hash() const noexcept { return hash_; }
+
+ private:
+  PolynomialHash hash_;
+};
+
+/// Factory: builds a mapping by name ("interleaved", "bit-reversal",
+/// "linear", "quadratic", "cubic"); hash draws consume `rng`.
+[[nodiscard]] std::unique_ptr<BankMapping> make_mapping(
+    const std::string& name, std::uint64_t num_banks, util::Xoshiro256& rng);
+
+}  // namespace dxbsp::mem

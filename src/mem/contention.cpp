@@ -1,0 +1,58 @@
+#include "mem/contention.hpp"
+
+#include <algorithm>
+
+#include "util/bits.hpp"
+
+namespace dxbsp::mem {
+
+LocationContention analyze_locations(std::span<const std::uint64_t> addrs) {
+  LocationContention lc;
+  lc.total = addrs.size();
+  if (addrs.empty()) return lc;
+  std::vector<std::uint64_t> sorted(addrs.begin(), addrs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t run = 1;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) {
+      ++run;
+    } else {
+      lc.max_contention = std::max(lc.max_contention, run);
+      ++lc.distinct;
+      run = 1;
+    }
+  }
+  lc.max_contention = std::max(lc.max_contention, run);
+  ++lc.distinct;
+  lc.mean_contention =
+      static_cast<double>(lc.total) / static_cast<double>(lc.distinct);
+  return lc;
+}
+
+BankLoads analyze_banks(std::span<const std::uint64_t> addrs,
+                        const BankMapping& mapping) {
+  BankLoads bl;
+  bl.load.assign(mapping.num_banks(), 0);
+  bl.total = addrs.size();
+  for (const std::uint64_t a : addrs) ++bl.load[mapping.bank_of(a)];
+  for (const std::uint64_t l : bl.load) {
+    bl.max_load = std::max(bl.max_load, l);
+    if (l != 0) ++bl.nonempty_banks;
+  }
+  bl.mean_load = mapping.num_banks() == 0
+                     ? 0.0
+                     : static_cast<double>(bl.total) /
+                           static_cast<double>(mapping.num_banks());
+  return bl;
+}
+
+std::uint64_t location_forced_max_load(std::span<const std::uint64_t> addrs,
+                                       std::uint64_t num_banks) {
+  const LocationContention lc = analyze_locations(addrs);
+  // Even a perfect map cannot serve one bank faster than its hottest
+  // location, nor spread `total` requests thinner than total/B.
+  return std::max<std::uint64_t>(
+      lc.max_contention, util::ceil_div(lc.total, num_banks));
+}
+
+}  // namespace dxbsp::mem

@@ -1,0 +1,47 @@
+#include "mem/hash.hpp"
+
+#include <stdexcept>
+
+namespace dxbsp::mem {
+
+std::string to_string(HashDegree d) {
+  switch (d) {
+    case HashDegree::kLinear:
+      return "linear";
+    case HashDegree::kQuadratic:
+      return "quadratic";
+    case HashDegree::kCubic:
+      return "cubic";
+  }
+  return "unknown";
+}
+
+PolynomialHash::PolynomialHash(HashDegree degree, unsigned out_bits,
+                               util::Xoshiro256& rng)
+    : degree_(static_cast<int>(degree)),
+      shift_(64u - out_bits),
+      a_(rng.odd()),
+      b_(rng.odd()),
+      c_(rng.odd()) {
+  if (out_bits == 0 || out_bits > 64)
+    throw std::invalid_argument("PolynomialHash: out_bits must be in [1,64]");
+}
+
+PolynomialHash::PolynomialHash(HashDegree degree, unsigned out_bits,
+                               std::uint64_t a, std::uint64_t b,
+                               std::uint64_t c)
+    : degree_(static_cast<int>(degree)), shift_(64u - out_bits), a_(a), b_(b), c_(c) {
+  if (out_bits == 0 || out_bits > 64)
+    throw std::invalid_argument("PolynomialHash: out_bits must be in [1,64]");
+  if ((a & 1) == 0 || (b & 1) == 0 || (c & 1) == 0)
+    throw std::invalid_argument("PolynomialHash: coefficients must be odd");
+}
+
+unsigned PolynomialHash::op_count() const noexcept {
+  // Horner evaluation: degree multiplies by y, degree coefficient
+  // multiplies, degree-1 adds, one shift.
+  const unsigned deg = static_cast<unsigned>(degree_);
+  return 2 * deg + (deg - 1) + 1;
+}
+
+}  // namespace dxbsp::mem

@@ -1,0 +1,68 @@
+#pragma once
+// Universal hash families for pseudo-random memory-to-bank mappings.
+//
+// The paper (§4) evaluates polynomial hash functions over Z_{2^u} with
+// randomly drawn odd coefficients, taking the top m bits of the result:
+//
+//   h^1_a(y)     = (a·y mod 2^u) >> (u - m)                  "linear"
+//   h^2_{a,b}(y) = ((a·y + b·y²) mod 2^u) >> (u - m)         "quadratic"
+//   h^3_{a,b,c}  = ((a·y + b·y² + c·y³) mod 2^u) >> (u - m)  "cubic"
+//
+// The linear (multiplicative) scheme is 2-universal in the Carter–Wegman
+// sense [DHKP93]; higher degrees give stronger independence and better
+// behaviour on structured (e.g. strided) address patterns, at higher
+// evaluation cost (paper Table 3). We fix u = 64 so "mod 2^u" is free.
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace dxbsp::mem {
+
+/// Degree of the polynomial hash (paper Table 3 rows).
+enum class HashDegree : int { kLinear = 1, kQuadratic = 2, kCubic = 3 };
+
+[[nodiscard]] std::string to_string(HashDegree d);
+
+/// A polynomial hash h : [0, 2^64) -> [0, 2^m) with odd random
+/// coefficients, as in the paper. Instances are immutable once drawn.
+class PolynomialHash {
+ public:
+  /// Draws coefficients for the given degree from `rng`; `out_bits` is m,
+  /// the number of output bits (0 < m <= 64).
+  PolynomialHash(HashDegree degree, unsigned out_bits, util::Xoshiro256& rng);
+
+  /// Constructs with explicit coefficients (must be odd); used by tests.
+  PolynomialHash(HashDegree degree, unsigned out_bits, std::uint64_t a,
+                 std::uint64_t b, std::uint64_t c);
+
+  /// Evaluates the hash. Branch-free in the degree thanks to coefficient
+  /// zero-padding never being needed: unused coefficients are simply not
+  /// multiplied (dispatch on degree).
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t y) const noexcept {
+    std::uint64_t v = a_ * y;
+    if (degree_ >= 2) {
+      const std::uint64_t y2 = y * y;
+      v += b_ * y2;
+      if (degree_ >= 3) v += c_ * y2 * y;
+    }
+    return shift_ == 64 ? 0 : (v >> shift_);
+  }
+
+  [[nodiscard]] HashDegree degree() const noexcept {
+    return static_cast<HashDegree>(degree_);
+  }
+  [[nodiscard]] unsigned out_bits() const noexcept { return 64u - shift_; }
+
+  /// Per-element evaluation operation count (multiplies + adds + shift),
+  /// used for the analytic column of Table 3.
+  [[nodiscard]] unsigned op_count() const noexcept;
+
+ private:
+  int degree_;
+  unsigned shift_;  // 64 - m
+  std::uint64_t a_, b_, c_;
+};
+
+}  // namespace dxbsp::mem

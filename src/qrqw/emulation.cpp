@@ -1,0 +1,64 @@
+#include "qrqw/emulation.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "qrqw/theory.hpp"
+#include "util/rng.hpp"
+
+namespace dxbsp::qrqw {
+
+namespace {
+std::shared_ptr<const mem::BankMapping> hashed_mapping(
+    const sim::MachineConfig& cfg, std::uint64_t seed) {
+  util::Xoshiro256 rng(util::substream(seed, 60));
+  return std::make_shared<mem::HashedMapping>(cfg.banks(),
+                                              mem::HashDegree::kCubic, rng);
+}
+}  // namespace
+
+EmulationEngine::EmulationEngine(sim::MachineConfig config, std::uint64_t seed)
+    : machine_(config, hashed_mapping(config, seed)),
+      params_(core::DxBspParams::from_config(config)) {}
+
+EmulationResult EmulationEngine::emulate_step(const QrqwStep& step) {
+  EmulationResult r;
+  r.qrqw_cost = step.cost();
+  r.ops = step.ops();
+  r.bound = step_time_bound(step.ops(), step.max_contention(), params_);
+  if (step.ops() == 0) return r;
+
+  // One superstep: reads and writes form a single bulk request trace
+  // balanced across the physical processors (the machine's block
+  // distribution of the concatenated trace).
+  std::vector<std::uint64_t> trace;
+  trace.reserve(step.ops());
+  trace.insert(trace.end(), step.reads.begin(), step.reads.end());
+  trace.insert(trace.end(), step.writes.begin(), step.writes.end());
+  const sim::BulkResult res = machine_.scatter(trace);
+  // Barrier synchronization at superstep end: one more latency term.
+  r.sim_cycles = res.cycles + params_.L;
+  return r;
+}
+
+EmulationResult EmulationEngine::emulate_program(const QrqwProgram& program) {
+  EmulationResult total;
+  for (const auto& step : program.steps()) {
+    const EmulationResult r = emulate_step(step);
+    total.qrqw_cost += r.qrqw_cost;
+    total.sim_cycles += r.sim_cycles;
+    total.bound += r.bound;
+    total.ops += r.ops;
+  }
+  return total;
+}
+
+EmulationResult EmulationEngine::emulate_erew_step(const QrqwStep& step) {
+  if (step.max_contention() > 1)
+    throw std::invalid_argument(
+        "emulate_erew_step: step has contention > 1; the EREW PRAM forbids "
+        "concurrent access");
+  return emulate_step(step);
+}
+
+}  // namespace dxbsp::qrqw

@@ -1,0 +1,79 @@
+#pragma once
+// Emulation of QRQW (and EREW) PRAM programs on the (d,x)-BSP machine.
+//
+// The emulation follows §5 of the paper (generalizing the BSP emulation
+// of [GMR94b]): shared PRAM memory is spread over the banks by a random
+// (universal) hash; each QRQW step's operations are balanced over the p
+// physical processors and executed as one bulk superstep. The step then
+// costs max(g·n/p, d·h_bank) + sync on the machine, where h_bank
+// reflects both the step's location contention and the module-map
+// contention of the hash. The measured slowdown against the QRQW charge
+// is what Theorems 5.1/5.2 bound.
+
+#include <cstdint>
+#include <memory>
+
+#include "core/params.hpp"
+#include "mem/bank_mapping.hpp"
+#include "qrqw/program.hpp"
+#include "sim/machine.hpp"
+
+namespace dxbsp::qrqw {
+
+/// Result of emulating one step (or a whole program).
+struct EmulationResult {
+  std::uint64_t qrqw_cost = 0;   ///< model charge on the QRQW PRAM
+  std::uint64_t sim_cycles = 0;  ///< measured (d,x)-BSP machine cycles
+  double bound = 0.0;            ///< theory upper bound (step_time_bound)
+  std::uint64_t ops = 0;
+
+  /// Emulation slowdown per QRQW time unit.
+  [[nodiscard]] double slowdown() const noexcept {
+    return qrqw_cost == 0
+               ? 0.0
+               : static_cast<double>(sim_cycles) /
+                     static_cast<double>(qrqw_cost);
+  }
+  /// Work overhead: machine processor-cycles per QRQW work unit.
+  [[nodiscard]] double work_overhead(std::uint64_t p,
+                                     std::uint64_t vprocs) const noexcept {
+    const double w = static_cast<double>(qrqw_cost) *
+                     static_cast<double>(vprocs);
+    return w == 0.0 ? 0.0
+                    : static_cast<double>(sim_cycles) *
+                          static_cast<double>(p) / w;
+  }
+};
+
+/// Emulates QRQW programs on a simulated (d,x)-BSP machine with hashed
+/// shared memory.
+class EmulationEngine {
+ public:
+  /// Hashes PRAM memory across the banks with a fresh cubic universal
+  /// hash drawn from `seed`.
+  EmulationEngine(sim::MachineConfig config, std::uint64_t seed);
+
+  /// Emulates one QRQW step as a single superstep.
+  [[nodiscard]] EmulationResult emulate_step(const QrqwStep& step);
+
+  /// Emulates a whole program (sums per-step results).
+  [[nodiscard]] EmulationResult emulate_program(const QrqwProgram& program);
+
+  /// Emulates a step under EREW discipline: throws std::invalid_argument
+  /// if the step has contention > 1 (the EREW PRAM forbids it); otherwise
+  /// identical mechanics.
+  [[nodiscard]] EmulationResult emulate_erew_step(const QrqwStep& step);
+
+  [[nodiscard]] const sim::MachineConfig& config() const noexcept {
+    return machine_.config();
+  }
+  [[nodiscard]] const core::DxBspParams& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  sim::Machine machine_;
+  core::DxBspParams params_;
+};
+
+}  // namespace dxbsp::qrqw

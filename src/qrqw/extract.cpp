@@ -1,0 +1,61 @@
+#include "qrqw/extract.hpp"
+
+#include "algos/connected_components.hpp"
+#include "algos/list_ranking.hpp"
+#include "algos/random_permutation.hpp"
+#include "algos/spmv.hpp"
+#include "algos/vm.hpp"
+
+namespace dxbsp::qrqw {
+
+namespace {
+
+/// Runs `body` on a Vm whose every irregular op is recorded as one QRQW
+/// step. The extraction machine itself is irrelevant (only the traces
+/// are kept); a small test preset keeps it fast.
+template <typename Body>
+QrqwProgram record(Body&& body) {
+  algos::Vm vm(sim::MachineConfig::test_machine());
+  QrqwProgram program;
+  vm.set_trace_hook([&program](const std::string& label,
+                               std::span<const std::uint64_t> addrs) {
+    (void)label;
+    QrqwStep step;
+    step.writes.assign(addrs.begin(), addrs.end());
+    step.vprocs = addrs.size();
+    step.compute = 1.0;
+    program.add_step(std::move(step));
+  });
+  body(vm);
+  return program;
+}
+
+}  // namespace
+
+QrqwProgram extract_random_permutation(std::uint64_t n, std::uint64_t seed,
+                                       double rho) {
+  return record([&](algos::Vm& vm) {
+    (void)algos::random_permutation_qrqw(vm, n, seed, rho);
+  });
+}
+
+QrqwProgram extract_spmv(const workload::CsrMatrix& matrix) {
+  return record([&](algos::Vm& vm) {
+    std::vector<double> x(matrix.cols, 1.0);
+    (void)algos::spmv(vm, matrix, x);
+  });
+}
+
+QrqwProgram extract_connected_components(const workload::Graph& graph) {
+  return record([&](algos::Vm& vm) {
+    (void)algos::connected_components(vm, graph);
+  });
+}
+
+QrqwProgram extract_list_ranking(std::uint64_t n, std::uint64_t seed) {
+  return record([&](algos::Vm& vm) {
+    (void)algos::list_rank(vm, algos::random_list(n, seed));
+  });
+}
+
+}  // namespace dxbsp::qrqw

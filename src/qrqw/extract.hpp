@@ -1,0 +1,39 @@
+#pragma once
+// Extraction of QRQW PRAM programs from real algorithm runs.
+//
+// §5's emulation theorems are stated for abstract QRQW programs; the
+// algorithm experiments run concrete codes. This bridge runs a library
+// algorithm on an instrumented Vm, records every irregular bulk
+// operation as one QRQW step (its address trace becomes the step's
+// writes, one virtual processor per operation), and returns the program.
+// Emulating the extracted program on a (d,x)-BSP machine then connects
+// the two halves of the paper: the emulation bound must cover — and the
+// emulated time should resemble — the direct implementation's cost.
+
+#include <cstdint>
+
+#include "qrqw/program.hpp"
+#include "sim/machine_config.hpp"
+#include "workload/graphs.hpp"
+#include "workload/sparse.hpp"
+
+namespace dxbsp::qrqw {
+
+/// Program of the dart-throwing random permutation (one step per dart
+/// round scatter/read-back plus the pack).
+[[nodiscard]] QrqwProgram extract_random_permutation(std::uint64_t n,
+                                                     std::uint64_t seed,
+                                                     double rho = 2.0);
+
+/// Program of the CSR SpMV gather phase for the given matrix.
+[[nodiscard]] QrqwProgram extract_spmv(const workload::CsrMatrix& matrix);
+
+/// Program of hook-and-contract connected components on the given graph.
+[[nodiscard]] QrqwProgram extract_connected_components(
+    const workload::Graph& graph);
+
+/// Program of Wyllie list ranking over a random list of n nodes.
+[[nodiscard]] QrqwProgram extract_list_ranking(std::uint64_t n,
+                                               std::uint64_t seed);
+
+}  // namespace dxbsp::qrqw

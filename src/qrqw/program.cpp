@@ -1,0 +1,61 @@
+#include "qrqw/program.hpp"
+
+#include <algorithm>
+
+#include "workload/patterns.hpp"
+
+namespace dxbsp::qrqw {
+
+std::uint64_t QrqwProgram::time() const {
+  std::uint64_t t = 0;
+  for (const auto& s : steps_) t += s.cost();
+  return t;
+}
+
+std::uint64_t QrqwProgram::work() const {
+  std::uint64_t w = 0;
+  for (const auto& s : steps_) w += s.work();
+  return w;
+}
+
+std::uint64_t QrqwProgram::ops() const {
+  std::uint64_t n = 0;
+  for (const auto& s : steps_) n += s.ops();
+  return n;
+}
+
+std::uint64_t QrqwProgram::max_contention() const {
+  std::uint64_t k = 0;
+  for (const auto& s : steps_) k = std::max(k, s.max_contention());
+  return k;
+}
+
+QrqwStep synthetic_step(std::uint64_t n, std::uint64_t k, std::uint64_t space,
+                        std::uint64_t vprocs, std::uint64_t seed) {
+  QrqwStep s;
+  // Half the ops read, half write; the hot location sits in the writes
+  // (which side is irrelevant to both the QRQW charge and the banks).
+  const std::uint64_t n_writes = std::max<std::uint64_t>(1, n / 2);
+  const std::uint64_t n_reads = n - n_writes;
+  s.writes = workload::k_hot(n_writes, std::min(k, n_writes), space, seed);
+  if (n_reads > 0)
+    s.reads = workload::uniform_random(n_reads, space, seed + 1);
+  s.vprocs = vprocs;
+  s.compute = 1.0;
+  return s;
+}
+
+QrqwProgram synthetic_program(std::uint64_t steps, std::uint64_t n,
+                              std::uint64_t space, std::uint64_t vprocs,
+                              std::uint64_t seed) {
+  QrqwProgram p;
+  std::uint64_t k = 1;
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    p.add_step(synthetic_step(n, std::min(k, n / 2 == 0 ? 1 : n / 2), space,
+                              vprocs, seed + 1000 * i));
+    k = std::min<std::uint64_t>(k * 2, n);
+  }
+  return p;
+}
+
+}  // namespace dxbsp::qrqw

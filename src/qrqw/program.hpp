@@ -1,0 +1,52 @@
+#pragma once
+// QRQW PRAM programs: sequences of steps with aggregate cost accounting,
+// plus generators for synthetic programs used by the emulation
+// experiments and property tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "qrqw/step.hpp"
+
+namespace dxbsp::qrqw {
+
+/// A straight-line QRQW PRAM program.
+class QrqwProgram {
+ public:
+  void add_step(QrqwStep step) { steps_.push_back(std::move(step)); }
+
+  [[nodiscard]] const std::vector<QrqwStep>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return steps_.size(); }
+
+  /// Total QRQW time (sum of step costs).
+  [[nodiscard]] std::uint64_t time() const;
+  /// Total QRQW work (sum of step works).
+  [[nodiscard]] std::uint64_t work() const;
+  /// Total shared-memory operations.
+  [[nodiscard]] std::uint64_t ops() const;
+  /// Largest contention over all steps.
+  [[nodiscard]] std::uint64_t max_contention() const;
+
+ private:
+  std::vector<QrqwStep> steps_;
+};
+
+/// A synthetic QRQW step: `n` operations over an address space of
+/// `space` words, with one hot location receiving `k` of them (k >= 1)
+/// and `vprocs` virtual processors. Deterministic in `seed`.
+[[nodiscard]] QrqwStep synthetic_step(std::uint64_t n, std::uint64_t k,
+                                      std::uint64_t space,
+                                      std::uint64_t vprocs,
+                                      std::uint64_t seed);
+
+/// A program of `steps` synthetic steps with geometrically varied
+/// contention (k = 1, 2, 4, ... capped at n).
+[[nodiscard]] QrqwProgram synthetic_program(std::uint64_t steps,
+                                            std::uint64_t n,
+                                            std::uint64_t space,
+                                            std::uint64_t vprocs,
+                                            std::uint64_t seed);
+
+}  // namespace dxbsp::qrqw

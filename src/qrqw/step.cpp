@@ -1,0 +1,28 @@
+#include "qrqw/step.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mem/contention.hpp"
+#include "util/bits.hpp"
+
+namespace dxbsp::qrqw {
+
+std::uint64_t QrqwStep::max_contention() const {
+  std::vector<std::uint64_t> all;
+  all.reserve(reads.size() + writes.size());
+  all.insert(all.end(), reads.begin(), reads.end());
+  all.insert(all.end(), writes.begin(), writes.end());
+  return mem::analyze_locations(all).max_contention;
+}
+
+std::uint64_t QrqwStep::cost() const {
+  if (ops() == 0 && vprocs == 0) return 0;  // the empty step is free
+  const std::uint64_t per_vproc =
+      vprocs == 0 ? 0 : util::ceil_div(ops(), vprocs);
+  const auto comp = static_cast<std::uint64_t>(std::ceil(compute));
+  return std::max({max_contention(), per_vproc, comp,
+                   static_cast<std::uint64_t>(ops() > 0 ? 1 : 0)});
+}
+
+}  // namespace dxbsp::qrqw

@@ -1,0 +1,41 @@
+#pragma once
+// The QRQW PRAM step abstraction [GMR94b].
+//
+// A queue-read queue-write PRAM allows concurrent reads/writes to a
+// location but charges time proportional to the *queue length*: a step
+// in which some location is accessed by k operations costs max(k, local
+// compute) time. This sits between the forgiving CRCW (charge 1) and the
+// prohibitive EREW (contention forbidden) and, per the paper, matches
+// what bank-delay machines actually do — a bank serves its queue at one
+// request per d cycles.
+
+#include <cstdint>
+#include <vector>
+
+namespace dxbsp::qrqw {
+
+/// One QRQW PRAM step: a batch of shared-memory operations plus local
+/// computation, executed by `vprocs` virtual processors.
+struct QrqwStep {
+  std::vector<std::uint64_t> reads;   ///< addresses read this step
+  std::vector<std::uint64_t> writes;  ///< addresses written this step
+  std::uint64_t vprocs = 0;           ///< virtual processors participating
+  double compute = 1.0;               ///< local compute time units per vproc
+
+  [[nodiscard]] std::uint64_t ops() const noexcept {
+    return reads.size() + writes.size();
+  }
+
+  /// Maximum location contention over the step's reads and writes
+  /// combined (the k the QRQW model charges).
+  [[nodiscard]] std::uint64_t max_contention() const;
+
+  /// QRQW time of the step: max(contention, ops per vproc, compute).
+  [[nodiscard]] std::uint64_t cost() const;
+
+  /// QRQW work: vprocs * cost (the processor-time product the
+  /// work-preserving emulation must not blow up).
+  [[nodiscard]] std::uint64_t work() const { return vprocs * cost(); }
+};
+
+}  // namespace dxbsp::qrqw

@@ -1,0 +1,78 @@
+#include "qrqw/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dxbsp::qrqw {
+
+namespace {
+/// Deviation term of the max random bank load around its mean mu over B
+/// banks: sqrt(3·mu·ln B) + 3·ln B covers both the Gaussian and Poisson
+/// regimes of the Raghavan–Spencer/Chernoff tail with failure
+/// probability B^{-1}.
+double max_load_tail(double mu, double banks) {
+  const double lnb = std::log(std::max(2.0, banks));
+  return std::sqrt(3.0 * mu * lnb) + 3.0 * lnb;
+}
+}  // namespace
+
+double bank_term_bound(std::uint64_t n, std::uint64_t k,
+                       const core::DxBspParams& m) {
+  const double banks = static_cast<double>(m.banks());
+  const double mu = static_cast<double>(n) / banks;
+  return static_cast<double>(m.d) *
+         (static_cast<double>(k) + mu + max_load_tail(mu, banks));
+}
+
+double step_time_bound(std::uint64_t n, std::uint64_t k,
+                       const core::DxBspParams& m) {
+  const double proc_term = static_cast<double>(m.g) *
+                           std::ceil(static_cast<double>(n) /
+                                     static_cast<double>(m.p));
+  const double sync = 2.0 * static_cast<double>(m.L) *
+                      std::max(1.0, std::log2(static_cast<double>(m.p)));
+  // The 5% cushion plus the explicit drain terms (one bank period, one
+  // extra wire traversal, two issue slots) cover pipeline end effects —
+  // the theorem is an O(.) statement; these are its concrete constants.
+  const double drain = static_cast<double>(m.d) +
+                       static_cast<double>(m.L) +
+                       2.0 * static_cast<double>(m.g);
+  return 1.05 * std::max(proc_term, bank_term_bound(n, k, m)) + sync + drain;
+}
+
+double theorem51_bound(std::uint64_t n, std::uint64_t k,
+                       const core::DxBspParams& m) {
+  // c·((d/x)(n/p) + d·k + L log p); c = 3 is comfortably conservative for
+  // the FIFO-bank mechanism.
+  const double c = 3.0;
+  const double dp = static_cast<double>(m.d) / static_cast<double>(m.x);
+  const double np = static_cast<double>(n) / static_cast<double>(m.p);
+  return c * (dp * np + static_cast<double>(m.d) * static_cast<double>(k) +
+              static_cast<double>(m.L) *
+                  std::max(1.0, std::log2(static_cast<double>(m.p))));
+}
+
+double theorem52_bound(std::uint64_t n, std::uint64_t k,
+                       const core::DxBspParams& m) {
+  // The x >= d regime keeps the full nonlinear tail.
+  return 1.5 * step_time_bound(n, k, m);
+}
+
+double asymptotic_slowdown(const core::DxBspParams& m) {
+  return std::max(static_cast<double>(m.g),
+                  static_cast<double>(m.d) / static_cast<double>(m.x));
+}
+
+std::uint64_t required_slackness(const core::DxBspParams& m, double eps) {
+  const double target = (1.0 + eps) * asymptotic_slowdown(m);
+  // Smallest n/p such that step_time_bound(n, 1, m)/ (n/p) <= target.
+  for (std::uint64_t np = 1; np <= (1ULL << 40); np *= 2) {
+    const std::uint64_t n = np * m.p;
+    const double per_op = step_time_bound(n, 1, m) /
+                          (static_cast<double>(n) / static_cast<double>(m.p));
+    if (per_op <= target) return np;
+  }
+  return 1ULL << 40;
+}
+
+}  // namespace dxbsp::qrqw

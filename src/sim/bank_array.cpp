@@ -1,0 +1,112 @@
+#include "sim/bank_array.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dxbsp::sim {
+
+BankArray::BankArray(std::uint64_t num_banks, std::uint64_t delay,
+                     BankCacheConfig cache, bool combining,
+                     std::uint64_t ports)
+    : delay_(delay),
+      cache_(cache),
+      combining_(combining),
+      ports_(ports),
+      free_at_(num_banks * ports, 0),
+      load_(num_banks, 0) {
+  if (num_banks == 0)
+    throw std::invalid_argument("BankArray: need at least one bank");
+  if (delay == 0) throw std::invalid_argument("BankArray: delay must be >= 1");
+  if (ports == 0) throw std::invalid_argument("BankArray: ports must be >= 1");
+  if (cache_.lines > 0) {
+    if (cache_.line_words == 0)
+      throw std::invalid_argument("BankArray: cache line_words must be >= 1");
+    if (cache_.cached_delay == 0 || cache_.cached_delay > delay_)
+      throw std::invalid_argument(
+          "BankArray: cached_delay must be in [1, delay]");
+    mru_.assign(num_banks * cache_.lines, ~0ULL);
+  }
+}
+
+std::uint64_t BankArray::occupy(std::uint64_t bank, std::uint64_t arrival,
+                                std::uint64_t busy) {
+  // Serve on the earliest-free port of the bank.
+  std::uint64_t* ports = &free_at_[bank * ports_];
+  std::uint64_t best = 0;
+  for (std::uint64_t q = 1; q < ports_; ++q)
+    if (ports[q] < ports[best]) best = q;
+  std::uint64_t& free_at = ports[best];
+  const std::uint64_t start = std::max(arrival, free_at);
+  last_start_ = start;
+  last_combined_ = false;
+  free_at = start + busy;
+  const std::uint64_t count = ++load_[bank];
+  max_load_ = std::max(max_load_, count);
+  return free_at;
+}
+
+std::uint64_t BankArray::serve(std::uint64_t bank, std::uint64_t arrival) {
+  ++total_;
+  return occupy(bank, arrival, delay_);
+}
+
+std::uint64_t BankArray::serve_addr(std::uint64_t bank, std::uint64_t arrival,
+                                    std::uint64_t addr) {
+  ++total_;
+
+  if (combining_) {
+    const auto it = pending_.find(addr);
+    if (it != pending_.end() && it->second > arrival) {
+      // A request for this word is still queued or in service: ride it.
+      ++combined_;
+      last_start_ = arrival;  // no bank slot consumed
+      last_combined_ = true;
+      return it->second;
+    }
+  }
+
+  std::uint64_t busy = delay_;
+  if (cache_.lines > 0) {
+    const std::uint64_t line = addr / cache_.line_words;
+    std::uint64_t* slots = &mru_[bank * cache_.lines];
+    std::uint64_t pos = cache_.lines;
+    for (std::uint64_t i = 0; i < cache_.lines; ++i) {
+      if (slots[i] == line) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos < cache_.lines) {
+      busy = cache_.cached_delay;
+      ++hits_;
+    }
+    // Move-to-front (insert on miss, refresh on hit).
+    const std::uint64_t last = std::min(pos, cache_.lines - 1);
+    for (std::uint64_t i = last; i > 0; --i) slots[i] = slots[i - 1];
+    slots[0] = line;
+  }
+
+  const std::uint64_t end = occupy(bank, arrival, busy);
+  if (combining_) pending_[addr] = end;
+  return end;
+}
+
+void BankArray::reset() {
+  std::fill(free_at_.begin(), free_at_.end(), 0);
+  std::fill(load_.begin(), load_.end(), 0);
+  std::fill(mru_.begin(), mru_.end(), ~0ULL);
+  pending_.clear();
+  max_load_ = 0;
+  total_ = 0;
+  hits_ = 0;
+  combined_ = 0;
+}
+
+std::uint64_t BankArray::free_at(std::uint64_t bank) const {
+  const std::uint64_t* ports = &free_at_.at(bank * ports_);
+  std::uint64_t best = ports[0];
+  for (std::uint64_t q = 1; q < ports_; ++q) best = std::min(best, ports[q]);
+  return best;
+}
+
+}  // namespace dxbsp::sim

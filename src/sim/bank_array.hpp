@@ -1,0 +1,112 @@
+#pragma once
+// The bank array: per-bank FIFO service with a fixed busy period d,
+// optionally refined with a per-bank line cache ([HS93]) and request
+// combining (Ranade-style).
+//
+// A bank accepts a request only every d cycles ("bank delay"); a request
+// arriving while the bank is busy queues (FIFO by arrival). With caching
+// enabled, each bank keeps an MRU list of recently touched lines and
+// serves hits in `cached_delay` cycles. With combining enabled, a
+// request for a word that is already queued or in service at its bank is
+// merged with the pending one and occupies no extra bank time.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dxbsp::sim {
+
+/// Optional bank-cache parameters (0 lines disables caching).
+struct BankCacheConfig {
+  std::uint64_t lines = 0;        ///< MRU lines per bank
+  std::uint64_t line_words = 8;   ///< words per line
+  std::uint64_t cached_delay = 1; ///< busy period on a hit
+};
+
+/// Per-bank FIFO servers with service period `delay`.
+class BankArray {
+ public:
+  BankArray(std::uint64_t num_banks, std::uint64_t delay,
+            BankCacheConfig cache = {}, bool combining = false,
+            std::uint64_t ports = 1);
+
+  /// Serves a request arriving at bank `bank` at time `arrival`.
+  /// Returns the completion time (service start + busy period). Arrivals
+  /// at a given bank must be presented in nondecreasing arrival order
+  /// (the machine's event loop guarantees this). This path never caches
+  /// or combines (no address is known).
+  std::uint64_t serve(std::uint64_t bank, std::uint64_t arrival);
+
+  /// Serves a request for word `addr`, applying caching and combining
+  /// when configured. Must also be called in nondecreasing arrival order
+  /// per bank.
+  std::uint64_t serve_addr(std::uint64_t bank, std::uint64_t arrival,
+                           std::uint64_t addr);
+
+  [[nodiscard]] std::uint64_t num_banks() const noexcept {
+    return static_cast<std::uint64_t>(load_.size());
+  }
+  [[nodiscard]] std::uint64_t ports() const noexcept { return ports_; }
+  [[nodiscard]] std::uint64_t delay() const noexcept { return delay_; }
+
+  /// Requests counted against the busiest bank so far (combined requests
+  /// do not count — they consume no bank time).
+  [[nodiscard]] std::uint64_t max_load() const noexcept { return max_load_; }
+
+  /// Total requests presented (including combined ones).
+  [[nodiscard]] std::uint64_t total_served() const noexcept { return total_; }
+
+  /// Cache hits (0 unless caching is configured).
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return hits_; }
+
+  /// Requests merged by combining (0 unless combining is configured).
+  [[nodiscard]] std::uint64_t combined() const noexcept { return combined_; }
+
+  /// Per-bank request counts (serviced, i.e. excluding combined).
+  [[nodiscard]] const std::vector<std::uint64_t>& loads() const noexcept {
+    return load_;
+  }
+
+  /// Earliest time any port of the given bank becomes free.
+  [[nodiscard]] std::uint64_t free_at(std::uint64_t bank) const;
+
+  /// Service start time of the most recent serve/serve_addr call (for a
+  /// combined request: the arrival time, since it occupied no bank slot).
+  [[nodiscard]] std::uint64_t last_start() const noexcept {
+    return last_start_;
+  }
+  /// Whether the most recent serve_addr call was merged by combining.
+  [[nodiscard]] bool last_combined() const noexcept { return last_combined_; }
+
+  /// Resets all banks to idle and clears statistics.
+  void reset();
+
+ private:
+  std::uint64_t occupy(std::uint64_t bank, std::uint64_t arrival,
+                       std::uint64_t busy);
+
+  std::uint64_t delay_;
+  BankCacheConfig cache_;
+  bool combining_;
+  std::uint64_t ports_;
+
+  // Port free times, flattened: bank b's ports occupy
+  // free_at_[b*ports_ .. (b+1)*ports_).
+  std::vector<std::uint64_t> free_at_;
+  std::vector<std::uint64_t> load_;
+  // Per-bank MRU line ids, flattened: bank b owns
+  // mru_[b*cache_.lines .. (b+1)*cache_.lines). ~0 = empty slot.
+  std::vector<std::uint64_t> mru_;
+  // Combining: pending service completion per word (an address lives in
+  // exactly one bank, so a single map is sound). Pruned lazily.
+  std::unordered_map<std::uint64_t, std::uint64_t> pending_;
+
+  std::uint64_t max_load_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t combined_ = 0;
+  std::uint64_t last_start_ = 0;
+  bool last_combined_ = false;
+};
+
+}  // namespace dxbsp::sim

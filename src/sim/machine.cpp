@@ -1,0 +1,237 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace dxbsp::sim {
+
+namespace {
+
+Network make_network(const MachineConfig& cfg) {
+  if (cfg.butterfly_network) {
+    return Network::butterfly(cfg.latency, cfg.link_period, cfg.banks(),
+                              cfg.processors);
+  }
+  return Network(cfg.latency, cfg.network_sections, cfg.section_period,
+                 cfg.banks());
+}
+
+}  // namespace
+
+namespace {
+
+/// Per-processor issue state during one bulk operation.
+struct ProcState {
+  std::uint64_t begin = 0;       // first element index (block) / proc id (cyclic)
+  std::uint64_t count = 0;       // elements owned
+  std::uint64_t issued = 0;      // elements issued so far
+  std::uint64_t last_issue = 0;  // issue time of the previous request
+  std::uint64_t stall = 0;       // accumulated stall cycles
+  // Ring of completion times for the last `window` requests (slackness).
+  std::vector<std::uint64_t> completions;
+};
+
+struct Event {
+  std::uint64_t depart;  // time the request enters the network
+  std::uint32_t proc;
+  // Min-heap by (depart, proc): the proc tiebreak makes simulation
+  // deterministic regardless of heap internals.
+  friend bool operator>(const Event& a, const Event& b) {
+    return a.depart != b.depart ? a.depart > b.depart : a.proc > b.proc;
+  }
+};
+
+}  // namespace
+
+Machine::Machine(MachineConfig config,
+                 std::shared_ptr<const mem::BankMapping> mapping)
+    : config_(std::move(config)),
+      mapping_(std::move(mapping)),
+      banks_(config_.banks(), config_.bank_delay,
+             BankCacheConfig{config_.bank_cache_lines,
+                             config_.cache_line_words, config_.cached_delay},
+             config_.combine_requests, config_.bank_ports),
+      network_(make_network(config_)) {
+  config_.validate();
+  if (!mapping_) throw std::invalid_argument("Machine: null mapping");
+  if (mapping_->num_banks() != config_.banks())
+    throw std::invalid_argument(
+        "Machine: mapping bank count does not match configuration");
+}
+
+namespace {
+std::shared_ptr<const mem::BankMapping> default_mapping(
+    const MachineConfig& c) {
+  return std::make_shared<mem::InterleavedMapping>(c.banks());
+}
+}  // namespace
+
+Machine::Machine(MachineConfig config)
+    : Machine(config, default_mapping(config)) {}
+
+BulkResult Machine::scatter(std::span<const std::uint64_t> addrs) {
+  return run(addrs, /*ids_are_banks=*/false);
+}
+
+BulkResult Machine::scatter_detailed(std::span<const std::uint64_t> addrs,
+                                     RequestTiming& timing) {
+  const std::size_t n = addrs.size();
+  timing.issue.assign(n, 0);
+  timing.arrival.assign(n, 0);
+  timing.start.assign(n, 0);
+  timing.completion.assign(n, 0);
+  timing.bank.assign(n, 0);
+  return run(addrs, /*ids_are_banks=*/false, &timing);
+}
+
+BulkResult Machine::scatter_banks(std::span<const std::uint64_t> banks) {
+  return run(banks, /*ids_are_banks=*/true);
+}
+
+BulkResult Machine::run(std::span<const std::uint64_t> ids,
+                        bool ids_are_banks, RequestTiming* timing) {
+  banks_.reset();
+  network_.reset();
+
+  BulkResult res;
+  res.n = ids.size();
+  if (ids.empty()) return res;
+
+  const std::uint64_t p = config_.processors;
+  const std::uint64_t n = ids.size();
+  const std::uint64_t per = util::ceil_div(n, p);
+
+  // Element index of request j of processor `proc` under the distribution.
+  const bool block = config_.distribution == Distribution::kBlock;
+  auto element_of = [&](std::uint64_t proc, std::uint64_t j) {
+    return block ? proc * per + j : j * p + proc;
+  };
+  auto count_of = [&](std::uint64_t proc) -> std::uint64_t {
+    if (block) {
+      const std::uint64_t lo = proc * per;
+      if (lo >= n) return 0;
+      return std::min(per, n - lo);
+    }
+    return proc < n % p ? n / p + 1 : n / p;
+  };
+
+  std::vector<ProcState> procs(p);
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
+  for (std::uint64_t i = 0; i < p; ++i) {
+    procs[i].count = count_of(i);
+    res.max_proc_requests = std::max(res.max_proc_requests, procs[i].count);
+    if (procs[i].count == 0) continue;
+    const std::uint64_t window =
+        std::min<std::uint64_t>(config_.slackness, procs[i].count);
+    procs[i].completions.assign(window, 0);
+    // First request of every processor departs at time 0.
+    heap.push(Event{0, static_cast<std::uint32_t>(i)});
+  }
+
+  std::uint64_t makespan = 0;
+  while (!heap.empty()) {
+    const Event ev = heap.top();
+    heap.pop();
+    ProcState& ps = procs[ev.proc];
+
+    const std::uint64_t elem = element_of(ev.proc, ps.issued);
+    const std::uint64_t bank =
+        ids_are_banks ? ids[elem] : mapping_->bank_of(ids[elem]);
+    if (bank >= config_.banks())
+      throw std::out_of_range("Machine: bank id out of range");
+
+    const std::uint64_t arrival = network_.traverse(bank, ev.depart, ev.proc);
+    // Address-aware service applies bank caching/combining; the
+    // banks-only path (scatter_banks) has no address to key them on.
+    const std::uint64_t served =
+        ids_are_banks ? banks_.serve(bank, arrival)
+                      : banks_.serve_addr(bank, arrival, ids[elem]);
+    const std::uint64_t completion = served + config_.latency;
+    makespan = std::max(makespan, completion);
+
+    if (timing != nullptr) {
+      timing->issue[elem] = ev.depart;
+      timing->arrival[elem] = arrival;
+      timing->start[elem] = banks_.last_start();
+      timing->completion[elem] = completion;
+      timing->bank[elem] = bank;
+    }
+
+    const std::uint64_t window = ps.completions.size();
+    ps.completions[ps.issued % window] = completion;
+    ps.last_issue = ev.depart;
+    ++ps.issued;
+
+    if (ps.issued < ps.count) {
+      // Next issue waits for the gap and, if the outstanding window is
+      // full, for the request `window` places back to complete.
+      std::uint64_t next = ps.last_issue + config_.gap;
+      if (ps.issued >= window) {
+        const std::uint64_t gate = ps.completions[ps.issued % window];
+        if (gate > next) {
+          ps.stall += gate - next;
+          next = gate;
+        }
+      }
+      heap.push(Event{next, ev.proc});
+    }
+  }
+
+  res.cycles = makespan;
+  res.max_bank_load = banks_.max_load();
+  res.port_conflicts = network_.port_conflicts();
+  res.cache_hits = banks_.cache_hits();
+  res.combined = banks_.combined();
+  for (const auto& ps : procs) {
+    res.stall_cycles += ps.stall;
+    res.last_issue = std::max(res.last_issue, ps.last_issue);
+  }
+  res.bank_utilization =
+      static_cast<double>(config_.bank_delay) * static_cast<double>(n) /
+      (static_cast<double>(config_.banks()) * static_cast<double>(res.cycles));
+  return res;
+}
+
+BulkResult Machine::scatter_bulk_delivery(
+    std::span<const std::uint64_t> addrs) {
+  banks_.reset();
+  network_.reset();
+
+  BulkResult res;
+  res.n = addrs.size();
+  if (addrs.empty()) return res;
+
+  // Every request materializes at its bank at time L, in index order;
+  // there is no issue pipelining and no slackness limit. This models the
+  // BSP assumption that an h-relation is simply "delivered".
+  std::uint64_t makespan = 0;
+  for (const std::uint64_t addr : addrs) {
+    const std::uint64_t bank = mapping_->bank_of(addr);
+    const std::uint64_t served = banks_.serve(bank, config_.latency);
+    makespan = std::max(makespan, served + config_.latency);
+  }
+
+  const std::uint64_t per = util::ceil_div(res.n, config_.processors);
+  res.cycles = makespan;
+  res.max_bank_load = banks_.max_load();
+  res.max_proc_requests = per;
+  res.bank_utilization =
+      static_cast<double>(config_.bank_delay) * static_cast<double>(res.n) /
+      (static_cast<double>(config_.banks()) * static_cast<double>(res.cycles));
+  return res;
+}
+
+std::uint64_t Machine::compute(std::uint64_t n_elements,
+                               double ops_per_element) const {
+  if (n_elements == 0 || ops_per_element <= 0.0) return 0;
+  const std::uint64_t per = util::ceil_div(n_elements, config_.processors);
+  return static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(per) * ops_per_element));
+}
+
+}  // namespace dxbsp::sim

@@ -1,0 +1,128 @@
+#pragma once
+// Event-driven cycle-level simulator of a high-bandwidth shared-memory
+// multiprocessor with slow memory banks — the substrate standing in for
+// the paper's Cray C90/J90 testbed (DESIGN.md §3).
+//
+// Mechanisms simulated:
+//   * p processors, each issuing one memory request every g cycles into
+//     the network, with at most S requests outstanding (the latency-hiding
+//     "slackness" window; issue stalls when the window is full);
+//   * a network with one-way latency L, optionally divided into sections
+//     with per-section injection bandwidth (Network);
+//   * B = x·p banks, each busy for d cycles per request, FIFO queueing
+//     (BankArray);
+//   * an address→bank mapping (mem::BankMapping).
+//
+// A bulk scatter/gather of n addresses is simulated exactly under this
+// mechanism; the result is a cycle count directly comparable with the
+// (d,x)-BSP prediction T = L + max(g·h_proc, d·h_bank).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "mem/bank_mapping.hpp"
+#include "sim/bank_array.hpp"
+#include "sim/machine_config.hpp"
+#include "sim/network.hpp"
+
+namespace dxbsp::sim {
+
+/// Outcome of one simulated bulk memory operation.
+struct BulkResult {
+  std::uint64_t cycles = 0;         ///< makespan: last response back at a CPU
+  std::uint64_t n = 0;              ///< total requests
+  std::uint64_t max_bank_load = 0;  ///< most requests on any bank (h_bank)
+  std::uint64_t max_proc_requests = 0;  ///< most requests from any CPU (h_proc)
+  std::uint64_t last_issue = 0;     ///< cycle the final request was issued
+  std::uint64_t stall_cycles = 0;   ///< total issue delay from the S window
+  std::uint64_t port_conflicts = 0; ///< sectioned-network queueing events
+  std::uint64_t cache_hits = 0;     ///< bank-cache hits (if caching enabled)
+  std::uint64_t combined = 0;       ///< requests merged (if combining enabled)
+
+  /// Fraction of bank service capacity used: d·n / (B · cycles).
+  double bank_utilization = 0.0;
+
+  [[nodiscard]] double cycles_per_element() const noexcept {
+    return n == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(n);
+  }
+};
+
+/// The simulated machine. Construct once per configuration; bulk
+/// operations are independent (state is reset between them).
+class Machine {
+ public:
+  /// Uses the given mapping (shared so model-side analyses can observe
+  /// the identical placement).
+  Machine(MachineConfig config, std::shared_ptr<const mem::BankMapping> mapping);
+
+  /// Convenience: interleaved mapping (bank = addr mod B).
+  explicit Machine(MachineConfig config);
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const mem::BankMapping& mapping() const noexcept {
+    return *mapping_;
+  }
+  [[nodiscard]] std::shared_ptr<const mem::BankMapping> mapping_ptr()
+      const noexcept {
+    return mapping_;
+  }
+
+  /// Per-request timing record of one bulk operation (scatter_detailed).
+  /// All vectors have one entry per request, in element order.
+  struct RequestTiming {
+    std::vector<std::uint64_t> issue;       ///< departure from the CPU
+    std::vector<std::uint64_t> arrival;     ///< arrival at the bank
+    std::vector<std::uint64_t> start;       ///< bank service start
+    std::vector<std::uint64_t> completion;  ///< response back at the CPU
+    std::vector<std::uint64_t> bank;        ///< serving bank
+
+    /// Queue wait of request i (service start - bank arrival).
+    [[nodiscard]] std::uint64_t wait(std::size_t i) const {
+      return start[i] - arrival[i];
+    }
+  };
+
+  /// Simulates a bulk scatter of the given word addresses. Element i is
+  /// handled by the processor given by the configured distribution.
+  [[nodiscard]] BulkResult scatter(std::span<const std::uint64_t> addrs);
+
+  /// Like scatter, but additionally records per-request timing into
+  /// `timing` (cleared and resized). Use for queue-dynamics studies; the
+  /// cycle results are identical to scatter's.
+  [[nodiscard]] BulkResult scatter_detailed(
+      std::span<const std::uint64_t> addrs, RequestTiming& timing);
+
+  /// Gather has identical timing to scatter on these machines (the paper
+  /// reports "almost identical results"); provided for readable call sites.
+  [[nodiscard]] BulkResult gather(std::span<const std::uint64_t> addrs) {
+    return scatter(addrs);
+  }
+
+  /// Scatter where bank ids are supplied directly (mapping bypassed);
+  /// used to study mapping effects in isolation.
+  [[nodiscard]] BulkResult scatter_banks(std::span<const std::uint64_t> banks);
+
+  /// Ablation: every request is available at the banks at time L with no
+  /// issue pipelining (the bulk-synchronous delivery assumption of BSP).
+  /// Requests are served in index order.
+  [[nodiscard]] BulkResult scatter_bulk_delivery(
+      std::span<const std::uint64_t> addrs);
+
+  /// Cycles for an elementwise compute phase of `ops_per_element`
+  /// operations over n elements spread across the processors (1 op/cycle,
+  /// perfectly vectorized).
+  [[nodiscard]] std::uint64_t compute(std::uint64_t n_elements,
+                                      double ops_per_element) const;
+
+ private:
+  BulkResult run(std::span<const std::uint64_t> ids, bool ids_are_banks,
+                 RequestTiming* timing = nullptr);
+
+  MachineConfig config_;
+  std::shared_ptr<const mem::BankMapping> mapping_;
+  BankArray banks_;
+  Network network_;
+};
+
+}  // namespace dxbsp::sim

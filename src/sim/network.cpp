@@ -1,0 +1,89 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace dxbsp::sim {
+
+Network::Network(std::uint64_t latency, std::uint64_t sections,
+                 std::uint64_t section_period, std::uint64_t num_banks)
+    : model_(sections == 0 ? NetworkModel::kIdeal : NetworkModel::kSectioned),
+      latency_(latency),
+      sections_(sections),
+      section_period_(section_period) {
+  if (sections_ > num_banks)
+    throw std::invalid_argument("Network: more sections than banks");
+  if (sections_ != 0 && section_period_ == 0)
+    throw std::invalid_argument("Network: section_period must be >= 1");
+  port_free_.assign(std::max<std::uint64_t>(sections_, 1), 0);
+}
+
+Network Network::butterfly(std::uint64_t latency, std::uint64_t link_period,
+                           std::uint64_t num_banks,
+                           std::uint64_t num_sources) {
+  if (num_banks == 0)
+    throw std::invalid_argument("Network::butterfly: need banks");
+  if (link_period == 0)
+    throw std::invalid_argument("Network::butterfly: link_period must be >= 1");
+  Network n;
+  n.model_ = NetworkModel::kButterfly;
+  n.latency_ = latency;
+  n.width_ = util::ceil_pow2(std::max<std::uint64_t>(num_banks, 2));
+  n.stages_ = util::log2_floor(n.width_);
+  n.link_period_ = link_period;
+  n.stage_hop_ = latency / std::max<std::uint64_t>(n.stages_, 1);
+  n.exit_latency_ = latency - n.stage_hop_ * n.stages_;
+  n.src_spread_ =
+      std::max<std::uint64_t>(1, n.width_ / std::max<std::uint64_t>(
+                                                num_sources, 1));
+  n.wire_free_.assign(n.stages_ * n.width_, 0);
+  return n;
+}
+
+std::uint64_t Network::traverse(std::uint64_t bank, std::uint64_t depart,
+                                std::uint64_t src) {
+  switch (model_) {
+    case NetworkModel::kIdeal:
+      return depart + latency_;
+
+    case NetworkModel::kSectioned: {
+      // Split the latency around the section port: half to reach the
+      // port, service at the port, half to reach the bank.
+      const std::uint64_t to_port = depart + latency_ / 2;
+      std::uint64_t& free_at = port_free_[section_of(bank)];
+      if (to_port < free_at) ++port_conflicts_;
+      const std::uint64_t start = std::max(to_port, free_at);
+      free_at = start + section_period_;
+      return start + section_period_ + (latency_ - latency_ / 2);
+    }
+
+    case NetworkModel::kButterfly: {
+      // Dimension-order route: after stage s the packet's position has
+      // its low s+1 bits replaced by the destination's.
+      const std::uint64_t input = (src * src_spread_) % width_;
+      std::uint64_t t = depart;
+      for (std::uint64_t s = 0; s < stages_; ++s) {
+        const std::uint64_t mask = (2ULL << s) - 1;
+        const std::uint64_t pos = (input & ~mask) | (bank & mask);
+        std::uint64_t& free_at = wire_free_[s * width_ + pos];
+        const std::uint64_t reach = t + stage_hop_;
+        if (reach < free_at) ++port_conflicts_;
+        const std::uint64_t start = std::max(reach, free_at);
+        free_at = start + link_period_;
+        t = start + link_period_;
+      }
+      return t + exit_latency_;
+    }
+  }
+  return depart + latency_;
+}
+
+void Network::reset() {
+  std::fill(port_free_.begin(), port_free_.end(), 0);
+  std::fill(wire_free_.begin(), wire_free_.end(), 0);
+  port_conflicts_ = 0;
+}
+
+}  // namespace dxbsp::sim

@@ -1,0 +1,88 @@
+#pragma once
+// Network models between processors and banks.
+//
+// Three fidelities, selectable per machine:
+//  * ideal       — constant one-way latency L (the paper's experiments
+//                  report L as negligible next to bandwidth terms);
+//  * sectioned   — banks striped over a few sections, each section port
+//                  admitting one request every `section_period` cycles:
+//                  the coarse model that reproduces the paper's version
+//                  (a)/(b)/(c) placement experiment;
+//  * butterfly   — a log2(B)-stage multistage network with per-wire
+//                  occupancy (the refined model of [ST91] the paper says
+//                  version (c) would need): congestion *emerges* from
+//                  shared intermediate wires rather than being declared
+//                  per section.
+
+#include <cstdint>
+#include <vector>
+
+namespace dxbsp::sim {
+
+enum class NetworkModel { kIdeal, kSectioned, kButterfly };
+
+/// Latency plus optional contention structure.
+class Network {
+ public:
+  /// Ideal or sectioned (sections == 0 means ideal): the legacy
+  /// constructor used by MachineConfig's `network_sections` field.
+  Network(std::uint64_t latency, std::uint64_t sections,
+          std::uint64_t section_period, std::uint64_t num_banks);
+
+  /// Butterfly factory: log2(ceil_pow2(num_banks)) stages of wires, each
+  /// wire occupied `link_period` cycles per packet. The latency budget L
+  /// is spread across the stages (plus any remainder at the exit).
+  [[nodiscard]] static Network butterfly(std::uint64_t latency,
+                                         std::uint64_t link_period,
+                                         std::uint64_t num_banks,
+                                         std::uint64_t num_sources);
+
+  [[nodiscard]] NetworkModel model() const noexcept { return model_; }
+
+  /// Section of bank `bank` (sectioned model; 0 otherwise).
+  [[nodiscard]] std::uint64_t section_of(std::uint64_t bank) const noexcept {
+    return sections_ == 0 ? 0 : bank % sections_;
+  }
+
+  /// A request from source processor `src` enters the network at
+  /// `depart` heading for `bank`; returns its arrival time at the bank.
+  /// Calls must be made in nondecreasing `depart` order (the machine's
+  /// event loop guarantees this), so wire/port queues are FIFO.
+  std::uint64_t traverse(std::uint64_t bank, std::uint64_t depart,
+                         std::uint64_t src = 0);
+
+  [[nodiscard]] std::uint64_t latency() const noexcept { return latency_; }
+  [[nodiscard]] std::uint64_t sections() const noexcept { return sections_; }
+  [[nodiscard]] std::uint64_t stages() const noexcept { return stages_; }
+
+  /// Requests that found a port/wire busy (a congestion measure).
+  [[nodiscard]] std::uint64_t port_conflicts() const noexcept {
+    return port_conflicts_;
+  }
+
+  void reset();
+
+ private:
+  Network() = default;
+
+  NetworkModel model_ = NetworkModel::kIdeal;
+  std::uint64_t latency_ = 0;
+
+  // Sectioned state.
+  std::uint64_t sections_ = 0;
+  std::uint64_t section_period_ = 1;
+  std::vector<std::uint64_t> port_free_;
+
+  // Butterfly state.
+  std::uint64_t stages_ = 0;
+  std::uint64_t width_ = 0;        // pow2 >= banks
+  std::uint64_t link_period_ = 1;
+  std::uint64_t stage_hop_ = 0;    // latency share per stage
+  std::uint64_t exit_latency_ = 0; // leftover latency after the stages
+  std::uint64_t src_spread_ = 1;   // input port spacing for sources
+  std::vector<std::uint64_t> wire_free_;  // stages_ x width_
+
+  std::uint64_t port_conflicts_ = 0;
+};
+
+}  // namespace dxbsp::sim

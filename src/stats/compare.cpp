@@ -1,0 +1,71 @@
+#include "stats/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/stats.hpp"
+
+namespace dxbsp::stats {
+
+Comparison::Comparison(std::string x_label, std::string series_label)
+    : x_label_(std::move(x_label)), series_label_(std::move(series_label)) {}
+
+namespace {
+std::pair<std::vector<double>, std::vector<double>> split(
+    const std::vector<ComparisonPoint>& pts, bool dxbsp) {
+  std::vector<double> pred, meas;
+  pred.reserve(pts.size());
+  meas.reserve(pts.size());
+  for (const auto& p : pts) {
+    pred.push_back(dxbsp ? p.dxbsp : p.bsp);
+    meas.push_back(p.measured);
+  }
+  return {std::move(pred), std::move(meas)};
+}
+}  // namespace
+
+double Comparison::dxbsp_rms_error() const {
+  auto [pred, meas] = split(points_, true);
+  return util::rms_relative_error(pred, meas);
+}
+
+double Comparison::bsp_rms_error() const {
+  auto [pred, meas] = split(points_, false);
+  return util::rms_relative_error(pred, meas);
+}
+
+double Comparison::max_error(bool dxbsp) const {
+  double worst = 0.0;
+  for (const auto& p : points_) {
+    if (p.measured == 0.0) continue;
+    const double pred = dxbsp ? p.dxbsp : p.bsp;
+    worst = std::max(worst, std::abs(pred / p.measured - 1.0));
+  }
+  return worst;
+}
+
+double Comparison::dxbsp_max_error() const { return max_error(true); }
+double Comparison::bsp_max_error() const { return max_error(false); }
+
+util::Table Comparison::to_table() const {
+  util::Table t({x_label_, "measured (cyc)", "dxbsp pred", "bsp pred",
+                 "dxbsp/meas", "bsp/meas"});
+  t.set_caption(series_label_);
+  for (const auto& p : points_) {
+    t.add_row(p.x, p.measured, p.dxbsp, p.bsp,
+              p.measured == 0.0 ? 0.0 : p.dxbsp / p.measured,
+              p.measured == 0.0 ? 0.0 : p.bsp / p.measured);
+  }
+  return t;
+}
+
+void Comparison::print(std::ostream& os) const {
+  to_table().print(os);
+  os << "  dxbsp: rms rel err = " << dxbsp_rms_error()
+     << ", max rel err = " << dxbsp_max_error() << "\n";
+  os << "  bsp:   rms rel err = " << bsp_rms_error()
+     << ", max rel err = " << bsp_max_error() << "\n";
+}
+
+}  // namespace dxbsp::stats

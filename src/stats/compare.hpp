@@ -1,0 +1,61 @@
+#pragma once
+// Measured-vs-predicted comparison series: the common shape of every
+// validation figure (x-axis value, simulator measurement, (d,x)-BSP
+// prediction, BSP prediction), with the summary error metrics reported in
+// EXPERIMENTS.md.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace dxbsp::stats {
+
+/// One point of a validation series.
+struct ComparisonPoint {
+  double x = 0.0;          ///< sweep variable (contention, entropy, ...)
+  double measured = 0.0;   ///< simulator cycles
+  double dxbsp = 0.0;      ///< (d,x)-BSP prediction
+  double bsp = 0.0;        ///< BSP prediction
+};
+
+/// A named series of comparison points with error summaries.
+class Comparison {
+ public:
+  Comparison(std::string x_label, std::string series_label);
+
+  void add(ComparisonPoint p) { points_.push_back(p); }
+  void add(double x, double measured, double dxbsp, double bsp) {
+    points_.push_back(ComparisonPoint{x, measured, dxbsp, bsp});
+  }
+
+  [[nodiscard]] const std::vector<ComparisonPoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// RMS relative error of the (d,x)-BSP prediction against measurement.
+  [[nodiscard]] double dxbsp_rms_error() const;
+  /// RMS relative error of the BSP prediction against measurement.
+  [[nodiscard]] double bsp_rms_error() const;
+  /// Worst-case |pred/meas - 1| for the (d,x)-BSP prediction.
+  [[nodiscard]] double dxbsp_max_error() const;
+  /// Worst-case |pred/meas - 1| for the BSP prediction.
+  [[nodiscard]] double bsp_max_error() const;
+
+  /// Renders the series as a table (and error summary footer).
+  [[nodiscard]] util::Table to_table() const;
+
+  /// Prints to_table() plus the error summary.
+  void print(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] double max_error(bool dxbsp) const;
+
+  std::string x_label_;
+  std::string series_label_;
+  std::vector<ComparisonPoint> points_;
+};
+
+}  // namespace dxbsp::stats

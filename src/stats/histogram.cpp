@@ -1,0 +1,50 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bits.hpp"
+
+namespace dxbsp::stats {
+
+std::map<std::uint64_t, std::uint64_t> multiplicities(
+    std::span<const std::uint64_t> xs) {
+  std::map<std::uint64_t, std::uint64_t> m;
+  for (const auto x : xs) ++m[x];
+  return m;
+}
+
+double shannon_entropy(std::span<const std::uint64_t> xs) {
+  if (xs.empty()) return 0.0;
+  const auto mult = multiplicities(xs);
+  const double n = static_cast<double>(xs.size());
+  double h = 0.0;
+  for (const auto& [value, count] : mult) {
+    (void)value;
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::map<std::uint64_t, std::uint64_t> contention_spectrum(
+    std::span<const std::uint64_t> xs) {
+  std::map<std::uint64_t, std::uint64_t> spectrum;
+  for (const auto& [value, count] : multiplicities(xs)) {
+    (void)value;
+    ++spectrum[count];
+  }
+  return spectrum;
+}
+
+std::vector<std::uint64_t> log2_buckets(std::span<const std::uint64_t> xs) {
+  std::vector<std::uint64_t> buckets;
+  for (const auto x : xs) {
+    const unsigned b = x <= 1 ? 0 : util::log2_floor(x);
+    if (buckets.size() <= b) buckets.resize(b + 1, 0);
+    ++buckets[b];
+  }
+  return buckets;
+}
+
+}  // namespace dxbsp::stats

@@ -1,0 +1,33 @@
+#pragma once
+// Histograms and distribution measures over address/key traces.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace dxbsp::stats {
+
+/// Multiplicity histogram: for each distinct value, how many times it
+/// occurs. Returned sorted by value.
+[[nodiscard]] std::map<std::uint64_t, std::uint64_t> multiplicities(
+    std::span<const std::uint64_t> xs);
+
+/// Empirical Shannon entropy (bits) of the value distribution of `xs`:
+/// H = -Σ p_v log2 p_v over distinct values v. A trace of n distinct
+/// values has entropy log2(n); all-equal values have entropy 0. This is
+/// the measure Thearling & Smith use to grade key distributions.
+[[nodiscard]] double shannon_entropy(std::span<const std::uint64_t> xs);
+
+/// Contention spectrum: counts[c] = number of distinct locations with
+/// multiplicity exactly c (c >= 1). Useful for characterizing traces
+/// beyond the max.
+[[nodiscard]] std::map<std::uint64_t, std::uint64_t> contention_spectrum(
+    std::span<const std::uint64_t> xs);
+
+/// Log-2 bucketed histogram of sample values: bucket b holds values in
+/// [2^b, 2^{b+1}); bucket 0 holds {0, 1}. Compact summaries for tables.
+[[nodiscard]] std::vector<std::uint64_t> log2_buckets(
+    std::span<const std::uint64_t> xs);
+
+}  // namespace dxbsp::stats

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal command-line flag parsing shared by bench and example binaries.
+//
+// Supports --name=value, --name value, and boolean --name. Unknown flags
+// raise an error so typos in sweep scripts fail loudly.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dxbsp::util {
+
+/// Parsed command-line flags.
+class Cli {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// Returns the string value of --name, or `def` if absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def) const;
+
+  /// Returns the integer value of --name, or `def` if absent.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+
+  /// Returns the floating-point value of --name, or `def` if absent.
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+
+  /// True iff --name was given (as a bare flag or with any value other
+  /// than "false"/"0").
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Name of the binary (argv[0]).
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dxbsp::util

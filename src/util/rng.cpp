@@ -1,0 +1,23 @@
+#include "util/rng.hpp"
+
+namespace dxbsp::util {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  // Lemire 2019: multiply-then-reject. The rejection loop runs < 2 times in
+  // expectation for any bound.
+  if (bound == 0) return 0;
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace dxbsp::util

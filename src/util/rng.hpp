@@ -1,0 +1,121 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for experiments.
+//
+// Every stochastic component of the library (workload generators, hash
+// coefficient draws, QRQW emulation, algorithms that make random choices)
+// takes an explicit seed so that experiments are exactly reproducible.
+// We use splitmix64 for seeding / stateless mixing and xoshiro256** as the
+// general-purpose engine (fast, high quality, tiny state).
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace dxbsp::util {
+
+/// Stateless 64-bit mixer (Stafford variant 13 finalizer, as used by
+/// splitmix64). Useful for deriving independent streams from (seed, index)
+/// pairs without constructing an engine.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// splitmix64 engine: one 64-bit word of state, passes BigCrush.
+/// Primarily used to seed Xoshiro256 and to derive per-stream seeds.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). The library's workhorse engine.
+/// Satisfies UniformRandomBitGenerator so it can be used with <random>
+/// distributions, though the helpers below are preferred for speed and
+/// cross-platform determinism.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from splitmix64(seed), per the authors'
+  /// recommendation. A zero seed is fine (state cannot become all-zero).
+  explicit Xoshiro256(std::uint64_t seed = 0x6a09e667f3bcc908ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform in [0, bound). Lemire's multiply-shift rejection method:
+  /// unbiased and much faster than std::uniform_int_distribution, and —
+  /// unlike the standard distributions — identical on every platform.
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Draws a random odd 64-bit number (used for universal hash coefficients,
+  /// which the paper requires to be odd).
+  std::uint64_t odd() noexcept { return (*this)() | 1ULL; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Derives an independent seed for sub-stream `stream` of experiment seed
+/// `seed`. Different (seed, stream) pairs give statistically independent
+/// engines; used to decouple e.g. workload generation from hash draws.
+[[nodiscard]] constexpr std::uint64_t substream(std::uint64_t seed,
+                                                std::uint64_t stream) noexcept {
+  return mix64(seed ^ mix64(stream + 0x5851f42d4c957f2dULL));
+}
+
+}  // namespace dxbsp::util

@@ -1,0 +1,92 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dxbsp::util {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.sum = acc.sum();
+  return s;
+}
+
+Summary summarize(std::span<const std::uint64_t> xs) {
+  std::vector<double> d(xs.begin(), xs.end());
+  return summarize(std::span<const double>(d));
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q not in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double ci95_halfwidth(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const Summary s = summarize(xs);
+  return 1.96 * s.stddev / std::sqrt(static_cast<double>(xs.size()));
+}
+
+double rms_relative_error(std::span<const double> predicted,
+                          std::span<const double> measured) {
+  assert(predicted.size() == measured.size());
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    assert(measured[i] != 0.0);
+    const double rel = (predicted[i] - measured[i]) / measured[i];
+    acc += rel * rel;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double geomean_ratio(std::span<const double> predicted,
+                     std::span<const double> measured) {
+  assert(predicted.size() == measured.size());
+  if (predicted.empty()) return 1.0;
+  double log_acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    assert(predicted[i] > 0.0 && measured[i] > 0.0);
+    log_acc += std::log(predicted[i] / measured[i]);
+  }
+  return std::exp(log_acc / static_cast<double>(predicted.size()));
+}
+
+}  // namespace dxbsp::util

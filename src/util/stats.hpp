@@ -1,0 +1,68 @@
+#pragma once
+// Descriptive statistics over samples of cycle counts, bank loads, etc.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dxbsp::util {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+/// Computes summary statistics of `xs`. Empty input gives a zero Summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Convenience overload for integer samples (bank loads, contention counts).
+[[nodiscard]] Summary summarize(std::span<const std::uint64_t> xs);
+
+/// q-th quantile (q in [0,1]) by linear interpolation on the sorted sample.
+/// The input need not be sorted; a copy is sorted internally.
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Running mean/variance accumulator (Welford). Use when samples are
+/// produced incrementally and storing them all would be wasteful.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;  ///< sample variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Half-width of the ~95% confidence interval of the mean of `xs`
+/// (1.96 * stddev / sqrt(n)); 0 for fewer than 2 samples. Used when a
+/// bench reports a mean over repeated randomized runs.
+[[nodiscard]] double ci95_halfwidth(std::span<const double> xs);
+
+/// Root-mean-square relative error between prediction and measurement
+/// vectors (must be the same length; measured entries must be nonzero).
+/// Used by EXPERIMENTS.md to report model accuracy per figure.
+[[nodiscard]] double rms_relative_error(std::span<const double> predicted,
+                                        std::span<const double> measured);
+
+/// Geometric mean of the ratios predicted[i]/measured[i].
+[[nodiscard]] double geomean_ratio(std::span<const double> predicted,
+                                   std::span<const double> measured);
+
+}  // namespace dxbsp::util

@@ -1,0 +1,60 @@
+#pragma once
+// A small work-stealing-free thread pool used to parallelize *host-side*
+// experiment sweeps (e.g. running the simulator for many parameter points
+// concurrently). The simulated machine itself is single-threaded and
+// deterministic; the pool only parallelizes independent experiment points.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dxbsp::util {
+
+/// Fixed-size thread pool with a shared FIFO queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers; outstanding tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mu_);
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// fn must be safe to invoke concurrently for distinct i.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dxbsp::util

@@ -1,0 +1,114 @@
+#pragma once
+// The vector core interpreter: executes vpu::Programs with real data
+// semantics and cycle-level timing against the shared bank array.
+//
+// Timing model (one core, one vector pipe):
+//  * the pipe issues one element operation per cycle (per `gap` cycles
+//    for memory ops); an instruction occupies the pipe for its issue
+//    duration;
+//  * an instruction begins when the pipe is free AND its operand
+//    registers are ready (scoreboard);
+//  * ALU results are ready when their last element leaves the pipe;
+//  * loads are ready when the last element's response returns from the
+//    memory system (latency + bank queueing — the same BankArray the
+//    bulk simulator uses), i.e. loads hide latency only behind
+//    independent instructions, exactly the chaining-free vector model;
+//  * stores complete asynchronously; run() returns when the last store
+//    drains.
+//
+// The core models ONE processor. Cross-validating it against the bulk
+// Machine (p = 1) pins down the Vm accounting at instruction level
+// (bench_a10_vpu); multi-processor interleaving stays the bulk
+// simulator's job.
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/bank_mapping.hpp"
+#include "sim/bank_array.hpp"
+#include "sim/machine_config.hpp"
+#include "vpu/isa.hpp"
+
+namespace dxbsp::vpu {
+
+/// Outcome of a program run.
+struct RunResult {
+  std::uint64_t cycles = 0;        ///< completion of everything (drained)
+  std::uint64_t instructions = 0;  ///< dynamic instruction count
+  std::uint64_t mem_elements = 0;  ///< memory element operations issued
+  std::uint64_t alu_elements = 0;  ///< ALU element operations issued
+  std::uint64_t max_bank_load = 0;
+};
+
+/// One vector core attached to a private memory image and a bank array
+/// derived from `config` (expansion counts banks per this one core).
+class Core {
+ public:
+  /// `memory_words` sizes the flat memory image. The mapping defaults to
+  /// interleaved over config.banks().
+  Core(sim::MachineConfig config, std::uint64_t memory_words);
+
+  /// Read/write the memory image (for test setup and inspection).
+  [[nodiscard]] std::uint64_t load(std::uint64_t addr) const;
+  void store(std::uint64_t addr, std::uint64_t value);
+  [[nodiscard]] std::uint64_t memory_words() const noexcept {
+    return static_cast<std::uint64_t>(memory_.size());
+  }
+
+  /// Executes `program` once per chunk for `trips` trips (chunk-scaled
+  /// immediates advance by kVlen each trip). Registers and the time
+  /// cursor persist across trips within one run; each run starts fresh.
+  RunResult run(const Program& program, std::uint64_t trips = 1);
+
+  /// Inspect a vector register after a run (for tests).
+  [[nodiscard]] const std::vector<std::uint64_t>& vreg(unsigned r) const {
+    return vregs_.at(r);
+  }
+
+ private:
+  std::uint64_t exec_instr(const Instr& instr, std::uint64_t trip,
+                           RunResult& result);
+
+  sim::MachineConfig config_;
+  mem::InterleavedMapping mapping_;
+  sim::BankArray banks_;
+  std::vector<std::uint64_t> memory_;
+  std::vector<std::vector<std::uint64_t>> vregs_;
+  std::vector<std::uint64_t> reg_ready_;
+  std::uint64_t pipe_free_ = 0;
+  std::uint64_t last_drain_ = 0;
+};
+
+// ---- Program builders for the standard kernels (used by tests and the
+// validation bench) ----
+
+/// Loop body: out[i] = a[i] + b[i] over contiguous arrays.
+[[nodiscard]] Program program_vadd(std::uint64_t a_base, std::uint64_t b_base,
+                                   std::uint64_t out_base);
+
+/// Loop body: out[idx[i]] = val[i] — the paper's scatter, from memory-
+/// resident indices.
+[[nodiscard]] Program program_scatter(std::uint64_t idx_base,
+                                      std::uint64_t val_base,
+                                      std::uint64_t out_base);
+
+/// Loop body: out[i] = src[idx[i]] — the gather.
+[[nodiscard]] Program program_gather(std::uint64_t idx_base,
+                                     std::uint64_t src_base,
+                                     std::uint64_t out_base);
+
+/// Loop body: strided read at the given stride (bank-conflict probe).
+[[nodiscard]] Program program_strided_read(std::uint64_t base,
+                                           std::uint64_t stride);
+
+/// Software-pipelined scatter: unrolled 2x with all four loads hoisted
+/// ahead of the dependent address-adds and stores, so load round trips
+/// hide behind the other chunk's issue — the scheduling that closes the
+/// gap between the naive kernel and the bulk model's assumption that
+/// latency is hidden. Covers 2*kVlen elements per trip; run with
+/// trips = n / (2*kVlen).
+[[nodiscard]] Program program_scatter_pipelined(std::uint64_t idx_base,
+                                                std::uint64_t val_base,
+                                                std::uint64_t out_base);
+
+}  // namespace dxbsp::vpu

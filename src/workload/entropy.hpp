@@ -1,0 +1,37 @@
+#pragma once
+// Thearling–Smith entropy distributions (paper Experiment 3).
+//
+// Start with n uniform random `bits`-bit keys. Each round, bitwise-AND
+// every key with another key chosen at random. Iterating drives the keys
+// toward 0, producing a family of distributions with monotonically
+// decreasing entropy and increasing contention — the paper scatters each
+// family member and checks the (d,x)-BSP prediction tracks the measured
+// time across the whole range.
+
+#include <cstdint>
+#include <vector>
+
+namespace dxbsp::workload {
+
+/// One member of the entropy family.
+struct EntropyTrace {
+  unsigned round = 0;                ///< number of AND rounds applied
+  double entropy_bits = 0.0;         ///< empirical Shannon entropy of keys
+  std::uint64_t max_contention = 0;  ///< hottest key multiplicity
+  std::vector<std::uint64_t> keys;   ///< the scatter addresses
+};
+
+/// Generates the family for rounds 0..`rounds` (inclusive). Keys are
+/// reduced modulo `space` to form scatter addresses (space == 0 keeps raw
+/// keys). Entropy and contention are computed on the reduced addresses.
+[[nodiscard]] std::vector<EntropyTrace> entropy_family(std::uint64_t n,
+                                                       unsigned rounds,
+                                                       unsigned bits,
+                                                       std::uint64_t space,
+                                                       std::uint64_t seed);
+
+/// Applies one Thearling–Smith AND round in place: keys[i] &= keys[j(i)]
+/// with j(i) uniform. Exposed for tests/property checks.
+void and_round(std::vector<std::uint64_t>& keys, std::uint64_t seed);
+
+}  // namespace dxbsp::workload

@@ -1,0 +1,63 @@
+#pragma once
+// Graph workloads for the connected-components experiments.
+//
+// Greiner's algorithm scatters into the parent array with contention
+// proportional to the in-degree of popular roots, so the generators span
+// the contention range: uniform random graphs (low contention), star
+// forests (extreme contention), grids and paths (structured, shortcut-
+// heavy).
+
+#include <cstdint>
+#include <vector>
+
+namespace dxbsp::workload {
+
+/// Undirected graph as an edge list over vertices [0, n).
+struct Graph {
+  std::uint64_t n = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+
+  [[nodiscard]] std::uint64_t m() const noexcept { return edges.size(); }
+
+  /// Throws std::invalid_argument if an endpoint is out of range or an
+  /// edge is a self-loop.
+  void validate() const;
+};
+
+/// Erdős–Rényi-style G(n, m): m edges drawn uniformly (no self loops;
+/// parallel edges allowed, as in the experimental traces).
+[[nodiscard]] Graph random_gnm(std::uint64_t n, std::uint64_t m,
+                               std::uint64_t seed);
+
+/// A single star: vertex 0 joined to all others. Worst-case hooking
+/// contention (every hook targets the same root).
+[[nodiscard]] Graph star(std::uint64_t n);
+
+/// A forest of `stars` stars of (roughly) equal size covering n vertices.
+[[nodiscard]] Graph star_forest(std::uint64_t n, std::uint64_t stars,
+                                std::uint64_t seed);
+
+/// w x h grid graph (4-neighbour).
+[[nodiscard]] Graph grid(std::uint64_t w, std::uint64_t h);
+
+/// Simple path 0-1-2-...-(n-1): maximal shortcutting depth.
+[[nodiscard]] Graph path(std::uint64_t n);
+
+/// R-MAT recursive-matrix graph over 2^scale vertices: each edge lands
+/// in one of the four quadrants with probabilities (a, b, c, 1-a-b-c),
+/// recursively — the standard power-law generator. Skewed parameters
+/// (e.g. a = 0.57) concentrate degree on low-id vertices, driving the
+/// hub contention the connected-components experiments sweep.
+[[nodiscard]] Graph rmat(unsigned scale, std::uint64_t m, double a, double b,
+                         double c, std::uint64_t seed);
+
+/// Reference connected components via union–find; returns a label per
+/// vertex (labels are the smallest vertex id in each component). Used to
+/// validate the simulated parallel algorithm.
+[[nodiscard]] std::vector<std::uint32_t> reference_components(const Graph& g);
+
+/// Number of connected components implied by a label array.
+[[nodiscard]] std::uint64_t count_components(
+    const std::vector<std::uint32_t>& labels);
+
+}  // namespace dxbsp::workload

@@ -1,0 +1,70 @@
+#pragma once
+// Generators for the memory access patterns the paper's experiments use.
+//
+// Every generator returns a trace of word addresses (one per request) and
+// takes an explicit seed; traces are shuffled so hot requests are spread
+// through the issue order, as they would be across a vectorized loop.
+
+#include <cstdint>
+#include <vector>
+
+namespace dxbsp::workload {
+
+/// n requests, all to distinct pseudo-random addresses in [0, space).
+/// (space must be >= n.) The baseline "no location contention" pattern.
+[[nodiscard]] std::vector<std::uint64_t> distinct_random(std::uint64_t n,
+                                                         std::uint64_t space,
+                                                         std::uint64_t seed);
+
+/// n requests uniformly at random in [0, space) — duplicates allowed.
+[[nodiscard]] std::vector<std::uint64_t> uniform_random(std::uint64_t n,
+                                                        std::uint64_t space,
+                                                        std::uint64_t seed);
+
+/// Experiment-1 pattern: one hot location receives exactly k requests;
+/// the remaining n-k requests go to distinct random addresses. k in [1,n].
+[[nodiscard]] std::vector<std::uint64_t> k_hot(std::uint64_t n, std::uint64_t k,
+                                               std::uint64_t space,
+                                               std::uint64_t seed);
+
+/// Experiment-2 pattern: `hot_locations` distinct hot addresses, each
+/// receiving exactly k requests; the rest distinct random.
+/// Requires hot_locations * k <= n.
+[[nodiscard]] std::vector<std::uint64_t> multi_hot(std::uint64_t n,
+                                                   std::uint64_t hot_locations,
+                                                   std::uint64_t k,
+                                                   std::uint64_t space,
+                                                   std::uint64_t seed);
+
+/// Constant-stride pattern: base, base+stride, base+2·stride, ...
+/// (The classic vector access; adversarial for interleaved mappings when
+/// the stride shares factors with the bank count.)
+[[nodiscard]] std::vector<std::uint64_t> strided(std::uint64_t n,
+                                                 std::uint64_t stride,
+                                                 std::uint64_t base = 0);
+
+/// Addresses i mod period: every location in [0, period) receives
+/// ceil-or-floor of n/period requests. period >= 1.
+[[nodiscard]] std::vector<std::uint64_t> cyclic(std::uint64_t n,
+                                                std::uint64_t period);
+
+/// A uniformly random permutation of [0, n) — n requests, all distinct,
+/// covering a dense region.
+[[nodiscard]] std::vector<std::uint64_t> random_permutation(std::uint64_t n,
+                                                            std::uint64_t seed);
+
+/// Zipf-distributed requests: address r in [0, space) is drawn with
+/// probability proportional to 1/(r+1)^theta — the standard model of
+/// skewed access in irregular applications (theta = 0 is uniform;
+/// theta ~ 1 gives the classic heavy head). space is capped at 2^22
+/// (the inverse-CDF table is materialized).
+[[nodiscard]] std::vector<std::uint64_t> zipf(std::uint64_t n,
+                                              std::uint64_t space,
+                                              double theta,
+                                              std::uint64_t seed);
+
+/// In-place Fisher–Yates shuffle with the library RNG (exposed because
+/// several generators and algorithms need exactly this, deterministically).
+void shuffle(std::vector<std::uint64_t>& xs, std::uint64_t seed);
+
+}  // namespace dxbsp::workload

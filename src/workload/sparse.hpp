@@ -1,0 +1,63 @@
+#pragma once
+// Sparse matrices in compressed sparse row (CSR) form and generators for
+// the paper's sparse matrix–vector multiplication experiment (Figure 12):
+// random matrices, optionally with one "dense column" of controllable
+// length, which concentrates gather contention on a single input-vector
+// element.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace dxbsp::workload {
+
+/// Compressed sparse row matrix with double values.
+struct CsrMatrix {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::vector<std::uint64_t> row_ptr;  ///< size rows+1
+  std::vector<std::uint64_t> col_idx;  ///< size nnz
+  std::vector<double> values;          ///< size nnz
+
+  [[nodiscard]] std::uint64_t nnz() const noexcept { return col_idx.size(); }
+
+  /// Validates structural invariants (monotone row_ptr, col bounds);
+  /// throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// Dense reference multiply (for correctness tests): y = A·x.
+  [[nodiscard]] std::vector<double> multiply_reference(
+      const std::vector<double>& x) const;
+};
+
+/// Random CSR: `rows` x `cols`, exactly `nnz_per_row` entries per row with
+/// uniformly random distinct column indices and values in [0,1).
+[[nodiscard]] CsrMatrix random_csr(std::uint64_t rows, std::uint64_t cols,
+                                   std::uint64_t nnz_per_row,
+                                   std::uint64_t seed);
+
+/// The Figure-12 workload: like random_csr, but `dense_col_len` of the
+/// rows (chosen at random) have one of their entries redirected to column
+/// 0, making column 0 appear in exactly `dense_col_len` rows. The gather
+/// of x[col] then has location contention ~= dense_col_len.
+[[nodiscard]] CsrMatrix dense_column_csr(std::uint64_t rows,
+                                         std::uint64_t cols,
+                                         std::uint64_t nnz_per_row,
+                                         std::uint64_t dense_col_len,
+                                         std::uint64_t seed);
+
+/// Number of rows referencing column `col` (the contention the dense
+/// column induces on x[col]).
+[[nodiscard]] std::uint64_t column_frequency(const CsrMatrix& m,
+                                             std::uint64_t col);
+
+/// Writes the matrix in MatrixMarket coordinate format ("%%MatrixMarket
+/// matrix coordinate real general", 1-based indices). Lets externally
+/// produced matrices flow into the Figure-12 analysis.
+void save_matrix_market(std::ostream& os, const CsrMatrix& m);
+
+/// Reads MatrixMarket coordinate format (real or pattern, general).
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] CsrMatrix load_matrix_market(std::istream& is);
+
+}  // namespace dxbsp::workload

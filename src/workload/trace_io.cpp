@@ -1,0 +1,69 @@
+#include "workload/trace_io.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dxbsp::workload {
+
+namespace {
+constexpr std::array<char, 8> kMagic = {'d', 'x', 'b', 's',
+                                        'p', 't', 'r', '1'};
+}  // namespace
+
+void save_trace(const std::string& path,
+                const std::vector<std::uint64_t>& addrs) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_trace: cannot open " + path);
+  os.write(kMagic.data(), kMagic.size());
+  const std::uint64_t count = addrs.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  os.write(reinterpret_cast<const char*>(addrs.data()),
+           static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
+  if (!os) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+std::vector<std::uint64_t> load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_trace: cannot open " + path);
+  std::array<char, 8> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || magic != kMagic)
+    throw std::runtime_error("load_trace: bad magic in " + path);
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is) throw std::runtime_error("load_trace: truncated header in " + path);
+  std::vector<std::uint64_t> addrs(count);
+  is.read(reinterpret_cast<char*>(addrs.data()),
+          static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
+  if (!is) throw std::runtime_error("load_trace: truncated data in " + path);
+  return addrs;
+}
+
+void save_trace_text(std::ostream& os,
+                     const std::vector<std::uint64_t>& addrs) {
+  for (const auto a : addrs) os << a << "\n";
+}
+
+std::vector<std::uint64_t> load_trace_text(std::istream& is) {
+  std::vector<std::uint64_t> addrs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::uint64_t a = 0;
+    if (!(ls >> a)) {
+      std::ostringstream msg;
+      msg << "load_trace_text: malformed line " << lineno << ": '" << line
+          << "'";
+      throw std::runtime_error(msg.str());
+    }
+    addrs.push_back(a);
+  }
+  return addrs;
+}
+
+}  // namespace dxbsp::workload

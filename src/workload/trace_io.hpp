@@ -1,0 +1,36 @@
+#pragma once
+// Address-trace persistence.
+//
+// The paper's methodology extracts memory access patterns from real
+// program runs and replays them against the model and machine. These
+// helpers store and reload such traces so experiments can be rerun (and
+// externally produced traces imported) without regenerating workloads:
+// a small binary format for bulk data and a one-address-per-line text
+// format for interchange.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dxbsp::workload {
+
+/// Writes the trace in the library's binary format (magic, version,
+/// count, raw little-endian words). Throws std::runtime_error on I/O
+/// failure.
+void save_trace(const std::string& path,
+                const std::vector<std::uint64_t>& addrs);
+
+/// Reads a binary trace written by save_trace. Throws std::runtime_error
+/// on I/O failure or format mismatch.
+[[nodiscard]] std::vector<std::uint64_t> load_trace(const std::string& path);
+
+/// Writes one decimal address per line (interchange/text form).
+void save_trace_text(std::ostream& os,
+                     const std::vector<std::uint64_t>& addrs);
+
+/// Reads one decimal address per line; blank lines and lines starting
+/// with '#' are skipped. Throws std::runtime_error on a malformed line.
+[[nodiscard]] std::vector<std::uint64_t> load_trace_text(std::istream& is);
+
+}  // namespace dxbsp::workload

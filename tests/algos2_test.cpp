@@ -1,0 +1,271 @@
+// Tests for the extension algorithms: list ranking, multiprefix, and the
+// random-mate connected-components variant.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/connected_components.hpp"
+#include "algos/list_ranking.hpp"
+#include "algos/multiprefix.hpp"
+#include "algos/vm.hpp"
+#include "util/rng.hpp"
+#include "workload/graphs.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+algos::Vm test_vm() { return algos::Vm(sim::MachineConfig::test_machine()); }
+
+// ---- list ranking ----
+
+class ListRankSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ListRankSizes, MatchesReference) {
+  const std::uint64_t n = GetParam();
+  auto vm = test_vm();
+  const auto next = algos::random_list(n, n + 7);
+  const auto got = algos::list_rank(vm, next);
+  EXPECT_EQ(got, algos::reference_list_rank(next));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ListRankSizes,
+                         ::testing::Values(1, 2, 3, 17, 256, 1000, 4096));
+
+TEST(ListRank, SequentialList) {
+  // next[i] = i+1, tail at n-1: rank[i] = n-1-i.
+  const std::uint64_t n = 100;
+  std::vector<std::uint64_t> next(n);
+  for (std::uint64_t i = 0; i + 1 < n; ++i) next[i] = i + 1;
+  next[n - 1] = n - 1;
+  auto vm = test_vm();
+  const auto rank = algos::list_rank(vm, next);
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(rank[i], n - 1 - i);
+}
+
+TEST(ListRank, RoundCountIsLogarithmic) {
+  auto vm = test_vm();
+  algos::ListRankStats stats;
+  const auto next = algos::random_list(10000, 3);
+  (void)algos::list_rank(vm, next, &stats);
+  EXPECT_LE(stats.rounds.size(), 16u);  // ceil(log2 10001) + slack
+  EXPECT_GE(stats.rounds.size(), 13u);
+}
+
+TEST(ListRank, TailContentionGrowsGeometrically) {
+  // The contention signature the paper cares about: successive rounds
+  // concentrate successor pointers on the tail.
+  auto vm = test_vm();
+  algos::ListRankStats stats;
+  (void)algos::list_rank(vm, algos::random_list(8192, 5), &stats);
+  ASSERT_GE(stats.rounds.size(), 4u);
+  const auto& r = stats.rounds;
+  EXPECT_LE(r[0].gather_contention, 4u);  // a list is nearly injective
+  for (std::size_t i = 1; i < r.size(); ++i)
+    EXPECT_GE(r[i].gather_contention, r[i - 1].gather_contention);
+  EXPECT_GE(r.back().gather_contention, 4096u);  // ~everyone at the tail
+}
+
+TEST(ListRank, RejectsBadLists) {
+  auto vm = test_vm();
+  const std::vector<std::uint64_t> out_of_range = {5};
+  EXPECT_THROW((void)algos::list_rank(vm, out_of_range),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> cycle = {1, 0};  // no tail
+  EXPECT_THROW((void)algos::list_rank(vm, cycle), std::invalid_argument);
+}
+
+TEST(ListRank, EmptyList) {
+  auto vm = test_vm();
+  EXPECT_TRUE(algos::list_rank(vm, std::vector<std::uint64_t>{}).empty());
+}
+
+// ---- multiprefix ----
+
+struct MpCase {
+  std::uint64_t n, num_keys;
+};
+
+class MultiprefixShapes : public ::testing::TestWithParam<MpCase> {};
+
+TEST_P(MultiprefixShapes, BothImplementationsMatchReference) {
+  const auto [n, num_keys] = GetParam();
+  const auto keys = workload::uniform_random(n, num_keys, n + 11);
+  std::vector<std::uint64_t> values(n);
+  util::Xoshiro256 rng(13);
+  for (auto& v : values) v = rng.below(100);
+
+  const auto expect = algos::reference_multiprefix(keys, values, num_keys);
+
+  auto vm1 = test_vm();
+  const auto fa = algos::multiprefix_fetch_add(vm1, keys, values, num_keys);
+  EXPECT_EQ(fa.prefix, expect.prefix);
+  EXPECT_EQ(fa.totals, expect.totals);
+
+  auto vm2 = test_vm();
+  const auto so = algos::multiprefix_sorted(vm2, keys, values, num_keys);
+  EXPECT_EQ(so.prefix, expect.prefix);
+  EXPECT_EQ(so.totals, expect.totals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MultiprefixShapes,
+                         ::testing::Values(MpCase{1, 1}, MpCase{100, 1},
+                                           MpCase{100, 7}, MpCase{1000, 256},
+                                           MpCase{5000, 2},
+                                           MpCase{5000, 4096}));
+
+TEST(Multiprefix, FetchAddContentionIsKeyMultiplicity) {
+  // All-same-key: the fetch-add trace has contention n. The sorted route
+  // is bounded by the per-processor histogram count n/p — radix sort is
+  // not contention-free in absolute terms, just bounded by construction.
+  const std::uint64_t n = 2000;
+  const std::vector<std::uint64_t> keys(n, 0);
+  const std::vector<std::uint64_t> values(n, 1);
+  auto vm1 = test_vm();
+  (void)algos::multiprefix_fetch_add(vm1, keys, values, 4);
+  EXPECT_EQ(vm1.ledger().max_contention(), n);
+  auto vm2 = test_vm();
+  (void)algos::multiprefix_sorted(vm2, keys, values, 4);
+  EXPECT_LE(vm2.ledger().max_contention(),
+            n / sim::MachineConfig::test_machine().processors);
+}
+
+TEST(Multiprefix, HotKeyFetchAddScalesWithBankDelay) {
+  // On a hot key, fetch-add time is the bank serialization d·n; with
+  // spread keys the banks pipeline and d drops out. (Notably the sorted
+  // route does NOT escape this: its private histograms still serialize
+  // d·(n/p) per processor, so with moderate p it loses on hot keys too —
+  // the Vm ledgers make that visible.)
+  const std::uint64_t n = 2000;
+  const std::vector<std::uint64_t> hot_keys(n, 0);
+  const auto spread_keys = workload::uniform_random(n, 1024, 3);
+  const std::vector<std::uint64_t> values(n, 1);
+
+  auto run = [&](std::uint64_t d, std::span<const std::uint64_t> keys) {
+    const auto cfg =
+        sim::MachineConfig::parse("p=4,g=1,L=8,x=64,d=" + std::to_string(d));
+    algos::Vm vm(cfg);
+    (void)algos::multiprefix_fetch_add(vm, keys, values, 1024);
+    return vm.cycles();
+  };
+  // Hot key: doubling d roughly doubles the time.
+  const double hot_ratio =
+      static_cast<double>(run(32, hot_keys)) / static_cast<double>(run(16, hot_keys));
+  EXPECT_GT(hot_ratio, 1.8);
+  // Spread keys: doubling d barely moves it.
+  const double spread_ratio = static_cast<double>(run(32, spread_keys)) /
+                              static_cast<double>(run(16, spread_keys));
+  EXPECT_LT(spread_ratio, 1.3);
+}
+
+TEST(Multiprefix, FetchAddWinsWhenKeysAreSpread) {
+  const std::uint64_t n = 20000;
+  const auto keys = workload::uniform_random(n, 4096, 17);
+  const std::vector<std::uint64_t> values(n, 1);
+  auto vm1 = test_vm();
+  (void)algos::multiprefix_fetch_add(vm1, keys, values, 4096);
+  auto vm2 = test_vm();
+  (void)algos::multiprefix_sorted(vm2, keys, values, 4096);
+  EXPECT_LT(vm1.cycles(), vm2.cycles());
+}
+
+TEST(Multiprefix, InputValidation) {
+  auto vm = test_vm();
+  const std::vector<std::uint64_t> keys = {0, 1};
+  const std::vector<std::uint64_t> short_values = {1};
+  EXPECT_THROW(
+      (void)algos::multiprefix_fetch_add(vm, keys, short_values, 2),
+      std::invalid_argument);
+  const std::vector<std::uint64_t> values = {1, 1};
+  EXPECT_THROW((void)algos::multiprefix_fetch_add(vm, keys, values, 1),
+               std::invalid_argument);  // key 1 out of range
+  EXPECT_THROW((void)algos::multiprefix_sorted(vm, keys, values, 0),
+               std::invalid_argument);
+}
+
+// ---- random-mate connected components ----
+
+class RandomMateGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomMateGraphs, MatchesUnionFind) {
+  workload::Graph g;
+  switch (GetParam()) {
+    case 0: g = workload::random_gnm(500, 800, 41); break;
+    case 1: g = workload::star(300); break;
+    case 2: g = workload::star_forest(600, 9, 42); break;
+    case 3: g = workload::grid(15, 20); break;
+    case 4: g = workload::path(700); break;
+    case 5: g.n = 50; break;
+    default: FAIL();
+  }
+  auto vm = test_vm();
+  const auto labels = algos::connected_components_random_mate(vm, g, 77);
+  EXPECT_TRUE(algos::same_partition(labels,
+                                    workload::reference_components(g)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, RandomMateGraphs, ::testing::Range(0, 6));
+
+class SingleShortcutGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(SingleShortcutGraphs, MatchesUnionFind) {
+  workload::Graph g;
+  switch (GetParam()) {
+    case 0: g = workload::random_gnm(800, 1500, 51); break;
+    case 1: g = workload::star(500); break;
+    case 2: g = workload::path(900); break;
+    case 3: g = workload::grid(25, 30); break;
+    case 4: g = workload::star_forest(700, 6, 52); break;
+    case 5: g = workload::rmat(10, 3000, 0.57, 0.19, 0.19, 53); break;
+    default: FAIL();
+  }
+  auto vm = test_vm();
+  algos::CcStats stats;
+  const auto labels = algos::connected_components(
+      vm, g, &stats, {.single_shortcut = true});
+  EXPECT_TRUE(algos::same_partition(labels,
+                                    workload::reference_components(g)));
+  for (const auto& it : stats.iterations)
+    EXPECT_LE(it.shortcut_rounds, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, SingleShortcutGraphs,
+                         ::testing::Range(0, 6));
+
+TEST(SingleShortcut, TradesIterationsForCheaperOnes) {
+  const auto g = workload::random_gnm(4000, 8000, 54);
+  auto vm_full = test_vm();
+  algos::CcStats s_full;
+  (void)algos::connected_components(vm_full, g, &s_full);
+  auto vm_single = test_vm();
+  algos::CcStats s_single;
+  (void)algos::connected_components(vm_single, g, &s_single,
+                                    {.single_shortcut = true});
+  EXPECT_GE(s_single.iterations.size(), s_full.iterations.size());
+}
+
+TEST(RandomMate, DeterministicInSeed) {
+  const auto g = workload::random_gnm(300, 500, 43);
+  auto vm1 = test_vm();
+  auto vm2 = test_vm();
+  EXPECT_EQ(algos::connected_components_random_mate(vm1, g, 5),
+            algos::connected_components_random_mate(vm2, g, 5));
+}
+
+TEST(RandomMate, SingleShortcutPerIteration) {
+  const auto g = workload::random_gnm(2000, 4000, 44);
+  auto vm = test_vm();
+  algos::CcStats stats;
+  (void)algos::connected_components_random_mate(vm, g, 7, &stats);
+  for (const auto& it : stats.iterations)
+    EXPECT_LE(it.shortcut_rounds, 1u);
+  // Random mate needs more iterations than deterministic hooking...
+  algos::CcStats det;
+  auto vm2 = test_vm();
+  (void)algos::connected_components(vm2, g, &det);
+  EXPECT_GE(stats.iterations.size(), det.iterations.size());
+}
+
+}  // namespace
+}  // namespace dxbsp

@@ -1,0 +1,191 @@
+// Tests for wave-3/4 features: Zipf workloads, multi-ported banks,
+// collectives, and the parallel hash table.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algos/collectives.hpp"
+#include "algos/parallel_hashing.hpp"
+#include "algos/vm.hpp"
+#include "mem/contention.hpp"
+#include "sim/machine.hpp"
+#include "stats/histogram.hpp"
+#include "util/rng.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+algos::Vm test_vm() { return algos::Vm(sim::MachineConfig::test_machine()); }
+
+// ---- Zipf ----
+
+TEST(Zipf, ThetaZeroIsUniformish) {
+  const auto xs = workload::zipf(50000, 100, 0.0, 3);
+  const auto mult = stats::multiplicities(xs);
+  EXPECT_GT(mult.size(), 95u);
+  for (const auto& [v, c] : mult) {
+    (void)v;
+    EXPECT_GT(c, 300u);
+    EXPECT_LT(c, 700u);
+  }
+}
+
+TEST(Zipf, HighThetaConcentratesOnLowRanks) {
+  const auto xs = workload::zipf(50000, 10000, 1.2, 4);
+  const auto mult = stats::multiplicities(xs);
+  // Rank 0 should dominate.
+  const auto k = mem::analyze_locations(xs).max_contention;
+  EXPECT_EQ(mult.begin()->first, 0u);  // hottest value is rank 0
+  EXPECT_EQ(mult.begin()->second, k);
+  EXPECT_GT(k, 5000u);
+  // Higher theta, higher contention.
+  const auto flat = mem::analyze_locations(workload::zipf(50000, 10000, 0.5, 4))
+                        .max_contention;
+  EXPECT_GT(k, flat);
+}
+
+TEST(Zipf, DeterministicAndValidated) {
+  EXPECT_EQ(workload::zipf(100, 50, 0.9, 7), workload::zipf(100, 50, 0.9, 7));
+  for (const auto v : workload::zipf(1000, 64, 1.0, 8)) EXPECT_LT(v, 64u);
+  EXPECT_THROW(workload::zipf(10, 0, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(workload::zipf(10, 10, -1.0, 1), std::invalid_argument);
+  EXPECT_THROW(workload::zipf(10, 1ULL << 23, 1.0, 1), std::invalid_argument);
+}
+
+// ---- multi-ported banks ----
+
+TEST(BankPorts, TwoPortsHalveHotBankTime) {
+  const std::uint64_t n = 1000, L = 10, d = 8;
+  auto cfg = sim::MachineConfig::parse("p=1,g=1,L=10,d=8,x=8");
+  const std::vector<std::uint64_t> addrs(n, 5);
+  sim::Machine one(cfg);
+  cfg.bank_ports = 2;
+  sim::Machine two(cfg);
+  const auto r1 = one.scatter(addrs);
+  const auto r2 = two.scatter(addrs);
+  EXPECT_EQ(r1.cycles, 2 * L + n * d);
+  // Two ports drain the same queue at 2 requests per d.
+  EXPECT_LE(r2.cycles, 2 * L + (n / 2 + 1) * d + d);
+  EXPECT_GE(r2.cycles, (n / 2) * d);
+}
+
+TEST(BankPorts, EquivalentToExpansionForBalancedTraffic) {
+  // For random traffic, b ports on B banks ~ 1 port on b*B banks.
+  const auto addrs = workload::uniform_random(40000, 1ULL << 24, 5);
+  auto ported = sim::MachineConfig::parse("p=4,g=1,L=10,d=8,x=4,ports=2");
+  auto expanded = sim::MachineConfig::parse("p=4,g=1,L=10,d=8,x=8");
+  sim::Machine mp(ported);
+  sim::Machine me(expanded);
+  const double tp = static_cast<double>(mp.scatter(addrs).cycles);
+  const double te = static_cast<double>(me.scatter(addrs).cycles);
+  EXPECT_GT(tp / te, 0.85);
+  EXPECT_LT(tp / te, 1.35);
+}
+
+TEST(BankPorts, ValidationAndParse) {
+  auto cfg = sim::MachineConfig::test_machine();
+  cfg.bank_ports = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_EQ(sim::MachineConfig::parse("test,ports=3").bank_ports, 3u);
+}
+
+// ---- collectives ----
+
+TEST(Collectives, BroadcastDeliversValue) {
+  auto vm = test_vm();
+  const auto naive = algos::broadcast_naive(vm, 42, 500);
+  for (const auto v : naive) EXPECT_EQ(v, 42u);
+
+  auto vm2 = test_vm();
+  algos::BroadcastStats stats;
+  const auto repl = algos::broadcast_replicated(vm2, 7, 500, 9, 4, &stats);
+  for (const auto v : repl) EXPECT_EQ(v, 7u);
+  EXPECT_GT(stats.copies, 1u);
+  EXPECT_LT(stats.read_contention, 40u);  // ~target + balls-in-bins tail
+}
+
+TEST(Collectives, ReplicationBeatsNaiveBroadcastOnBankDelayMachine) {
+  const std::uint64_t n = 20000;
+  auto vm_n = test_vm();
+  (void)algos::broadcast_naive(vm_n, 1, n);
+  auto vm_r = test_vm();
+  (void)algos::broadcast_replicated(vm_r, 1, n, 11);
+  EXPECT_LT(vm_r.cycles(), vm_n.cycles() / 4);
+  // The naive read is one location: contention n.
+  EXPECT_EQ(vm_n.ledger().max_contention(), n);
+}
+
+TEST(Collectives, ReductionsAgreeAndTreeWins) {
+  util::Xoshiro256 rng(13);
+  std::vector<std::uint64_t> xs(10000);
+  for (auto& x : xs) x = rng.below(1000);
+  const auto expect = std::accumulate(xs.begin(), xs.end(), std::uint64_t{0});
+
+  auto vm_n = test_vm();
+  EXPECT_EQ(algos::reduce_naive(vm_n, xs), expect);
+  auto vm_t = test_vm();
+  EXPECT_EQ(algos::reduce_tree(vm_t, xs), expect);
+  EXPECT_LT(vm_t.cycles(), vm_n.cycles() / 4);
+}
+
+// ---- parallel hashing ----
+
+class HashTableSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HashTableSizes, BuildsAndLooksUp) {
+  const std::uint64_t n = GetParam();
+  auto vm = test_vm();
+  const auto keys = workload::distinct_random(n, 1ULL << 40, n + 3);
+  algos::HashBuildStats stats;
+  const algos::ParallelHashTable table(vm, keys, 2 * n + 8, 17, &stats);
+
+  // Every key findable, mapped to its own id.
+  auto vm2 = test_vm();
+  const auto found = table.lookup(vm2, keys, 0);
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(found[i], i);
+
+  // Absent keys report kNotFound.
+  const auto absent = workload::distinct_random(100, 1ULL << 40, n + 4);
+  std::vector<std::uint64_t> truly_absent;
+  for (const auto a : absent) {
+    bool present = false;
+    for (const auto k : keys) present |= (k == a);
+    if (!present) truly_absent.push_back(a);
+  }
+  auto vm3 = test_vm();
+  for (const auto r : table.lookup(vm3, truly_absent, 0))
+    EXPECT_EQ(r, algos::ParallelHashTable::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HashTableSizes,
+                         ::testing::Values(1, 2, 50, 1000, 8000));
+
+TEST(HashTable, RoundsAreFewAndContentionLow) {
+  auto vm = test_vm();
+  const auto keys = workload::distinct_random(20000, 1ULL << 40, 21);
+  algos::HashBuildStats stats;
+  const algos::ParallelHashTable table(vm, keys, 48000, 23, &stats);
+  EXPECT_LE(table.rounds_used(), 24u);  // geometric shrink
+  for (const auto& r : stats.rounds)
+    EXPECT_LE(r.max_probe_contention, 12u);  // balls-in-bins bound
+  // Live set never grows (the tail may sit at 1 for a few unlucky
+  // rounds while the last key dodges occupied cells).
+  for (std::size_t i = 1; i < stats.rounds.size(); ++i)
+    EXPECT_LE(stats.rounds[i].live, stats.rounds[i - 1].live);
+  EXPECT_LT(stats.rounds[1].live, stats.rounds[0].live / 2);
+}
+
+TEST(HashTable, RejectsBadInputs) {
+  auto vm = test_vm();
+  const std::vector<std::uint64_t> dup = {5, 5};
+  EXPECT_THROW(algos::ParallelHashTable(vm, dup, 100, 1),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> keys = {1, 2, 3};
+  EXPECT_THROW(algos::ParallelHashTable(vm, keys, 3, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dxbsp

@@ -1,0 +1,69 @@
+// Tests for the black-box parameter calibration and the CI helper.
+
+#include <gtest/gtest.h>
+
+#include "core/calibrate.hpp"
+#include "sim/machine.hpp"
+#include "util/stats.hpp"
+
+namespace dxbsp {
+namespace {
+
+class CalibratePresets : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalibratePresets, RecoversConfiguredParameters) {
+  const auto presets = sim::MachineConfig::table1_presets();
+  const auto& cfg = presets.at(static_cast<std::size_t>(GetParam()));
+  sim::Machine machine(cfg);
+  const auto cal = core::calibrate(machine, 1 << 14);
+
+  EXPECT_NEAR(cal.d, static_cast<double>(cfg.bank_delay),
+              0.05 * cfg.bank_delay + 0.1);
+  // The gap probe reports the effective spread-traffic cost: g when the
+  // machine is bandwidth-balanced, ~d/x when the banks bind (tera-like).
+  const double effective_gap = std::max(
+      static_cast<double>(cfg.gap),
+      static_cast<double>(cfg.bank_delay) / static_cast<double>(cfg.expansion));
+  EXPECT_NEAR(cal.g, effective_gap, 0.25 * effective_gap + 0.15);
+  EXPECT_NEAR(cal.L, static_cast<double>(cfg.latency), 1.0);
+  EXPECT_EQ(cal.banks, cfg.banks());
+  EXPECT_EQ(cal.x, cfg.expansion);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, CalibratePresets, ::testing::Range(0, 3));
+
+TEST(Calibrate, CustomMachine) {
+  const auto cfg = sim::MachineConfig::parse("p=4,g=2,L=17,d=9,x=16");
+  sim::Machine machine(cfg);
+  const auto cal = core::calibrate(machine, 1 << 14);
+  EXPECT_NEAR(cal.d, 9.0, 0.5);
+  EXPECT_NEAR(cal.g, 2.0, 0.2);
+  EXPECT_NEAR(cal.L, 17.0, 1.0);
+  EXPECT_EQ(cal.banks, 64u);
+}
+
+TEST(Calibrate, HashedMachineHidesBankCount) {
+  // A hashed mapping has no collapsing power-of-two stride: the bank
+  // probe reports 0 — exactly the property §4 wants.
+  auto cfg = sim::MachineConfig::parse("p=4,g=1,L=10,d=8,x=16");
+  util::Xoshiro256 rng(3);
+  sim::Machine machine(cfg, std::make_shared<mem::HashedMapping>(
+                                cfg.banks(), mem::HashDegree::kCubic, rng));
+  const auto cal = core::calibrate(machine, 1 << 13);
+  EXPECT_EQ(cal.banks, 0u);
+  EXPECT_NEAR(cal.d, 8.0, 0.5);  // the hot-location probe still works
+}
+
+TEST(Ci95, ShrinksWithSamples) {
+  const std::vector<double> few = {1, 2, 3, 4};
+  std::vector<double> many;
+  for (int i = 0; i < 400; ++i) many.push_back(static_cast<double>(i % 4) + 1);
+  EXPECT_GT(util::ci95_halfwidth(few), util::ci95_halfwidth(many));
+  const std::vector<double> one = {5};
+  EXPECT_EQ(util::ci95_halfwidth(one), 0.0);
+  const std::vector<double> constant = {7, 7, 7};
+  EXPECT_EQ(util::ci95_halfwidth(constant), 0.0);
+}
+
+}  // namespace
+}  // namespace dxbsp

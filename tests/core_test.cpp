@@ -1,0 +1,263 @@
+// Tests for the (d,x)-BSP model: cost formulas, access profiles,
+// balls-in-bins estimates, and — the central integration property —
+// agreement between the model's predictions and the simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/access_profile.hpp"
+#include "core/balls_bins.hpp"
+#include "core/cost.hpp"
+#include "core/ledger.hpp"
+#include "core/params.hpp"
+#include "core/predictor.hpp"
+#include "sim/machine.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+core::DxBspParams params(std::uint64_t p, std::uint64_t g, std::uint64_t L,
+                         std::uint64_t d, std::uint64_t x) {
+  return core::DxBspParams{p, g, L, d, x};
+}
+
+TEST(Cost, StepTimeTakesTheMax) {
+  const auto m = params(4, 2, 10, 5, 8);
+  // Processor-bound: g*h_proc = 200 > d*h_bank = 50.
+  EXPECT_EQ(core::dxbsp_step_time(m, {100, 10, 400}), 200u + 20u);
+  // Bank-bound: d*h_bank = 500 > g*h_proc = 200.
+  EXPECT_EQ(core::dxbsp_step_time(m, {100, 100, 400}), 500u + 20u);
+  EXPECT_TRUE(core::bank_bound(m, {100, 100, 400}));
+  EXPECT_FALSE(core::bank_bound(m, {100, 10, 400}));
+}
+
+TEST(Cost, BspIgnoresBanks) {
+  const auto m = params(4, 2, 10, 5, 8);
+  EXPECT_EQ(core::bsp_step_time(m, {100, 1000000, 400}), 200u + 20u);
+}
+
+TEST(Cost, MonotoneInProfile) {
+  const auto m = params(8, 1, 50, 14, 32);
+  for (std::uint64_t h = 1; h < 1000; h *= 3) {
+    EXPECT_LE(core::dxbsp_step_time(m, {h, 1, h}),
+              core::dxbsp_step_time(m, {h + 1, 1, h}));
+    EXPECT_LE(core::dxbsp_step_time(m, {1, h, h}),
+              core::dxbsp_step_time(m, {1, h + 1, h}));
+  }
+}
+
+TEST(Cost, ContentionKnee) {
+  const auto m = params(8, 1, 0, 14, 32);
+  const double knee = core::contention_knee(m, 1 << 20);
+  // Below the knee the bank term is slack, above it binds.
+  const auto below = static_cast<std::uint64_t>(knee * 0.5);
+  const auto above = static_cast<std::uint64_t>(knee * 2.0);
+  const std::uint64_t h_proc = (1 << 20) / 8;
+  EXPECT_FALSE(core::bank_bound(m, {h_proc, below, 1 << 20}));
+  EXPECT_TRUE(core::bank_bound(m, {h_proc, above, 1 << 20}));
+}
+
+TEST(Params, BalancedExpansion) {
+  EXPECT_DOUBLE_EQ(params(8, 1, 0, 14, 1).balanced_expansion(), 14.0);
+  EXPECT_DOUBLE_EQ(params(8, 2, 0, 14, 1).balanced_expansion(), 7.0);
+}
+
+TEST(Params, FromConfigCopiesFields) {
+  const auto cfg = sim::MachineConfig::cray_j90();
+  const auto m = core::DxBspParams::from_config(cfg);
+  EXPECT_EQ(m.p, cfg.processors);
+  EXPECT_EQ(m.d, cfg.bank_delay);
+  EXPECT_EQ(m.x, cfg.expansion);
+  EXPECT_EQ(m.banks(), cfg.banks());
+}
+
+TEST(AccessProfile, FromTrace) {
+  const auto m = params(4, 1, 0, 4, 2);  // 8 banks
+  const std::vector<std::uint64_t> addrs = {9, 9, 9, 1, 2, 3, 4, 5};
+  const auto ap = core::profile_access(addrs, m, nullptr);
+  EXPECT_EQ(ap.n, 8u);
+  EXPECT_EQ(ap.h_proc, 2u);
+  EXPECT_EQ(ap.max_contention, 3u);
+  EXPECT_EQ(ap.distinct, 6u);
+  EXPECT_EQ(ap.h_bank_location, 3u);  // max(3, ceil(8/8))
+  EXPECT_EQ(ap.h_bank_mapped, 0u);    // no mapping supplied
+}
+
+TEST(AccessProfile, MappedLoadIncluded) {
+  const auto m = params(2, 1, 0, 4, 2);  // 4 banks
+  const mem::InterleavedMapping mapping(4);
+  const std::vector<std::uint64_t> addrs = {0, 4, 8, 12, 1};
+  const auto ap = core::profile_access(addrs, m, &mapping);
+  EXPECT_EQ(ap.h_bank_mapped, 4u);    // bank 0 holds 0,4,8,12
+  EXPECT_EQ(ap.h_bank_location, 2u);  // max(k=1, ceil(5/4))
+}
+
+TEST(AccessProfile, Aggregate) {
+  const auto m = params(8, 1, 0, 6, 8);
+  const auto ap = core::profile_aggregate(1000, 50, m);
+  EXPECT_EQ(ap.n, 1000u);
+  EXPECT_EQ(ap.h_proc, 125u);
+  EXPECT_EQ(ap.h_bank_location, 50u);  // max(50, ceil(1000/64)=16)
+}
+
+TEST(BallsBins, ApproxBehavesInBothRegimes) {
+  // Dense: 10^6 balls in 100 bins: mean 10^4, max close to mean.
+  const double dense = core::approx_expected_max_load(1e6, 100);
+  EXPECT_GT(dense, 1e4);
+  EXPECT_LT(dense, 1.2e4);
+  // Sparse: n balls in n^2 bins: max load ~ 1-2.
+  const double sparse = core::approx_expected_max_load(100, 10000);
+  EXPECT_GE(sparse, 1.0);
+  EXPECT_LT(sparse, 4.0);
+  EXPECT_EQ(core::approx_expected_max_load(0, 10), 0.0);
+  EXPECT_EQ(core::approx_expected_max_load(5, 1), 5.0);
+}
+
+TEST(BallsBins, ApproxTracksSimulation) {
+  for (const auto& [balls, bins] :
+       std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {1000, 64}, {10000, 256}, {100000, 64}, {512, 4096}}) {
+    const double sim = core::simulate_expected_max_load(balls, bins, 20, 11);
+    const double approx = core::approx_expected_max_load(
+        static_cast<double>(balls), static_cast<double>(bins));
+    EXPECT_GT(approx, 0.55 * sim) << balls << " balls " << bins << " bins";
+    EXPECT_LT(approx, 1.8 * sim) << balls << " balls " << bins << " bins";
+  }
+}
+
+TEST(BallsBins, ChernoffBoundsAreProbabilities) {
+  for (double mean : {1.0, 10.0, 1000.0}) {
+    for (double delta : {0.1, 1.0, 5.0}) {
+      const double b = core::chernoff_upper_tail(mean, delta);
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(b, 1.0);
+    }
+  }
+  // Larger deviations are less likely.
+  EXPECT_GT(core::chernoff_upper_tail(100, 0.1),
+            core::chernoff_upper_tail(100, 0.5));
+  // Degenerate inputs return the trivial bound.
+  EXPECT_EQ(core::chernoff_upper_tail(0, 1), 1.0);
+}
+
+TEST(BallsBins, HoeffdingShrinksWithN) {
+  EXPECT_GT(core::hoeffding_tail(10, 0.1), core::hoeffding_tail(1000, 0.1));
+  EXPECT_LE(core::hoeffding_tail(1000, 0.1), 1.0);
+}
+
+TEST(BallsBins, EffectiveExpansionLimitGrowsWithDelay) {
+  const std::uint64_t n = 1 << 20, p = 8;
+  const auto x_d6 = core::effective_expansion_limit(n, p, 1, 6, 512);
+  const auto x_d14 = core::effective_expansion_limit(n, p, 1, 14, 512);
+  EXPECT_GE(x_d14, x_d6);
+  // The headline claim: banks keep helping beyond x = d.
+  EXPECT_GT(x_d6, 6u);
+  EXPECT_GT(x_d14, 14u);
+}
+
+TEST(Predictor, AggregateMatchesManualFormula) {
+  const auto m = params(8, 1, 50, 14, 32);
+  const auto pr = core::predict_aggregate(1 << 20, 20000, m);
+  const std::uint64_t h_proc = (1 << 20) / 8;
+  EXPECT_EQ(pr.bsp, h_proc + 100);
+  EXPECT_EQ(pr.dxbsp_location, 14 * 20000 + 100u);  // bank term binds
+  EXPECT_EQ(pr.dxbsp_mapped, 0u);
+}
+
+TEST(Ledger, AccumulatesAndAggregates) {
+  core::CostLedger ledger;
+  ledger.add({"phase-a", 100, 2, 1000, 1100, 900});
+  ledger.add({"phase-b", 50, 1, 500, 550, 450});
+  ledger.add({"phase-a", 100, 8, 1000, 1100, 900});
+  EXPECT_EQ(ledger.total_sim(), 2500u);
+  EXPECT_EQ(ledger.total_dxbsp(), 2750u);
+  EXPECT_EQ(ledger.total_bsp(), 2250u);
+  EXPECT_EQ(ledger.total_requests(), 250u);
+  EXPECT_EQ(ledger.max_contention(), 8u);
+  const auto by_label = ledger.by_label();
+  ASSERT_EQ(by_label.size(), 2u);
+  EXPECT_EQ(by_label[0].label, "phase-a");
+  EXPECT_EQ(by_label[0].sim_cycles, 2000u);
+  EXPECT_EQ(by_label[0].max_contention, 8u);
+  std::ostringstream os;
+  ledger.print(os);
+  EXPECT_NE(os.str().find("TOTAL"), std::string::npos);
+  ledger.clear();
+  EXPECT_EQ(ledger.total_sim(), 0u);
+  EXPECT_TRUE(ledger.entries().empty());
+}
+
+TEST(Ledger, CsvOutput) {
+  core::CostLedger ledger;
+  ledger.add({"phase-a", 10, 2, 100, 110, 90});
+  std::ostringstream os;
+  ledger.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "phase,requests,max_k,sim_cycles,dxbsp_pred,bsp_pred\n"
+            "phase-a,10,2,100,110,90\n"
+            "TOTAL,10,2,100,110,90\n");
+}
+
+// ---- The central validation property: the (d,x)-BSP prediction tracks
+// the simulator across patterns and machines, and beats BSP once
+// contention passes the knee. (This is Figure 1 in miniature.)
+
+struct AgreementCase {
+  std::uint64_t p, g, L, d, x, n, k;
+};
+
+class ModelAgreement : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(ModelAgreement, DxBspWithinTolerance) {
+  const auto c = GetParam();
+  sim::MachineConfig cfg;
+  cfg.processors = c.p;
+  cfg.gap = c.g;
+  cfg.latency = c.L;
+  cfg.bank_delay = c.d;
+  cfg.expansion = c.x;
+  cfg.slackness = 64 * 1024;
+  sim::Machine machine(cfg);
+
+  const auto addrs = workload::k_hot(c.n, c.k, 1ULL << 26, 2024);
+  const auto meas = machine.scatter(addrs);
+  const auto pred =
+      core::predict_scatter(addrs, cfg, &machine.mapping());
+
+  const double ratio = static_cast<double>(pred.dxbsp_mapped) /
+                       static_cast<double>(meas.cycles);
+  EXPECT_GT(ratio, 0.6) << "dxbsp underpredicts";
+  EXPECT_LT(ratio, 1.6) << "dxbsp overpredicts";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelAgreement,
+    ::testing::Values(
+        AgreementCase{8, 1, 30, 14, 32, 1 << 18, 1},        // no contention
+        AgreementCase{8, 1, 30, 14, 32, 1 << 18, 1 << 10},  // near knee
+        AgreementCase{8, 1, 30, 14, 32, 1 << 18, 1 << 14},  // bank bound
+        AgreementCase{8, 1, 30, 14, 32, 1 << 18, 1 << 17},  // extreme
+        AgreementCase{16, 1, 24, 6, 64, 1 << 18, 1 << 15},  // C90-like
+        AgreementCase{4, 2, 10, 4, 2, 1 << 16, 1 << 8},     // small machine
+        AgreementCase{1, 1, 5, 3, 8, 1 << 14, 1 << 6}));    // single proc
+
+TEST(ModelAgreementExtra, BspUnderpredictsAtHighContention) {
+  auto cfg = sim::MachineConfig::cray_j90();
+  sim::Machine machine(cfg);
+  const std::uint64_t n = 1 << 18;
+  const auto addrs = workload::k_hot(n, n / 4, 1ULL << 26, 3);
+  const auto meas = machine.scatter(addrs);
+  const auto pred = core::predict_scatter(addrs, cfg, &machine.mapping());
+  // BSP misses the bank serialization by a wide margin...
+  EXPECT_LT(static_cast<double>(pred.bsp),
+            0.5 * static_cast<double>(meas.cycles));
+  // ...while the (d,x)-BSP stays in range.
+  EXPECT_GT(static_cast<double>(pred.dxbsp_mapped),
+            0.7 * static_cast<double>(meas.cycles));
+}
+
+}  // namespace
+}  // namespace dxbsp

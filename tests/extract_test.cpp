@@ -1,0 +1,162 @@
+// Tests for the QRQW program extraction bridge, the expansion
+// recommender, MatrixMarket I/O, and the Vm trace hook they rely on.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "algos/random_permutation.hpp"
+#include "algos/vm.hpp"
+#include "core/design.hpp"
+#include "qrqw/emulation.hpp"
+#include "qrqw/extract.hpp"
+#include "workload/graphs.hpp"
+#include "workload/patterns.hpp"
+#include "workload/sparse.hpp"
+
+namespace dxbsp {
+namespace {
+
+TEST(VmTraceHook, ObservesEveryIrregularOp) {
+  algos::Vm vm(sim::MachineConfig::test_machine());
+  std::vector<std::pair<std::string, std::size_t>> seen;
+  vm.set_trace_hook([&seen](const std::string& label,
+                            std::span<const std::uint64_t> addrs) {
+    seen.emplace_back(label, addrs.size());
+  });
+  auto arr = vm.make_array<std::uint64_t>(10);
+  const std::vector<std::uint64_t> idx = {1, 2, 3};
+  std::vector<std::uint64_t> out;
+  vm.gather(out, arr, idx, "g1");
+  vm.compute(100, 1.0, "c");        // not irregular: not observed
+  vm.contiguous(arr.region, 10, 1.0, "ct");  // not observed
+  const std::vector<std::uint64_t> vals = {7, 8, 9};
+  vm.scatter(arr, idx, vals, "s1");
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::size_t>{"g1", 3}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::size_t>{"s1", 3}));
+  // Clearing the hook stops observation.
+  vm.set_trace_hook(nullptr);
+  vm.scatter(arr, idx, vals, "s2");
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Extract, PermutationProgramHasDartShape) {
+  const auto prog = qrqw::extract_random_permutation(2000, 5);
+  EXPECT_GT(prog.size(), 3u);   // several dart rounds + pack
+  EXPECT_GE(prog.ops(), 2000u * 2);  // scatter + readback at least
+  EXPECT_LE(prog.max_contention(), 16u);  // darts stay low-contention
+}
+
+TEST(Extract, SpmvProgramCarriesDenseColumnContention) {
+  const auto m = workload::dense_column_csr(1000, 1000, 4, 500, 6);
+  const auto prog = qrqw::extract_spmv(m);
+  EXPECT_EQ(prog.size(), 1u);  // the gather is the only irregular op
+  EXPECT_EQ(prog.ops(), m.nnz());
+  EXPECT_GE(prog.max_contention(), 500u);
+}
+
+TEST(Extract, CcStarProgramHasFullContention) {
+  const auto prog =
+      qrqw::extract_connected_components(workload::star(512));
+  EXPECT_GE(prog.max_contention(), 511u);
+}
+
+TEST(Extract, ProgramsEmulateWithinBounds) {
+  const auto cfg = sim::MachineConfig::cray_j90();
+  std::vector<qrqw::QrqwProgram> programs;
+  programs.push_back(qrqw::extract_random_permutation(4096, 9));
+  programs.push_back(qrqw::extract_list_ranking(4096, 9));
+  for (const auto& prog : programs) {
+    qrqw::EmulationEngine eng(cfg, 4);
+    const auto r = eng.emulate_program(prog);
+    EXPECT_LE(static_cast<double>(r.sim_cycles), r.bound);
+    EXPECT_GT(r.sim_cycles, 0u);
+  }
+}
+
+TEST(Design, RecommendExpansionBasics) {
+  // Low-contention big workload on a d=14 machine: throughput wants
+  // x >= 14; the tail pushes a bit beyond.
+  const core::DxBspParams base{8, 1, 30, 14, 1};
+  const auto rec = core::recommend_expansion(1 << 20, 4, base);
+  EXPECT_EQ(rec.x_throughput, 14u);
+  EXPECT_GE(rec.x_recommended, rec.x_throughput);
+  EXPECT_FALSE(rec.contention_limited);
+}
+
+TEST(Design, ContentionLimitedWorkloadIsFlagged) {
+  const core::DxBspParams base{8, 1, 30, 14, 1};
+  // k = n/8: d*k = 14*n/8 >> g*n/p = n/8.
+  const auto rec = core::recommend_expansion(1 << 16, 1 << 13, base);
+  EXPECT_TRUE(rec.contention_limited);
+  // A contention-limited workload saturates its floor quickly: banks do
+  // not need to go far beyond throughput balance.
+  EXPECT_LE(rec.x_tail, 16u);
+}
+
+TEST(Design, RecommendationShrinksWithDelay) {
+  const core::DxBspParams d6{8, 1, 30, 6, 1};
+  const core::DxBspParams d14{8, 1, 30, 14, 1};
+  const auto r6 = core::recommend_expansion(1 << 18, 2, d6);
+  const auto r14 = core::recommend_expansion(1 << 18, 2, d14);
+  EXPECT_LE(r6.x_throughput, r14.x_throughput);
+  EXPECT_LE(r6.x_recommended, r14.x_recommended);
+}
+
+TEST(Design, ArgumentValidation) {
+  const core::DxBspParams base{8, 1, 30, 14, 1};
+  EXPECT_THROW((void)core::recommend_expansion(0, 1, base),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::recommend_expansion(100, 0, base),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::recommend_expansion(100, 101, base),
+               std::invalid_argument);
+  EXPECT_THROW((void)core::recommend_expansion(100, 1, base, -1.0),
+               std::invalid_argument);
+}
+
+TEST(MatrixMarket, RoundTrip) {
+  const auto m = workload::dense_column_csr(50, 60, 3, 20, 8);
+  std::stringstream ss;
+  workload::save_matrix_market(ss, m);
+  ss.seekg(0);
+  const auto back = workload::load_matrix_market(ss);
+  EXPECT_EQ(back.rows, m.rows);
+  EXPECT_EQ(back.cols, m.cols);
+  EXPECT_EQ(back.row_ptr, m.row_ptr);
+  EXPECT_EQ(back.col_idx, m.col_idx);
+  for (std::size_t i = 0; i < m.values.size(); ++i)
+    EXPECT_NEAR(back.values[i], m.values[i], 1e-6);
+}
+
+TEST(MatrixMarket, PatternFormatAndComments) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% a comment\n"
+      "2 3 2\n"
+      "1 1\n"
+      "2 3\n");
+  const auto m = workload::load_matrix_market(ss);
+  EXPECT_EQ(m.rows, 2u);
+  EXPECT_EQ(m.cols, 3u);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(m.values[0], 1.0);  // pattern entries default to 1
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  std::stringstream no_header("1 1 0\n");
+  EXPECT_THROW((void)workload::load_matrix_market(no_header),
+               std::runtime_error);
+  std::stringstream bad_index(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+  EXPECT_THROW((void)workload::load_matrix_market(bad_index),
+               std::runtime_error);
+  std::stringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+  EXPECT_THROW((void)workload::load_matrix_market(truncated),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dxbsp

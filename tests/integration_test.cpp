@@ -1,0 +1,189 @@
+// Cross-module integration tests: whole-algorithm model-vs-simulator
+// agreement, the paper's qualitative claims end to end, and experiment
+// smoke runs at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/connected_components.hpp"
+#include "algos/random_permutation.hpp"
+#include "algos/spmv.hpp"
+#include "algos/vm.hpp"
+#include "core/balls_bins.hpp"
+#include "core/predictor.hpp"
+#include "sim/machine.hpp"
+#include "stats/compare.hpp"
+#include "workload/entropy.hpp"
+#include "workload/graphs.hpp"
+#include "workload/patterns.hpp"
+#include "workload/sparse.hpp"
+
+namespace dxbsp {
+namespace {
+
+sim::MachineConfig j90_small() {
+  auto cfg = sim::MachineConfig::cray_j90();
+  return cfg;
+}
+
+TEST(Integration, ContentionSweepReproducesFigure4Shape) {
+  // Measured time is flat until the knee, then linear in k; the dxbsp
+  // prediction tracks it, the bsp prediction stays flat.
+  const auto cfg = j90_small();
+  sim::Machine machine(cfg);
+  const std::uint64_t n = 1 << 17;
+  stats::Comparison cmp("k", "contention sweep");
+  for (std::uint64_t k = 1; k <= n; k *= 8) {
+    const auto addrs = workload::k_hot(n, k, 1ULL << 26, 97);
+    const auto meas = machine.scatter(addrs);
+    const auto pred = core::predict_scatter(addrs, cfg, &machine.mapping());
+    cmp.add(static_cast<double>(k), static_cast<double>(meas.cycles),
+            static_cast<double>(pred.dxbsp_mapped),
+            static_cast<double>(pred.bsp));
+  }
+  EXPECT_LT(cmp.dxbsp_rms_error(), 0.35);
+  // BSP is badly wrong once the bank term binds: at the top of the sweep
+  // it underpredicts by nearly the whole bank serialization.
+  EXPECT_GT(cmp.bsp_max_error(), 0.9);
+  // Shape: the measured series rises by >10x from k=1 to k=n.
+  const auto& pts = cmp.points();
+  EXPECT_GT(pts.back().measured, 10.0 * pts.front().measured);
+}
+
+TEST(Integration, ExpansionHelpsBeyondD) {
+  // The paper's second result: for random patterns, going from x = d to
+  // x = 4d still speeds up the scatter measurably.
+  // Moderate slackness per bank makes the max-load tail (the thing extra
+  // banks shave off) a visible fraction of the time.
+  const std::uint64_t d = 14;
+  const auto addrs = workload::uniform_random(1 << 15, 1ULL << 26, 55);
+  auto time_at = [&](std::uint64_t x) {
+    sim::MachineConfig cfg;
+    cfg.processors = 8;
+    cfg.gap = 1;
+    cfg.latency = 30;
+    cfg.bank_delay = d;
+    cfg.expansion = x;
+    cfg.slackness = 64 * 1024;
+    sim::Machine machine(cfg);
+    return machine.scatter(addrs).cycles;
+  };
+  const auto at_d = time_at(d);
+  const auto at_4d = time_at(4 * d);
+  EXPECT_LT(at_4d, at_d);
+  EXPECT_GT(static_cast<double>(at_d) / static_cast<double>(at_4d), 1.1);
+}
+
+TEST(Integration, EntropyFamilyPredictionTracksMeasurement) {
+  const auto cfg = j90_small();
+  sim::Machine machine(cfg);
+  const auto family = workload::entropy_family(1 << 16, 10, 22, 0, 31);
+  stats::Comparison cmp("entropy", "entropy sweep");
+  for (const auto& t : family) {
+    const auto meas = machine.scatter(t.keys);
+    const auto pred = core::predict_scatter(t.keys, cfg, &machine.mapping());
+    cmp.add(t.entropy_bits, static_cast<double>(meas.cycles),
+            static_cast<double>(pred.dxbsp_mapped),
+            static_cast<double>(pred.bsp));
+  }
+  EXPECT_LT(cmp.dxbsp_rms_error(), 0.35);
+}
+
+TEST(Integration, QrqwPermutationBeatsErewOnContendedMachine) {
+  // Figure 11's point: the dart thrower outruns the sort-based EREW
+  // permutation even though it tolerates contention.
+  auto cfg = sim::MachineConfig::cray_j90();
+  const std::uint64_t n = 1 << 15;
+  algos::Vm vm_qrqw(cfg);
+  (void)algos::random_permutation_qrqw(vm_qrqw, n, 5);
+  algos::Vm vm_erew(cfg);
+  (void)algos::random_permutation_erew(vm_erew, n, 5);
+  EXPECT_LT(vm_qrqw.cycles(), vm_erew.cycles());
+}
+
+TEST(Integration, SpmvDenseColumnCrossover) {
+  // Figure 12's shape: as the dense column grows, measured time leaves
+  // the flat bsp prediction and follows the dxbsp curve.
+  const auto cfg = j90_small();
+  const std::uint64_t rows = 1 << 14;
+  std::vector<double> meas_t, dx_t, bsp_t;
+  for (const std::uint64_t dense : {std::uint64_t{1}, rows / 16, rows / 2}) {
+    algos::Vm vm(cfg);
+    const auto a = workload::dense_column_csr(rows, rows, 4, dense, 77);
+    std::vector<double> x(a.cols, 1.0);
+    (void)algos::spmv(vm, a, x);
+    meas_t.push_back(static_cast<double>(vm.ledger().total_sim()));
+    dx_t.push_back(static_cast<double>(vm.ledger().total_dxbsp()));
+    bsp_t.push_back(static_cast<double>(vm.ledger().total_bsp()));
+  }
+  // Monotone growth in the dense column for measured and dxbsp...
+  EXPECT_GT(meas_t[2], 1.5 * meas_t[0]);
+  EXPECT_GT(dx_t[2], 1.5 * dx_t[0]);
+  // ...while bsp barely moves.
+  EXPECT_LT(bsp_t[2], 1.2 * bsp_t[0]);
+}
+
+TEST(Integration, CcLedgerPredictionsTrackSimulation) {
+  const auto cfg = j90_small();
+  for (const auto& g : {workload::random_gnm(20000, 40000, 3),
+                        workload::star_forest(20000, 4, 4)}) {
+    algos::Vm vm(cfg);
+    const auto labels = algos::connected_components(vm, g);
+    EXPECT_TRUE(algos::same_partition(labels,
+                                      workload::reference_components(g)));
+    const double sim = static_cast<double>(vm.ledger().total_sim());
+    const double dx = static_cast<double>(vm.ledger().total_dxbsp());
+    EXPECT_GT(dx / sim, 0.5);
+    EXPECT_LT(dx / sim, 2.0);
+  }
+}
+
+TEST(Integration, HashedMappingFixesStridePathology) {
+  // Interleaved mapping dies on a stride equal to the bank count; the
+  // paper's pseudo-random mapping restores near-ideal time.
+  sim::MachineConfig cfg;
+  cfg.processors = 8;
+  cfg.gap = 1;
+  cfg.latency = 30;
+  cfg.bank_delay = 6;
+  cfg.expansion = 32;  // 256 banks
+  cfg.slackness = 64 * 1024;
+
+  const auto addrs = workload::strided(1 << 16, cfg.banks());
+  sim::Machine inter(cfg);
+  util::Xoshiro256 rng(9);
+  sim::Machine hashed(cfg, std::make_shared<mem::HashedMapping>(
+                               cfg.banks(), mem::HashDegree::kCubic, rng));
+  const auto t_inter = inter.scatter(addrs).cycles;
+  const auto t_hash = hashed.scatter(addrs).cycles;
+  EXPECT_GT(t_inter, 10 * t_hash);
+}
+
+TEST(Integration, ModuleMapPenaltyShrinksWithExpansion) {
+  // §4: the ratio of hashed-mapping time to the location-only ideal
+  // falls as expansion grows (worst case: all-distinct addresses).
+  const std::uint64_t n = 1 << 16;
+  const auto addrs = workload::distinct_random(n, 1ULL << 30, 13);
+  auto ratio_at = [&](std::uint64_t x) {
+    sim::MachineConfig cfg;
+    cfg.processors = 8;
+    cfg.gap = 1;
+    cfg.latency = 0;
+    cfg.bank_delay = 14;
+    cfg.expansion = x;
+    cfg.slackness = 64 * 1024;
+    util::Xoshiro256 rng(17);
+    sim::Machine m(cfg, std::make_shared<mem::HashedMapping>(
+                            cfg.banks(), mem::HashDegree::kCubic, rng));
+    const double meas = static_cast<double>(m.scatter(addrs).cycles);
+    const double ideal = static_cast<double>(
+        std::max(cfg.gap * (n / cfg.processors),
+                 cfg.bank_delay * (n / cfg.banks() + 1)));
+    return meas / ideal;
+  };
+  EXPECT_GT(ratio_at(2), ratio_at(64));
+}
+
+}  // namespace
+}  // namespace dxbsp

@@ -1,0 +1,111 @@
+// Tests for parallel merge / merge sort (co-ranking correctness, merge
+// semantics vs std::merge, stability, the EREW cost profile).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/merge.hpp"
+#include "algos/radix_sort.hpp"
+#include "algos/vm.hpp"
+#include "util/rng.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+algos::Vm test_vm() { return algos::Vm(sim::MachineConfig::test_machine()); }
+
+TEST(CoRank, SplitsAreConsistent) {
+  const std::vector<std::uint64_t> a = {1, 3, 5, 7, 9};
+  const std::vector<std::uint64_t> b = {2, 4, 6, 8};
+  for (std::uint64_t k = 0; k <= a.size() + b.size(); ++k) {
+    const auto [i, j] = algos::co_rank(k, a, b);
+    EXPECT_EQ(i + j, k);
+    // Split validity: everything taken <= everything not taken.
+    if (i > 0 && j < b.size()) {
+      EXPECT_LE(a[i - 1], b[j]);
+    }
+    if (j > 0 && i < a.size()) {
+      EXPECT_LE(b[j - 1], a[i]);
+    }
+  }
+  EXPECT_THROW((void)algos::co_rank(10, a, b), std::invalid_argument);
+}
+
+TEST(CoRank, DuplicatesAndDisjointRanges) {
+  const std::vector<std::uint64_t> a = {5, 5, 5};
+  const std::vector<std::uint64_t> b = {5, 5};
+  for (std::uint64_t k = 0; k <= 5; ++k) {
+    const auto [i, j] = algos::co_rank(k, a, b);
+    EXPECT_EQ(i + j, k);
+  }
+  // b entirely after a.
+  const std::vector<std::uint64_t> lo = {1, 2};
+  const std::vector<std::uint64_t> hi = {10, 11};
+  EXPECT_EQ(algos::co_rank(2, lo, hi).first, 2u);
+  EXPECT_EQ(algos::co_rank(3, lo, hi).second, 1u);
+}
+
+class MergeShapes
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(MergeShapes, MatchesStdMerge) {
+  const auto [na, nb] = GetParam();
+  util::Xoshiro256 rng(na * 131 + nb);
+  std::vector<std::uint64_t> a(na), b(nb);
+  for (auto& v : a) v = rng.below(1000);
+  for (auto& v : b) v = rng.below(1000);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  auto vm = test_vm();
+  const auto got = algos::parallel_merge(vm, a, b);
+  std::vector<std::uint64_t> expect(na + nb);
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MergeShapes,
+    ::testing::Values(std::pair<std::uint64_t, std::uint64_t>{0, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{0, 10},
+                      std::pair<std::uint64_t, std::uint64_t>{10, 0},
+                      std::pair<std::uint64_t, std::uint64_t>{1, 1},
+                      std::pair<std::uint64_t, std::uint64_t>{100, 1000},
+                      std::pair<std::uint64_t, std::uint64_t>{777, 777}));
+
+TEST(MergeSort, SortsRandomInput) {
+  for (const std::uint64_t n : {std::uint64_t{1}, std::uint64_t{2},
+                                std::uint64_t{100}, std::uint64_t{4097}}) {
+    const auto keys = workload::uniform_random(n, 1ULL << 40, n);
+    auto vm = test_vm();
+    const auto got = algos::merge_sort(vm, keys);
+    std::vector<std::uint64_t> expect(keys.begin(), keys.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got, expect) << "n=" << n;
+  }
+}
+
+TEST(MergeSort, IsContentionFree) {
+  const auto keys = workload::uniform_random(5000, 1ULL << 30, 17);
+  auto vm = test_vm();
+  (void)algos::merge_sort(vm, keys);
+  // Co-rank probes may overlap at boundaries, but never more than ~p*log.
+  EXPECT_LE(vm.ledger().max_contention(), 64u);
+}
+
+TEST(MergeSort, RadixBeatsMergeOnIntegerKeys) {
+  // The practical point of [ZB91]: counting passes beat log n merge
+  // passes for fixed-width keys on these machines.
+  const auto keys = workload::uniform_random(1 << 14, 1 << 20, 19);
+  auto vm_m = test_vm();
+  (void)algos::merge_sort(vm_m, keys);
+  auto vm_r = test_vm();
+  (void)algos::radix_sort(vm_r, keys, 20);
+  EXPECT_LT(vm_r.cycles(), vm_m.cycles());
+}
+
+}  // namespace
+}  // namespace dxbsp

@@ -1,0 +1,142 @@
+// Tests for the butterfly network model, the R-MAT generator, and the
+// previously untested stats::Comparison helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/machine.hpp"
+#include "sim/network.hpp"
+#include "stats/compare.hpp"
+#include "workload/graphs.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+TEST(Butterfly, SinglePacketPaysLatencyPlusStages) {
+  auto net = sim::Network::butterfly(/*latency=*/30, /*link_period=*/1,
+                                     /*banks=*/64, /*sources=*/8);
+  EXPECT_EQ(net.stages(), 6u);  // log2(64)
+  // One packet: per-stage hop (30/6 = 5) + link_period per stage, plus
+  // exit remainder (0): 6 * (5 + 1) = 36.
+  EXPECT_EQ(net.traverse(13, 0, 0), 36u);
+  EXPECT_EQ(net.port_conflicts(), 0u);
+}
+
+TEST(Butterfly, SameDestinationSerializesOnFinalWire) {
+  auto net = sim::Network::butterfly(0, 1, 16, 4);
+  // Two packets from different sources to the same bank, same departure:
+  // they share (at least) the final wire.
+  const auto a = net.traverse(5, 0, 0);
+  const auto b = net.traverse(5, 0, 1);
+  EXPECT_GT(b, a);
+  EXPECT_GT(net.port_conflicts(), 0u);
+}
+
+TEST(Butterfly, DisjointRoutesDoNotConflict) {
+  auto net = sim::Network::butterfly(0, 1, 16, 16);
+  // Sources 0 and 8 to banks 0 and 15: straight-through wires differ at
+  // every stage for these (input, output) pairs.
+  const auto a = net.traverse(0, 0, 0);
+  const auto b = net.traverse(15, 0, 8);
+  EXPECT_EQ(a, b);  // identical uncontended path lengths
+  EXPECT_EQ(net.port_conflicts(), 0u);
+}
+
+TEST(Butterfly, ResetClearsWires) {
+  auto net = sim::Network::butterfly(0, 5, 8, 2);
+  (void)net.traverse(3, 0, 0);
+  (void)net.traverse(3, 0, 1);
+  net.reset();
+  EXPECT_EQ(net.port_conflicts(), 0u);
+  const auto t = net.traverse(3, 0, 0);
+  EXPECT_EQ(t, net.stages() * 5);  // fresh wires
+}
+
+TEST(Butterfly, MachineIntegrationCongestsAdversarialTraffic) {
+  // All processors target one bank region: the shared final wires
+  // serialize. Balanced traffic flows near the ideal-network time.
+  auto cfg = sim::MachineConfig::parse("p=8,g=1,L=24,d=6,x=8,butterfly=1");
+  sim::Machine m(cfg);
+  const std::uint64_t n = 1 << 14;
+
+  const auto random_addrs = workload::uniform_random(n, 1ULL << 24, 3);
+  const auto r_rand = m.scatter(random_addrs);
+
+  // All requests to addresses in one bank: the final-wire + bank queue.
+  const std::vector<std::uint64_t> hot(n, 5);
+  const auto r_hot = m.scatter(hot);
+  EXPECT_GT(r_hot.cycles, 5 * r_rand.cycles);
+  EXPECT_GT(r_hot.port_conflicts, 0u);
+  // The bank delay still dominates the wire (d > link_period): the
+  // butterfly run is within ~25% of the plain-network hot run.
+  sim::Machine plain(sim::MachineConfig::parse("p=8,g=1,L=24,d=6,x=8"));
+  const auto r_plain = plain.scatter(hot);
+  EXPECT_LT(static_cast<double>(r_hot.cycles) / r_plain.cycles, 1.3);
+}
+
+TEST(Butterfly, ConfigValidation) {
+  auto cfg = sim::MachineConfig::parse("p=2,g=1,L=8,d=4,x=4,butterfly=1");
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.network_sections = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_THROW(
+      (void)sim::Network::butterfly(10, 0, 16, 4), std::invalid_argument);
+}
+
+TEST(Rmat, GeneratesSkewedDegrees) {
+  const auto g = workload::rmat(12, 20000, 0.57, 0.19, 0.19, 5);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.m(), 20000u);
+  // Degree of the low-id hub region far exceeds the mean.
+  std::vector<std::uint64_t> degree(g.n, 0);
+  for (const auto& [u, v] : g.edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  std::uint64_t max_degree = 0;
+  for (const auto d : degree) max_degree = std::max(max_degree, d);
+  const double mean = 2.0 * static_cast<double>(g.m()) /
+                      static_cast<double>(g.n);
+  EXPECT_GT(static_cast<double>(max_degree), 20.0 * mean);
+}
+
+TEST(Rmat, UniformParametersResembleGnm) {
+  const auto g = workload::rmat(10, 5000, 0.25, 0.25, 0.25, 6);
+  std::vector<std::uint64_t> degree(g.n, 0);
+  for (const auto& [u, v] : g.edges) {
+    ++degree[u];
+    ++degree[v];
+  }
+  std::uint64_t max_degree = 0;
+  for (const auto d : degree) max_degree = std::max(max_degree, d);
+  EXPECT_LT(max_degree, 40u);  // no power-law hub
+}
+
+TEST(Rmat, Validation) {
+  EXPECT_THROW(workload::rmat(0, 10, 0.5, 0.2, 0.2, 1),
+               std::invalid_argument);
+  EXPECT_THROW(workload::rmat(8, 10, 0.5, 0.3, 0.3, 1),
+               std::invalid_argument);  // a+b+c >= 1
+}
+
+TEST(Comparison, ErrorsAndTable) {
+  stats::Comparison cmp("x", "series");
+  cmp.add(1.0, 100.0, 110.0, 50.0);
+  cmp.add(2.0, 200.0, 190.0, 100.0);
+  EXPECT_NEAR(cmp.dxbsp_rms_error(),
+              std::sqrt((0.1 * 0.1 + 0.05 * 0.05) / 2), 1e-12);
+  EXPECT_NEAR(cmp.bsp_rms_error(), 0.5, 1e-12);
+  EXPECT_NEAR(cmp.dxbsp_max_error(), 0.1, 1e-12);
+  EXPECT_NEAR(cmp.bsp_max_error(), 0.5, 1e-12);
+  std::ostringstream os;
+  cmp.print(os);
+  EXPECT_NE(os.str().find("series"), std::string::npos);
+  EXPECT_NE(os.str().find("rms rel err"), std::string::npos);
+  EXPECT_EQ(cmp.points().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dxbsp

@@ -1,0 +1,199 @@
+// Tests for the QRQW PRAM abstraction, its (d,x)-BSP emulation, and the
+// Theorem 5.1/5.2 bound functions. The property sweeps verify that the
+// theory bounds dominate the measured emulation times.
+
+#include <gtest/gtest.h>
+
+#include "qrqw/emulation.hpp"
+#include "qrqw/program.hpp"
+#include "qrqw/step.hpp"
+#include "qrqw/theory.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+sim::MachineConfig machine(std::uint64_t p, std::uint64_t d, std::uint64_t x) {
+  sim::MachineConfig c;
+  c.processors = p;
+  c.gap = 1;
+  c.latency = 20;
+  c.bank_delay = d;
+  c.expansion = x;
+  c.slackness = 64 * 1024;
+  return c;
+}
+
+TEST(QrqwStep, CostIsMaxOfComponents) {
+  qrqw::QrqwStep s;
+  s.reads = {1, 2, 3, 4};
+  s.writes = {9, 9, 9};
+  s.vprocs = 7;
+  s.compute = 1.0;
+  EXPECT_EQ(s.ops(), 7u);
+  EXPECT_EQ(s.max_contention(), 3u);  // the three writes to address 9
+  EXPECT_EQ(s.cost(), 3u);            // contention dominates
+
+  s.compute = 10.0;
+  EXPECT_EQ(s.cost(), 10u);  // compute dominates
+
+  s.compute = 1.0;
+  s.vprocs = 1;
+  EXPECT_EQ(s.cost(), 7u);  // ops-per-vproc dominates
+}
+
+TEST(QrqwStep, ContentionCountsAcrossReadsAndWrites) {
+  qrqw::QrqwStep s;
+  s.reads = {5, 5};
+  s.writes = {5};
+  s.vprocs = 3;
+  EXPECT_EQ(s.max_contention(), 3u);
+}
+
+TEST(QrqwStep, EmptyStep) {
+  const qrqw::QrqwStep s;
+  EXPECT_EQ(s.ops(), 0u);
+  EXPECT_EQ(s.max_contention(), 0u);
+}
+
+TEST(QrqwProgram, AggregatesSteps) {
+  const auto prog = qrqw::synthetic_program(4, 1000, 1 << 20, 100, 5);
+  EXPECT_EQ(prog.size(), 4u);
+  EXPECT_EQ(prog.ops(), 4000u);
+  EXPECT_GE(prog.time(), prog.steps()[0].cost());
+  EXPECT_EQ(prog.work(), 100 * prog.time());
+  // Contention doubles per step: 1, 2, 4, 8.
+  EXPECT_EQ(prog.max_contention(), 8u);
+}
+
+TEST(SyntheticStep, HasRequestedContention) {
+  const auto s = qrqw::synthetic_step(2000, 64, 1 << 22, 100, 6);
+  EXPECT_EQ(s.ops(), 2000u);
+  EXPECT_EQ(s.max_contention(), 64u);
+}
+
+TEST(Emulation, StepCompletesAndIsDeterministic) {
+  qrqw::EmulationEngine eng(machine(8, 6, 16), 42);
+  const auto s = qrqw::synthetic_step(20000, 100, 1 << 24, 20000, 7);
+  const auto r1 = eng.emulate_step(s);
+  const auto r2 = eng.emulate_step(s);
+  EXPECT_EQ(r1.sim_cycles, r2.sim_cycles);
+  EXPECT_GT(r1.sim_cycles, 0u);
+  EXPECT_EQ(r1.ops, 20000u);
+  EXPECT_EQ(r1.qrqw_cost, s.cost());
+}
+
+TEST(Emulation, EmptyStepIsFree) {
+  qrqw::EmulationEngine eng(machine(4, 4, 8), 1);
+  const auto r = eng.emulate_step(qrqw::QrqwStep{});
+  EXPECT_EQ(r.sim_cycles, 0u);
+  EXPECT_EQ(r.qrqw_cost, 0u);
+}
+
+TEST(Emulation, ProgramSumsSteps) {
+  qrqw::EmulationEngine eng(machine(4, 6, 8), 2);
+  const auto prog = qrqw::synthetic_program(3, 5000, 1 << 22, 5000, 9);
+  const auto total = eng.emulate_program(prog);
+  std::uint64_t cycles = 0;
+  for (const auto& s : prog.steps()) cycles += eng.emulate_step(s).sim_cycles;
+  EXPECT_EQ(total.sim_cycles, cycles);
+  EXPECT_EQ(total.ops, prog.ops());
+}
+
+TEST(Emulation, ErewRejectsContention) {
+  qrqw::EmulationEngine eng(machine(4, 4, 8), 3);
+  qrqw::QrqwStep contended;
+  contended.writes = {1, 1};
+  contended.vprocs = 2;
+  EXPECT_THROW((void)eng.emulate_erew_step(contended), std::invalid_argument);
+
+  qrqw::QrqwStep clean;
+  clean.writes = workload::distinct_random(1000, 1 << 20, 4);
+  clean.vprocs = 1000;
+  EXPECT_NO_THROW((void)eng.emulate_erew_step(clean));
+}
+
+TEST(Theory, BoundsArePositiveAndOrdered) {
+  const core::DxBspParams m{8, 1, 20, 6, 16};
+  EXPECT_GT(qrqw::step_time_bound(10000, 10, m), 0.0);
+  // More contention means a larger bound.
+  EXPECT_LT(qrqw::step_time_bound(10000, 1, m),
+            qrqw::step_time_bound(10000, 5000, m));
+  // More ops means a larger bound.
+  EXPECT_LT(qrqw::step_time_bound(1000, 1, m),
+            qrqw::step_time_bound(1000000, 1, m));
+}
+
+TEST(Theory, AsymptoticSlowdownRegimes) {
+  // x >= d with g = 1: slowdown tends to g = 1.
+  EXPECT_DOUBLE_EQ(qrqw::asymptotic_slowdown({8, 1, 0, 6, 16}), 1.0);
+  // x < d: the inevitable d/x work overhead.
+  EXPECT_DOUBLE_EQ(qrqw::asymptotic_slowdown({8, 1, 0, 16, 4}), 4.0);
+}
+
+TEST(Theory, RequiredSlacknessShrinksWithTolerance) {
+  // A looser efficiency target needs less slackness to reach.
+  const core::DxBspParams m{8, 1, 50, 14, 16};
+  const auto s_loose = qrqw::required_slackness(m, 4.0);
+  const auto s_tight = qrqw::required_slackness(m, 0.25);
+  EXPECT_LE(s_loose, s_tight);
+  EXPECT_GE(s_loose, 1u);
+  EXPECT_LT(s_tight, 1ULL << 40);  // reachable at all
+}
+
+// ---- Property sweep: the theory bound dominates the measured emulation
+// time for every (d, x, k) combination tried (Theorems 5.1/5.2).
+
+struct BoundCase {
+  std::uint64_t d, x, k;
+};
+
+class EmulationBound : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(EmulationBound, MeasuredTimeIsWithinBound) {
+  const auto c = GetParam();
+  const auto cfg = machine(8, c.d, c.x);
+  qrqw::EmulationEngine eng(cfg, 1234);
+  const std::uint64_t n = 1 << 15;
+  const auto s = qrqw::synthetic_step(n, c.k, 1ULL << 26, n, 99);
+  const auto r = eng.emulate_step(s);
+  EXPECT_LE(static_cast<double>(r.sim_cycles), r.bound)
+      << "d=" << c.d << " x=" << c.x << " k=" << c.k;
+  // 5.1 vs 5.2 regime split.
+  const auto m = eng.params();
+  if (c.x <= c.d) {
+    EXPECT_LE(static_cast<double>(r.sim_cycles),
+              qrqw::theorem51_bound(n, s.max_contention(), m));
+  } else {
+    EXPECT_LE(static_cast<double>(r.sim_cycles),
+              qrqw::theorem52_bound(n, s.max_contention(), m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EmulationBound,
+    ::testing::Values(BoundCase{4, 2, 1}, BoundCase{8, 2, 64},
+                      BoundCase{14, 4, 256}, BoundCase{6, 6, 16},
+                      BoundCase{6, 16, 1}, BoundCase{6, 32, 512},
+                      BoundCase{14, 32, 2048}, BoundCase{14, 64, 1}));
+
+TEST(Emulation, WorkPreservingInTheHighExpansionRegime) {
+  // With x >= d, large slackness, low contention: work overhead is O(1).
+  qrqw::EmulationEngine eng(machine(8, 6, 32), 5);
+  const std::uint64_t n = 1 << 16;
+  const auto s = qrqw::synthetic_step(n, 4, 1ULL << 26, n, 6);
+  const auto r = eng.emulate_step(s);
+  EXPECT_LT(r.work_overhead(8, n), 4.0);
+}
+
+TEST(Emulation, SlowdownGrowsWhenExpansionShrinks) {
+  const std::uint64_t n = 1 << 15;
+  const auto s = qrqw::synthetic_step(n, 2, 1ULL << 26, n, 8);
+  qrqw::EmulationEngine wide(machine(8, 12, 24), 6);
+  qrqw::EmulationEngine narrow(machine(8, 12, 2), 6);
+  EXPECT_GT(narrow.emulate_step(s).sim_cycles,
+            wide.emulate_step(s).sim_cycles);
+}
+
+}  // namespace
+}  // namespace dxbsp

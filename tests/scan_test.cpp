@@ -1,0 +1,153 @@
+// Tests for the generic/segmented scan library and the segment
+// representation conversions.
+
+#include <gtest/gtest.h>
+
+#include "algos/scan.hpp"
+#include "algos/vm.hpp"
+#include "util/rng.hpp"
+
+namespace dxbsp {
+namespace {
+
+algos::Vm test_vm() { return algos::Vm(sim::MachineConfig::test_machine()); }
+
+TEST(Scan, ExclusiveAdd) {
+  auto vm = test_vm();
+  auto xs = vm.make_array<std::uint64_t>(5);
+  xs.data = {3, 1, 4, 1, 5};
+  const auto total =
+      algos::exclusive_scan(vm, xs, algos::OpAdd{}, std::uint64_t{0}, "s");
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(xs.data, (std::vector<std::uint64_t>{0, 3, 4, 8, 9}));
+}
+
+TEST(Scan, InclusiveAdd) {
+  auto vm = test_vm();
+  auto xs = vm.make_array<std::uint64_t>(4);
+  xs.data = {1, 2, 3, 4};
+  const auto total =
+      algos::inclusive_scan(vm, xs, algos::OpAdd{}, std::uint64_t{0}, "s");
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(xs.data, (std::vector<std::uint64_t>{1, 3, 6, 10}));
+}
+
+TEST(Scan, MaxAndMinOperators) {
+  auto vm = test_vm();
+  auto xs = vm.make_array<std::uint64_t>(5);
+  xs.data = {2, 7, 1, 8, 3};
+  (void)algos::inclusive_scan(vm, xs, algos::OpMax{}, std::uint64_t{0}, "s");
+  EXPECT_EQ(xs.data, (std::vector<std::uint64_t>{2, 7, 7, 8, 8}));
+
+  auto ys = vm.make_array<std::uint64_t>(4);
+  ys.data = {9, 4, 6, 2};
+  (void)algos::inclusive_scan(vm, ys, algos::OpMin{}, ~std::uint64_t{0}, "s");
+  EXPECT_EQ(ys.data, (std::vector<std::uint64_t>{9, 4, 4, 2}));
+}
+
+TEST(Scan, OrOperatorAndDoubles) {
+  auto vm = test_vm();
+  auto xs = vm.make_array<std::uint64_t>(3);
+  xs.data = {1, 2, 4};
+  (void)algos::inclusive_scan(vm, xs, algos::OpOr{}, std::uint64_t{0}, "s");
+  EXPECT_EQ(xs.data, (std::vector<std::uint64_t>{1, 3, 7}));
+
+  auto ds = vm.make_array<double>(3);
+  ds.data = {0.5, 0.25, 0.25};
+  const double total =
+      algos::exclusive_scan(vm, ds, algos::OpAdd{}, 0.0, "s");
+  EXPECT_DOUBLE_EQ(total, 1.0);
+  EXPECT_DOUBLE_EQ(ds.data[2], 0.75);
+}
+
+TEST(Scan, EmptyArray) {
+  auto vm = test_vm();
+  auto xs = vm.make_array<std::uint64_t>(0);
+  EXPECT_EQ(algos::exclusive_scan(vm, xs, algos::OpAdd{}, std::uint64_t{0},
+                                  "s"),
+            0u);
+}
+
+TEST(SegmentedScan, ExclusiveRestartsAtHeads) {
+  auto vm = test_vm();
+  auto xs = vm.make_array<std::uint64_t>(6);
+  xs.data = {1, 2, 3, 4, 5, 6};
+  const std::vector<std::uint8_t> flags = {1, 0, 1, 0, 0, 1};
+  algos::segmented_exclusive_scan(vm, xs, flags, algos::OpAdd{},
+                                  std::uint64_t{0}, "s");
+  EXPECT_EQ(xs.data, (std::vector<std::uint64_t>{0, 1, 0, 3, 7, 0}));
+}
+
+TEST(SegmentedScan, InclusiveRestartsAtHeads) {
+  auto vm = test_vm();
+  auto xs = vm.make_array<std::uint64_t>(6);
+  xs.data = {1, 2, 3, 4, 5, 6};
+  const std::vector<std::uint8_t> flags = {0, 0, 1, 0, 0, 1};  // flags[0]
+  // is implicitly a head even when 0.
+  algos::segmented_inclusive_scan(vm, xs, flags, algos::OpAdd{},
+                                  std::uint64_t{0}, "s");
+  EXPECT_EQ(xs.data, (std::vector<std::uint64_t>{1, 3, 3, 7, 12, 6}));
+}
+
+TEST(SegmentedScan, MaxOperator) {
+  auto vm = test_vm();
+  auto xs = vm.make_array<std::uint64_t>(5);
+  xs.data = {3, 9, 2, 5, 4};
+  const std::vector<std::uint8_t> flags = {1, 0, 1, 0, 0};
+  algos::segmented_inclusive_scan(vm, xs, flags, algos::OpMax{},
+                                  std::uint64_t{0}, "s");
+  EXPECT_EQ(xs.data, (std::vector<std::uint64_t>{3, 9, 2, 5, 5}));
+}
+
+TEST(SegmentedScan, FlagSizeMismatchThrows) {
+  auto vm = test_vm();
+  auto xs = vm.make_array<std::uint64_t>(4);
+  const std::vector<std::uint8_t> flags = {1, 0};
+  EXPECT_THROW(algos::segmented_exclusive_scan(vm, xs, flags, algos::OpAdd{},
+                                               std::uint64_t{0}, "s"),
+               std::invalid_argument);
+}
+
+TEST(SegmentConversions, PtrToFlagsAndBack) {
+  const std::vector<std::uint64_t> seg_ptr = {0, 2, 2, 5, 6};
+  const auto flags = algos::seg_ptr_to_flags(seg_ptr, 6);
+  EXPECT_EQ(flags, (std::vector<std::uint8_t>{1, 0, 1, 0, 0, 1}));
+  // Round trip loses the empty segment (not representable in flags).
+  const auto back = algos::flags_to_seg_ptr(flags);
+  EXPECT_EQ(back, (std::vector<std::uint64_t>{0, 2, 5, 6}));
+}
+
+TEST(SegmentConversions, Validation) {
+  const std::vector<std::uint64_t> bad_end = {0, 3};
+  EXPECT_THROW((void)algos::seg_ptr_to_flags(bad_end, 5),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> non_monotone = {0, 4, 2, 5};
+  EXPECT_THROW((void)algos::seg_ptr_to_flags(non_monotone, 5),
+               std::invalid_argument);
+}
+
+TEST(SegmentedScan, RandomizedAgainstPerSegmentScan) {
+  util::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t n = 1 + rng.below(200);
+    auto vm = test_vm();
+    auto xs = vm.make_array<std::uint64_t>(n);
+    std::vector<std::uint8_t> flags(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      xs.data[i] = rng.below(100);
+      flags[i] = rng.chance(0.2) ? 1 : 0;
+    }
+    const auto input = xs.data;
+    algos::segmented_exclusive_scan(vm, xs, flags, algos::OpAdd{},
+                                    std::uint64_t{0}, "s");
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (i == 0 || flags[i]) acc = 0;
+      EXPECT_EQ(xs.data[i], acc) << "trial " << trial << " index " << i;
+      acc += input[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dxbsp

@@ -1,0 +1,206 @@
+// Tests for the memory-system refinements: bank caching [HS93], request
+// combining (Ranade-style), and the machine-spec parser.
+
+#include <gtest/gtest.h>
+
+#include "mem/contention.hpp"
+#include "sim/bank_array.hpp"
+#include "sim/machine.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+TEST(BankCache, HitServesFaster) {
+  sim::BankArray banks(4, 10, sim::BankCacheConfig{2, 8, 1}, false);
+  // Miss: full delay.
+  EXPECT_EQ(banks.serve_addr(0, 0, 100), 10u);
+  // Same line (addresses 96..103 share line 12): hit, 1-cycle service.
+  EXPECT_EQ(banks.serve_addr(0, 20, 101), 21u);
+  EXPECT_EQ(banks.cache_hits(), 1u);
+  // Different line: miss again.
+  EXPECT_EQ(banks.serve_addr(0, 40, 200), 50u);
+}
+
+TEST(BankCache, MruEviction) {
+  sim::BankArray banks(1, 10, sim::BankCacheConfig{2, 1, 1}, false);
+  (void)banks.serve_addr(0, 0, 1);    // lines: [1]
+  (void)banks.serve_addr(0, 100, 2);  // lines: [2, 1]
+  (void)banks.serve_addr(0, 200, 3);  // evicts 1 -> [3, 2]
+  EXPECT_EQ(banks.cache_hits(), 0u);
+  (void)banks.serve_addr(0, 300, 2);  // hit
+  EXPECT_EQ(banks.cache_hits(), 1u);
+  (void)banks.serve_addr(0, 400, 1);  // was evicted: miss
+  EXPECT_EQ(banks.cache_hits(), 1u);
+}
+
+TEST(BankCache, PerBankIsolation) {
+  sim::BankArray banks(2, 10, sim::BankCacheConfig{1, 1, 1}, false);
+  (void)banks.serve_addr(0, 0, 7);
+  // Same line id at a different bank is a miss (caches are per bank).
+  EXPECT_EQ(banks.serve_addr(1, 100, 7), 110u);
+  EXPECT_EQ(banks.cache_hits(), 0u);
+}
+
+TEST(BankCache, ValidationRejectsBadConfigs) {
+  EXPECT_THROW(sim::BankArray(1, 10, sim::BankCacheConfig{2, 0, 1}, false),
+               std::invalid_argument);
+  EXPECT_THROW(sim::BankArray(1, 10, sim::BankCacheConfig{2, 8, 0}, false),
+               std::invalid_argument);
+  EXPECT_THROW(sim::BankArray(1, 10, sim::BankCacheConfig{2, 8, 11}, false),
+               std::invalid_argument);
+}
+
+TEST(Combining, MergesInFlightRequests) {
+  sim::BankArray banks(1, 10, {}, /*combining=*/true);
+  const auto first = banks.serve_addr(0, 0, 42);
+  EXPECT_EQ(first, 10u);
+  // Arrives while the first is in service: rides it, no extra occupancy.
+  EXPECT_EQ(banks.serve_addr(0, 5, 42), 10u);
+  EXPECT_EQ(banks.combined(), 1u);
+  EXPECT_EQ(banks.max_load(), 1u);  // only one real service
+  // Arrives after completion: fresh service.
+  EXPECT_EQ(banks.serve_addr(0, 20, 42), 30u);
+  EXPECT_EQ(banks.combined(), 1u);
+}
+
+TEST(Combining, DifferentAddressesDoNotMerge) {
+  sim::BankArray banks(1, 10, {}, true);
+  (void)banks.serve_addr(0, 0, 1);
+  EXPECT_EQ(banks.serve_addr(0, 0, 2), 20u);  // queued, not merged
+  EXPECT_EQ(banks.combined(), 0u);
+}
+
+TEST(Machine, CombiningNeutralizesHotLocation) {
+  // All-to-one-location scatter: without combining, d*n; with combining,
+  // the issue pipeline is the only cost.
+  auto cfg = sim::MachineConfig::test_machine();  // p=4, d=4, L=8
+  const std::uint64_t n = 4000;
+  const std::vector<std::uint64_t> addrs(n, 3);
+
+  sim::Machine plain(cfg);
+  const auto slow = plain.scatter(addrs);
+  cfg.combine_requests = true;
+  sim::Machine combining(cfg);
+  const auto fast = combining.scatter(addrs);
+
+  EXPECT_EQ(slow.cycles, 2 * 8 + n * 4);  // bank-serialized
+  EXPECT_LT(fast.cycles, slow.cycles / 10);
+  EXPECT_GT(fast.combined, n / 2);
+}
+
+TEST(Machine, CachingAcceleratesLineLocalTraffic) {
+  // A 16-word working set revisited round-robin on a bank-bound machine
+  // (d=8, only 4 banks): each bank's traffic stays inside one cached
+  // line, so the cached machine is issue-bound instead of bank-bound.
+  const auto cached_cfg = sim::MachineConfig::parse(
+      "p=2,g=1,L=8,d=8,x=2,cache-lines=1,line-words=16,cached-delay=1");
+  const auto plain_cfg = sim::MachineConfig::parse("p=2,g=1,L=8,d=8,x=2");
+  sim::Machine cached(cached_cfg);
+  sim::Machine plain(plain_cfg);
+
+  std::vector<std::uint64_t> addrs(8000);
+  for (std::size_t i = 0; i < addrs.size(); ++i) addrs[i] = i % 16;
+
+  const auto with = cached.scatter(addrs);
+  const auto without = plain.scatter(addrs);
+  EXPECT_GT(with.cache_hits, addrs.size() * 9 / 10);
+  EXPECT_LT(with.cycles, without.cycles / 2);
+}
+
+TEST(Machine, ScatterBanksIgnoresAddressFeatures) {
+  auto cfg = sim::MachineConfig::test_machine();
+  cfg.combine_requests = true;
+  sim::Machine m(cfg);
+  const std::vector<std::uint64_t> banks(100, 0);
+  const auto r = m.scatter_banks(banks);
+  EXPECT_EQ(r.combined, 0u);  // no addresses, nothing merged
+  EXPECT_EQ(r.max_bank_load, 100u);
+}
+
+TEST(ScatterDetailed, TimingIsConsistent) {
+  sim::Machine m(sim::MachineConfig::test_machine());
+  const auto addrs = workload::k_hot(5000, 500, 1 << 20, 9);
+  sim::Machine::RequestTiming timing;
+  const auto res = m.scatter_detailed(addrs, timing);
+
+  ASSERT_EQ(timing.issue.size(), addrs.size());
+  const auto& cfg = m.config();
+  std::uint64_t max_completion = 0;
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    // Causality chain: issue -> arrival -> start -> completion.
+    EXPECT_EQ(timing.arrival[i], timing.issue[i] + cfg.latency);
+    EXPECT_GE(timing.start[i], timing.arrival[i]);
+    EXPECT_EQ(timing.completion[i],
+              timing.start[i] + cfg.bank_delay + cfg.latency);
+    EXPECT_EQ(timing.bank[i], m.mapping().bank_of(addrs[i]));
+    max_completion = std::max(max_completion, timing.completion[i]);
+  }
+  EXPECT_EQ(max_completion, res.cycles);
+  // And the cycle count matches the plain scatter exactly.
+  EXPECT_EQ(m.scatter(addrs).cycles, res.cycles);
+}
+
+TEST(ScatterDetailed, HotBankWaitsGrow) {
+  // Needs ample slackness: backpressure would otherwise cap the queue.
+  sim::Machine m(sim::MachineConfig::parse("p=4,g=1,L=8,d=4,x=4,S=65536"));
+  const std::uint64_t n = 2000, k = 1000;
+  const auto addrs = workload::k_hot(n, k, 1 << 20, 10);
+  sim::Machine::RequestTiming timing;
+  (void)m.scatter_detailed(addrs, timing);
+  std::uint64_t max_wait = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_wait = std::max(max_wait, timing.wait(i));
+  // The k-th request to the hot bank waits ~ d*k minus its own arrival.
+  EXPECT_GE(max_wait, m.config().bank_delay * k / 2);
+}
+
+TEST(ConfigParse, PresetWithOverrides) {
+  const auto cfg = sim::MachineConfig::parse("j90,p=16,d=20,combine=1");
+  EXPECT_EQ(cfg.processors, 16u);
+  EXPECT_EQ(cfg.bank_delay, 20u);
+  EXPECT_TRUE(cfg.combine_requests);
+  EXPECT_EQ(cfg.expansion, sim::MachineConfig::cray_j90().expansion);
+}
+
+TEST(ConfigParse, BareKeyValues) {
+  const auto cfg = sim::MachineConfig::parse(
+      "p=4,g=2,L=10,d=8,x=4,S=128,dist=cyclic,cache-lines=2,line-words=4,"
+      "cached-delay=2");
+  EXPECT_EQ(cfg.processors, 4u);
+  EXPECT_EQ(cfg.gap, 2u);
+  EXPECT_EQ(cfg.latency, 10u);
+  EXPECT_EQ(cfg.bank_delay, 8u);
+  EXPECT_EQ(cfg.expansion, 4u);
+  EXPECT_EQ(cfg.slackness, 128u);
+  EXPECT_EQ(cfg.distribution, sim::Distribution::kCyclic);
+  EXPECT_EQ(cfg.bank_cache_lines, 2u);
+  EXPECT_EQ(cfg.cache_line_words, 4u);
+  EXPECT_EQ(cfg.cached_delay, 2u);
+}
+
+TEST(ConfigParse, Errors) {
+  EXPECT_THROW((void)sim::MachineConfig::parse("bogus-preset"),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::MachineConfig::parse("j90,unknown=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::MachineConfig::parse("j90,p"),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::MachineConfig::parse("j90,p=abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::MachineConfig::parse("j90,dist=diagonal"),
+               std::invalid_argument);
+  // validate() runs on the result.
+  EXPECT_THROW((void)sim::MachineConfig::parse("j90,p=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)sim::MachineConfig::parse("j90,cached-delay=99,cache-lines=1"),
+               std::invalid_argument);
+}
+
+TEST(ConfigParse, EmptySpecGivesValidDefaults) {
+  const auto cfg = sim::MachineConfig::parse("");
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+}  // namespace
+}  // namespace dxbsp

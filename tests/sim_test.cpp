@@ -1,0 +1,265 @@
+// Tests for the machine simulator: closed-form timings for simple
+// patterns, conservation laws, backpressure, network sectioning.
+
+#include <gtest/gtest.h>
+
+#include "mem/bank_mapping.hpp"
+#include "sim/bank_array.hpp"
+#include "sim/machine.hpp"
+#include "sim/network.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+sim::MachineConfig simple(std::uint64_t p, std::uint64_t g, std::uint64_t L,
+                          std::uint64_t d, std::uint64_t x) {
+  sim::MachineConfig c;
+  c.name = "simple";
+  c.processors = p;
+  c.gap = g;
+  c.latency = L;
+  c.bank_delay = d;
+  c.expansion = x;
+  c.slackness = 1 << 20;
+  return c;
+}
+
+TEST(MachineConfig, ValidateRejectsBadParameters) {
+  auto c = simple(1, 1, 0, 1, 1);
+  c.processors = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = simple(1, 0, 0, 1, 1);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = simple(1, 1, 0, 0, 1);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = simple(1, 1, 0, 1, 0);
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = simple(2, 1, 0, 1, 2);
+  c.network_sections = 8;  // more sections than the 4 banks
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(MachineConfig, PresetsAreValid) {
+  for (const auto& c : sim::MachineConfig::table1_presets()) {
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_GT(c.banks(), c.processors);  // the paper's Table-1 premise
+  }
+  EXPECT_EQ(sim::MachineConfig::cray_c90().bank_delay, 6u);
+  EXPECT_EQ(sim::MachineConfig::cray_j90().bank_delay, 14u);
+}
+
+TEST(BankArray, SerializesAtDelay) {
+  sim::BankArray banks(4, 10);
+  EXPECT_EQ(banks.serve(0, 0), 10u);
+  EXPECT_EQ(banks.serve(0, 0), 20u);   // queued behind the first
+  EXPECT_EQ(banks.serve(0, 25), 35u);  // idle gap, then fresh service
+  EXPECT_EQ(banks.serve(1, 0), 10u);   // other bank independent
+  EXPECT_EQ(banks.max_load(), 3u);
+  EXPECT_EQ(banks.total_served(), 4u);
+}
+
+TEST(BankArray, ResetClears) {
+  sim::BankArray banks(2, 5);
+  (void)banks.serve(0, 0);
+  banks.reset();
+  EXPECT_EQ(banks.total_served(), 0u);
+  EXPECT_EQ(banks.serve(0, 0), 5u);
+}
+
+TEST(BankArray, RejectsBadConstruction) {
+  EXPECT_THROW(sim::BankArray(0, 1), std::invalid_argument);
+  EXPECT_THROW(sim::BankArray(1, 0), std::invalid_argument);
+}
+
+TEST(Network, IdealNetworkAddsLatencyOnly) {
+  sim::Network net(7, 0, 1, 16);
+  EXPECT_EQ(net.traverse(3, 100), 107u);
+  EXPECT_EQ(net.traverse(3, 100), 107u);  // no port state
+  EXPECT_EQ(net.port_conflicts(), 0u);
+}
+
+TEST(Network, SectionPortSerializes) {
+  sim::Network net(/*latency=*/10, /*sections=*/2, /*period=*/1,
+                   /*banks=*/8);
+  // Banks 0 and 2 are both in section 0 (striping bank % sections).
+  const auto a = net.traverse(0, 0);
+  const auto b = net.traverse(2, 0);
+  EXPECT_EQ(b, a + 1);  // second request waits one period at the port
+  EXPECT_EQ(net.port_conflicts(), 1u);
+  // Bank 1 is section 1: independent port.
+  EXPECT_EQ(net.traverse(1, 0), a);
+}
+
+TEST(Machine, SingleRequestCostsTwoLatenciesPlusDelay) {
+  sim::Machine m(simple(1, 1, 20, 6, 4));
+  const std::vector<std::uint64_t> addrs = {3};
+  const auto r = m.scatter(addrs);
+  EXPECT_EQ(r.cycles, 2 * 20 + 6u);
+  EXPECT_EQ(r.n, 1u);
+  EXPECT_EQ(r.max_bank_load, 1u);
+}
+
+TEST(Machine, HotLocationSerializesAtBankDelay) {
+  // One processor, n requests to a single address, d > g: the bank is
+  // the bottleneck: T = 2L + n*d.
+  const std::uint64_t n = 100, L = 10, d = 7;
+  sim::Machine m(simple(1, 1, L, d, 8));
+  const std::vector<std::uint64_t> addrs(n, 5);
+  const auto r = m.scatter(addrs);
+  EXPECT_EQ(r.cycles, 2 * L + n * d);
+  EXPECT_EQ(r.max_bank_load, n);
+}
+
+TEST(Machine, DistinctBanksPipelinePerfectly) {
+  // One processor, n requests to n distinct banks: T = (n-1)g + d + 2L.
+  const std::uint64_t n = 64, L = 5, d = 9, g = 1;
+  sim::Machine m(simple(1, g, L, d, 64));  // 64 banks
+  std::vector<std::uint64_t> addrs(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = i;
+  const auto r = m.scatter(addrs);
+  EXPECT_EQ(r.cycles, (n - 1) * g + d + 2 * L);
+  EXPECT_EQ(r.max_bank_load, 1u);
+}
+
+TEST(Machine, GapThrottlesIssue) {
+  const std::uint64_t n = 32, L = 0, d = 1, g = 5;
+  sim::Machine m(simple(1, g, L, d, 64));
+  std::vector<std::uint64_t> addrs(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = i;
+  const auto r = m.scatter(addrs);
+  EXPECT_EQ(r.cycles, (n - 1) * g + d);
+  EXPECT_EQ(r.last_issue, (n - 1) * g);
+}
+
+TEST(Machine, SlacknessOneSerializesRoundTrips) {
+  // With a window of 1, each request waits for the previous round trip.
+  const std::uint64_t n = 10, L = 8, d = 3;
+  auto cfg = simple(1, 1, L, d, 16);
+  cfg.slackness = 1;
+  sim::Machine m(cfg);
+  std::vector<std::uint64_t> addrs(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = i;
+  const auto r = m.scatter(addrs);
+  EXPECT_EQ(r.cycles, n * (2 * L + d));
+  EXPECT_GT(r.stall_cycles, 0u);
+}
+
+TEST(Machine, ProcessorsWorkInParallel) {
+  // p processors, each with its own private bank: same time as one
+  // processor with n/p requests.
+  const std::uint64_t p = 4, per = 50, L = 6, d = 5;
+  sim::Machine m(simple(p, 1, L, d, 1));  // 4 banks
+  // Block distribution: proc i owns elements [i*per, (i+1)*per), all
+  // pointed at bank i.
+  std::vector<std::uint64_t> addrs(p * per);
+  for (std::uint64_t i = 0; i < p; ++i)
+    for (std::uint64_t j = 0; j < per; ++j) addrs[i * per + j] = i;
+  const auto r = m.scatter(addrs);
+  EXPECT_EQ(r.cycles, 2 * L + per * d);
+  EXPECT_EQ(r.max_proc_requests, per);
+}
+
+TEST(Machine, CyclicDistributionAssignsRoundRobin) {
+  auto cfg = simple(2, 1, 0, 2, 2);
+  cfg.distribution = sim::Distribution::kCyclic;
+  sim::Machine m(cfg);
+  // 4 requests, procs alternate; max per proc is 2.
+  const std::vector<std::uint64_t> addrs = {0, 1, 2, 3};
+  const auto r = m.scatter(addrs);
+  EXPECT_EQ(r.max_proc_requests, 2u);
+}
+
+TEST(Machine, BulkDeliveryMatchesMaxLoadFormula) {
+  const std::uint64_t L = 4, d = 11;
+  sim::Machine m(simple(2, 1, L, d, 8));
+  // Max bank load 3 (addresses 0, 16, 32 all hit bank 0 of 16).
+  const std::vector<std::uint64_t> addrs = {0, 16, 32, 1, 2, 3};
+  const auto r = m.scatter_bulk_delivery(addrs);
+  EXPECT_EQ(r.cycles, 2 * L + 3 * d);
+  EXPECT_EQ(r.max_bank_load, 3u);
+}
+
+TEST(Machine, EmptyTraceIsFree) {
+  sim::Machine m(simple(2, 1, 5, 3, 2));
+  const auto r = m.scatter(std::vector<std::uint64_t>{});
+  EXPECT_EQ(r.cycles, 0u);
+  EXPECT_EQ(r.n, 0u);
+}
+
+TEST(Machine, UtilizationIsAFraction) {
+  sim::Machine m(simple(4, 1, 10, 4, 8));
+  const auto addrs = workload::uniform_random(20000, 1 << 20, 42);
+  const auto r = m.scatter(addrs);
+  EXPECT_GT(r.bank_utilization, 0.0);
+  EXPECT_LE(r.bank_utilization, 1.0);
+}
+
+TEST(Machine, MakespanDominatesBothLowerBounds) {
+  sim::Machine m(simple(4, 2, 10, 6, 4));
+  const auto addrs = workload::k_hot(10000, 500, 1 << 20, 7);
+  const auto r = m.scatter(addrs);
+  EXPECT_GE(r.cycles, 2 * 10 + r.max_bank_load * 6);
+  EXPECT_GE(r.cycles, (r.max_proc_requests - 1) * 2);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  sim::Machine m(simple(8, 1, 30, 14, 32));
+  const auto addrs = workload::uniform_random(50000, 1 << 22, 99);
+  const auto r1 = m.scatter(addrs);
+  const auto r2 = m.scatter(addrs);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  EXPECT_EQ(r1.stall_cycles, r2.stall_cycles);
+}
+
+TEST(Machine, MappingMismatchThrows) {
+  auto cfg = simple(2, 1, 0, 1, 2);  // 4 banks
+  auto mapping = std::make_shared<mem::InterleavedMapping>(8);
+  EXPECT_THROW(sim::Machine(cfg, mapping), std::invalid_argument);
+  EXPECT_THROW(sim::Machine(cfg, nullptr), std::invalid_argument);
+}
+
+TEST(Machine, OutOfRangeBankIdThrows) {
+  sim::Machine m(simple(1, 1, 0, 1, 2));
+  const std::vector<std::uint64_t> banks = {99};
+  EXPECT_THROW((void)m.scatter_banks(banks), std::out_of_range);
+}
+
+TEST(Machine, SectionedNetworkCongestsSinglePort) {
+  // All requests to banks in one section vs spread across sections.
+  auto cfg = simple(4, 1, 8, 2, 16);  // 64 banks
+  cfg.network_sections = 4;
+  cfg.section_period = 1;
+  sim::Machine m(cfg);
+
+  const std::uint64_t n = 8000;
+  // Concentrated: banks 0, 4, 8, ... (all section 0).
+  std::vector<std::uint64_t> hot(n);
+  for (std::uint64_t i = 0; i < n; ++i) hot[i] = (i * 4) % 64;
+  // Spread: consecutive banks round-robin all sections.
+  std::vector<std::uint64_t> spread(n);
+  for (std::uint64_t i = 0; i < n; ++i) spread[i] = i % 64;
+
+  const auto rc = m.scatter_banks(hot);
+  const auto rs = m.scatter_banks(spread);
+  EXPECT_GT(rc.cycles, rs.cycles * 3 / 2);  // visible congestion penalty
+  EXPECT_GT(rc.port_conflicts, 0u);
+}
+
+TEST(Machine, MoreBanksNeverSlower) {
+  // Same random pattern, expansion 1 vs 16: more banks cannot hurt.
+  const auto addrs = workload::uniform_random(30000, 1 << 22, 5);
+  sim::Machine small(simple(4, 1, 10, 8, 1));
+  sim::Machine big(simple(4, 1, 10, 8, 16));
+  EXPECT_GE(small.scatter(addrs).cycles, big.scatter(addrs).cycles);
+}
+
+TEST(Machine, ComputeSplitsAcrossProcessors) {
+  sim::Machine m(simple(4, 1, 0, 1, 1));
+  EXPECT_EQ(m.compute(100, 2.0), 50u);  // ceil(100/4) * 2
+  EXPECT_EQ(m.compute(0, 2.0), 0u);
+  EXPECT_EQ(m.compute(1, 3.0), 3u);
+}
+
+}  // namespace
+}  // namespace dxbsp

@@ -1,0 +1,270 @@
+// Tests for util: RNG determinism and ranges, bit helpers, statistics,
+// table formatting, CLI parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/bits.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dxbsp {
+namespace {
+
+TEST(Rng, SplitMixIsDeterministic) {
+  util::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, XoshiroIsDeterministic) {
+  util::Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  util::Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  util::Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  util::Xoshiro256 rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  util::Xoshiro256 rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, OddAlwaysOdd) {
+  util::Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.odd() & 1, 1u);
+}
+
+TEST(Rng, RangeInclusive) {
+  util::Xoshiro256 rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, SubstreamsAreIndependentSeeds) {
+  EXPECT_NE(util::substream(1, 0), util::substream(1, 1));
+  EXPECT_NE(util::substream(1, 0), util::substream(2, 0));
+  EXPECT_EQ(util::substream(1, 0), util::substream(1, 0));
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(util::is_pow2(0));
+  EXPECT_TRUE(util::is_pow2(1));
+  EXPECT_TRUE(util::is_pow2(2));
+  EXPECT_FALSE(util::is_pow2(3));
+  EXPECT_TRUE(util::is_pow2(1ULL << 40));
+  EXPECT_FALSE(util::is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(util::log2_floor(1), 0u);
+  EXPECT_EQ(util::log2_floor(2), 1u);
+  EXPECT_EQ(util::log2_floor(3), 1u);
+  EXPECT_EQ(util::log2_floor(4), 2u);
+  EXPECT_EQ(util::log2_floor(1023), 9u);
+  EXPECT_EQ(util::log2_floor(1024), 10u);
+}
+
+TEST(Bits, Log2Ceil) {
+  EXPECT_EQ(util::log2_ceil(1), 0u);
+  EXPECT_EQ(util::log2_ceil(2), 1u);
+  EXPECT_EQ(util::log2_ceil(3), 2u);
+  EXPECT_EQ(util::log2_ceil(4), 2u);
+  EXPECT_EQ(util::log2_ceil(5), 3u);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(util::ceil_div(0, 4), 0u);
+  EXPECT_EQ(util::ceil_div(1, 4), 1u);
+  EXPECT_EQ(util::ceil_div(4, 4), 1u);
+  EXPECT_EQ(util::ceil_div(5, 4), 2u);
+}
+
+TEST(Bits, ReverseBits) {
+  EXPECT_EQ(util::reverse_bits(0b001, 3), 0b100u);
+  EXPECT_EQ(util::reverse_bits(0b110, 3), 0b011u);
+  EXPECT_EQ(util::reverse_bits(1, 64), 1ULL << 63);
+  // Involution property.
+  for (std::uint64_t v : {0ULL, 5ULL, 123456789ULL}) {
+    EXPECT_EQ(util::reverse_bits(util::reverse_bits(v, 64), 64), v);
+  }
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto s = util::summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.sum, 15.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const auto s = util::summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, Quantile) {
+  const std::vector<double> xs = {4, 1, 3, 2, 5};
+  EXPECT_DOUBLE_EQ(util::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(util::quantile(xs, 0.5), 3.0);
+  EXPECT_THROW((void)util::quantile(xs, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)util::quantile(std::span<const double>{}, 0.5),
+               std::invalid_argument);
+}
+
+TEST(Stats, AccumulatorMatchesSummary) {
+  util::Xoshiro256 rng(3);
+  std::vector<double> xs;
+  util::Accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10;
+    xs.push_back(x);
+    acc.add(x);
+  }
+  const auto s = util::summarize(xs);
+  EXPECT_NEAR(acc.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(acc.stddev(), s.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(acc.min(), s.min);
+  EXPECT_DOUBLE_EQ(acc.max(), s.max);
+}
+
+TEST(Stats, RmsRelativeError) {
+  const std::vector<double> pred = {110, 90};
+  const std::vector<double> meas = {100, 100};
+  EXPECT_NEAR(util::rms_relative_error(pred, meas), 0.1, 1e-12);
+}
+
+TEST(Stats, GeomeanRatio) {
+  const std::vector<double> pred = {200, 50};
+  const std::vector<double> meas = {100, 100};
+  EXPECT_NEAR(util::geomean_ratio(pred, meas), 1.0, 1e-12);
+}
+
+TEST(Table, AlignsAndCounts) {
+  util::Table t({"a", "b"});
+  t.add_row(1, "xy");
+  t.add_row(22, 3.5);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("22"), std::string::npos);
+  EXPECT_NE(os.str().find("xy"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  util::Table t({"x", "y"});
+  t.add_row(1, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row(1), std::invalid_argument);
+  EXPECT_THROW(util::Table({}), std::invalid_argument);
+}
+
+TEST(Table, WithCommas) {
+  EXPECT_EQ(util::with_commas(0), "0");
+  EXPECT_EQ(util::with_commas(999), "999");
+  EXPECT_EQ(util::with_commas(1000), "1,000");
+  EXPECT_EQ(util::with_commas(1234567), "1,234,567");
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--n=100", "--name", "test", "--flag", "pos"};
+  const util::Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("n", 0), 100);
+  EXPECT_EQ(cli.get("name", ""), "test");
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, BareTrailingFlagIsBoolean) {
+  const char* argv[] = {"prog", "--csv"};
+  const util::Cli cli(2, argv);
+  EXPECT_TRUE(cli.has("csv"));
+}
+
+TEST(Cli, BadIntegerThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  const util::Cli cli(2, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, DoubleFlag) {
+  const char* argv[] = {"prog", "--rho=1.5"};
+  const util::Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("rho", 0.0), 1.5);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  util::ThreadPool pool(4);
+  std::vector<int> done(100, 0);
+  pool.parallel_for(100, [&](std::size_t i) { done[i] = 1; });
+  for (int d : done) EXPECT_EQ(d, 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  util::ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+}  // namespace
+}  // namespace dxbsp

@@ -1,0 +1,227 @@
+// Tests for the vector core: data semantics of every opcode, the
+// scoreboard/pipelining timing model, and cross-validation against the
+// bulk machine simulator on identical kernels.
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "util/rng.hpp"
+#include "vpu/core.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+sim::MachineConfig vpu_cfg(std::uint64_t g, std::uint64_t L, std::uint64_t d,
+                           std::uint64_t banks) {
+  sim::MachineConfig cfg;
+  cfg.processors = 1;
+  cfg.gap = g;
+  cfg.latency = L;
+  cfg.bank_delay = d;
+  cfg.expansion = banks;  // p = 1, so banks == expansion
+  cfg.slackness = 1 << 20;
+  return cfg;
+}
+
+TEST(VpuSemantics, AluOps) {
+  vpu::Core core(vpu_cfg(1, 0, 1, 16), 1024);
+  vpu::Program prog = {
+      {vpu::Opcode::kVIota, 0, 0, 0, 0, 1, 0},      // v0 = 0..63
+      {vpu::Opcode::kVBcast, 1, 0, 0, 10, 1, 0},    // v1 = 10
+      {vpu::Opcode::kVAdd, 2, 0, 1, 0, 1, 0},       // v2 = v0 + 10
+      {vpu::Opcode::kVMulS, 3, 2, 0, 2, 1, 0},      // v3 = v2 * 2
+      {vpu::Opcode::kVSub, 4, 3, 1, 0, 1, 0},       // v4 = v3 - 10
+      {vpu::Opcode::kVShrS, 5, 4, 0, 1, 1, 0},      // v5 = v4 >> 1
+      {vpu::Opcode::kVAnd, 6, 5, 1, 0, 1, 0},       // v6 = v5 & 10
+      {vpu::Opcode::kVSum, 7, 0, 0, 0, 1, 0},       // v7[0] = sum(v0)
+  };
+  (void)core.run(prog);
+  for (std::uint64_t e = 0; e < vpu::kVlen; ++e) {
+    EXPECT_EQ(core.vreg(2)[e], e + 10);
+    EXPECT_EQ(core.vreg(3)[e], (e + 10) * 2);
+    EXPECT_EQ(core.vreg(4)[e], (e + 10) * 2 - 10);
+    EXPECT_EQ(core.vreg(5)[e], ((e + 10) * 2 - 10) >> 1);
+    EXPECT_EQ(core.vreg(6)[e], (((e + 10) * 2 - 10) >> 1) & 10);
+  }
+  EXPECT_EQ(core.vreg(7)[0], 63 * 64 / 2);
+}
+
+TEST(VpuSemantics, VaddKernelOverTrips) {
+  const std::uint64_t n = 4 * vpu::kVlen;
+  vpu::Core core(vpu_cfg(1, 5, 2, 16), 3 * n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    core.store(i, i);           // a
+    core.store(n + i, 100 + i); // b
+  }
+  const auto prog = vpu::program_vadd(0, n, 2 * n);
+  const auto res = core.run(prog, n / vpu::kVlen);
+  for (std::uint64_t i = 0; i < n; ++i)
+    EXPECT_EQ(core.load(2 * n + i), 100 + 2 * i);
+  EXPECT_EQ(res.mem_elements, 3 * n);
+  EXPECT_EQ(res.alu_elements, n);
+}
+
+TEST(VpuSemantics, GatherScatterKernels) {
+  const std::uint64_t n = 2 * vpu::kVlen;
+  vpu::Core core(vpu_cfg(1, 3, 2, 8), 4 * n);
+  // idx = reversal permutation; val[i] = i*i.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    core.store(i, n - 1 - i);     // idx
+    core.store(n + i, i * i);     // val
+  }
+  const auto scatter = vpu::program_scatter(0, n, 2 * n);
+  (void)core.run(scatter, n / vpu::kVlen);
+  for (std::uint64_t i = 0; i < n; ++i)
+    EXPECT_EQ(core.load(2 * n + (n - 1 - i)), i * i);
+
+  const auto gather = vpu::program_gather(0, 2 * n, 3 * n);
+  (void)core.run(gather, n / vpu::kVlen);
+  for (std::uint64_t i = 0; i < n; ++i)
+    EXPECT_EQ(core.load(3 * n + i), core.load(2 * n + (n - 1 - i)));
+}
+
+TEST(VpuTiming, AluChainIsPipeLimited) {
+  vpu::Core core(vpu_cfg(1, 0, 1, 16), 64);
+  vpu::Program prog = {
+      {vpu::Opcode::kVIota, 0, 0, 0, 0, 1, 0},
+      {vpu::Opcode::kVAddS, 1, 0, 0, 1, 1, 0},
+      {vpu::Opcode::kVAddS, 2, 1, 0, 1, 1, 0},
+  };
+  const auto res = core.run(prog);
+  EXPECT_EQ(res.cycles, 3 * vpu::kVlen);
+}
+
+TEST(VpuTiming, StridedLoadSerializesOnOneBank) {
+  // Stride == banks: every element hits bank 0; the consuming vsum must
+  // wait for d per element.
+  const std::uint64_t banks = 8, d = 6, L = 4;
+  vpu::Core core(vpu_cfg(1, L, d, banks), banks * vpu::kVlen + 1);
+  const auto prog = vpu::program_strided_read(0, banks);
+  const auto res = core.run(prog);
+  // Load ready ~ L + VLEN*d + L; vsum adds VLEN.
+  EXPECT_GE(res.cycles, vpu::kVlen * d);
+  EXPECT_EQ(res.max_bank_load, vpu::kVlen);
+
+  // Unit stride spreads across banks: far faster.
+  vpu::Core core2(vpu_cfg(1, L, d, banks), banks * vpu::kVlen + 1);
+  const auto res2 = core2.run(vpu::program_strided_read(0, 1));
+  EXPECT_LT(res2.cycles, res.cycles / 2);
+  EXPECT_EQ(res2.max_bank_load, vpu::kVlen / banks);
+}
+
+TEST(VpuTiming, IndependentLoadsHideLatency) {
+  // Two independent loads overlap; a dependent ALU op waits for both.
+  const std::uint64_t L = 50;
+  vpu::Core a(vpu_cfg(1, L, 1, 64), 1024);
+  vpu::Program overlapped = {
+      {vpu::Opcode::kVLoad, 0, 0, 0, 0, 1, 0},
+      {vpu::Opcode::kVLoad, 1, 0, 0, 128, 1, 0},
+      {vpu::Opcode::kVAdd, 2, 0, 1, 0, 1, 0},
+  };
+  const auto res = a.run(overlapped);
+  // Issue takes 2*VLEN; the second load returns ~2*VLEN + 2L + d; the
+  // add appends VLEN. Far less than serializing the two round trips.
+  EXPECT_LE(res.cycles, 3 * vpu::kVlen + 2 * L + 16);
+}
+
+TEST(VpuVsBulk, ScatterKernelTimingsRelateAsExpected) {
+  // The same scatter trace through the instruction-level core and the
+  // bulk machine (p = 1). Two regimes:
+  //  * low contention: the VPU is issue-bound at ~4 pipe slots/element
+  //    (3 memory streams + 1 address add) plus a per-trip dependency
+  //    stall — between 1x and 2.5x the bulk-scatter + 2-stream
+  //    normalization the Vm uses;
+  //  * high contention: the hot bank's d·k queue dominates both layers
+  //    and they converge.
+  const std::uint64_t n = 4096;
+  auto cfg = vpu_cfg(1, 30, 14, 32);
+
+  auto measure = [&](std::uint64_t k) {
+    const auto idx = workload::k_hot(n, k, n, 7);
+    // Bulk reference: the full 3-stream trace the kernel really makes
+    // (index read, value read, scatter write), in program order — so the
+    // streams' bank interference with the hot location is modeled.
+    sim::Machine machine(cfg);
+    std::vector<std::uint64_t> full;
+    full.reserve(3 * n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      full.push_back(i);              // idx stream
+      full.push_back(n + i);          // val stream
+      full.push_back(3 * n + idx[i]); // scatter
+    }
+    const double bulk = static_cast<double>(machine.scatter(full).cycles);
+
+    vpu::Core core(cfg, 8 * n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      core.store(i, idx[i]);
+      core.store(n + i, i);
+    }
+    const double vpu = static_cast<double>(
+        core.run(vpu::program_scatter(0, n, 3 * n), n / vpu::kVlen).cycles);
+    return std::pair(vpu, bulk);
+  };
+
+  {
+    // Low contention: both are issue-bound on the same 3 memory streams,
+    // but the naive (unscheduled) kernel stalls its in-order pipe twice
+    // per trip waiting for round trips — the latency the bulk model
+    // assumes is hidden. The ~2x gap is precisely why [BHZ93]-era vector
+    // code needed chaining/software pipelining to reach the model's
+    // numbers.
+    const auto [vpu, bulk] = measure(1);
+    const double ratio = vpu / bulk;
+    EXPECT_GT(ratio, 1.0);
+    EXPECT_LT(ratio, 2.5);
+  }
+  {
+    // High contention: both are dominated by the hot bank's d·k queue
+    // (which also delays the streams' words in that bank). The VPU stays
+    // somewhat above: its per-trip dependency chains cap the effective
+    // slackness, so it cannot hide the backlog the way the bulk model's
+    // unbounded window does — the instruction-level face of ablation A3.
+    const auto [vpu, bulk] = measure(n / 2);
+    const double ratio = vpu / bulk;
+    EXPECT_GT(ratio, 0.9);
+    EXPECT_LT(ratio, 1.8);
+  }
+}
+
+TEST(VpuPipelined, MatchesNaiveSemanticsAndRunsFaster) {
+  const std::uint64_t n = 4 * 2 * vpu::kVlen;
+  auto cfg = vpu_cfg(1, 30, 14, 32);
+  const auto idx = workload::random_permutation(n, 3);
+
+  auto run = [&](bool pipelined) {
+    vpu::Core core(cfg, 8 * n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      core.store(i, idx[i]);
+      core.store(n + i, 1000 + i);
+    }
+    const auto prog = pipelined
+                          ? vpu::program_scatter_pipelined(0, n, 3 * n)
+                          : vpu::program_scatter(0, n, 3 * n);
+    const auto res =
+        core.run(prog, pipelined ? n / (2 * vpu::kVlen) : n / vpu::kVlen);
+    std::vector<std::uint64_t> out(n);
+    for (std::uint64_t i = 0; i < n; ++i) out[i] = core.load(3 * n + i);
+    return std::pair(out, res.cycles);
+  };
+
+  const auto [naive_out, naive_cycles] = run(false);
+  const auto [piped_out, piped_cycles] = run(true);
+  EXPECT_EQ(naive_out, piped_out);
+  for (std::uint64_t i = 0; i < n; ++i)
+    EXPECT_EQ(naive_out[idx[i]], 1000 + i);
+  // Hoisted loads hide the round trips the naive loop stalls on.
+  EXPECT_LT(piped_cycles, naive_cycles * 3 / 4);
+}
+
+TEST(Vpu, OutOfRangeAddressThrows) {
+  vpu::Core core(vpu_cfg(1, 0, 1, 8), 32);  // memory smaller than VLEN
+  EXPECT_THROW((void)core.run(vpu::program_strided_read(0, 1)),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dxbsp
