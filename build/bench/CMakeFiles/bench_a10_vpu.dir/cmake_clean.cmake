@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a10_vpu.dir/bench_a10_vpu.cpp.o"
+  "CMakeFiles/bench_a10_vpu.dir/bench_a10_vpu.cpp.o.d"
+  "bench_a10_vpu"
+  "bench_a10_vpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a10_vpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_pipelining.dir/bench_a1_pipelining.cpp.o"
+  "CMakeFiles/bench_a1_pipelining.dir/bench_a1_pipelining.cpp.o.d"
+  "bench_a1_pipelining"
+  "bench_a1_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_hash_vs_stride.dir/bench_a2_hash_vs_stride.cpp.o"
+  "CMakeFiles/bench_a2_hash_vs_stride.dir/bench_a2_hash_vs_stride.cpp.o.d"
+  "bench_a2_hash_vs_stride"
+  "bench_a2_hash_vs_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_hash_vs_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

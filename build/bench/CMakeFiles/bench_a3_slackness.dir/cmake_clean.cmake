@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_slackness.dir/bench_a3_slackness.cpp.o"
+  "CMakeFiles/bench_a3_slackness.dir/bench_a3_slackness.cpp.o.d"
+  "bench_a3_slackness"
+  "bench_a3_slackness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_slackness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

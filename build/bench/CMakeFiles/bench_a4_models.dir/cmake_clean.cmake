@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_models.dir/bench_a4_models.cpp.o"
+  "CMakeFiles/bench_a4_models.dir/bench_a4_models.cpp.o.d"
+  "bench_a4_models"
+  "bench_a4_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

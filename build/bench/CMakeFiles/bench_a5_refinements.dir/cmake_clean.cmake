@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_refinements.dir/bench_a5_refinements.cpp.o"
+  "CMakeFiles/bench_a5_refinements.dir/bench_a5_refinements.cpp.o.d"
+  "bench_a5_refinements"
+  "bench_a5_refinements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_refinements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a6_radix_bits.dir/bench_a6_radix_bits.cpp.o"
+  "CMakeFiles/bench_a6_radix_bits.dir/bench_a6_radix_bits.cpp.o.d"
+  "bench_a6_radix_bits"
+  "bench_a6_radix_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a6_radix_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

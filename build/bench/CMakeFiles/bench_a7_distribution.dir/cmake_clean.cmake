@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a7_distribution.dir/bench_a7_distribution.cpp.o"
+  "CMakeFiles/bench_a7_distribution.dir/bench_a7_distribution.cpp.o.d"
+  "bench_a7_distribution"
+  "bench_a7_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a7_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a8_algorithm_knobs.dir/bench_a8_algorithm_knobs.cpp.o"
+  "CMakeFiles/bench_a8_algorithm_knobs.dir/bench_a8_algorithm_knobs.cpp.o.d"
+  "bench_a8_algorithm_knobs"
+  "bench_a8_algorithm_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a8_algorithm_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

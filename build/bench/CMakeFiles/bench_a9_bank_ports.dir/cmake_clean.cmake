@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a9_bank_ports.dir/bench_a9_bank_ports.cpp.o"
+  "CMakeFiles/bench_a9_bank_ports.dir/bench_a9_bank_ports.cpp.o.d"
+  "bench_a9_bank_ports"
+  "bench_a9_bank_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a9_bank_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

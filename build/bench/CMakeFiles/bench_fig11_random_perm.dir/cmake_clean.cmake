@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_random_perm.dir/bench_fig11_random_perm.cpp.o"
+  "CMakeFiles/bench_fig11_random_perm.dir/bench_fig11_random_perm.cpp.o.d"
+  "bench_fig11_random_perm"
+  "bench_fig11_random_perm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_random_perm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

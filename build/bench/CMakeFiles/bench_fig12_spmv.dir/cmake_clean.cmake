@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_spmv.dir/bench_fig12_spmv.cpp.o"
+  "CMakeFiles/bench_fig12_spmv.dir/bench_fig12_spmv.cpp.o.d"
+  "bench_fig12_spmv"
+  "bench_fig12_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_list_ranking.dir/bench_fig14_list_ranking.cpp.o"
+  "CMakeFiles/bench_fig14_list_ranking.dir/bench_fig14_list_ranking.cpp.o.d"
+  "bench_fig14_list_ranking"
+  "bench_fig14_list_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_list_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_multiprefix.dir/bench_fig15_multiprefix.cpp.o"
+  "CMakeFiles/bench_fig15_multiprefix.dir/bench_fig15_multiprefix.cpp.o.d"
+  "bench_fig15_multiprefix"
+  "bench_fig15_multiprefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_multiprefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_collectives.dir/bench_fig16_collectives.cpp.o"
+  "CMakeFiles/bench_fig16_collectives.dir/bench_fig16_collectives.cpp.o.d"
+  "bench_fig16_collectives"
+  "bench_fig16_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

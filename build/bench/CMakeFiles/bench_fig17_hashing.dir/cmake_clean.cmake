@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_hashing.dir/bench_fig17_hashing.cpp.o"
+  "CMakeFiles/bench_fig17_hashing.dir/bench_fig17_hashing.cpp.o.d"
+  "bench_fig17_hashing"
+  "bench_fig17_hashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_hashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

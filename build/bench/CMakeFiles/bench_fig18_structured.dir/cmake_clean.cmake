@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_structured.dir/bench_fig18_structured.cpp.o"
+  "CMakeFiles/bench_fig18_structured.dir/bench_fig18_structured.cpp.o.d"
+  "bench_fig18_structured"
+  "bench_fig18_structured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_structured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

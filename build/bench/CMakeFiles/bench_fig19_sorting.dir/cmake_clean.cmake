@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_sorting.dir/bench_fig19_sorting.cpp.o"
+  "CMakeFiles/bench_fig19_sorting.dir/bench_fig19_sorting.cpp.o.d"
+  "bench_fig19_sorting"
+  "bench_fig19_sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

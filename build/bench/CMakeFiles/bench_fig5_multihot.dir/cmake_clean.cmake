@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_multihot.dir/bench_fig5_multihot.cpp.o"
+  "CMakeFiles/bench_fig5_multihot.dir/bench_fig5_multihot.cpp.o.d"
+  "bench_fig5_multihot"
+  "bench_fig5_multihot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_multihot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_comparison.dir/sorting_comparison.cpp.o"
+  "CMakeFiles/sorting_comparison.dir/sorting_comparison.cpp.o.d"
+  "sorting_comparison"
+  "sorting_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

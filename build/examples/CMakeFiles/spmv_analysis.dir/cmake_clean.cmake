@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_analysis.dir/spmv_analysis.cpp.o"
+  "CMakeFiles/spmv_analysis.dir/spmv_analysis.cpp.o.d"
+  "spmv_analysis"
+  "spmv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/binary_search.cpp" "src/CMakeFiles/dxbsp.dir/algos/binary_search.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/binary_search.cpp.o.d"
+  "/root/repo/src/algos/collectives.cpp" "src/CMakeFiles/dxbsp.dir/algos/collectives.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/collectives.cpp.o.d"
+  "/root/repo/src/algos/connected_components.cpp" "src/CMakeFiles/dxbsp.dir/algos/connected_components.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/connected_components.cpp.o.d"
+  "/root/repo/src/algos/kernels.cpp" "src/CMakeFiles/dxbsp.dir/algos/kernels.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/kernels.cpp.o.d"
+  "/root/repo/src/algos/list_ranking.cpp" "src/CMakeFiles/dxbsp.dir/algos/list_ranking.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/list_ranking.cpp.o.d"
+  "/root/repo/src/algos/merge.cpp" "src/CMakeFiles/dxbsp.dir/algos/merge.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/merge.cpp.o.d"
+  "/root/repo/src/algos/multiprefix.cpp" "src/CMakeFiles/dxbsp.dir/algos/multiprefix.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/multiprefix.cpp.o.d"
+  "/root/repo/src/algos/parallel_hashing.cpp" "src/CMakeFiles/dxbsp.dir/algos/parallel_hashing.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/parallel_hashing.cpp.o.d"
+  "/root/repo/src/algos/primitives.cpp" "src/CMakeFiles/dxbsp.dir/algos/primitives.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/primitives.cpp.o.d"
+  "/root/repo/src/algos/radix_sort.cpp" "src/CMakeFiles/dxbsp.dir/algos/radix_sort.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/radix_sort.cpp.o.d"
+  "/root/repo/src/algos/random_permutation.cpp" "src/CMakeFiles/dxbsp.dir/algos/random_permutation.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/random_permutation.cpp.o.d"
+  "/root/repo/src/algos/scan.cpp" "src/CMakeFiles/dxbsp.dir/algos/scan.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/scan.cpp.o.d"
+  "/root/repo/src/algos/spmv.cpp" "src/CMakeFiles/dxbsp.dir/algos/spmv.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/spmv.cpp.o.d"
+  "/root/repo/src/algos/vm.cpp" "src/CMakeFiles/dxbsp.dir/algos/vm.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/algos/vm.cpp.o.d"
+  "/root/repo/src/core/access_profile.cpp" "src/CMakeFiles/dxbsp.dir/core/access_profile.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/core/access_profile.cpp.o.d"
+  "/root/repo/src/core/balls_bins.cpp" "src/CMakeFiles/dxbsp.dir/core/balls_bins.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/core/balls_bins.cpp.o.d"
+  "/root/repo/src/core/calibrate.cpp" "src/CMakeFiles/dxbsp.dir/core/calibrate.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/core/calibrate.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "src/CMakeFiles/dxbsp.dir/core/design.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/core/design.cpp.o.d"
+  "/root/repo/src/core/ledger.cpp" "src/CMakeFiles/dxbsp.dir/core/ledger.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/core/ledger.cpp.o.d"
+  "/root/repo/src/core/lightly_loaded.cpp" "src/CMakeFiles/dxbsp.dir/core/lightly_loaded.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/core/lightly_loaded.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/CMakeFiles/dxbsp.dir/core/predictor.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/core/predictor.cpp.o.d"
+  "/root/repo/src/mem/bank_mapping.cpp" "src/CMakeFiles/dxbsp.dir/mem/bank_mapping.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/mem/bank_mapping.cpp.o.d"
+  "/root/repo/src/mem/contention.cpp" "src/CMakeFiles/dxbsp.dir/mem/contention.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/mem/contention.cpp.o.d"
+  "/root/repo/src/mem/hash.cpp" "src/CMakeFiles/dxbsp.dir/mem/hash.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/mem/hash.cpp.o.d"
+  "/root/repo/src/qrqw/emulation.cpp" "src/CMakeFiles/dxbsp.dir/qrqw/emulation.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/qrqw/emulation.cpp.o.d"
+  "/root/repo/src/qrqw/extract.cpp" "src/CMakeFiles/dxbsp.dir/qrqw/extract.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/qrqw/extract.cpp.o.d"
+  "/root/repo/src/qrqw/program.cpp" "src/CMakeFiles/dxbsp.dir/qrqw/program.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/qrqw/program.cpp.o.d"
+  "/root/repo/src/qrqw/step.cpp" "src/CMakeFiles/dxbsp.dir/qrqw/step.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/qrqw/step.cpp.o.d"
+  "/root/repo/src/qrqw/theory.cpp" "src/CMakeFiles/dxbsp.dir/qrqw/theory.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/qrqw/theory.cpp.o.d"
+  "/root/repo/src/sim/bank_array.cpp" "src/CMakeFiles/dxbsp.dir/sim/bank_array.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/sim/bank_array.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/dxbsp.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/machine_config.cpp" "src/CMakeFiles/dxbsp.dir/sim/machine_config.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/sim/machine_config.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/dxbsp.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/sim/network.cpp.o.d"
+  "/root/repo/src/stats/compare.cpp" "src/CMakeFiles/dxbsp.dir/stats/compare.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/stats/compare.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/dxbsp.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/dxbsp.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/dxbsp.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/dxbsp.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/dxbsp.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/dxbsp.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/vpu/core.cpp" "src/CMakeFiles/dxbsp.dir/vpu/core.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/vpu/core.cpp.o.d"
+  "/root/repo/src/workload/entropy.cpp" "src/CMakeFiles/dxbsp.dir/workload/entropy.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/workload/entropy.cpp.o.d"
+  "/root/repo/src/workload/graphs.cpp" "src/CMakeFiles/dxbsp.dir/workload/graphs.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/workload/graphs.cpp.o.d"
+  "/root/repo/src/workload/patterns.cpp" "src/CMakeFiles/dxbsp.dir/workload/patterns.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/workload/patterns.cpp.o.d"
+  "/root/repo/src/workload/sparse.cpp" "src/CMakeFiles/dxbsp.dir/workload/sparse.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/workload/sparse.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/CMakeFiles/dxbsp.dir/workload/trace_io.cpp.o" "gcc" "src/CMakeFiles/dxbsp.dir/workload/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos2_test.dir/algos2_test.cpp.o"
+  "CMakeFiles/algos2_test.dir/algos2_test.cpp.o.d"
+  "algos2_test"
+  "algos2_test.pdb"
+  "algos2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

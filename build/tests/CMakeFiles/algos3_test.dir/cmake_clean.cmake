@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algos3_test.dir/algos3_test.cpp.o"
+  "CMakeFiles/algos3_test.dir/algos3_test.cpp.o.d"
+  "algos3_test"
+  "algos3_test.pdb"
+  "algos3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algos3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrqw_test.dir/qrqw_test.cpp.o"
+  "CMakeFiles/qrqw_test.dir/qrqw_test.cpp.o.d"
+  "qrqw_test"
+  "qrqw_test.pdb"
+  "qrqw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrqw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

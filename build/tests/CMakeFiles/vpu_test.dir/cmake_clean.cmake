@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpu_test.dir/vpu_test.cpp.o"
+  "CMakeFiles/vpu_test.dir/vpu_test.cpp.o.d"
+  "vpu_test"
+  "vpu_test.pdb"
+  "vpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/qrqw_test[1]_include.cmake")
+include("/root/repo/build/tests/algos_test[1]_include.cmake")
+include("/root/repo/build/tests/algos2_test[1]_include.cmake")
+include("/root/repo/build/tests/algos3_test[1]_include.cmake")
+include("/root/repo/build/tests/kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/vpu_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_test[1]_include.cmake")
+include("/root/repo/build/tests/calibrate_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_features_test[1]_include.cmake")
+include("/root/repo/build/tests/core_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_test[1]_include.cmake")
+include("/root/repo/build/tests/extract_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
