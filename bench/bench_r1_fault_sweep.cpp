@@ -1,0 +1,119 @@
+// Robustness R1: degraded operation under injected memory-system faults.
+//
+// Sweeps transient bank slowness, dead-bank fractions (with spare-bank
+// failover), and in-flight NACK/drop rates on a J90-like machine, and
+// compares the simulated degraded time with the analytic companion
+// model's effective-parameter prediction (d' = d/(1-f_slow),
+// x' = x·(1-f_dead), additive retry tail; docs/faults.md). The telemetry
+// columns show what the machine actually did: retries, NACKs, failovers,
+// extra bank-busy cycles.
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/machine.hpp"
+#include "stats/degraded.hpp"
+#include "workload/patterns.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  const util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1 << 17);
+  const std::uint64_t seed = cli.get_int("seed", 1995);
+
+  bench::banner("R1 (fault sweep)",
+                "simulated vs predicted degraded time; n = " +
+                    std::to_string(n));
+
+  sim::MachineConfig cfg = sim::MachineConfig::cray_j90();
+  const auto addrs = workload::uniform_random(n, 1ULL << 30, seed);
+
+  auto run = [&](const std::string& label, const fault::FaultConfig& fc,
+                 util::Table& t) {
+    auto plan = std::make_shared<fault::FaultPlan>(fc, cfg.banks());
+    sim::Machine machine(cfg);
+    machine.inject(plan);
+    const auto out = machine.scatter_faulty(addrs);
+    const auto pred = stats::predict_degraded(cfg, *plan, n);
+    const double sim_cycles = static_cast<double>(out.bulk.cycles);
+    t.add_row(label, out.bulk.cycles,
+              static_cast<std::uint64_t>(pred.cycles),
+              pred.cycles / sim_cycles, out.bulk.retries, out.bulk.nacks,
+              out.bulk.failovers, out.bulk.degraded_cycles,
+              out.ok() ? "ok"
+                       : ("DEGRADED: " + std::to_string(
+                                             out.degraded->failed_requests) +
+                          " failed"));
+  };
+
+  {
+    util::Table t({"slow banks", "sim cycles", "predicted", "pred/sim",
+                   "retries", "nacks", "failovers", "degr cycles", "status"});
+    for (const double frac : {0.0, 0.125, 0.25, 0.5}) {
+      for (const std::uint64_t mult : {2ULL, 4ULL}) {
+        if (frac == 0.0 && mult != 2) continue;
+        fault::FaultConfig fc;
+        fc.seed = seed;
+        fc.slow_fraction = frac;
+        fc.slow_multiplier = mult;
+        run("slow=" + std::to_string(frac) + " mult=" + std::to_string(mult),
+            fc, t);
+      }
+    }
+    bench::emit(cli, t);
+  }
+
+  {
+    util::Table t({"dead banks", "sim cycles", "predicted", "pred/sim",
+                   "retries", "nacks", "failovers", "degr cycles", "status"});
+    for (const double frac : {0.0625, 0.125, 0.25, 0.5}) {
+      fault::FaultConfig fc;
+      fc.seed = seed;
+      fc.dead_fraction = frac;
+      run("dead=" + std::to_string(frac), fc, t);
+    }
+    bench::emit(cli, t);
+  }
+
+  {
+    util::Table t({"drop rate", "sim cycles", "predicted", "pred/sim",
+                   "retries", "nacks", "failovers", "degr cycles", "status"});
+    for (const double q : {0.01, 0.05, 0.1, 0.2}) {
+      fault::FaultConfig fc;
+      fc.seed = seed;
+      fc.drop_rate = q;
+      fc.retry.max_retries = 16;
+      run("drop=" + std::to_string(q), fc, t);
+    }
+    bench::emit(cli, t);
+  }
+
+  {
+    // Compound incident: refresh storms + a dead section + lossy network,
+    // and a deliberately exhausted retry budget to show the structured
+    // degradation surface.
+    util::Table t({"compound", "sim cycles", "predicted", "pred/sim",
+                   "retries", "nacks", "failovers", "degr cycles", "status"});
+    fault::FaultConfig fc;
+    fc.seed = seed;
+    fc.slow_fraction = 0.25;
+    fc.slow_multiplier = 4;
+    fc.dead_fraction = 0.125;
+    fc.drop_rate = 0.02;
+    fc.retry.max_retries = 16;
+    run("storm+dead+lossy", fc, t);
+    fault::FaultConfig tight = fc;
+    tight.drop_rate = 0.5;
+    tight.retry.max_retries = 2;
+    run("lossy, tight budget", tight, t);
+    bench::emit(cli, t);
+  }
+
+  std::cout << "Reading: pred/sim near 1.0 means the d'/x' correction "
+               "stays predictive;\nthe tight-budget row demonstrates "
+               "structured degradation (no hang, no\nsilent loss) when "
+               "retries cannot save a request.\n";
+  return 0;
+}

@@ -7,12 +7,20 @@
 // the analytic balls-in-bins model and the simulator.
 //
 //   ./machine_explorer [--n=1048576] [--k=1024] [--d=14] [--p=8]
+//                      [--faults=slow=0.25,slow-mult=4,drop=0.01,...]
+//
+// With --faults= the sweep runs against a seeded fault plan
+// (see fault::FaultConfig::parse for the key set) and reports the
+// degraded telemetry next to the healthy prediction.
 
 #include <iostream>
+#include <memory>
 
 #include "core/balls_bins.hpp"
 #include "core/predictor.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/machine.hpp"
+#include "stats/degraded.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "workload/patterns.hpp"
@@ -24,13 +32,26 @@ int main(int argc, char** argv) {
   const std::uint64_t k = cli.get_int("k", 1 << 10);
   const std::uint64_t d = cli.get_int("d", 14);
   const std::uint64_t p = cli.get_int("p", 8);
+  const std::string fault_spec = cli.get("faults", "");
+  const bool faulty = !fault_spec.empty();
+  fault::FaultConfig fc;
+  if (faulty) fc = fault::FaultConfig::parse(fault_spec);
 
   std::cout << "Workload: n = " << n << " requests, hottest location k = "
-            << k << "; machine: p = " << p << ", g = 1, d = " << d << "\n\n";
+            << k << "; machine: p = " << p << ", g = 1, d = " << d << "\n";
+  if (faulty)
+    std::cout << "Faults: " << fault_spec
+              << " (seeded plan; see docs/faults.md)\n";
+  std::cout << "\n";
 
   const auto addrs = workload::k_hot(n, k, 1ULL << 30, /*seed=*/21);
-  util::Table t({"x", "banks", "sim cycles", "dxbsp", "marginal speedup",
-                 "verdict"});
+  util::Table t(
+      faulty ? std::vector<std::string>{"x", "banks", "sim cycles",
+                                        "degraded pred", "retries",
+                                        "failovers", "marginal speedup",
+                                        "verdict"}
+             : std::vector<std::string>{"x", "banks", "sim cycles", "dxbsp",
+                                        "marginal speedup", "verdict"});
   std::uint64_t prev = 0;
   std::uint64_t chosen = 0;
   for (std::uint64_t x = 1; x <= 256; x *= 2) {
@@ -43,7 +64,20 @@ int main(int argc, char** argv) {
     cfg.expansion = x;
     cfg.slackness = 64 * 1024;
     sim::Machine machine(cfg);
-    const auto meas = machine.scatter(addrs);
+    sim::BulkResult meas;
+    std::string status;
+    std::uint64_t degraded_pred = 0;
+    if (faulty) {
+      auto plan = std::make_shared<fault::FaultPlan>(fc, cfg.banks());
+      machine.inject(plan);
+      auto out = machine.scatter_faulty(addrs);
+      meas = out.bulk;
+      status = out.ok() ? "" : " [DEGRADED]";
+      degraded_pred = static_cast<std::uint64_t>(
+          stats::predict_degraded(cfg, *plan, n).cycles);
+    } else {
+      meas = machine.scatter(addrs);
+    }
     const auto pred = core::predict_scatter(addrs, cfg, &machine.mapping());
     const double marginal =
         prev == 0 ? 1.0
@@ -51,8 +85,17 @@ int main(int argc, char** argv) {
                         static_cast<double>(meas.cycles);
     const bool worth = marginal > 1.02;
     if (!worth && chosen == 0 && prev != 0) chosen = x / 2;
-    t.add_row(x, cfg.banks(), meas.cycles, pred.dxbsp_mapped, marginal,
-              prev == 0 ? "-" : (worth ? "still paying" : "diminishing"));
+    const std::string verdict =
+        (prev == 0 ? std::string("-")
+                   : (worth ? "still paying" : "diminishing")) +
+        status;
+    if (faulty) {
+      t.add_row(x, cfg.banks(), meas.cycles, degraded_pred, meas.retries,
+                meas.failovers, marginal, verdict);
+    } else {
+      t.add_row(x, cfg.banks(), meas.cycles, pred.dxbsp_mapped, marginal,
+                verdict);
+    }
     prev = meas.cycles;
   }
   t.print(std::cout);

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification, plain and sanitized.
+#
+# 1. Configure + build + ctest with the default toolchain flags.
+# 2. Configure + build + ctest a second tree with DXBSP_SANITIZE=ON
+#    (-fsanitize=address,undefined), and run the chaos fault harness
+#    explicitly under the sanitizers (random seeded fault plans are the
+#    likeliest place for a latent memory bug to hide).
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1 (plain) =="
+cmake -B build-ci -S . >/dev/null
+cmake --build build-ci -j"$JOBS"
+ctest --test-dir build-ci -j"$JOBS" --output-on-failure
+
+echo "== tier-1 (address+UB sanitizers) =="
+cmake -B build-ci-san -S . -DDXBSP_SANITIZE=ON >/dev/null
+cmake --build build-ci-san -j"$JOBS"
+ctest --test-dir build-ci-san -j"$JOBS" --output-on-failure
+
+echo "== chaos fault harness under sanitizers =="
+./build-ci-san/tests/fault_test \
+  --gtest_filter='Chaos.*:FaultDeterminism.*'
+
+echo "ci.sh: all green"

@@ -1,0 +1,36 @@
+#include "fault/failover_mapping.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dxbsp::fault {
+
+FailoverMapping::FailoverMapping(std::shared_ptr<const mem::BankMapping> base,
+                                 std::shared_ptr<const FaultPlan> plan,
+                                 std::uint64_t observe_time)
+    : mem::BankMapping(base ? base->num_banks() : 0),
+      base_(std::move(base)),
+      plan_(std::move(plan)),
+      time_(observe_time) {
+  if (!base_ || !plan_) {
+    throw std::invalid_argument(
+        "FailoverMapping: base mapping and fault plan are required");
+  }
+  if (plan_->num_banks() != num_banks_) {
+    throw std::invalid_argument(
+        "FailoverMapping: plan has " + std::to_string(plan_->num_banks()) +
+        " banks, mapping has " + std::to_string(num_banks_));
+  }
+}
+
+std::uint64_t FailoverMapping::bank_of(std::uint64_t addr) const {
+  const std::uint64_t bank = base_->bank_of(addr);
+  const std::uint64_t spare = plan_->failover(bank, addr, time_);
+  return spare == kNoBank ? bank : spare;
+}
+
+std::string FailoverMapping::name() const {
+  return base_->name() + "+failover";
+}
+
+}  // namespace dxbsp::fault

@@ -1,0 +1,41 @@
+#pragma once
+// Failover view of an address→bank mapping.
+//
+// The simulator re-homes a request whose bank is dead by hash-spreading
+// it over the surviving banks (FaultPlan::failover). This decorator
+// exposes the same re-homing as a mem::BankMapping observed at a fixed
+// time, so the contention analyzer and the predictors can price the
+// *surviving* placement with the exact spread the machine uses — which
+// is what makes x' = x·(1 − f_dead) an honest correction rather than a
+// modelling assumption.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "mem/bank_mapping.hpp"
+
+namespace dxbsp::fault {
+
+/// Decorates a base mapping with the plan's dead-bank failover, observed
+/// at `observe_time` (deaths with a later onset are still alive in this
+/// view). If every bank is dead at the observation time, bank_of returns
+/// the base bank unchanged — the mapping stays total; the simulator is
+/// where an all-dead machine becomes a structured DegradedResult.
+class FailoverMapping final : public mem::BankMapping {
+ public:
+  FailoverMapping(std::shared_ptr<const mem::BankMapping> base,
+                  std::shared_ptr<const FaultPlan> plan,
+                  std::uint64_t observe_time);
+
+  [[nodiscard]] std::uint64_t bank_of(std::uint64_t addr) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::shared_ptr<const mem::BankMapping> base_;
+  std::shared_ptr<const FaultPlan> plan_;
+  std::uint64_t time_;
+};
+
+}  // namespace dxbsp::fault

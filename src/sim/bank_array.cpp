@@ -45,13 +45,16 @@ std::uint64_t BankArray::occupy(std::uint64_t bank, std::uint64_t arrival,
   return free_at;
 }
 
-std::uint64_t BankArray::serve(std::uint64_t bank, std::uint64_t arrival) {
+std::uint64_t BankArray::serve(std::uint64_t bank, std::uint64_t arrival,
+                               std::uint64_t busy_scale) {
   ++total_;
-  return occupy(bank, arrival, delay_);
+  if (busy_scale > 1) degraded_cycles_ += delay_ * (busy_scale - 1);
+  return occupy(bank, arrival, delay_ * busy_scale);
 }
 
 std::uint64_t BankArray::serve_addr(std::uint64_t bank, std::uint64_t arrival,
-                                    std::uint64_t addr) {
+                                    std::uint64_t addr,
+                                    std::uint64_t busy_scale) {
   ++total_;
 
   if (combining_) {
@@ -86,7 +89,8 @@ std::uint64_t BankArray::serve_addr(std::uint64_t bank, std::uint64_t arrival,
     slots[0] = line;
   }
 
-  const std::uint64_t end = occupy(bank, arrival, busy);
+  if (busy_scale > 1) degraded_cycles_ += busy * (busy_scale - 1);
+  const std::uint64_t end = occupy(bank, arrival, busy * busy_scale);
   if (combining_) pending_[addr] = end;
   return end;
 }
@@ -100,6 +104,7 @@ void BankArray::reset() {
   total_ = 0;
   hits_ = 0;
   combined_ = 0;
+  degraded_cycles_ = 0;
 }
 
 std::uint64_t BankArray::free_at(std::uint64_t bank) const {

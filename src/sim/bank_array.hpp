@@ -34,14 +34,17 @@ class BankArray {
   /// Returns the completion time (service start + busy period). Arrivals
   /// at a given bank must be presented in nondecreasing arrival order
   /// (the machine's event loop guarantees this). This path never caches
-  /// or combines (no address is known).
-  std::uint64_t serve(std::uint64_t bank, std::uint64_t arrival);
+  /// or combines (no address is known). `busy_scale` multiplies the busy
+  /// period (fault injection: a transiently slow bank); the excess over
+  /// the nominal period is accounted in degraded_cycles().
+  std::uint64_t serve(std::uint64_t bank, std::uint64_t arrival,
+                      std::uint64_t busy_scale = 1);
 
   /// Serves a request for word `addr`, applying caching and combining
   /// when configured. Must also be called in nondecreasing arrival order
   /// per bank.
   std::uint64_t serve_addr(std::uint64_t bank, std::uint64_t arrival,
-                           std::uint64_t addr);
+                           std::uint64_t addr, std::uint64_t busy_scale = 1);
 
   [[nodiscard]] std::uint64_t num_banks() const noexcept {
     return static_cast<std::uint64_t>(load_.size());
@@ -61,6 +64,12 @@ class BankArray {
 
   /// Requests merged by combining (0 unless combining is configured).
   [[nodiscard]] std::uint64_t combined() const noexcept { return combined_; }
+
+  /// Extra busy cycles incurred by scaled (degraded) service: the sum of
+  /// busy·(scale-1) over all serves (0 without fault injection).
+  [[nodiscard]] std::uint64_t degraded_cycles() const noexcept {
+    return degraded_cycles_;
+  }
 
   /// Per-bank request counts (serviced, i.e. excluding combined).
   [[nodiscard]] const std::vector<std::uint64_t>& loads() const noexcept {
@@ -105,6 +114,7 @@ class BankArray {
   std::uint64_t total_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t combined_ = 0;
+  std::uint64_t degraded_cycles_ = 0;
   std::uint64_t last_start_ = 0;
   bool last_combined_ = false;
 };

@@ -38,11 +38,16 @@ struct ProcState {
 
 struct Event {
   std::uint64_t depart;  // time the request enters the network
+  std::uint64_t elem;    // element index (only meaningful for retries)
   std::uint32_t proc;
-  // Min-heap by (depart, proc): the proc tiebreak makes simulation
-  // deterministic regardless of heap internals.
+  std::uint32_t attempt;  // 0 = fresh issue; k >= 1 = k-th retry
+  // Min-heap by (depart, proc, attempt, elem): the tiebreaks make the
+  // simulation deterministic regardless of heap internals.
   friend bool operator>(const Event& a, const Event& b) {
-    return a.depart != b.depart ? a.depart > b.depart : a.proc > b.proc;
+    if (a.depart != b.depart) return a.depart > b.depart;
+    if (a.proc != b.proc) return a.proc > b.proc;
+    if (a.attempt != b.attempt) return a.attempt > b.attempt;
+    return a.elem > b.elem;
   }
 };
 
@@ -74,7 +79,25 @@ std::shared_ptr<const mem::BankMapping> default_mapping(
 Machine::Machine(MachineConfig config)
     : Machine(config, default_mapping(config)) {}
 
+void Machine::inject(std::shared_ptr<const fault::FaultPlan> plan) {
+  if (plan && plan->num_banks() != config_.banks())
+    throw std::invalid_argument(
+        "Machine::inject: plan bank count does not match configuration");
+  plan_ = std::move(plan);
+}
+
+namespace {
+BulkResult unwrap(FaultyBulk&& out) {
+  if (out.degraded) throw fault::DegradedError(std::move(*out.degraded));
+  return out.bulk;
+}
+}  // namespace
+
 BulkResult Machine::scatter(std::span<const std::uint64_t> addrs) {
+  return unwrap(run(addrs, /*ids_are_banks=*/false));
+}
+
+FaultyBulk Machine::scatter_faulty(std::span<const std::uint64_t> addrs) {
   return run(addrs, /*ids_are_banks=*/false);
 }
 
@@ -86,22 +109,24 @@ BulkResult Machine::scatter_detailed(std::span<const std::uint64_t> addrs,
   timing.start.assign(n, 0);
   timing.completion.assign(n, 0);
   timing.bank.assign(n, 0);
-  return run(addrs, /*ids_are_banks=*/false, &timing);
+  return unwrap(run(addrs, /*ids_are_banks=*/false, &timing));
 }
 
 BulkResult Machine::scatter_banks(std::span<const std::uint64_t> banks) {
-  return run(banks, /*ids_are_banks=*/true);
+  return unwrap(run(banks, /*ids_are_banks=*/true));
 }
 
-BulkResult Machine::run(std::span<const std::uint64_t> ids,
+FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
                         bool ids_are_banks, RequestTiming* timing) {
   banks_.reset();
   network_.reset();
 
-  BulkResult res;
+  FaultyBulk out;
+  BulkResult& res = out.bulk;
   res.n = ids.size();
-  if (ids.empty()) return res;
+  if (ids.empty()) return out;
 
+  const fault::FaultPlan* plan = plan_.get();
   const std::uint64_t p = config_.processors;
   const std::uint64_t n = ids.size();
   const std::uint64_t per = util::ceil_div(n, p);
@@ -130,56 +155,125 @@ BulkResult Machine::run(std::span<const std::uint64_t> ids,
         std::min<std::uint64_t>(config_.slackness, procs[i].count);
     procs[i].completions.assign(window, 0);
     // First request of every processor departs at time 0.
-    heap.push(Event{0, static_cast<std::uint32_t>(i)});
+    heap.push(Event{0, 0, static_cast<std::uint32_t>(i), 0});
   }
 
   std::uint64_t makespan = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t first_failed_elem = 0;
+  std::uint64_t first_failed_attempts = 0;
+  std::string first_failed_reason;
   while (!heap.empty()) {
     const Event ev = heap.top();
     heap.pop();
     ProcState& ps = procs[ev.proc];
+    const bool fresh = ev.attempt == 0;
 
-    const std::uint64_t elem = element_of(ev.proc, ps.issued);
-    const std::uint64_t bank =
-        ids_are_banks ? ids[elem] : mapping_->bank_of(ids[elem]);
+    const std::uint64_t elem = fresh ? element_of(ev.proc, ps.issued) : ev.elem;
+    const std::uint64_t addr = ids[elem];
+    std::uint64_t bank = ids_are_banks ? addr : mapping_->bank_of(addr);
     if (bank >= config_.banks())
       throw std::out_of_range("Machine: bank id out of range");
 
     const std::uint64_t arrival = network_.traverse(bank, ev.depart, ev.proc);
-    // Address-aware service applies bank caching/combining; the
-    // banks-only path (scatter_banks) has no address to key them on.
-    const std::uint64_t served =
-        ids_are_banks ? banks_.serve(bank, arrival)
-                      : banks_.serve_addr(bank, arrival, ids[elem]);
-    const std::uint64_t completion = served + config_.latency;
-    makespan = std::max(makespan, completion);
 
-    if (timing != nullptr) {
-      timing->issue[elem] = ev.depart;
-      timing->arrival[elem] = arrival;
-      timing->start[elem] = banks_.last_start();
-      timing->completion[elem] = completion;
-      timing->bank[elem] = bank;
-    }
-
-    const std::uint64_t window = ps.completions.size();
-    ps.completions[ps.issued % window] = completion;
-    ps.last_issue = ev.depart;
-    ++ps.issued;
-
-    if (ps.issued < ps.count) {
-      // Next issue waits for the gap and, if the outstanding window is
-      // full, for the request `window` places back to complete.
-      std::uint64_t next = ps.last_issue + config_.gap;
-      if (ps.issued >= window) {
-        const std::uint64_t gate = ps.completions[ps.issued % window];
-        if (gate > next) {
-          ps.stall += gate - next;
-          next = gate;
+    // Fault handling at the memory system: a dead bank redirects to a
+    // surviving spare (failover); an attempt may then be NACKed (drop),
+    // which the processor recovers from by retry with backoff — or, once
+    // the budget is spent, records as a failed request.
+    bool served_ok = true;
+    std::uint64_t ack = 0;  // when the processor learns the outcome
+    if (plan != nullptr) {
+      const char* fail_reason = nullptr;
+      if (plan->dead_at(bank, arrival)) {
+        const std::uint64_t spare = plan->failover(bank, addr, arrival);
+        if (spare == fault::kNoBank) {
+          fail_reason = "no bank alive for failover";
+        } else {
+          bank = spare;
+          ++res.failovers;
         }
       }
-      heap.push(Event{next, ev.proc});
+      if (fail_reason == nullptr && plan->drop(elem, ev.attempt)) {
+        if (ev.attempt < plan->retry().max_retries) {
+          // NACK travels back; the processor re-issues after backoff.
+          ++res.nacks;
+          ack = network_.nack_return(arrival);
+          const std::uint64_t delay =
+              plan->backoff_delay(elem, ev.attempt + 1);
+          heap.push(Event{ack + delay, elem, ev.proc, ev.attempt + 1});
+          ++res.retries;
+          served_ok = false;
+        } else {
+          fail_reason = "retry budget exhausted";
+        }
+      }
+      if (fail_reason != nullptr) {
+        ++res.nacks;
+        ack = network_.nack_return(arrival);
+        if (failed == 0) {
+          first_failed_elem = elem;
+          first_failed_attempts = ev.attempt + 1;
+          first_failed_reason = fail_reason;
+        }
+        ++failed;
+        served_ok = false;
+      }
     }
+
+    if (served_ok) {
+      const std::uint64_t scale =
+          plan != nullptr ? plan->busy_multiplier(bank, arrival) : 1;
+      // Address-aware service applies bank caching/combining; the
+      // banks-only path (scatter_banks) has no address to key them on.
+      const std::uint64_t served =
+          ids_are_banks ? banks_.serve(bank, arrival, scale)
+                        : banks_.serve_addr(bank, arrival, addr, scale);
+      ack = served + config_.latency;
+      ++res.completed;
+
+      if (timing != nullptr) {
+        timing->issue[elem] = ev.depart;
+        timing->arrival[elem] = arrival;
+        timing->start[elem] = banks_.last_start();
+        timing->completion[elem] = ack;
+        timing->bank[elem] = bank;
+      }
+    }
+    makespan = std::max(makespan, ack);
+
+    // Only fresh issues advance the processor's issue pipeline; retries
+    // are re-injections of an already-issued request. A NACKed fresh
+    // issue frees its outstanding-window slot when the NACK returns.
+    if (fresh) {
+      const std::uint64_t window = ps.completions.size();
+      ps.completions[ps.issued % window] = ack;
+      ps.last_issue = ev.depart;
+      ++ps.issued;
+
+      if (ps.issued < ps.count) {
+        // Next issue waits for the gap and, if the outstanding window is
+        // full, for the request `window` places back to complete.
+        std::uint64_t next = ps.last_issue + config_.gap;
+        if (ps.issued >= window) {
+          const std::uint64_t gate = ps.completions[ps.issued % window];
+          if (gate > next) {
+            ps.stall += gate - next;
+            next = gate;
+          }
+        }
+        heap.push(Event{next, 0, ev.proc, 0});
+      }
+    }
+  }
+
+  if (res.completed + failed != res.n)
+    throw std::logic_error("Machine: request conservation violated");
+  if (failed > 0) {
+    out.degraded = fault::DegradedResult{
+        failed, first_failed_elem, first_failed_attempts,
+        first_failed_reason + (" (" + std::to_string(failed) + " of " +
+                               std::to_string(res.n) + " requests failed)")};
   }
 
   res.cycles = makespan;
@@ -187,6 +281,7 @@ BulkResult Machine::run(std::span<const std::uint64_t> ids,
   res.port_conflicts = network_.port_conflicts();
   res.cache_hits = banks_.cache_hits();
   res.combined = banks_.combined();
+  res.degraded_cycles = banks_.degraded_cycles();
   for (const auto& ps : procs) {
     res.stall_cycles += ps.stall;
     res.last_issue = std::max(res.last_issue, ps.last_issue);
@@ -194,7 +289,7 @@ BulkResult Machine::run(std::span<const std::uint64_t> ids,
   res.bank_utilization =
       static_cast<double>(config_.bank_delay) * static_cast<double>(n) /
       (static_cast<double>(config_.banks()) * static_cast<double>(res.cycles));
-  return res;
+  return out;
 }
 
 BulkResult Machine::scatter_bulk_delivery(
@@ -218,6 +313,7 @@ BulkResult Machine::scatter_bulk_delivery(
 
   const std::uint64_t per = util::ceil_div(res.n, config_.processors);
   res.cycles = makespan;
+  res.completed = res.n;
   res.max_bank_load = banks_.max_load();
   res.max_proc_requests = per;
   res.bank_utilization =

@@ -19,8 +19,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 
+#include "fault/fault_plan.hpp"
 #include "mem/bank_mapping.hpp"
 #include "sim/bank_array.hpp"
 #include "sim/machine_config.hpp"
@@ -40,12 +42,30 @@ struct BulkResult {
   std::uint64_t cache_hits = 0;     ///< bank-cache hits (if caching enabled)
   std::uint64_t combined = 0;       ///< requests merged (if combining enabled)
 
+  // Fault telemetry (all 0 without an injected plan).
+  std::uint64_t completed = 0;       ///< requests that finished service
+  std::uint64_t retries = 0;         ///< re-issues after a NACK
+  std::uint64_t nacks = 0;           ///< attempts rejected by the memory system
+  std::uint64_t failovers = 0;       ///< requests redirected off a dead bank
+  std::uint64_t degraded_cycles = 0; ///< extra bank busy cycles from slowness
+
   /// Fraction of bank service capacity used: d·n / (B · cycles).
   double bank_utilization = 0.0;
 
   [[nodiscard]] double cycles_per_element() const noexcept {
     return n == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(n);
   }
+};
+
+/// Outcome of a fault-aware bulk operation: the telemetry plus, when the
+/// retry budget was exhausted or no bank was left alive, a structured
+/// degradation report. bulk.completed + degraded->failed_requests == n
+/// always holds (request conservation).
+struct FaultyBulk {
+  BulkResult bulk;
+  std::optional<fault::DegradedResult> degraded;
+
+  [[nodiscard]] bool ok() const noexcept { return !degraded.has_value(); }
 };
 
 /// The simulated machine. Construct once per configuration; bulk
@@ -83,9 +103,25 @@ class Machine {
     }
   };
 
+  /// Attaches a fault plan: subsequent bulk operations run fault-aware
+  /// (slow banks, failover off dead banks, NACK/retry). The plan must be
+  /// sized to this machine's bank count. Pass nullptr to clear.
+  void inject(std::shared_ptr<const fault::FaultPlan> plan);
+  void clear_faults() noexcept { plan_.reset(); }
+  [[nodiscard]] const fault::FaultPlan* fault_plan() const noexcept {
+    return plan_.get();
+  }
+
   /// Simulates a bulk scatter of the given word addresses. Element i is
   /// handled by the processor given by the configured distribution.
+  /// With a fault plan injected, throws fault::DegradedError when the
+  /// operation could not fully complete (use scatter_faulty to receive
+  /// the structured result instead).
   [[nodiscard]] BulkResult scatter(std::span<const std::uint64_t> addrs);
+
+  /// Fault-aware scatter that never throws on degradation: returns the
+  /// telemetry plus an optional DegradedResult.
+  [[nodiscard]] FaultyBulk scatter_faulty(std::span<const std::uint64_t> addrs);
 
   /// Like scatter, but additionally records per-request timing into
   /// `timing` (cleared and resized). Use for queue-dynamics studies; the
@@ -116,13 +152,14 @@ class Machine {
                                       double ops_per_element) const;
 
  private:
-  BulkResult run(std::span<const std::uint64_t> ids, bool ids_are_banks,
+  FaultyBulk run(std::span<const std::uint64_t> ids, bool ids_are_banks,
                  RequestTiming* timing = nullptr);
 
   MachineConfig config_;
   std::shared_ptr<const mem::BankMapping> mapping_;
   BankArray banks_;
   Network network_;
+  std::shared_ptr<const fault::FaultPlan> plan_;
 };
 
 }  // namespace dxbsp::sim

@@ -17,15 +17,18 @@ void MachineConfig::validate() const {
   if (network_sections > banks())
     throw std::invalid_argument(
         "MachineConfig: more network sections than banks");
-  if (network_sections != 0 && section_period == 0)
+  // Period/port parameters are rejected when zero even if their feature
+  // is currently off: a zero value is always a configuration error and
+  // would otherwise arm a divide-by-zero for whoever enables the feature.
+  if (section_period == 0)
     throw std::invalid_argument("MachineConfig: section_period must be >= 1");
+  if (link_period == 0)
+    throw std::invalid_argument("MachineConfig: link_period must be >= 1");
   if (bank_ports == 0)
     throw std::invalid_argument("MachineConfig: bank_ports must be >= 1");
   if (butterfly_network && network_sections != 0)
     throw std::invalid_argument(
         "MachineConfig: butterfly and sectioned networks are exclusive");
-  if (butterfly_network && link_period == 0)
-    throw std::invalid_argument("MachineConfig: link_period must be >= 1");
   if (bank_cache_lines != 0) {
     if (cache_line_words == 0)
       throw std::invalid_argument(

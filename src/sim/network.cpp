@@ -84,6 +84,7 @@ void Network::reset() {
   std::fill(port_free_.begin(), port_free_.end(), 0);
   std::fill(wire_free_.begin(), wire_free_.end(), 0);
   port_conflicts_ = 0;
+  nacks_ = 0;
 }
 
 }  // namespace dxbsp::sim

@@ -60,6 +60,18 @@ class Network {
     return port_conflicts_;
   }
 
+  /// Response-path traversal of a NACK: a request rejected by the memory
+  /// system at `arrival` reaches its processor again after the one-way
+  /// latency (the return path is uncontended in all three models, like
+  /// the response path of a served request).
+  std::uint64_t nack_return(std::uint64_t arrival) noexcept {
+    ++nacks_;
+    return arrival + latency_;
+  }
+
+  /// NACKs carried back so far.
+  [[nodiscard]] std::uint64_t nacks() const noexcept { return nacks_; }
+
   void reset();
 
  private:
@@ -83,6 +95,7 @@ class Network {
   std::vector<std::uint64_t> wire_free_;  // stages_ x width_
 
   std::uint64_t port_conflicts_ = 0;
+  std::uint64_t nacks_ = 0;
 };
 
 }  // namespace dxbsp::sim

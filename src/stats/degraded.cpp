@@ -1,0 +1,88 @@
+#include "stats/degraded.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/balls_bins.hpp"
+#include "util/bits.hpp"
+
+namespace dxbsp::stats {
+
+DegradedPrediction predict_degraded(const sim::MachineConfig& cfg,
+                                    const fault::FaultPlan& plan,
+                                    std::uint64_t n,
+                                    std::uint64_t max_contention) {
+  DegradedPrediction out;
+  const double d = static_cast<double>(cfg.bank_delay);
+  const double g = static_cast<double>(cfg.gap);
+  const double L = static_cast<double>(cfg.latency);
+  const double banks = static_cast<double>(cfg.banks());
+  const double nd = static_cast<double>(n);
+
+  const double f_dead = plan.dead_fraction();
+  out.x_eff = static_cast<double>(cfg.expansion) * (1.0 - f_dead);
+  const double alive = std::max(1.0, banks * (1.0 - f_dead));
+
+  const double f_slow = plan.max_stall_fraction();
+  out.d_eff = d / std::max(1.0 - f_slow, 1e-9);
+
+  // Processor term: retries re-enter the network outside the issue
+  // pipeline, so the issue bandwidth term is the healthy one.
+  const double h_proc =
+      std::ceil(nd / static_cast<double>(cfg.processors));
+  out.proc_term = g * h_proc;
+
+  // Bank term. Surviving banks share the traffic like balls in bins;
+  // the hottest location (k requests) pins one bank regardless. A slow
+  // bank serves its expected share at d', so the binding bank is either
+  // the most loaded healthy bank at d or a typically-loaded slow bank
+  // at d'. Slow banks are an s-of-alive sample, so their expected max
+  // load is that of their share of the traffic.
+  const double k = static_cast<double>(std::max<std::uint64_t>(
+      max_contention, 1));
+  const double h_alive =
+      std::max(k, core::approx_expected_max_load(nd, alive));
+  double bank_term = d * h_alive;
+  const double slow_banks =
+      plan.slow_fraction() * static_cast<double>(plan.num_banks());
+  if (slow_banks >= 1.0 && f_slow > 0.0) {
+    const double share = nd * slow_banks / alive;
+    const double h_slow =
+        std::max(1.0, core::approx_expected_max_load(share, slow_banks));
+    bank_term = std::max(bank_term, out.d_eff * h_slow);
+  }
+  out.bank_term = bank_term;
+
+  // Retry tail: with per-attempt NACK probability q, the worst of n
+  // requests needs ~ln(n)/ln(1/q) attempts (capped by the budget), each
+  // costing a round trip plus its backoff delay (jitter averages to
+  // jitter/2 per retry).
+  const double q = plan.drop_rate();
+  if (q > 0.0 && n > 0) {
+    const auto& r = plan.retry();
+    double attempts;
+    if (q >= 1.0) {
+      attempts = static_cast<double>(r.max_retries);
+    } else {
+      attempts = std::ceil(std::log(nd) / std::log(1.0 / q));
+      attempts = std::clamp(attempts, 1.0,
+                            static_cast<double>(r.max_retries));
+    }
+    double tail = 0.0;
+    for (double a = 1.0; a <= attempts; a += 1.0) {
+      const double backoff = std::min(
+          static_cast<double>(r.backoff_cap),
+          static_cast<double>(r.backoff_base) *
+              std::pow(2.0, a - 1.0));
+      tail += backoff + 2.0 * L +
+              static_cast<double>(r.jitter) / 2.0;
+    }
+    out.retry_tail = tail;
+  }
+
+  out.cycles = 2.0 * L + std::max(out.proc_term, out.bank_term) +
+               out.retry_tail;
+  return out;
+}
+
+}  // namespace dxbsp::stats

@@ -1,0 +1,42 @@
+#pragma once
+// Analytic companion of the fault subsystem: first-order (d,x)-BSP cost
+// corrections for a degraded memory system (docs/faults.md).
+//
+// The healthy model charges T = 2L + max(g·h_proc, d·h_bank). Under a
+// FaultPlan the correction uses effective parameters:
+//   * a bank stalled a fraction f_slow of the time (busy multiplier m
+//     gives f_slow = 1 - 1/m) has effective delay d' = d / (1 - f_slow);
+//   * killing a fraction f_dead of the banks and re-spreading their
+//     traffic leaves effective expansion x' = x·(1 - f_dead);
+//   * a per-attempt NACK probability q adds a retry tail: the unluckiest
+//     of n requests needs about ln(n)/ln(1/q) attempts, each costing a
+//     round trip plus its backoff delay.
+// The prediction is validated against the simulator by tests/fault_test
+// and bench_r1_fault_sweep to the tolerance documented in docs/faults.md.
+
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+#include "sim/machine_config.hpp"
+
+namespace dxbsp::stats {
+
+/// Degraded-time prediction, with the pieces exposed for tables.
+struct DegradedPrediction {
+  double d_eff = 0.0;       ///< d' of the slowest affected bank
+  double x_eff = 0.0;       ///< x·(1 - f_dead)
+  double proc_term = 0.0;   ///< g·h_proc
+  double bank_term = 0.0;   ///< max over healthy/slow bank estimates
+  double retry_tail = 0.0;  ///< additive worst-request retry delay
+  double cycles = 0.0;      ///< 2L + max(proc, bank) + retry_tail
+};
+
+/// Predicts the degraded time of a bulk operation of `n` random-ish
+/// requests (hottest location touched `max_contention` times) on machine
+/// `cfg` under `plan`. Bank loads use the balls-in-bins expected-max
+/// estimate over the surviving banks.
+[[nodiscard]] DegradedPrediction predict_degraded(
+    const sim::MachineConfig& cfg, const fault::FaultPlan& plan,
+    std::uint64_t n, std::uint64_t max_contention = 1);
+
+}  // namespace dxbsp::stats

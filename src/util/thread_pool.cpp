@@ -42,12 +42,39 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Chunk the index space instead of submitting one task per index: a
+  // million-element loop must not allocate a million futures. ~4 chunks
+  // per worker keeps the tail balanced without per-index overhead.
+  const std::size_t chunks = std::min(n, workers_.size() * 4);
+  const std::size_t per = (n + chunks - 1) / chunks;
+  // One exception slot per chunk: a throwing index must not take the rest
+  // of its chunk down with it, and rethrowing the lowest-index exception
+  // keeps the propagated error independent of pool size.
+  std::vector<std::exception_ptr> errors(chunks);
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per;
+    const std::size_t end = std::min(n, begin + per);
+    if (begin >= end) break;
+    std::exception_ptr* err = &errors[c];
+    futures.push_back(submit([&fn, begin, end, err] {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!*err) *err = std::current_exception();
+        }
+      }
+    }));
   }
+  // Wait for every chunk before propagating, so no task is left running
+  // against caller state; rethrow the first-by-index exception.
   for (auto& f : futures) f.get();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
 }
 
 }  // namespace dxbsp::util

@@ -44,7 +44,10 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// fn must be safe to invoke concurrently for distinct i.
+  /// fn must be safe to invoke concurrently for distinct i. Indices are
+  /// processed in ~4·threads contiguous chunks. If any invocation throws,
+  /// the first such exception (in index order) is rethrown — after every
+  /// chunk has finished, so no work is left running.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

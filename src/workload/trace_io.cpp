@@ -34,10 +34,32 @@ std::vector<std::uint64_t> load_trace(const std::string& path) {
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
   if (!is) throw std::runtime_error("load_trace: truncated header in " + path);
+
+  // The header count is untrusted input: validate it against the bytes
+  // actually present before allocating, so a corrupt or truncated trace
+  // fails cleanly instead of attempting a count*8-byte allocation.
+  const std::streampos data_begin = is.tellg();
+  is.seekg(0, std::ios::end);
+  const std::streampos file_end = is.tellg();
+  if (data_begin < 0 || file_end < 0)
+    throw std::runtime_error("load_trace: cannot size " + path);
+  const auto remaining =
+      static_cast<std::uint64_t>(file_end - data_begin);
+  if (count > remaining / sizeof(std::uint64_t) ||
+      remaining != count * sizeof(std::uint64_t)) {
+    std::ostringstream msg;
+    msg << "load_trace: header claims " << count << " words ("
+        << count << "*8 bytes) but " << path << " holds " << remaining
+        << " payload bytes (corrupt or truncated trace)";
+    throw std::runtime_error(msg.str());
+  }
+  is.seekg(data_begin);
+
   std::vector<std::uint64_t> addrs(count);
   is.read(reinterpret_cast<char*>(addrs.data()),
           static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
-  if (!is) throw std::runtime_error("load_trace: truncated data in " + path);
+  if (!is && count > 0)
+    throw std::runtime_error("load_trace: truncated data in " + path);
   return addrs;
 }
 

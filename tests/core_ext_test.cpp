@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -141,6 +142,44 @@ TEST(TraceIo, BinaryRejectsGarbage) {
   std::remove(path.c_str());
   EXPECT_THROW((void)workload::load_trace("/nonexistent/nowhere.bin"),
                std::runtime_error);
+}
+
+TEST(TraceIo, BinaryRejectsLyingHeaderCount) {
+  // A corrupt header count must fail with a clear error before any
+  // count-sized allocation — not OOM, not read garbage.
+  const auto addrs = workload::uniform_random(64, 1ULL << 30, 5);
+  const std::string path = "/tmp/dxbsp_trace_lying_count.bin";
+  workload::save_trace(path, addrs);
+  {
+    // Overwrite the count field (bytes 8..16) with an absurd value.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    const std::uint64_t lie = ~0ULL / 8;  // would "need" ~2^61 bytes
+    f.write(reinterpret_cast<const char*>(&lie), sizeof(lie));
+  }
+  try {
+    (void)workload::load_trace(path);
+    FAIL() << "expected rejection of the lying count";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("payload bytes"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BinaryRejectsTruncatedPayload) {
+  const auto addrs = workload::uniform_random(64, 1ULL << 30, 6);
+  const std::string path = "/tmp/dxbsp_trace_truncated.bin";
+  workload::save_trace(path, addrs);
+  std::filesystem::resize_file(path, 16 + 63 * 8 + 3);  // mid-word cut
+  EXPECT_THROW((void)workload::load_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BinaryEmptyTraceRoundTrips) {
+  const std::string path = "/tmp/dxbsp_trace_empty.bin";
+  workload::save_trace(path, {});
+  EXPECT_TRUE(workload::load_trace(path).empty());
+  std::remove(path.c_str());
 }
 
 TEST(TraceIo, TextRoundTripWithComments) {

@@ -1,0 +1,482 @@
+// Fault-injection subsystem tests: plan determinism, slow banks, dead-
+// bank failover, NACK/retry recovery, structured degradation, the chaos
+// property harness, and validation of the analytic degraded model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "fault/failover_mapping.hpp"
+#include "fault/fault_plan.hpp"
+#include "mem/bank_mapping.hpp"
+#include "sim/machine.hpp"
+#include "stats/degraded.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+sim::MachineConfig small_machine() {
+  sim::MachineConfig c;
+  c.name = "fault-test";
+  c.processors = 4;
+  c.gap = 1;
+  c.latency = 8;
+  c.bank_delay = 4;
+  c.expansion = 4;
+  c.slackness = 64;
+  return c;
+}
+
+// Every telemetry field of two results, compared exactly.
+void expect_identical(const sim::BulkResult& a, const sim::BulkResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.max_bank_load, b.max_bank_load);
+  EXPECT_EQ(a.max_proc_requests, b.max_proc_requests);
+  EXPECT_EQ(a.last_issue, b.last_issue);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+  EXPECT_EQ(a.port_conflicts, b.port_conflicts);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.combined, b.combined);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.nacks, b.nacks);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.degraded_cycles, b.degraded_cycles);
+  // Bitwise: determinism must extend to the derived floating point too.
+  EXPECT_EQ(std::memcmp(&a.bank_utilization, &b.bank_utilization,
+                        sizeof(double)),
+            0);
+}
+
+TEST(FaultConfig, ParseRoundTrip) {
+  const auto cfg = fault::FaultConfig::parse(
+      "seed=7,slow=0.25,slow-mult=3,slow-onset=10,slow-dur=100,dead=0.125,"
+      "dead-onset=5,drop=0.01,retries=6,backoff=32,backoff-cap=512,jitter=4");
+  EXPECT_EQ(cfg.seed, 7u);
+  EXPECT_DOUBLE_EQ(cfg.slow_fraction, 0.25);
+  EXPECT_EQ(cfg.slow_multiplier, 3u);
+  EXPECT_EQ(cfg.slow_onset, 10u);
+  EXPECT_EQ(cfg.slow_duration, 100u);
+  EXPECT_DOUBLE_EQ(cfg.dead_fraction, 0.125);
+  EXPECT_EQ(cfg.dead_onset, 5u);
+  EXPECT_DOUBLE_EQ(cfg.drop_rate, 0.01);
+  EXPECT_EQ(cfg.retry.max_retries, 6u);
+  EXPECT_EQ(cfg.retry.backoff_base, 32u);
+  EXPECT_EQ(cfg.retry.backoff_cap, 512u);
+  EXPECT_EQ(cfg.retry.jitter, 4u);
+}
+
+TEST(FaultConfig, ParseRejectsBadInput) {
+  EXPECT_THROW((void)fault::FaultConfig::parse("bogus=1"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultConfig::parse("drop"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultConfig::parse("drop=nope"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultConfig::parse("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultConfig::parse("slow=-0.1"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultConfig::parse("dead=2"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultConfig::parse("slow-mult=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultConfig::parse("backoff=0"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultConfig::parse("backoff=64,backoff-cap=8"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, SeededDrawIsDeterministicAndSized) {
+  fault::FaultConfig cfg;
+  cfg.seed = 42;
+  cfg.slow_fraction = 0.25;
+  cfg.dead_fraction = 0.125;
+  const fault::FaultPlan a(cfg, 64);
+  const fault::FaultPlan b(cfg, 64);
+  EXPECT_EQ(a.slow_windows().size(), 16u);
+  EXPECT_EQ(a.deaths().size(), 8u);
+  ASSERT_EQ(a.slow_windows().size(), b.slow_windows().size());
+  for (std::size_t i = 0; i < a.slow_windows().size(); ++i)
+    EXPECT_EQ(a.slow_windows()[i].bank, b.slow_windows()[i].bank);
+  ASSERT_EQ(a.deaths().size(), b.deaths().size());
+  for (std::size_t i = 0; i < a.deaths().size(); ++i)
+    EXPECT_EQ(a.deaths()[i].bank, b.deaths()[i].bank);
+
+  cfg.seed = 43;
+  const fault::FaultPlan c(cfg, 64);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.deaths().size(); ++i)
+    any_differ |= a.deaths()[i].bank != c.deaths()[i].bank;
+  EXPECT_TRUE(any_differ) << "different seeds should draw different banks";
+}
+
+TEST(FaultPlan, SlowWindowTiming) {
+  const fault::FaultPlan plan(
+      4, {fault::SlowWindow{2, 100, 50, 5}}, {});
+  EXPECT_EQ(plan.busy_multiplier(2, 99), 1u);
+  EXPECT_EQ(plan.busy_multiplier(2, 100), 5u);
+  EXPECT_EQ(plan.busy_multiplier(2, 149), 5u);
+  EXPECT_EQ(plan.busy_multiplier(2, 150), 1u);
+  EXPECT_EQ(plan.busy_multiplier(1, 120), 1u);
+  EXPECT_DOUBLE_EQ(plan.max_stall_fraction(), 0.8);
+}
+
+TEST(FaultPlan, FailoverSkipsDeadBanksAndSpreads) {
+  const fault::FaultPlan plan(
+      8, {}, {fault::BankDeath{3, 0}, fault::BankDeath{5, 100}});
+  EXPECT_EQ(plan.alive_at(0), 7u);
+  EXPECT_EQ(plan.alive_at(100), 6u);
+  EXPECT_EQ(plan.failover(0, 123, 50), 0u);  // alive: untouched
+  for (std::uint64_t key = 0; key < 64; ++key) {
+    const std::uint64_t spare = plan.failover(3, key, 200);
+    EXPECT_LT(spare, 8u);
+    EXPECT_NE(spare, 3u);
+    EXPECT_NE(spare, 5u);
+    EXPECT_EQ(spare, plan.failover(3, key, 200));  // deterministic
+  }
+  // Before bank 5 dies it is a valid spare.
+  bool hit5 = false;
+  for (std::uint64_t key = 0; key < 256; ++key)
+    hit5 |= plan.failover(3, key, 50) == 5u;
+  EXPECT_TRUE(hit5);
+}
+
+TEST(FaultPlan, AllDeadYieldsNoBank) {
+  const fault::FaultPlan plan(2, {},
+                              {fault::BankDeath{0, 0}, fault::BankDeath{1, 0}});
+  EXPECT_EQ(plan.alive_at(0), 0u);
+  EXPECT_EQ(plan.failover(0, 9, 0), fault::kNoBank);
+}
+
+TEST(FaultPlan, DropRateIsDeterministicAndCalibrated) {
+  fault::FaultConfig cfg;
+  cfg.seed = 9;
+  cfg.drop_rate = 0.1;
+  const fault::FaultPlan plan(cfg, 16);
+  std::uint64_t drops = 0;
+  const std::uint64_t trials = 100000;
+  for (std::uint64_t r = 0; r < trials; ++r) {
+    const bool d = plan.drop(r, 0);
+    EXPECT_EQ(d, plan.drop(r, 0));
+    drops += d ? 1 : 0;
+  }
+  const double rate = static_cast<double>(drops) / trials;
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(FaultPlan, BackoffGrowsAndCaps) {
+  fault::FaultConfig cfg;
+  cfg.retry.backoff_base = 16;
+  cfg.retry.backoff_cap = 128;
+  cfg.retry.jitter = 0;
+  const fault::FaultPlan plan(cfg, 4);
+  EXPECT_EQ(plan.backoff_delay(0, 1), 16u);
+  EXPECT_EQ(plan.backoff_delay(0, 2), 32u);
+  EXPECT_EQ(plan.backoff_delay(0, 3), 64u);
+  EXPECT_EQ(plan.backoff_delay(0, 4), 128u);
+  EXPECT_EQ(plan.backoff_delay(0, 10), 128u);  // capped
+}
+
+TEST(MachineFaults, HealthyPlanChangesNothing) {
+  const auto cfg = small_machine();
+  const auto addrs = workload::uniform_random(4096, 1 << 20, 3);
+  sim::Machine clean(cfg);
+  const auto base = clean.scatter(addrs);
+
+  sim::Machine faulty(cfg);
+  faulty.inject(std::make_shared<fault::FaultPlan>(fault::FaultConfig{},
+                                                   cfg.banks()));
+  const auto out = faulty.scatter_faulty(addrs);
+  ASSERT_TRUE(out.ok());
+  expect_identical(base, out.bulk);
+  EXPECT_EQ(out.bulk.completed, addrs.size());
+}
+
+TEST(MachineFaults, SlowBanksStretchTheRun) {
+  const auto cfg = small_machine();
+  const auto addrs = workload::uniform_random(8192, 1 << 20, 5);
+  sim::Machine machine(cfg);
+  const auto base = machine.scatter(addrs);
+
+  fault::FaultConfig fc;
+  fc.slow_fraction = 0.5;
+  fc.slow_multiplier = 4;
+  machine.inject(std::make_shared<fault::FaultPlan>(fc, cfg.banks()));
+  const auto out = machine.scatter_faulty(addrs);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out.bulk.cycles, base.cycles);
+  EXPECT_GT(out.bulk.degraded_cycles, 0u);
+  EXPECT_EQ(out.bulk.completed, addrs.size());
+  EXPECT_EQ(out.bulk.failovers, 0u);
+  EXPECT_EQ(out.bulk.nacks, 0u);
+}
+
+TEST(MachineFaults, DeadBanksFailOverWithConservation) {
+  const auto cfg = small_machine();
+  const auto addrs = workload::uniform_random(8192, 1 << 20, 7);
+  sim::Machine machine(cfg);
+
+  fault::FaultConfig fc;
+  fc.dead_fraction = 0.25;
+  auto plan = std::make_shared<fault::FaultPlan>(fc, cfg.banks());
+  machine.inject(plan);
+  const auto out = machine.scatter_faulty(addrs);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.bulk.completed, addrs.size());
+  EXPECT_GT(out.bulk.failovers, 0u);
+  // Dead banks must serve nothing after their onset (onset 0 here).
+  EXPECT_EQ(machine.fault_plan(), plan.get());
+  sim::Machine::RequestTiming timing;
+  machine.clear_faults();
+  machine.inject(std::make_shared<fault::FaultPlan>(fc, cfg.banks()));
+  (void)machine.scatter_detailed(addrs, timing);
+  for (const auto bank : timing.bank)
+    EXPECT_FALSE(plan->dead_at(bank, ~0ULL >> 1))
+        << "request served by a dead bank " << bank;
+}
+
+TEST(MachineFaults, FailoverMappingMatchesSimulatorRehoming) {
+  const auto cfg = small_machine();
+  const auto addrs = workload::uniform_random(4096, 1 << 20, 11);
+  auto base = std::make_shared<mem::InterleavedMapping>(cfg.banks());
+  sim::Machine machine(cfg, base);
+
+  fault::FaultConfig fc;
+  fc.dead_fraction = 0.5;
+  auto plan = std::make_shared<fault::FaultPlan>(fc, cfg.banks());
+  machine.inject(plan);
+  sim::Machine::RequestTiming timing;
+  (void)machine.scatter_detailed(addrs, timing);
+
+  // The static failover view re-homes every address exactly where the
+  // simulator served it (deaths here are onset-0, so time-invariant).
+  const fault::FailoverMapping view(base, plan, /*observe_time=*/0);
+  EXPECT_EQ(view.num_banks(), cfg.banks());
+  EXPECT_EQ(view.name(), "interleaved+failover");
+  ASSERT_EQ(timing.bank.size(), addrs.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    ASSERT_EQ(timing.bank[i], view.bank_of(addrs[i])) << "request " << i;
+
+  // A healthy plan makes the view a passthrough of the base mapping.
+  const fault::FailoverMapping id(
+      base, std::make_shared<fault::FaultPlan>(fault::FaultConfig{},
+                                               cfg.banks()),
+      /*observe_time=*/0);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(id.bank_of(addrs[i]), base->bank_of(addrs[i]));
+
+  // Bank-count mismatches are rejected, like Machine::inject.
+  EXPECT_THROW(fault::FailoverMapping(
+                   base,
+                   std::make_shared<fault::FaultPlan>(fc, cfg.banks() * 2),
+                   0),
+               std::invalid_argument);
+}
+
+TEST(MachineFaults, DropsRetryAndRecover) {
+  const auto cfg = small_machine();
+  const auto addrs = workload::uniform_random(4096, 1 << 20, 11);
+  sim::Machine machine(cfg);
+
+  fault::FaultConfig fc;
+  fc.drop_rate = 0.05;
+  fc.retry.max_retries = 16;
+  machine.inject(std::make_shared<fault::FaultPlan>(fc, cfg.banks()));
+  const auto out = machine.scatter_faulty(addrs);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.bulk.completed, addrs.size());
+  EXPECT_GT(out.bulk.nacks, 0u);
+  EXPECT_EQ(out.bulk.retries, out.bulk.nacks);  // every NACK was retried
+}
+
+TEST(MachineFaults, RetryBudgetExhaustionIsStructured) {
+  const auto cfg = small_machine();
+  const auto addrs = workload::uniform_random(512, 1 << 20, 13);
+  sim::Machine machine(cfg);
+
+  fault::FaultConfig fc;
+  fc.drop_rate = 1.0;  // every attempt NACKed: nothing can complete
+  fc.retry.max_retries = 3;
+  machine.inject(std::make_shared<fault::FaultPlan>(fc, cfg.banks()));
+  const auto out = machine.scatter_faulty(addrs);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.degraded->failed_requests, addrs.size());
+  EXPECT_EQ(out.bulk.completed, 0u);
+  EXPECT_EQ(out.degraded->attempts, 4u);  // 1 try + 3 retries
+  EXPECT_NE(out.degraded->reason.find("retry budget"), std::string::npos);
+  // The throwing surface reports the same structure.
+  EXPECT_THROW((void)machine.scatter(addrs), fault::DegradedError);
+}
+
+TEST(MachineFaults, AllBanksDeadFailsFastNotSilently) {
+  const auto cfg = small_machine();
+  const auto addrs = workload::uniform_random(256, 1 << 20, 17);
+  sim::Machine machine(cfg);
+
+  fault::FaultConfig fc;
+  fc.dead_fraction = 1.0;
+  machine.inject(std::make_shared<fault::FaultPlan>(fc, cfg.banks()));
+  const auto out = machine.scatter_faulty(addrs);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.degraded->failed_requests, addrs.size());
+  EXPECT_EQ(out.bulk.completed, 0u);
+  EXPECT_NE(out.degraded->reason.find("alive"), std::string::npos);
+}
+
+TEST(MachineFaults, InjectRejectsMismatchedPlan) {
+  sim::Machine machine(small_machine());
+  EXPECT_THROW(machine.inject(std::make_shared<fault::FaultPlan>(
+                   fault::FaultConfig{}, 3)),
+               std::invalid_argument);
+}
+
+// ---- Determinism property: identical seeds => bit-identical telemetry,
+// across repeated runs and across host thread-pool sizes. ----
+
+fault::FaultConfig chaos_config(std::uint64_t seed) {
+  util::Xoshiro256 rng(util::substream(seed, 0xc4a05));
+  fault::FaultConfig fc;
+  fc.seed = seed;
+  fc.slow_fraction = rng.uniform() * 0.5;
+  fc.slow_multiplier = 1 + rng.below(8);
+  fc.slow_onset = rng.below(2048);
+  fc.slow_duration = 1 + rng.below(1 << 16);
+  fc.dead_fraction = rng.uniform() * 0.5;
+  fc.dead_onset = rng.below(2048);
+  fc.drop_rate = rng.uniform() * 0.2;
+  fc.retry.max_retries = 2 + rng.below(10);
+  fc.retry.backoff_base = 1 + rng.below(64);
+  fc.retry.backoff_cap = fc.retry.backoff_base * (1 + rng.below(64));
+  fc.retry.jitter = rng.below(16);
+  return fc;
+}
+
+sim::FaultyBulk chaos_run(std::uint64_t seed) {
+  const auto cfg = small_machine();
+  const auto addrs =
+      workload::uniform_random(4096, 1 << 20, util::substream(seed, 1));
+  sim::Machine machine(cfg);
+  machine.inject(std::make_shared<fault::FaultPlan>(chaos_config(seed),
+                                                    cfg.banks()));
+  return machine.scatter_faulty(addrs);
+}
+
+TEST(FaultDeterminism, IdenticalSeedsAcrossRunsAndPoolSizes) {
+  constexpr std::uint64_t kSeeds = 8;
+  std::vector<sim::FaultyBulk> reference(kSeeds);
+  for (std::uint64_t s = 0; s < kSeeds; ++s) reference[s] = chaos_run(s);
+
+  for (const std::size_t pool_size : {1u, 4u}) {
+    util::ThreadPool pool(pool_size);
+    std::vector<sim::FaultyBulk> got(kSeeds);
+    pool.parallel_for(kSeeds,
+                      [&](std::size_t s) { got[s] = chaos_run(s); });
+    for (std::uint64_t s = 0; s < kSeeds; ++s) {
+      SCOPED_TRACE("seed " + std::to_string(s) + " pool " +
+                   std::to_string(pool_size));
+      expect_identical(reference[s].bulk, got[s].bulk);
+      ASSERT_EQ(reference[s].ok(), got[s].ok());
+      if (!reference[s].ok()) {
+        EXPECT_EQ(reference[s].degraded->failed_requests,
+                  got[s].degraded->failed_requests);
+        EXPECT_EQ(reference[s].degraded->first_failed_element,
+                  got[s].degraded->first_failed_element);
+        EXPECT_EQ(reference[s].degraded->attempts, got[s].degraded->attempts);
+        EXPECT_EQ(reference[s].degraded->reason, got[s].degraded->reason);
+      }
+    }
+  }
+}
+
+// ---- Chaos harness: random seeded fault plans; invariants are
+// termination, request conservation, and structured (never silent)
+// failure. Run under sanitizers by scripts/ci.sh. ----
+
+TEST(Chaos, RandomPlansTerminateAndConserveRequests) {
+  constexpr std::uint64_t kTrials = 24;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    const auto out = chaos_run(seed + 1000);
+    const std::uint64_t failed =
+        out.degraded ? out.degraded->failed_requests : 0;
+    EXPECT_EQ(out.bulk.completed + failed, out.bulk.n);
+    EXPECT_GE(out.bulk.nacks, out.bulk.retries);
+    if (out.degraded) {
+      EXPECT_GT(out.degraded->failed_requests, 0u);
+      EXPECT_FALSE(out.degraded->reason.empty());
+    }
+    EXPECT_GT(out.bulk.cycles, 0u);
+  }
+}
+
+// ---- Analytic degraded model vs. the simulator (docs/faults.md states
+// the tolerance these assertions enforce). ----
+
+double sim_degraded_cycles(const sim::MachineConfig& cfg,
+                           const fault::FaultConfig& fc,
+                           std::uint64_t n) {
+  const auto addrs = workload::uniform_random(n, 1 << 20, 29);
+  sim::Machine machine(cfg);
+  machine.inject(std::make_shared<fault::FaultPlan>(fc, cfg.banks()));
+  const auto out = machine.scatter_faulty(addrs);
+  EXPECT_TRUE(out.ok());
+  return static_cast<double>(out.bulk.cycles);
+}
+
+TEST(DegradedModel, PredictsSlowDeadAndDropWithinTolerance) {
+  auto cfg = small_machine();
+  cfg.processors = 8;
+  cfg.expansion = 8;
+  const std::uint64_t n = 1 << 16;
+
+  // The sweep of docs/faults.md: each scenario must predict within 25%.
+  std::vector<fault::FaultConfig> sweep;
+  {
+    fault::FaultConfig fc;  // healthy: the baseline sanity point
+    sweep.push_back(fc);
+    fc.slow_fraction = 0.25;
+    fc.slow_multiplier = 4;
+    sweep.push_back(fc);
+    fc = {};
+    fc.dead_fraction = 0.25;
+    sweep.push_back(fc);
+    fc = {};
+    fc.drop_rate = 0.05;
+    fc.retry.max_retries = 16;
+    sweep.push_back(fc);
+    fc = {};
+    fc.slow_fraction = 0.25;
+    fc.slow_multiplier = 2;
+    fc.dead_fraction = 0.125;
+    fc.drop_rate = 0.02;
+    fc.retry.max_retries = 16;
+    sweep.push_back(fc);
+  }
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    SCOPED_TRACE("scenario " + std::to_string(i));
+    const fault::FaultPlan plan(sweep[i], cfg.banks());
+    const auto pred = stats::predict_degraded(cfg, plan, n);
+    const double sim = sim_degraded_cycles(cfg, sweep[i], n);
+    EXPECT_NEAR(pred.cycles / sim, 1.0, 0.25)
+        << "predicted " << pred.cycles << " vs simulated " << sim;
+  }
+}
+
+TEST(DegradedModel, EffectiveParameters) {
+  auto cfg = small_machine();
+  fault::FaultConfig fc;
+  fc.slow_fraction = 1.0;
+  fc.slow_multiplier = 4;
+  fc.dead_fraction = 0.25;
+  const fault::FaultPlan plan(fc, cfg.banks());
+  const auto pred = stats::predict_degraded(cfg, plan, 1 << 14);
+  // d' = d/(1 - f_slow) with f_slow = 1 - 1/m  =>  d' = d·m.
+  EXPECT_DOUBLE_EQ(pred.d_eff,
+                   static_cast<double>(cfg.bank_delay * fc.slow_multiplier));
+  // x' = x·(1 - f_dead).
+  EXPECT_DOUBLE_EQ(pred.x_eff, static_cast<double>(cfg.expansion) * 0.75);
+}
+
+}  // namespace
+}  // namespace dxbsp

@@ -40,6 +40,70 @@ TEST(MachineConfig, ValidateRejectsBadParameters) {
   EXPECT_THROW(c.validate(), std::invalid_argument);
 }
 
+TEST(MachineConfig, ValidateRejectsEveryZeroParameter) {
+  // Each mechanism parameter must be >= 1 regardless of whether its
+  // feature is enabled; a zero is always a configuration error.
+  const auto base = simple(4, 1, 8, 4, 4);
+  auto expect_reject = [&](auto&& mutate) {
+    auto c = base;
+    mutate(c);
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+  };
+  expect_reject([](auto& c) { c.processors = 0; });
+  expect_reject([](auto& c) { c.gap = 0; });
+  expect_reject([](auto& c) { c.bank_delay = 0; });
+  expect_reject([](auto& c) { c.expansion = 0; });
+  expect_reject([](auto& c) { c.slackness = 0; });
+  expect_reject([](auto& c) { c.section_period = 0; });
+  expect_reject([](auto& c) { c.link_period = 0; });
+  expect_reject([](auto& c) { c.bank_ports = 0; });
+  expect_reject([](auto& c) { c.bank_cache_lines = 4; c.cache_line_words = 0; });
+  expect_reject([](auto& c) { c.bank_cache_lines = 4; c.cached_delay = 0; });
+  // cached_delay cannot exceed the uncached busy period.
+  expect_reject([](auto& c) {
+    c.bank_cache_lines = 4;
+    c.cached_delay = c.bank_delay + 1;
+  });
+}
+
+TEST(MachineConfig, ValidateRejectsButterflySectionMix) {
+  auto c = simple(4, 1, 8, 4, 4);
+  c.butterfly_network = true;
+  c.network_sections = 2;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.network_sections = 0;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(MachineConfig, ParseRejectsBadSpecs) {
+  using sim::MachineConfig;
+  // Unknown preset and unknown key.
+  EXPECT_THROW((void)MachineConfig::parse("cray-t3e"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("j90,bogus=1"),
+               std::invalid_argument);
+  // Malformed tokens and values.
+  EXPECT_THROW((void)MachineConfig::parse("j90,p"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("p=abc"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("dist=diagonal"),
+               std::invalid_argument);
+  // Zero values reach validate() and are rejected there.
+  EXPECT_THROW((void)MachineConfig::parse("p=0"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("g=0"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("d=0"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("x=0"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("S=0"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("section-period=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("link-period=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("ports=0"), std::invalid_argument);
+  // The butterfly/sections exclusion applies through parse too.
+  EXPECT_THROW((void)MachineConfig::parse("butterfly=1,sections=2"),
+               std::invalid_argument);
+  // A valid spec still parses.
+  EXPECT_NO_THROW((void)MachineConfig::parse("j90,p=16,d=20"));
+}
+
 TEST(MachineConfig, PresetsAreValid) {
   for (const auto& c : sim::MachineConfig::table1_presets()) {
     EXPECT_NO_THROW(c.validate());

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 #include "util/bits.hpp"
 #include "util/cli.hpp"
@@ -264,6 +267,44 @@ TEST(ThreadPool, SubmitReturnsValue) {
   util::ThreadPool pool(2);
   auto f = pool.submit([] { return 41 + 1; });
   EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForHandlesLargeIndexSpaces) {
+  // Chunked dispatch: a large loop must not enqueue one task (and one
+  // future) per index. Correctness check: every index runs exactly once.
+  util::ThreadPool pool(4);
+  const std::size_t n = 1 << 20;
+  std::vector<std::atomic<std::uint8_t>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1u);
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoop) {
+  util::ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstExceptionAfterCompletion) {
+  util::ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<std::atomic<std::uint8_t>> hits(n);
+  try {
+    pool.parallel_for(n, [&](std::size_t i) {
+      if (i == 17) throw std::runtime_error("first");
+      if (i == n - 1) throw std::runtime_error("later");
+      hits[i].fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");  // lowest chunk wins
+  }
+  // No detached work: by the time parallel_for returned, every
+  // non-throwing index had executed.
+  std::size_t ran = 0;
+  for (std::size_t i = 0; i < n; ++i) ran += hits[i].load();
+  EXPECT_EQ(ran, n - 2);
 }
 
 }  // namespace
