@@ -2,10 +2,23 @@
 // Shared plumbing for the experiment binaries: every bench prints the
 // rows/series of one paper table or figure (ASCII by default, CSV with
 // --csv), takes --seed, and sizes down cleanly with --n for smoke runs.
+//
+// Long-running sweeps additionally take the resilience flags
+// (docs/resilience.md):
+//   --checkpoint=PATH   crash-atomic snapshot of completed grid points
+//   --resume=PATH       skip points already in PATH (sweep_id-checked)
+//   --deadline=SECONDS  stop cleanly when the wall-clock budget expires
+//   --stall-timeout=S   watchdog: abort if the event loop stops advancing
+//   --checkpoint-every=K  flush cadence in completed points (default 1)
+//   --threads=T         fan grid points over a thread pool
+// An interrupted sweep prints a structured outcome and exits 75
+// (EX_TEMPFAIL) so scripts can tell "resume me" from "I failed".
 
 #include <iostream>
 #include <string>
 
+#include "resilience/error.hpp"
+#include "resilience/sweep.hpp"
 #include "sim/machine_config.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -33,7 +46,50 @@ inline sim::MachineConfig machine_from_cli(const util::Cli& cli) {
   if (name == "j90") return sim::MachineConfig::cray_j90();
   if (name == "c90") return sim::MachineConfig::cray_c90();
   if (name == "tera") return sim::MachineConfig::tera_like();
-  throw std::invalid_argument("unknown --machine '" + name + "'");
+  raise(ErrorCode::kConfig, "unknown --machine '" + name + "'");
+}
+
+/// Builds SweepOptions from the shared resilience flags.
+inline resilience::SweepOptions sweep_options_from_cli(const util::Cli& cli) {
+  resilience::SweepOptions opt;
+  opt.checkpoint_path = cli.get("checkpoint", "");
+  opt.resume_path = cli.get("resume", "");
+  opt.deadline_seconds = cli.get_double("deadline", 0.0);
+  opt.stall_seconds = cli.get_double("stall-timeout", 0.0);
+  opt.checkpoint_every = cli.get_uint("checkpoint-every", 1);
+  opt.threads = cli.get_uint("threads", 0);
+  return opt;
+}
+
+/// Handles a sweep's outcome: 0 when complete; otherwise prints the
+/// structured Interrupted record and returns 75 (EX_TEMPFAIL) so callers
+/// know the run is resumable, not failed.
+inline int finish_sweep(const resilience::SweepReport& report) {
+  if (report.ok()) return 0;
+  std::cout << "INTERRUPTED cause=" << resilience::cancel_cause_name(
+                                           report.cause)
+            << " completed=" << report.completed << "/" << report.total
+            << " resumed=" << report.resumed;
+  if (!report.checkpoint.empty())
+    std::cout << " checkpoint=" << report.checkpoint;
+  std::cout << "\n"
+            << "resume with --resume=" +
+                   (report.checkpoint.empty() ? std::string("<checkpoint>")
+                                              : report.checkpoint)
+            << "\n";
+  return exit_code(ErrorCode::kInterrupted);
+}
+
+/// Wraps a bench's main body: dxbsp::Error maps to its structured exit
+/// code with a one-line diagnostic instead of std::terminate noise.
+template <typename F>
+int guarded(F&& body) {
+  try {
+    return body();
+  } catch (const dxbsp::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return exit_code(e.code());
+  }
 }
 
 }  // namespace dxbsp::bench

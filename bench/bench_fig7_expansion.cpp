@@ -5,8 +5,16 @@
 // point, because extra banks thin the tail of the random max bank load.
 // We sweep x for the J90-like delay (d=14) and the C90-like delay (d=6)
 // and overlay the analytic balls-in-bins prediction.
+//
+// The sweep runs under SweepRunner: grid points are keyed (d << 32) | x,
+// each point is a pure function of its key (its workload is regenerated
+// from --seed), and tables are rendered from the stored records only
+// after the sweep completes — so --checkpoint/--resume reproduce the
+// uninterrupted output byte for byte.
 
+#include <bit>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/balls_bins.hpp"
@@ -15,27 +23,34 @@
 
 int main(int argc, char** argv) {
   using namespace dxbsp;
-  const util::Cli cli(argc, argv);
-  // Default sized so the per-bank load around x = d is a few hundred
-  // requests: that is where the random max-load tail — the thing banks
-  // beyond x = d shave off — is a visible fraction of the time. (With
-  // much larger n the tail is relatively negligible and the curve
-  // saturates at x = d, which the sweep also demonstrates via --n.)
-  const std::uint64_t n = cli.get_int("n", 1 << 15);
-  const std::uint64_t p = cli.get_int("p", 8);
-  const std::uint64_t seed = cli.get_int("seed", 1995);
+  return bench::guarded([&] {
+    const util::Cli cli(argc, argv);
+    // Default sized so the per-bank load around x = d is a few hundred
+    // requests: that is where the random max-load tail — the thing banks
+    // beyond x = d shave off — is a visible fraction of the time. (With
+    // much larger n the tail is relatively negligible and the curve
+    // saturates at x = d, which the sweep also demonstrates via --n.)
+    const std::uint64_t n = cli.get_uint("n", 1 << 15);
+    const std::uint64_t p = cli.get_uint("p", 8);
+    const std::uint64_t seed = cli.get_uint("seed", 1995);
 
-  bench::banner("Fig 7 (expansion)",
-                "Scatter time vs expansion x, random pattern, n = " +
-                    std::to_string(n) + ", p = " + std::to_string(p));
+    bench::banner("Fig 7 (expansion)",
+                  "Scatter time vs expansion x, random pattern, n = " +
+                      std::to_string(n) + ", p = " + std::to_string(p));
 
-  const auto addrs = workload::uniform_random(n, 1ULL << 30, seed);
-  for (const std::uint64_t d : {std::uint64_t{6}, std::uint64_t{14}}) {
-    util::Table t({"x (d=" + std::to_string(d) + ")", "measured cycles",
-                   "analytic dxbsp", "cyc/elt", "speedup vs x=1",
-                   "x = d marker"});
-    std::uint64_t base = 0;
-    for (std::uint64_t x = 1; x <= 16 * d; x *= 2) {
+    const std::vector<std::uint64_t> delays = {6, 14};
+    std::vector<std::uint64_t> keys;
+    for (const std::uint64_t d : delays)
+      for (std::uint64_t x = 1; x <= 16 * d; x *= 2)
+        keys.push_back((d << 32) | x);
+
+    resilience::SweepRunner runner(
+        resilience::sweep_id("fig7_expansion", {n, p, seed}),
+        bench::sweep_options_from_cli(cli));
+    const auto report = runner.run(keys, [&](std::uint64_t key) {
+      const std::uint64_t d = key >> 32;
+      const std::uint64_t x = key & 0xFFFFFFFFULL;
+      const auto addrs = workload::uniform_random(n, 1ULL << 30, seed);
       sim::MachineConfig cfg;
       cfg.name = "sweep";
       cfg.processors = p;
@@ -45,17 +60,37 @@ int main(int argc, char** argv) {
       cfg.expansion = x;
       cfg.slackness = 64 * 1024;
       sim::Machine machine(cfg);
-      const auto meas = machine.scatter(addrs);
-      if (base == 0) base = meas.cycles;
-      const double analytic =
-          core::predicted_random_pattern_cycles(n, p, 1, 30, d, x);
-      t.add_row(x, meas.cycles, analytic, meas.cycles_per_element(),
-                static_cast<double>(base) / meas.cycles,
-                x == d ? "<= natural x=d" : (x == 2 * d ? "(beyond d)" : ""));
+      machine.set_cancel(&runner.token());
+      resilience::SnapshotRecord rec;
+      rec.key = key;
+      rec.rng_state = seed;
+      rec.result = machine.scatter(addrs);
+      rec.aux[0] = std::bit_cast<std::uint64_t>(
+          core::predicted_random_pattern_cycles(n, p, 1, 30, d, x));
+      return rec;
+    });
+    if (!report.ok()) return bench::finish_sweep(report);
+
+    for (const std::uint64_t d : delays) {
+      util::Table t({"x (d=" + std::to_string(d) + ")", "measured cycles",
+                     "analytic dxbsp", "cyc/elt", "speedup vs x=1",
+                     "x = d marker"});
+      std::uint64_t base = 0;
+      for (std::uint64_t x = 1; x <= 16 * d; x *= 2) {
+        const auto& rec = runner.record((d << 32) | x);
+        const auto& meas = rec.result;
+        if (base == 0) base = meas.cycles;
+        t.add_row(x, meas.cycles, std::bit_cast<double>(rec.aux[0]),
+                  meas.cycles_per_element(),
+                  static_cast<double>(base) / meas.cycles,
+                  x == d ? "<= natural x=d"
+                         : (x == 2 * d ? "(beyond d)" : ""));
+      }
+      bench::emit(cli, t);
+      std::cout
+          << "expansion after which banks stop mattering (analytic): x = "
+          << core::effective_expansion_limit(n, p, 1, d, 1024) << "\n\n";
     }
-    bench::emit(cli, t);
-    std::cout << "expansion after which banks stop mattering (analytic): x = "
-              << core::effective_expansion_limit(n, p, 1, d, 1024) << "\n\n";
-  }
-  return 0;
+    return 0;
+  });
 }

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "core/balls_bins.hpp"
+#include "resilience/error.hpp"
 #include "core/predictor.hpp"
 #include "fault/fault_plan.hpp"
 #include "sim/machine.hpp"
@@ -25,7 +26,21 @@
 #include "util/table.hpp"
 #include "workload/patterns.hpp"
 
+static int run(int argc, char** argv);
+
 int main(int argc, char** argv) {
+  using namespace dxbsp;
+  try {
+    return run(argc, argv);
+  } catch (const Error& e) {
+    // Structured diagnostics: a bad flag, fault spec, or config exits
+    // with the taxonomy's code instead of an unhandled-exception abort.
+    std::cerr << "error: " << e.what() << "\n";
+    return exit_code(e.code());
+  }
+}
+
+static int run(int argc, char** argv) {
   using namespace dxbsp;
   const util::Cli cli(argc, argv);
   const std::uint64_t n = cli.get_int("n", 1 << 18);

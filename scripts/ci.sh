@@ -3,9 +3,15 @@
 #
 # 1. Configure + build + ctest with the default toolchain flags.
 # 2. Configure + build + ctest a second tree with DXBSP_SANITIZE=ON
-#    (-fsanitize=address,undefined), and run the chaos fault harness
-#    explicitly under the sanitizers (random seeded fault plans are the
-#    likeliest place for a latent memory bug to hide).
+#    (-fsanitize=address,undefined), and run the chaos fault harness and
+#    the snapshot corruption fuzz explicitly under the sanitizers (random
+#    seeded fault plans and attacker-shaped snapshot bytes are the
+#    likeliest places for a latent memory bug to hide).
+# 3. Kill-and-resume smoke: SIGTERM a checkpointing sweep mid-flight,
+#    resume it, and require the output to be byte-identical to a
+#    straight-through run. Also checks that --deadline=0.000001 produces
+#    the structured Interrupted outcome (exit 75) and a loadable
+#    checkpoint.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -25,5 +31,53 @@ ctest --test-dir build-ci-san -j"$JOBS" --output-on-failure
 echo "== chaos fault harness under sanitizers =="
 ./build-ci-san/tests/fault_test \
   --gtest_filter='Chaos.*:FaultDeterminism.*'
+
+echo "== snapshot corruption fuzz under sanitizers =="
+./build-ci-san/tests/resilience_test \
+  --gtest_filter='Snapshot.*:Sweep.Resume*'
+
+echo "== kill-and-resume smoke =="
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+BENCH=./build-ci/bench/bench_fig7_expansion
+SMOKE_ARGS=(--n=32768 --seed=1995)
+
+# Reference: one uninterrupted run.
+"$BENCH" "${SMOKE_ARGS[@]}" > "$SMOKE/reference.txt"
+
+# Interrupted run: SIGTERM it mid-flight. Exit 75 = interrupted with a
+# checkpoint (the common case); exit 0 means the sweep finished before
+# the signal landed, which is fine — resume is then a pure replay.
+"$BENCH" "${SMOKE_ARGS[@]}" --checkpoint="$SMOKE/ck.snap" \
+  > "$SMOKE/interrupted.txt" &
+PID=$!
+sleep 0.2
+kill -TERM "$PID" 2>/dev/null || true
+RC=0
+wait "$PID" || RC=$?
+if [[ "$RC" != 75 && "$RC" != 0 ]]; then
+  echo "kill-and-resume: unexpected exit $RC from interrupted run" >&2
+  exit 1
+fi
+echo "interrupted run exited $RC"
+
+# Resume and require byte-identical output.
+"$BENCH" "${SMOKE_ARGS[@]}" --resume="$SMOKE/ck.snap" > "$SMOKE/resumed.txt"
+cmp "$SMOKE/reference.txt" "$SMOKE/resumed.txt"
+echo "resumed output is byte-identical to the uninterrupted run"
+
+# Deadline path: must exit 75 with the structured outcome and leave a
+# loadable checkpoint behind (the resumed run proves loadability).
+RC=0
+"$BENCH" "${SMOKE_ARGS[@]}" --deadline=0.000001 \
+  --checkpoint="$SMOKE/dl.snap" > "$SMOKE/deadline.txt" || RC=$?
+if [[ "$RC" != 75 ]]; then
+  echo "deadline smoke: expected exit 75, got $RC" >&2
+  exit 1
+fi
+grep -q "INTERRUPTED cause=deadline" "$SMOKE/deadline.txt"
+"$BENCH" "${SMOKE_ARGS[@]}" --resume="$SMOKE/dl.snap" > "$SMOKE/dl_resumed.txt"
+cmp "$SMOKE/reference.txt" "$SMOKE/dl_resumed.txt"
+echo "deadline interrupt is structured and resumable"
 
 echo "ci.sh: all green"

@@ -1,6 +1,6 @@
 #include "fault/failover_mapping.hpp"
 
-#include <stdexcept>
+#include "resilience/error.hpp"
 #include <utility>
 
 namespace dxbsp::fault {
@@ -13,11 +13,11 @@ FailoverMapping::FailoverMapping(std::shared_ptr<const mem::BankMapping> base,
       plan_(std::move(plan)),
       time_(observe_time) {
   if (!base_ || !plan_) {
-    throw std::invalid_argument(
+    raise(ErrorCode::kConfig,
         "FailoverMapping: base mapping and fault plan are required");
   }
   if (plan_->num_banks() != num_banks_) {
-    throw std::invalid_argument(
+    raise(ErrorCode::kConfig,
         "FailoverMapping: plan has " + std::to_string(plan_->num_banks()) +
         " banks, mapping has " + std::to_string(num_banks_));
   }

@@ -1,5 +1,7 @@
 #include "fault/fault_plan.hpp"
 
+#include "resilience/error.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -47,19 +49,19 @@ double to_unit(std::uint64_t h) {
 
 void FaultConfig::validate() const {
   if (slow_fraction < 0.0 || slow_fraction > 1.0)
-    throw std::invalid_argument("FaultConfig: slow_fraction must be in [0,1]");
+    raise(ErrorCode::kConfig, "FaultConfig: slow_fraction must be in [0,1]");
   if (dead_fraction < 0.0 || dead_fraction > 1.0)
-    throw std::invalid_argument("FaultConfig: dead_fraction must be in [0,1]");
+    raise(ErrorCode::kConfig, "FaultConfig: dead_fraction must be in [0,1]");
   if (drop_rate < 0.0 || drop_rate > 1.0)
-    throw std::invalid_argument("FaultConfig: drop_rate must be in [0,1]");
+    raise(ErrorCode::kConfig, "FaultConfig: drop_rate must be in [0,1]");
   if (slow_multiplier == 0)
-    throw std::invalid_argument("FaultConfig: slow_multiplier must be >= 1");
+    raise(ErrorCode::kConfig, "FaultConfig: slow_multiplier must be >= 1");
   if (slow_duration == 0)
-    throw std::invalid_argument("FaultConfig: slow_duration must be >= 1");
+    raise(ErrorCode::kConfig, "FaultConfig: slow_duration must be >= 1");
   if (retry.backoff_base == 0)
-    throw std::invalid_argument("FaultConfig: backoff_base must be >= 1");
+    raise(ErrorCode::kConfig, "FaultConfig: backoff_base must be >= 1");
   if (retry.backoff_cap < retry.backoff_base)
-    throw std::invalid_argument(
+    raise(ErrorCode::kConfig,
         "FaultConfig: backoff_cap must be >= backoff_base");
 }
 
@@ -73,7 +75,7 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
       const std::string tok = spec.substr(start, end - start);
       const std::size_t eq = tok.find('=');
       if (eq == std::string::npos)
-        throw std::invalid_argument(
+        raise(ErrorCode::kParse,
             "FaultConfig::parse: expected key=value, got '" + tok + "'");
       const std::string key = tok.substr(0, eq);
       const std::string value = tok.substr(eq + 1);
@@ -81,7 +83,7 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
         try {
           return static_cast<std::uint64_t>(std::stoull(value));
         } catch (const std::exception&) {
-          throw std::invalid_argument("FaultConfig::parse: bad value for '" +
+          raise(ErrorCode::kParse, "FaultConfig::parse: bad value for '" +
                                       key + "': '" + value + "'");
         }
       };
@@ -89,7 +91,7 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
         try {
           return std::stod(value);
         } catch (const std::exception&) {
-          throw std::invalid_argument("FaultConfig::parse: bad value for '" +
+          raise(ErrorCode::kParse, "FaultConfig::parse: bad value for '" +
                                       key + "': '" + value + "'");
         }
       };
@@ -118,7 +120,7 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
       } else if (key == "jitter") {
         cfg.retry.jitter = as_int();
       } else {
-        throw std::invalid_argument("FaultConfig::parse: unknown key '" + key +
+        raise(ErrorCode::kParse, "FaultConfig::parse: unknown key '" + key +
                                     "'");
       }
     }
@@ -136,7 +138,7 @@ FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint64_t num_banks)
       retry_(cfg.retry) {
   cfg.validate();
   if (num_banks == 0)
-    throw std::invalid_argument("FaultPlan: need at least one bank");
+    raise(ErrorCode::kConfig, "FaultPlan: need at least one bank");
   for (const std::uint64_t b :
        draw_banks(fraction_count(cfg.slow_fraction, num_banks), num_banks,
                   util::substream(cfg.seed, kSlowStream))) {
@@ -161,20 +163,20 @@ FaultPlan::FaultPlan(std::uint64_t num_banks, std::vector<SlowWindow> slow,
       slow_(std::move(slow)),
       deaths_(std::move(deaths)) {
   if (num_banks == 0)
-    throw std::invalid_argument("FaultPlan: need at least one bank");
+    raise(ErrorCode::kConfig, "FaultPlan: need at least one bank");
   for (const auto& w : slow_) {
     if (w.bank >= num_banks_)
-      throw std::invalid_argument("FaultPlan: slow window bank out of range");
+      raise(ErrorCode::kConfig, "FaultPlan: slow window bank out of range");
     if (w.multiplier == 0 || w.duration == 0)
-      throw std::invalid_argument(
+      raise(ErrorCode::kConfig,
           "FaultPlan: slow multiplier and duration must be >= 1");
   }
   for (const auto& d : deaths_) {
     if (d.bank >= num_banks_)
-      throw std::invalid_argument("FaultPlan: death bank out of range");
+      raise(ErrorCode::kConfig, "FaultPlan: death bank out of range");
   }
   if (drop_rate_ < 0.0 || drop_rate_ > 1.0)
-    throw std::invalid_argument("FaultPlan: drop_rate must be in [0,1]");
+    raise(ErrorCode::kConfig, "FaultPlan: drop_rate must be in [0,1]");
   index_faults();
 }
 

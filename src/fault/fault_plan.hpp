@@ -26,9 +26,10 @@
 // docs/faults.md describes the model and its analytic companion.
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "resilience/error.hpp"
 
 namespace dxbsp::fault {
 
@@ -66,13 +67,13 @@ struct FaultConfig {
     return slow_fraction > 0.0 || dead_fraction > 0.0 || drop_rate > 0.0;
   }
 
-  /// Throws std::invalid_argument if any parameter is out of range.
+  /// Throws Error{kConfig} if any parameter is out of range.
   void validate() const;
 
   /// Parses a fault spec string of comma-separated key=value pairs, e.g.
   /// "drop=0.01,slow=0.25,slow-mult=4,dead=0.125,seed=7". Keys: seed,
   /// slow, slow-mult, slow-onset, slow-dur, dead, dead-onset, drop,
-  /// retries, backoff, backoff-cap, jitter. Throws std::invalid_argument
+  /// retries, backoff, backoff-cap, jitter. Throws Error{kParse}
   /// on unknown keys or bad values; the result is validate()d.
   [[nodiscard]] static FaultConfig parse(const std::string& spec);
 };
@@ -103,10 +104,13 @@ struct DegradedResult {
 
 /// Exception form of DegradedResult, thrown by Machine::scatter when a
 /// fault plan is injected and the operation cannot fully complete.
-class DegradedError : public std::runtime_error {
+/// Part of the dxbsp::Error taxonomy (code kDegraded), so generic
+/// callers can route it by code while fault-aware ones keep catching
+/// DegradedError for the structured result.
+class DegradedError : public Error {
  public:
   explicit DegradedError(DegradedResult result)
-      : std::runtime_error("degraded operation: " + result.reason),
+      : Error(ErrorCode::kDegraded, "degraded operation: " + result.reason),
         result_(std::move(result)) {}
   [[nodiscard]] const DegradedResult& result() const noexcept {
     return result_;

@@ -1,6 +1,6 @@
 #include "qrqw/emulation.hpp"
 
-#include <stdexcept>
+#include "resilience/error.hpp"
 #include <vector>
 
 #include "qrqw/theory.hpp"
@@ -55,7 +55,7 @@ EmulationResult EmulationEngine::emulate_program(const QrqwProgram& program) {
 
 EmulationResult EmulationEngine::emulate_erew_step(const QrqwStep& step) {
   if (step.max_contention() > 1)
-    throw std::invalid_argument(
+    raise(ErrorCode::kConfig,
         "emulate_erew_step: step has contention > 1; the EREW PRAM forbids "
         "concurrent access");
   return emulate_step(step);

@@ -1,0 +1,101 @@
+#include "resilience/cancel.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <limits>
+
+namespace dxbsp::resilience {
+
+const char* cancel_cause_name(CancelCause cause) noexcept {
+  switch (cause) {
+    case CancelCause::kNone: return "none";
+    case CancelCause::kCancelled: return "cancelled";
+    case CancelCause::kSignal: return "signal";
+    case CancelCause::kDeadline: return "deadline";
+    case CancelCause::kStalled: return "stalled";
+  }
+  return "unknown";
+}
+
+Deadline::Deadline(double seconds) {
+  if (seconds <= 0.0) return;
+  active_ = true;
+  at_ = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+}
+
+bool Deadline::expired() const noexcept {
+  return active_ && std::chrono::steady_clock::now() >= at_;
+}
+
+double Deadline::remaining_seconds() const noexcept {
+  if (!active_) return std::numeric_limits<double>::infinity();
+  const auto left = at_ - std::chrono::steady_clock::now();
+  return std::max(0.0, std::chrono::duration<double>(left).count());
+}
+
+namespace {
+// The signal handler can only touch lock-free atomics; it reaches the
+// active token through this pointer (one ScopedSignalCancel at a time).
+std::atomic<CancelToken*> g_signal_token{nullptr};
+
+extern "C" void dxbsp_signal_handler(int) {
+  CancelToken* token = g_signal_token.load(std::memory_order_acquire);
+  if (token != nullptr) token->cancel(CancelCause::kSignal);
+}
+}  // namespace
+
+ScopedSignalCancel::ScopedSignalCancel(CancelToken& token) {
+  CancelToken* expected = nullptr;
+  if (!g_signal_token.compare_exchange_strong(expected, &token,
+                                              std::memory_order_acq_rel))
+    raise(ErrorCode::kConfig,
+          "ScopedSignalCancel: another instance is already installed");
+  prev_int_ = std::signal(SIGINT, dxbsp_signal_handler);
+  prev_term_ = std::signal(SIGTERM, dxbsp_signal_handler);
+}
+
+ScopedSignalCancel::~ScopedSignalCancel() {
+  std::signal(SIGINT, prev_int_ == SIG_ERR ? SIG_DFL : prev_int_);
+  std::signal(SIGTERM, prev_term_ == SIG_ERR ? SIG_DFL : prev_term_);
+  g_signal_token.store(nullptr, std::memory_order_release);
+}
+
+Watchdog::Watchdog(CancelToken& token, std::chrono::milliseconds stall_after)
+    : token_(token) {
+  if (stall_after.count() <= 0)
+    raise(ErrorCode::kConfig, "Watchdog: stall window must be positive");
+  thread_ = std::thread([this, stall_after] { loop(stall_after); });
+}
+
+Watchdog::~Watchdog() {
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+}
+
+void Watchdog::loop(std::chrono::milliseconds stall_after) {
+  const auto poll = std::max(std::chrono::milliseconds(10), stall_after / 4);
+  std::uint64_t last = token_.heartbeats();
+  auto last_change = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll);
+    if (token_.expired()) return;  // someone else already stopped the run
+    const std::uint64_t now_beats = token_.heartbeats();
+    const auto now = std::chrono::steady_clock::now();
+    if (now_beats != last) {
+      last = now_beats;
+      last_change = now;
+    } else if (now - last_change >= stall_after) {
+      std::fprintf(stderr,
+                   "[watchdog] no event-loop progress for %lld ms; "
+                   "cancelling run\n",
+                   static_cast<long long>(stall_after.count()));
+      token_.cancel(CancelCause::kStalled);
+      return;
+    }
+  }
+}
+
+}  // namespace dxbsp::resilience

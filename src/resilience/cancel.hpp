@@ -1,0 +1,149 @@
+#pragma once
+// Cooperative cancellation for long-running simulations.
+//
+// A CancelToken is a tiny shared flag that hot loops (Machine's event
+// loop, BankArray service, ThreadPool::parallel_for, SweepRunner) poll
+// at safe stopping points. It can trip three ways:
+//   * cancel()            — explicit, or from a SIGINT/SIGTERM handler
+//                           (ScopedSignalCancel); cause kSignal/kCancelled;
+//   * an attached Deadline — wall-clock budget (--deadline=SECONDS)
+//                           expires; cause kDeadline;
+//   * a Watchdog           — the heartbeat counter stops advancing for a
+//                           configured stall window (a wedged event loop);
+//                           cause kStalled.
+// Whichever fires first wins; the cause is latched so the structured
+// Interrupted outcome can say why. All operations are lock-free atomics;
+// cancel() is async-signal-safe.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "resilience/error.hpp"
+
+namespace dxbsp::resilience {
+
+/// Why a token tripped.
+enum class CancelCause : int {
+  kNone = 0,
+  kCancelled,  ///< explicit cancel() call
+  kSignal,     ///< SIGINT/SIGTERM via ScopedSignalCancel
+  kDeadline,   ///< wall-clock deadline expired
+  kStalled,    ///< watchdog saw no heartbeat progress
+};
+
+[[nodiscard]] const char* cancel_cause_name(CancelCause cause) noexcept;
+
+/// Wall-clock budget: expires `seconds` after construction.
+/// A non-positive budget means "no deadline" (never expires).
+class Deadline {
+ public:
+  Deadline() = default;
+  explicit Deadline(double seconds);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] bool expired() const noexcept;
+  /// Seconds left (0 when expired; +inf when inactive).
+  [[nodiscard]] double remaining_seconds() const noexcept;
+
+ private:
+  bool active_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// Shared cancellation flag. Copyable handles are not provided: share by
+/// pointer/reference (SweepRunner owns one; Machine et al. observe it).
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Trips the token (first cause wins). Async-signal-safe.
+  void cancel(CancelCause cause = CancelCause::kCancelled) noexcept {
+    int expected = static_cast<int>(CancelCause::kNone);
+    state_.compare_exchange_strong(expected, static_cast<int>(cause),
+                                   std::memory_order_acq_rel);
+  }
+
+  /// Attaches a wall-clock deadline; replaces any previous one.
+  void set_deadline(const Deadline& deadline) noexcept { deadline_ = deadline; }
+  [[nodiscard]] const Deadline& deadline() const noexcept { return deadline_; }
+
+  /// True iff cancelled or past the deadline. The deadline check reads
+  /// the clock, so hot loops should poll every ~2^k iterations, not
+  /// every iteration.
+  [[nodiscard]] bool expired() const noexcept {
+    if (state_.load(std::memory_order_acquire) !=
+        static_cast<int>(CancelCause::kNone))
+      return true;
+    if (deadline_.expired()) {
+      // Latch so cause() reports kDeadline even if cancel() races later.
+      const_cast<CancelToken*>(this)->cancel(CancelCause::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] CancelCause cause() const noexcept {
+    return static_cast<CancelCause>(state_.load(std::memory_order_acquire));
+  }
+
+  /// Throws Error{kInterrupted} when expired; `where` names the loop.
+  void raise_if_expired(const char* where) const {
+    if (expired())
+      raise(ErrorCode::kInterrupted,
+            std::string(where) + " interrupted (" +
+                cancel_cause_name(cause()) + ")");
+  }
+
+  /// Progress beacon for the Watchdog: hot loops call this at the same
+  /// cadence they poll expired().
+  void heartbeat() const noexcept {
+    progress_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t heartbeats() const noexcept {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> state_{static_cast<int>(CancelCause::kNone)};
+  mutable std::atomic<std::uint64_t> progress_{0};
+  Deadline deadline_{};
+};
+
+/// Routes SIGINT/SIGTERM to token.cancel(kSignal) for its lifetime; the
+/// previous handlers are restored on destruction. At most one instance
+/// may be live at a time (enforced; second construction throws kConfig).
+class ScopedSignalCancel {
+ public:
+  explicit ScopedSignalCancel(CancelToken& token);
+  ~ScopedSignalCancel();
+
+  ScopedSignalCancel(const ScopedSignalCancel&) = delete;
+  ScopedSignalCancel& operator=(const ScopedSignalCancel&) = delete;
+
+ private:
+  void (*prev_int_)(int) = nullptr;
+  void (*prev_term_)(int) = nullptr;
+};
+
+/// Background thread that trips `token` with kStalled when the token's
+/// heartbeat counter makes no progress for `stall_after`. Poll interval
+/// defaults to stall_after/4 (min 10ms) so tests can use short windows.
+class Watchdog {
+ public:
+  Watchdog(CancelToken& token, std::chrono::milliseconds stall_after);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+ private:
+  void loop(std::chrono::milliseconds stall_after);
+
+  CancelToken& token_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace dxbsp::resilience

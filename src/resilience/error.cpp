@@ -1,0 +1,33 @@
+#include "resilience/error.hpp"
+
+namespace dxbsp {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kConfig: return "config";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kCorruptInput: return "corrupt-input";
+    case ErrorCode::kCorruptSnapshot: return "corrupt-snapshot";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kInterrupted: return "interrupted";
+    case ErrorCode::kDegraded: return "degraded";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+int exit_code(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kConfig:
+    case ErrorCode::kParse: return 64;           // EX_USAGE
+    case ErrorCode::kCorruptInput:
+    case ErrorCode::kCorruptSnapshot: return 65; // EX_DATAERR
+    case ErrorCode::kIo: return 74;              // EX_IOERR
+    case ErrorCode::kInterrupted: return 75;     // EX_TEMPFAIL: retryable
+    case ErrorCode::kDegraded: return 69;        // EX_UNAVAILABLE
+    case ErrorCode::kInternal: return 70;        // EX_SOFTWARE
+  }
+  return 70;
+}
+
+}  // namespace dxbsp

@@ -1,0 +1,261 @@
+#include "resilience/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_set>
+
+namespace dxbsp::resilience {
+
+namespace {
+
+constexpr std::array<unsigned char, 8> kMagic = {'D', 'X', 'S', 'N',
+                                                 'A', 'P', '0', '1'};
+
+// Little-endian scalar append/read. The simulator only targets
+// little-endian hosts; static_assert keeps that assumption loud.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot format assumes a little-endian host");
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+std::uint32_t read_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t read_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Field order is the format contract: key, rng_state, failed_requests,
+// aux[4], then the BulkResult fields in declaration order with
+// bank_utilization bit-cast to u64. Changing this bumps kSnapshotVersion.
+void put_record(std::vector<unsigned char>& out, const SnapshotRecord& r) {
+  put_u64(out, r.key);
+  put_u64(out, r.rng_state);
+  put_u64(out, r.failed_requests);
+  for (const std::uint64_t a : r.aux) put_u64(out, a);
+  const sim::BulkResult& b = r.result;
+  put_u64(out, b.cycles);
+  put_u64(out, b.n);
+  put_u64(out, b.max_bank_load);
+  put_u64(out, b.max_proc_requests);
+  put_u64(out, b.last_issue);
+  put_u64(out, b.stall_cycles);
+  put_u64(out, b.port_conflicts);
+  put_u64(out, b.cache_hits);
+  put_u64(out, b.combined);
+  put_u64(out, b.completed);
+  put_u64(out, b.retries);
+  put_u64(out, b.nacks);
+  put_u64(out, b.failovers);
+  put_u64(out, b.degraded_cycles);
+  put_u64(out, std::bit_cast<std::uint64_t>(b.bank_utilization));
+}
+
+SnapshotRecord read_record(const unsigned char* p) {
+  SnapshotRecord r;
+  auto next = [&p] {
+    const std::uint64_t v = read_u64(p);
+    p += sizeof(v);
+    return v;
+  };
+  r.key = next();
+  r.rng_state = next();
+  r.failed_requests = next();
+  for (auto& a : r.aux) a = next();
+  sim::BulkResult& b = r.result;
+  b.cycles = next();
+  b.n = next();
+  b.max_bank_load = next();
+  b.max_proc_requests = next();
+  b.last_issue = next();
+  b.stall_cycles = next();
+  b.port_conflicts = next();
+  b.cache_hits = next();
+  b.combined = next();
+  b.completed = next();
+  b.retries = next();
+  b.nacks = next();
+  b.failovers = next();
+  b.degraded_cycles = next();
+  b.bank_utilization = std::bit_cast<double>(next());
+  return r;
+}
+
+Error corrupt(const std::string& origin, const std::string& why) {
+  return Error(ErrorCode::kCorruptSnapshot, origin + ": " + why);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const unsigned char> data,
+                    std::uint32_t seed) noexcept {
+  // Table-driven IEEE CRC-32; the table is built once, lazily.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (const unsigned char byte : data)
+    c = table[(c ^ byte) & 0xFFU] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFU;
+}
+
+std::vector<unsigned char> Snapshot::serialize() const {
+  std::vector<unsigned char> out;
+  out.reserve(kHeaderBytes + records.size() * kRecordBytes);
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  put_u32(out, static_cast<std::uint32_t>(kSnapshotVersion));
+  put_u32(out, 0);  // CRC placeholder, patched below
+  put_u64(out, sweep_id);
+  put_u64(out, records.size());
+  put_u64(out, kRecordBytes);
+  for (const auto& r : records) put_record(out, r);
+
+  // CRC over everything after the CRC field itself, so a flip anywhere
+  // in the ids, counts, or payload is caught.
+  const std::size_t crc_at = kMagic.size() + sizeof(std::uint32_t);
+  const std::size_t body = crc_at + sizeof(std::uint32_t);
+  const std::uint32_t crc =
+      crc32(std::span(out).subspan(body));
+  std::memcpy(out.data() + crc_at, &crc, sizeof(crc));
+  return out;
+}
+
+Expected<Snapshot> Snapshot::parse(std::span<const unsigned char> bytes,
+                                   const std::string& origin) {
+  if (bytes.size() < kHeaderBytes)
+    return corrupt(origin, "file shorter than the snapshot header (" +
+                               std::to_string(bytes.size()) + " bytes)");
+  if (!std::equal(kMagic.begin(), kMagic.end(), bytes.begin()))
+    return corrupt(origin, "bad magic (not a dxbsp snapshot)");
+  const unsigned char* p = bytes.data() + kMagic.size();
+  const std::uint32_t version = read_u32(p);
+  if (version != kSnapshotVersion)
+    return corrupt(origin, "unsupported snapshot version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kSnapshotVersion) + ")");
+  const std::uint32_t stored_crc = read_u32(p + 4);
+  const std::uint64_t sweep_id = read_u64(p + 8);
+  const std::uint64_t count = read_u64(p + 16);
+  const std::uint64_t record_bytes = read_u64(p + 24);
+  if (record_bytes != kRecordBytes)
+    return corrupt(origin, "record size " + std::to_string(record_bytes) +
+                               " does not match this build's " +
+                               std::to_string(kRecordBytes));
+
+  // The header count is untrusted: bound it by the bytes actually
+  // present before believing it (no allocation sized from the header).
+  const std::uint64_t payload = bytes.size() - kHeaderBytes;
+  if (count > payload / kRecordBytes || payload != count * kRecordBytes)
+    return corrupt(origin, "header claims " + std::to_string(count) +
+                               " records but file holds " +
+                               std::to_string(payload) + " payload bytes");
+
+  const std::uint32_t actual_crc =
+      crc32(bytes.subspan(kMagic.size() + 2 * sizeof(std::uint32_t)));
+  if (actual_crc != stored_crc)
+    return corrupt(origin, "CRC mismatch (stored " +
+                               std::to_string(stored_crc) + ", computed " +
+                               std::to_string(actual_crc) + ")");
+
+  Snapshot snap;
+  snap.sweep_id = sweep_id;
+  snap.records.reserve(count);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count);
+  const unsigned char* rec = bytes.data() + kHeaderBytes;
+  for (std::uint64_t i = 0; i < count; ++i, rec += kRecordBytes) {
+    SnapshotRecord r = read_record(rec);
+    if (!seen.insert(r.key).second)
+      return corrupt(origin,
+                     "duplicate point key " + std::to_string(r.key));
+    snap.records.push_back(std::move(r));
+  }
+  return snap;
+}
+
+Expected<Snapshot> Snapshot::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    return Error(ErrorCode::kIo, "Snapshot::load: cannot open " + path);
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(is)),
+                                   std::istreambuf_iterator<char>());
+  if (is.bad())
+    return Error(ErrorCode::kIo, "Snapshot::load: read failed for " + path);
+  return parse(bytes, path);
+}
+
+CheckpointWriter::CheckpointWriter(std::string path, std::uint64_t sweep_id)
+    : path_(std::move(path)), sweep_id_(sweep_id) {
+  if (path_.empty())
+    raise(ErrorCode::kConfig, "CheckpointWriter: empty path");
+}
+
+void CheckpointWriter::flush(std::span<const SnapshotRecord> records) {
+  Snapshot snap;
+  snap.sweep_id = sweep_id_;
+  snap.records.assign(records.begin(), records.end());
+  const std::vector<unsigned char> bytes = snap.serialize();
+
+  // tmp -> fsync -> rename: the checkpoint at path_ is always a
+  // complete, validated snapshot even if the process dies mid-flush.
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    raise(ErrorCode::kIo, "CheckpointWriter: cannot open " + tmp + ": " +
+                              std::strerror(errno));
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      raise(ErrorCode::kIo, "CheckpointWriter: write failed for " + tmp +
+                                ": " + std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    raise(ErrorCode::kIo,
+          "CheckpointWriter: fsync failed for " + tmp + ": " +
+              std::strerror(err));
+  }
+  if (::close(fd) != 0)
+    raise(ErrorCode::kIo, "CheckpointWriter: close failed for " + tmp + ": " +
+                              std::strerror(errno));
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0)
+    raise(ErrorCode::kIo, "CheckpointWriter: rename " + tmp + " -> " + path_ +
+                              " failed: " + std::strerror(errno));
+}
+
+}  // namespace dxbsp::resilience

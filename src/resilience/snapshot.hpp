@@ -1,0 +1,93 @@
+#pragma once
+// Versioned, CRC-guarded binary snapshots of in-progress sweep state.
+//
+// A sweep (one bench binary's parameter grid) is a set of points, each
+// identified by a caller-chosen 64-bit key. A Snapshot records, for
+// every completed point, the key, the RNG substream seed the point was
+// generated with, the full BulkResult telemetry, and a few bench-defined
+// auxiliary words — everything needed to re-emit that point's output
+// rows without re-simulating, so a resumed sweep is byte-identical to an
+// uninterrupted one.
+//
+// On-disk layout (little-endian, fixed field order — see
+// docs/resilience.md):
+//
+//   u8  magic[8]   "DXSNAP01"
+//   u32 version    (currently 1)
+//   u32 crc32      IEEE CRC-32 over every byte AFTER this field
+//   u64 sweep_id   fingerprint of (bench id, grid parameters, seed)
+//   u64 point_count
+//   u64 record_bytes   serialized size of one record (format guard)
+//   records[point_count], each kRecordBytes long
+//
+// Loading validates magic, version, record size, payload length against
+// the actual file size (before any allocation sized from the header),
+// the CRC, and key uniqueness; any mismatch is Error{kCorruptSnapshot}.
+// CheckpointWriter::flush is crash-atomic: tmp file -> fsync -> rename,
+// so a checkpoint on disk is always either the old or the new complete
+// snapshot, never a torn one.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "resilience/error.hpp"
+#include "sim/machine.hpp"
+
+namespace dxbsp::resilience {
+
+/// IEEE CRC-32 (the zlib/PNG polynomial), for snapshot integrity.
+[[nodiscard]] std::uint32_t crc32(std::span<const unsigned char> data,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// One completed grid point.
+struct SnapshotRecord {
+  std::uint64_t key = 0;        ///< caller-chosen grid-point id (unique)
+  std::uint64_t rng_state = 0;  ///< RNG substream seed the point used
+  std::uint64_t failed_requests = 0;  ///< degraded-operation count (0 = ok)
+  std::array<std::uint64_t, 4> aux{};  ///< bench-defined (bit-cast doubles ok)
+  sim::BulkResult result;       ///< full simulator telemetry
+};
+
+/// Serialized size of one record; bumping the format bumps kVersion.
+inline constexpr std::uint64_t kSnapshotVersion = 1;
+inline constexpr std::uint64_t kRecordBytes = (3 + 4 + 14 + 1) * 8;
+inline constexpr std::uint64_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
+
+/// A loaded (or in-construction) snapshot.
+struct Snapshot {
+  std::uint64_t sweep_id = 0;
+  std::vector<SnapshotRecord> records;
+
+  /// Serializes to the on-disk byte layout (header + records + CRC).
+  [[nodiscard]] std::vector<unsigned char> serialize() const;
+
+  /// Parses bytes in the on-disk layout. Never trusts a length field
+  /// without checking it against the bytes actually present.
+  [[nodiscard]] static Expected<Snapshot> parse(
+      std::span<const unsigned char> bytes, const std::string& origin);
+
+  /// Reads and parses `path`. A missing file is Error{kIo}; any
+  /// validation failure is Error{kCorruptSnapshot}.
+  [[nodiscard]] static Expected<Snapshot> load(const std::string& path);
+};
+
+/// Crash-atomic checkpoint persistence: each flush writes the complete
+/// snapshot to `path` + ".tmp", fsyncs, and renames over `path`.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(std::string path, std::uint64_t sweep_id);
+
+  /// Persists the given records; throws Error{kIo} on any failure.
+  void flush(std::span<const SnapshotRecord> records);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::uint64_t sweep_id_;
+};
+
+}  // namespace dxbsp::resilience

@@ -1,0 +1,176 @@
+#include "resilience/sweep.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace dxbsp::resilience {
+
+std::uint64_t sweep_id(const std::string& bench,
+                       std::initializer_list<std::uint64_t> params) {
+  // Order-sensitive chain of mix64 over the bench name and parameters:
+  // any difference in grid shape or seed yields a different id.
+  std::uint64_t h = 0x64787362'73703031ULL;  // "dxbsp01"
+  for (const char c : bench)
+    h = util::mix64(h ^ static_cast<std::uint64_t>(
+                            static_cast<unsigned char>(c)));
+  for (const std::uint64_t p : params) h = util::mix64(h ^ p);
+  return h;
+}
+
+SweepRunner::SweepRunner(std::uint64_t id, SweepOptions options)
+    : id_(id), options_(std::move(options)) {
+  // --resume without --checkpoint keeps checkpointing to the resume
+  // file, so a twice-interrupted sweep still loses no work.
+  if (options_.checkpoint_path.empty() && !options_.resume_path.empty())
+    options_.checkpoint_path = options_.resume_path;
+  if (options_.checkpoint_every == 0) options_.checkpoint_every = 1;
+}
+
+bool SweepRunner::has_record(std::uint64_t key) const noexcept {
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (keys_[i] == key)
+      return done_[i]->load(std::memory_order_acquire);
+  return false;
+}
+
+const SnapshotRecord& SweepRunner::record(std::uint64_t key) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (keys_[i] == key) {
+      if (!done_[i]->load(std::memory_order_acquire))
+        raise(ErrorCode::kInternal,
+              "SweepRunner::record: point " + std::to_string(key) +
+                  " was not completed");
+      return records_[i];
+    }
+  raise(ErrorCode::kInternal,
+        "SweepRunner::record: unknown point key " + std::to_string(key));
+}
+
+void SweepRunner::flush_completed() {
+  if (!writer_) return;
+  std::lock_guard lock(flush_mu_);
+  std::vector<SnapshotRecord> done;
+  done.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i)
+    if (done_[i]->load(std::memory_order_acquire)) done.push_back(records_[i]);
+  writer_->flush(done);
+}
+
+SweepReport SweepRunner::run(
+    std::span<const std::uint64_t> keys,
+    const std::function<SnapshotRecord(std::uint64_t)>& fn) {
+  keys_.assign(keys.begin(), keys.end());
+  records_.assign(keys_.size(), SnapshotRecord{});
+  done_.clear();
+  done_.reserve(keys_.size());
+  std::unordered_map<std::uint64_t, std::size_t> slot;
+  slot.reserve(keys_.size());
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    done_.push_back(std::make_unique<std::atomic<bool>>(false));
+    if (!slot.emplace(keys_[i], i).second)
+      raise(ErrorCode::kConfig, "SweepRunner: duplicate point key " +
+                                    std::to_string(keys_[i]));
+  }
+
+  SweepReport report;
+  report.total = keys_.size();
+
+  // Resume: replay completed points from the snapshot. A missing file is
+  // a fresh start (first run of a sweep that will checkpoint there); a
+  // corrupt file or one from a different sweep is a hard error — silently
+  // recomputing would mask data loss.
+  if (!options_.resume_path.empty()) {
+    auto loaded = Snapshot::load(options_.resume_path);
+    if (!loaded.ok() && loaded.error().code() != ErrorCode::kIo)
+      throw loaded.error();
+    if (loaded.ok()) {
+      const Snapshot& snap = loaded.value();
+      if (snap.sweep_id != id_)
+        raise(ErrorCode::kConfig,
+              "SweepRunner: snapshot " + options_.resume_path +
+                  " belongs to a different sweep (grid or seed changed?)");
+      for (const SnapshotRecord& r : snap.records) {
+        const auto it = slot.find(r.key);
+        if (it == slot.end())
+          raise(ErrorCode::kCorruptSnapshot,
+                options_.resume_path + ": snapshot point key " +
+                    std::to_string(r.key) + " is not in this grid");
+        records_[it->second] = r;
+        done_[it->second]->store(true, std::memory_order_release);
+        ++report.resumed;
+      }
+    }
+  }
+
+  if (!options_.checkpoint_path.empty())
+    writer_ = std::make_unique<CheckpointWriter>(options_.checkpoint_path,
+                                                 id_);
+
+  token_.set_deadline(Deadline(options_.deadline_seconds));
+  std::optional<ScopedSignalCancel> signals;
+  if (options_.handle_signals) signals.emplace(token_);
+  std::optional<Watchdog> watchdog;
+  if (options_.stall_seconds > 0)
+    watchdog.emplace(token_, std::chrono::milliseconds(static_cast<long>(
+                                 options_.stall_seconds * 1000.0)));
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (!done_[i]->load(std::memory_order_acquire)) pending.push_back(i);
+
+  // One point: compute, publish, heartbeat. Point functions are pure in
+  // their key, so a point abandoned mid-simulation (token tripped inside
+  // Machine::run) is simply recomputed — identically — on resume.
+  std::atomic<std::uint64_t> since_flush{0};
+  auto run_point = [&](std::size_t pi) {
+    const std::size_t i = pending[pi];
+    records_[i] = fn(keys_[i]);
+    records_[i].key = keys_[i];
+    done_[i]->store(true, std::memory_order_release);
+    token_.heartbeat();
+    if (writer_ &&
+        since_flush.fetch_add(1, std::memory_order_acq_rel) + 1 >=
+            options_.checkpoint_every) {
+      since_flush.store(0, std::memory_order_release);
+      flush_completed();
+    }
+  };
+
+  try {
+    if (options_.threads > 1) {
+      util::ThreadPool pool(options_.threads);
+      pool.parallel_for(pending.size(), run_point, &token_);
+    } else {
+      for (std::size_t pi = 0; pi < pending.size(); ++pi) {
+        if (token_.expired()) break;
+        run_point(pi);
+      }
+    }
+  } catch (const Error& e) {
+    if (e.code() != ErrorCode::kInterrupted) {
+      if (writer_) flush_completed();  // keep finished points on disk
+      throw;
+    }
+  }
+
+  // The final checkpoint always happens: an interrupted run's promise is
+  // "everything completed so far is on disk".
+  if (writer_) flush_completed();
+
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    if (done_[i]->load(std::memory_order_acquire)) ++report.completed;
+  report.checkpoint = writer_ ? writer_->path() : "";
+  // A sweep that finished every point is complete even if the token
+  // tripped during the final one: the full output is valid.
+  if (report.completed < report.total) {
+    report.status = SweepStatus::kInterrupted;
+    report.cause = token_.cause() == CancelCause::kNone
+                       ? CancelCause::kCancelled
+                       : token_.cause();
+  }
+  return report;
+}
+
+}  // namespace dxbsp::resilience

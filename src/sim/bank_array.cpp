@@ -1,7 +1,8 @@
 #include "sim/bank_array.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "resilience/error.hpp"
 
 namespace dxbsp::sim {
 
@@ -15,16 +16,23 @@ BankArray::BankArray(std::uint64_t num_banks, std::uint64_t delay,
       free_at_(num_banks * ports, 0),
       load_(num_banks, 0) {
   if (num_banks == 0)
-    throw std::invalid_argument("BankArray: need at least one bank");
-  if (delay == 0) throw std::invalid_argument("BankArray: delay must be >= 1");
-  if (ports == 0) throw std::invalid_argument("BankArray: ports must be >= 1");
+    raise(ErrorCode::kConfig, "BankArray: need at least one bank");
+  if (delay == 0) raise(ErrorCode::kConfig, "BankArray: delay must be >= 1");
+  if (ports == 0) raise(ErrorCode::kConfig, "BankArray: ports must be >= 1");
   if (cache_.lines > 0) {
     if (cache_.line_words == 0)
-      throw std::invalid_argument("BankArray: cache line_words must be >= 1");
+      raise(ErrorCode::kConfig, "BankArray: cache line_words must be >= 1");
     if (cache_.cached_delay == 0 || cache_.cached_delay > delay_)
-      throw std::invalid_argument(
-          "BankArray: cached_delay must be in [1, delay]");
+      raise(ErrorCode::kConfig,
+            "BankArray: cached_delay must be in [1, delay]");
     mru_.assign(num_banks * cache_.lines, ~0ULL);
+  }
+}
+
+void BankArray::poll_cancel() {
+  if (cancel_ != nullptr && (total_ & 0xFFFFU) == 0) {
+    cancel_->heartbeat();
+    cancel_->raise_if_expired("BankArray::serve");
   }
 }
 
@@ -48,6 +56,7 @@ std::uint64_t BankArray::occupy(std::uint64_t bank, std::uint64_t arrival,
 std::uint64_t BankArray::serve(std::uint64_t bank, std::uint64_t arrival,
                                std::uint64_t busy_scale) {
   ++total_;
+  poll_cancel();
   if (busy_scale > 1) degraded_cycles_ += delay_ * (busy_scale - 1);
   return occupy(bank, arrival, delay_ * busy_scale);
 }
@@ -56,6 +65,7 @@ std::uint64_t BankArray::serve_addr(std::uint64_t bank, std::uint64_t arrival,
                                     std::uint64_t addr,
                                     std::uint64_t busy_scale) {
   ++total_;
+  poll_cancel();
 
   if (combining_) {
     const auto it = pending_.find(addr);

@@ -14,6 +14,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "resilience/cancel.hpp"
+
 namespace dxbsp::sim {
 
 /// Optional bank-cache parameters (0 lines disables caching).
@@ -90,7 +92,17 @@ class BankArray {
   /// Resets all banks to idle and clears statistics.
   void reset();
 
+  /// Attaches a cancellation token (non-owning; nullptr detaches). The
+  /// serve paths poll it every 64Ki requests and abort with
+  /// Error{kInterrupted} once it trips, so even a bank-level hot loop
+  /// driven outside Machine::run stops promptly.
+  void set_cancel(const resilience::CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+
  private:
+  void poll_cancel();
+
   std::uint64_t occupy(std::uint64_t bank, std::uint64_t arrival,
                        std::uint64_t busy);
 
@@ -110,6 +122,7 @@ class BankArray {
   // exactly one bank, so a single map is sound). Pruned lazily.
   std::unordered_map<std::uint64_t, std::uint64_t> pending_;
 
+  const resilience::CancelToken* cancel_ = nullptr;
   std::uint64_t max_load_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t hits_ = 0;

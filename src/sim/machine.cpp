@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
-#include <stdexcept>
 #include <vector>
 
+#include "resilience/error.hpp"
 #include "util/bits.hpp"
 
 namespace dxbsp::sim {
@@ -63,10 +63,10 @@ Machine::Machine(MachineConfig config,
              config_.combine_requests, config_.bank_ports),
       network_(make_network(config_)) {
   config_.validate();
-  if (!mapping_) throw std::invalid_argument("Machine: null mapping");
+  if (!mapping_) raise(ErrorCode::kConfig, "Machine: null mapping");
   if (mapping_->num_banks() != config_.banks())
-    throw std::invalid_argument(
-        "Machine: mapping bank count does not match configuration");
+    raise(ErrorCode::kConfig,
+          "Machine: mapping bank count does not match configuration");
 }
 
 namespace {
@@ -81,8 +81,8 @@ Machine::Machine(MachineConfig config)
 
 void Machine::inject(std::shared_ptr<const fault::FaultPlan> plan) {
   if (plan && plan->num_banks() != config_.banks())
-    throw std::invalid_argument(
-        "Machine::inject: plan bank count does not match configuration");
+    raise(ErrorCode::kConfig,
+          "Machine::inject: plan bank count does not match configuration");
   plan_ = std::move(plan);
 }
 
@@ -163,7 +163,16 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   std::uint64_t first_failed_elem = 0;
   std::uint64_t first_failed_attempts = 0;
   std::string first_failed_reason;
+  std::uint64_t events = 0;
   while (!heap.empty()) {
+    // Cancellation point: poll the token every 4096 events (the deadline
+    // check reads a clock, so not every iteration) and heartbeat it so a
+    // stall watchdog sees the loop moving. Abandoning mid-operation is
+    // safe: bulk ops are pure, so a resume recomputes this one exactly.
+    if (cancel_ != nullptr && (++events & 0xFFFU) == 0) {
+      cancel_->heartbeat();
+      cancel_->raise_if_expired("Machine::run");
+    }
     const Event ev = heap.top();
     heap.pop();
     ProcState& ps = procs[ev.proc];
@@ -173,7 +182,7 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
     const std::uint64_t addr = ids[elem];
     std::uint64_t bank = ids_are_banks ? addr : mapping_->bank_of(addr);
     if (bank >= config_.banks())
-      throw std::out_of_range("Machine: bank id out of range");
+      raise(ErrorCode::kConfig, "Machine: bank id out of range");
 
     const std::uint64_t arrival = network_.traverse(bank, ev.depart, ev.proc);
 
@@ -268,7 +277,7 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   }
 
   if (res.completed + failed != res.n)
-    throw std::logic_error("Machine: request conservation violated");
+    raise(ErrorCode::kInternal, "Machine: request conservation violated");
   if (failed > 0) {
     out.degraded = fault::DegradedResult{
         failed, first_failed_elem, first_failed_attempts,

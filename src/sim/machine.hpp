@@ -24,6 +24,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "mem/bank_mapping.hpp"
+#include "resilience/cancel.hpp"
 #include "sim/bank_array.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/network.hpp"
@@ -103,6 +104,17 @@ class Machine {
     }
   };
 
+  /// Attaches a cancellation token (non-owning; may outlive bulk ops but
+  /// must outlive the Machine's use of it). The event loop polls it
+  /// every few thousand events and aborts the bulk operation with
+  /// Error{kInterrupted} once it trips — and heartbeats it at the same
+  /// cadence so a stall watchdog can tell "long run" from "wedged run".
+  /// Pass nullptr to detach.
+  void set_cancel(const resilience::CancelToken* token) noexcept {
+    cancel_ = token;
+    banks_.set_cancel(token);
+  }
+
   /// Attaches a fault plan: subsequent bulk operations run fault-aware
   /// (slow banks, failover off dead banks, NACK/retry). The plan must be
   /// sized to this machine's bank count. Pass nullptr to clear.
@@ -160,6 +172,7 @@ class Machine {
   BankArray banks_;
   Network network_;
   std::shared_ptr<const fault::FaultPlan> plan_;
+  const resilience::CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace dxbsp::sim

@@ -1,40 +1,40 @@
 #include "sim/machine_config.hpp"
 
-#include <stdexcept>
+#include "resilience/error.hpp"
 
 namespace dxbsp::sim {
 
 void MachineConfig::validate() const {
   if (processors == 0)
-    throw std::invalid_argument("MachineConfig: processors must be >= 1");
-  if (gap == 0) throw std::invalid_argument("MachineConfig: gap must be >= 1");
+    raise(ErrorCode::kConfig, "MachineConfig: processors must be >= 1");
+  if (gap == 0) raise(ErrorCode::kConfig, "MachineConfig: gap must be >= 1");
   if (bank_delay == 0)
-    throw std::invalid_argument("MachineConfig: bank_delay must be >= 1");
+    raise(ErrorCode::kConfig, "MachineConfig: bank_delay must be >= 1");
   if (expansion == 0)
-    throw std::invalid_argument("MachineConfig: expansion must be >= 1");
+    raise(ErrorCode::kConfig, "MachineConfig: expansion must be >= 1");
   if (slackness == 0)
-    throw std::invalid_argument("MachineConfig: slackness must be >= 1");
+    raise(ErrorCode::kConfig, "MachineConfig: slackness must be >= 1");
   if (network_sections > banks())
-    throw std::invalid_argument(
+    raise(ErrorCode::kConfig,
         "MachineConfig: more network sections than banks");
   // Period/port parameters are rejected when zero even if their feature
   // is currently off: a zero value is always a configuration error and
   // would otherwise arm a divide-by-zero for whoever enables the feature.
   if (section_period == 0)
-    throw std::invalid_argument("MachineConfig: section_period must be >= 1");
+    raise(ErrorCode::kConfig, "MachineConfig: section_period must be >= 1");
   if (link_period == 0)
-    throw std::invalid_argument("MachineConfig: link_period must be >= 1");
+    raise(ErrorCode::kConfig, "MachineConfig: link_period must be >= 1");
   if (bank_ports == 0)
-    throw std::invalid_argument("MachineConfig: bank_ports must be >= 1");
+    raise(ErrorCode::kConfig, "MachineConfig: bank_ports must be >= 1");
   if (butterfly_network && network_sections != 0)
-    throw std::invalid_argument(
+    raise(ErrorCode::kConfig,
         "MachineConfig: butterfly and sectioned networks are exclusive");
   if (bank_cache_lines != 0) {
     if (cache_line_words == 0)
-      throw std::invalid_argument(
+      raise(ErrorCode::kConfig,
           "MachineConfig: cache_line_words must be >= 1");
     if (cached_delay == 0 || cached_delay > bank_delay)
-      throw std::invalid_argument(
+      raise(ErrorCode::kConfig,
           "MachineConfig: cached_delay must be in [1, bank_delay]");
   }
 }
@@ -115,7 +115,7 @@ MachineConfig MachineConfig::parse(const std::string& spec) {
     } else if (preset == "test") {
       cfg = test_machine();
     } else {
-      throw std::invalid_argument("MachineConfig::parse: unknown preset '" +
+      raise(ErrorCode::kParse, "MachineConfig::parse: unknown preset '" +
                                   preset + "'");
     }
     first_kv = 1;
@@ -125,7 +125,7 @@ MachineConfig MachineConfig::parse(const std::string& spec) {
     const std::string& tok = tokens[i];
     const std::size_t eq = tok.find('=');
     if (eq == std::string::npos)
-      throw std::invalid_argument(
+      raise(ErrorCode::kParse,
           "MachineConfig::parse: expected key=value, got '" + tok + "'");
     const std::string key = tok.substr(0, eq);
     const std::string value = tok.substr(eq + 1);
@@ -133,7 +133,7 @@ MachineConfig MachineConfig::parse(const std::string& spec) {
       try {
         return static_cast<std::uint64_t>(std::stoull(value));
       } catch (const std::exception&) {
-        throw std::invalid_argument("MachineConfig::parse: bad value for '" +
+        raise(ErrorCode::kParse, "MachineConfig::parse: bad value for '" +
                                     key + "': '" + value + "'");
       }
     };
@@ -173,11 +173,11 @@ MachineConfig MachineConfig::parse(const std::string& spec) {
       } else if (value == "cyclic") {
         cfg.distribution = Distribution::kCyclic;
       } else {
-        throw std::invalid_argument(
+        raise(ErrorCode::kParse,
             "MachineConfig::parse: dist must be block or cyclic");
       }
     } else {
-      throw std::invalid_argument("MachineConfig::parse: unknown key '" +
+      raise(ErrorCode::kParse, "MachineConfig::parse: unknown key '" +
                                   key + "'");
     }
   }

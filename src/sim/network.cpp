@@ -1,7 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+#include "resilience/error.hpp"
 
 #include "util/bits.hpp"
 
@@ -14,9 +14,9 @@ Network::Network(std::uint64_t latency, std::uint64_t sections,
       sections_(sections),
       section_period_(section_period) {
   if (sections_ > num_banks)
-    throw std::invalid_argument("Network: more sections than banks");
+    raise(ErrorCode::kConfig, "Network: more sections than banks");
   if (sections_ != 0 && section_period_ == 0)
-    throw std::invalid_argument("Network: section_period must be >= 1");
+    raise(ErrorCode::kConfig, "Network: section_period must be >= 1");
   port_free_.assign(std::max<std::uint64_t>(sections_, 1), 0);
 }
 
@@ -24,9 +24,9 @@ Network Network::butterfly(std::uint64_t latency, std::uint64_t link_period,
                            std::uint64_t num_banks,
                            std::uint64_t num_sources) {
   if (num_banks == 0)
-    throw std::invalid_argument("Network::butterfly: need banks");
+    raise(ErrorCode::kConfig, "Network::butterfly: need banks");
   if (link_period == 0)
-    throw std::invalid_argument("Network::butterfly: link_period must be >= 1");
+    raise(ErrorCode::kConfig, "Network::butterfly: link_period must be >= 1");
   Network n;
   n.model_ = NetworkModel::kButterfly;
   n.latency_ = latency;

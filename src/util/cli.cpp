@@ -1,6 +1,10 @@
 #include "util/cli.hpp"
 
-#include <stdexcept>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+
+#include "resilience/error.hpp"
 
 namespace dxbsp::util {
 
@@ -30,26 +34,66 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
   return it == flags_.end() ? def : it->second;
 }
 
+namespace {
+
+// Strict integer parse: the whole token must be one in-range number.
+// std::stoll would accept "8x" (stopping at the 'x'), which in a sweep
+// script turns a typo into a silently wrong grid — reject it instead,
+// naming the flag so the message is actionable.
+template <typename T>
+T parse_number(const std::string& name, const std::string& text) {
+  T value{};
+  const char* begin = text.c_str();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range)
+    raise(ErrorCode::kParse, "flag --" + name + ": value '" + text +
+                                 "' is out of range");
+  if (ec != std::errc{} || text.empty())
+    raise(ErrorCode::kParse, "flag --" + name + " expects an integer, got '" +
+                                 text + "'");
+  if (ptr != end)
+    raise(ErrorCode::kParse, "flag --" + name + ": trailing garbage in '" +
+                                 text + "'");
+  return value;
+}
+
+}  // namespace
+
 std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  try {
-    return std::stoll(it->second);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
-                                it->second + "'");
-  }
+  return parse_number<std::int64_t>(name, it->second);
+}
+
+std::uint64_t Cli::get_uint(const std::string& name, std::uint64_t def) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  // from_chars<unsigned> rejects '-' already, but say why explicitly:
+  // "--n=-4" deserves "must be non-negative", not "expects an integer".
+  if (!it->second.empty() && it->second[0] == '-')
+    raise(ErrorCode::kParse, "flag --" + name + " must be non-negative, got '" +
+                                 it->second + "'");
+  return parse_number<std::uint64_t>(name, it->second);
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return def;
-  try {
-    return std::stod(it->second);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
-                                it->second + "'");
-  }
+  const std::string& text = it->second;
+  // strtod instead of from_chars<double>: equally strict once we check
+  // full consumption, and not dependent on libstdc++'s FP from_chars.
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  if (end == begin || *end != '\0')
+    raise(ErrorCode::kParse, "flag --" + name + " expects a number, got '" +
+                                 text + "'");
+  if (errno == ERANGE)
+    raise(ErrorCode::kParse, "flag --" + name + ": value '" + text +
+                                 "' is out of range");
+  return value;
 }
 
 bool Cli::has(const std::string& name) const {

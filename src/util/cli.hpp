@@ -10,23 +10,33 @@
 #include <string>
 #include <vector>
 
+#include "resilience/error.hpp"
+
 namespace dxbsp::util {
 
 /// Parsed command-line flags.
 class Cli {
  public:
-  /// Parses argv; throws std::invalid_argument on malformed input.
+  /// Parses argv; throws Error{kParse} on malformed input.
   Cli(int argc, const char* const* argv);
 
   /// Returns the string value of --name, or `def` if absent.
   [[nodiscard]] std::string get(const std::string& name,
                                 const std::string& def) const;
 
-  /// Returns the integer value of --name, or `def` if absent.
+  /// Returns the integer value of --name, or `def` if absent. Strict:
+  /// trailing garbage ("8x") and overflow raise Error{kParse} naming the
+  /// flag.
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t def) const;
 
+  /// Like get_int but for flags that are semantically non-negative
+  /// (sizes, counts, seeds): additionally rejects negative values.
+  [[nodiscard]] std::uint64_t get_uint(const std::string& name,
+                                       std::uint64_t def) const;
+
   /// Returns the floating-point value of --name, or `def` if absent.
+  /// Strict: trailing garbage and overflow raise Error{kParse}.
   [[nodiscard]] double get_double(const std::string& name, double def) const;
 
   /// True iff --name was given (as a bare flag or with any value other

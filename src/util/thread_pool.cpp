@@ -41,7 +41,8 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const resilience::CancelToken* cancel) {
   if (n == 0) return;
   // Chunk the index space instead of submitting one task per index: a
   // million-element loop must not allocate a million futures. ~4 chunks
@@ -54,13 +55,18 @@ void ThreadPool::parallel_for(std::size_t n,
   std::vector<std::exception_ptr> errors(chunks);
   std::vector<std::future<void>> futures;
   futures.reserve(chunks);
+  std::atomic<bool> skipped{false};
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * per;
     const std::size_t end = std::min(n, begin + per);
     if (begin >= end) break;
     std::exception_ptr* err = &errors[c];
-    futures.push_back(submit([&fn, begin, end, err] {
+    futures.push_back(submit([&fn, begin, end, err, cancel, &skipped] {
       for (std::size_t i = begin; i < end; ++i) {
+        if (cancel != nullptr && cancel->expired()) {
+          skipped.store(true, std::memory_order_release);
+          return;
+        }
         try {
           fn(i);
         } catch (...) {
@@ -70,11 +76,31 @@ void ThreadPool::parallel_for(std::size_t n,
     }));
   }
   // Wait for every chunk before propagating, so no task is left running
-  // against caller state; rethrow the first-by-index exception.
+  // against caller state; rethrow the first-by-index exception. An
+  // Interrupted error only wins when nothing harder went wrong.
   for (auto& f : futures) f.get();
+  std::exception_ptr interrupted;
   for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
+    if (!err) continue;
+    try {
+      std::rethrow_exception(err);
+    } catch (const Error& e) {
+      if (e.code() == ErrorCode::kInterrupted) {
+        if (!interrupted) interrupted = err;
+        continue;
+      }
+      throw;
+    } catch (...) {
+      throw;
+    }
   }
+  if (interrupted) std::rethrow_exception(interrupted);
+  if (cancel != nullptr &&
+      (skipped.load(std::memory_order_acquire) || cancel->expired()))
+    raise(ErrorCode::kInterrupted,
+          "parallel_for stopped by cancellation (" +
+              std::string(resilience::cancel_cause_name(cancel->cause())) +
+              ")");
 }
 
 }  // namespace dxbsp::util

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "resilience/cancel.hpp"
+
 namespace dxbsp::util {
 
 /// Fixed-size thread pool with a shared FIFO queue.
@@ -48,7 +50,14 @@ class ThreadPool {
   /// processed in ~4·threads contiguous chunks. If any invocation throws,
   /// the first such exception (in index order) is rethrown — after every
   /// chunk has finished, so no work is left running.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// With a non-null `cancel` token the loop is cooperative: each worker
+  /// polls the token between indices and stops starting new ones once it
+  /// trips. After all chunks drain, a cancelled (or partially skipped)
+  /// run throws Error{kInterrupted} — unless an invocation failed with a
+  /// non-Interrupted error, which takes precedence (first by index).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    const resilience::CancelToken* cancel = nullptr);
 
  private:
   void worker_loop();

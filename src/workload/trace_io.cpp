@@ -3,7 +3,6 @@
 #include <array>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 namespace dxbsp::workload {
 
@@ -15,25 +14,28 @@ constexpr std::array<char, 8> kMagic = {'d', 'x', 'b', 's',
 void save_trace(const std::string& path,
                 const std::vector<std::uint64_t>& addrs) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("save_trace: cannot open " + path);
+  if (!os) raise(ErrorCode::kIo, "save_trace: cannot open " + path);
   os.write(kMagic.data(), kMagic.size());
   const std::uint64_t count = addrs.size();
   os.write(reinterpret_cast<const char*>(&count), sizeof(count));
   os.write(reinterpret_cast<const char*>(addrs.data()),
            static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
-  if (!os) throw std::runtime_error("save_trace: write failed for " + path);
+  if (!os) raise(ErrorCode::kIo, "save_trace: write failed for " + path);
 }
 
-std::vector<std::uint64_t> load_trace(const std::string& path) {
+Expected<std::vector<std::uint64_t>> try_load_trace(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_trace: cannot open " + path);
+  if (!is) return Error(ErrorCode::kIo, "load_trace: cannot open " + path);
   std::array<char, 8> magic{};
   is.read(magic.data(), magic.size());
   if (!is || magic != kMagic)
-    throw std::runtime_error("load_trace: bad magic in " + path);
+    return Error(ErrorCode::kCorruptInput,
+                 "load_trace: bad magic in " + path);
   std::uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!is) throw std::runtime_error("load_trace: truncated header in " + path);
+  if (!is)
+    return Error(ErrorCode::kCorruptInput,
+                 "load_trace: truncated header in " + path);
 
   // The header count is untrusted input: validate it against the bytes
   // actually present before allocating, so a corrupt or truncated trace
@@ -42,7 +44,7 @@ std::vector<std::uint64_t> load_trace(const std::string& path) {
   is.seekg(0, std::ios::end);
   const std::streampos file_end = is.tellg();
   if (data_begin < 0 || file_end < 0)
-    throw std::runtime_error("load_trace: cannot size " + path);
+    return Error(ErrorCode::kIo, "load_trace: cannot size " + path);
   const auto remaining =
       static_cast<std::uint64_t>(file_end - data_begin);
   if (count > remaining / sizeof(std::uint64_t) ||
@@ -51,7 +53,7 @@ std::vector<std::uint64_t> load_trace(const std::string& path) {
     msg << "load_trace: header claims " << count << " words ("
         << count << "*8 bytes) but " << path << " holds " << remaining
         << " payload bytes (corrupt or truncated trace)";
-    throw std::runtime_error(msg.str());
+    return Error(ErrorCode::kCorruptInput, msg.str());
   }
   is.seekg(data_begin);
 
@@ -59,8 +61,13 @@ std::vector<std::uint64_t> load_trace(const std::string& path) {
   is.read(reinterpret_cast<char*>(addrs.data()),
           static_cast<std::streamsize>(count * sizeof(std::uint64_t)));
   if (!is && count > 0)
-    throw std::runtime_error("load_trace: truncated data in " + path);
+    return Error(ErrorCode::kCorruptInput,
+                 "load_trace: truncated data in " + path);
   return addrs;
+}
+
+std::vector<std::uint64_t> load_trace(const std::string& path) {
+  return std::move(try_load_trace(path)).value();
 }
 
 void save_trace_text(std::ostream& os,
@@ -81,7 +88,7 @@ std::vector<std::uint64_t> load_trace_text(std::istream& is) {
       std::ostringstream msg;
       msg << "load_trace_text: malformed line " << lineno << ": '" << line
           << "'";
-      throw std::runtime_error(msg.str());
+      raise(ErrorCode::kParse, msg.str());
     }
     addrs.push_back(a);
   }

@@ -13,16 +13,23 @@
 #include <string>
 #include <vector>
 
+#include "resilience/error.hpp"
+
 namespace dxbsp::workload {
 
 /// Writes the trace in the library's binary format (magic, version,
-/// count, raw little-endian words). Throws std::runtime_error on I/O
-/// failure.
+/// count, raw little-endian words). Throws Error{kIo} on I/O failure.
 void save_trace(const std::string& path,
                 const std::vector<std::uint64_t>& addrs);
 
-/// Reads a binary trace written by save_trace. Throws std::runtime_error
-/// on I/O failure or format mismatch.
+/// Reads a binary trace written by save_trace, reporting failure as a
+/// value: Error{kIo} when the file cannot be opened or read, and
+/// Error{kCorruptInput} when it fails format validation.
+[[nodiscard]] Expected<std::vector<std::uint64_t>> try_load_trace(
+    const std::string& path);
+
+/// Throwing form of try_load_trace for call sites that treat a missing
+/// or corrupt trace as fatal.
 [[nodiscard]] std::vector<std::uint64_t> load_trace(const std::string& path);
 
 /// Writes one decimal address per line (interchange/text form).
@@ -30,7 +37,7 @@ void save_trace_text(std::ostream& os,
                      const std::vector<std::uint64_t>& addrs);
 
 /// Reads one decimal address per line; blank lines and lines starting
-/// with '#' are skipped. Throws std::runtime_error on a malformed line.
+/// with '#' are skipped. Throws Error{kParse} on a malformed line.
 [[nodiscard]] std::vector<std::uint64_t> load_trace_text(std::istream& is);
 
 }  // namespace dxbsp::workload

@@ -87,7 +87,7 @@ TEST(BankPorts, EquivalentToExpansionForBalancedTraffic) {
 TEST(BankPorts, ValidationAndParse) {
   auto cfg = sim::MachineConfig::test_machine();
   cfg.bank_ports = 0;
-  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_THROW(cfg.validate(), dxbsp::Error);
   EXPECT_EQ(sim::MachineConfig::parse("test,ports=3").bank_ports, 3u);
 }
 

@@ -74,17 +74,17 @@ TEST(FaultConfig, ParseRoundTrip) {
 }
 
 TEST(FaultConfig, ParseRejectsBadInput) {
-  EXPECT_THROW((void)fault::FaultConfig::parse("bogus=1"), std::invalid_argument);
-  EXPECT_THROW((void)fault::FaultConfig::parse("drop"), std::invalid_argument);
-  EXPECT_THROW((void)fault::FaultConfig::parse("drop=nope"), std::invalid_argument);
-  EXPECT_THROW((void)fault::FaultConfig::parse("drop=1.5"), std::invalid_argument);
-  EXPECT_THROW((void)fault::FaultConfig::parse("slow=-0.1"), std::invalid_argument);
-  EXPECT_THROW((void)fault::FaultConfig::parse("dead=2"), std::invalid_argument);
+  EXPECT_THROW((void)fault::FaultConfig::parse("bogus=1"), dxbsp::Error);
+  EXPECT_THROW((void)fault::FaultConfig::parse("drop"), dxbsp::Error);
+  EXPECT_THROW((void)fault::FaultConfig::parse("drop=nope"), dxbsp::Error);
+  EXPECT_THROW((void)fault::FaultConfig::parse("drop=1.5"), dxbsp::Error);
+  EXPECT_THROW((void)fault::FaultConfig::parse("slow=-0.1"), dxbsp::Error);
+  EXPECT_THROW((void)fault::FaultConfig::parse("dead=2"), dxbsp::Error);
   EXPECT_THROW((void)fault::FaultConfig::parse("slow-mult=0"),
-               std::invalid_argument);
-  EXPECT_THROW((void)fault::FaultConfig::parse("backoff=0"), std::invalid_argument);
+               dxbsp::Error);
+  EXPECT_THROW((void)fault::FaultConfig::parse("backoff=0"), dxbsp::Error);
   EXPECT_THROW((void)fault::FaultConfig::parse("backoff=64,backoff-cap=8"),
-               std::invalid_argument);
+               dxbsp::Error);
 }
 
 TEST(FaultPlan, SeededDrawIsDeterministicAndSized) {
@@ -271,7 +271,7 @@ TEST(MachineFaults, FailoverMappingMatchesSimulatorRehoming) {
                    base,
                    std::make_shared<fault::FaultPlan>(fc, cfg.banks() * 2),
                    0),
-               std::invalid_argument);
+               dxbsp::Error);
 }
 
 TEST(MachineFaults, DropsRetryAndRecover) {
@@ -328,7 +328,7 @@ TEST(MachineFaults, InjectRejectsMismatchedPlan) {
   sim::Machine machine(small_machine());
   EXPECT_THROW(machine.inject(std::make_shared<fault::FaultPlan>(
                    fault::FaultConfig{}, 3)),
-               std::invalid_argument);
+               dxbsp::Error);
 }
 
 // ---- Determinism property: identical seeds => bit-identical telemetry,

@@ -81,9 +81,9 @@ TEST(Butterfly, ConfigValidation) {
   auto cfg = sim::MachineConfig::parse("p=2,g=1,L=8,d=4,x=4,butterfly=1");
   EXPECT_NO_THROW(cfg.validate());
   cfg.network_sections = 2;
-  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_THROW(cfg.validate(), dxbsp::Error);
   EXPECT_THROW(
-      (void)sim::Network::butterfly(10, 0, 16, 4), std::invalid_argument);
+      (void)sim::Network::butterfly(10, 0, 16, 4), dxbsp::Error);
 }
 
 TEST(Rmat, GeneratesSkewedDegrees) {

@@ -105,7 +105,7 @@ TEST(Emulation, ErewRejectsContention) {
   qrqw::QrqwStep contended;
   contended.writes = {1, 1};
   contended.vprocs = 2;
-  EXPECT_THROW((void)eng.emulate_erew_step(contended), std::invalid_argument);
+  EXPECT_THROW((void)eng.emulate_erew_step(contended), dxbsp::Error);
 
   qrqw::QrqwStep clean;
   clean.writes = workload::distinct_random(1000, 1 << 20, 4);

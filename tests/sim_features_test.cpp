@@ -44,11 +44,11 @@ TEST(BankCache, PerBankIsolation) {
 
 TEST(BankCache, ValidationRejectsBadConfigs) {
   EXPECT_THROW(sim::BankArray(1, 10, sim::BankCacheConfig{2, 0, 1}, false),
-               std::invalid_argument);
+               dxbsp::Error);
   EXPECT_THROW(sim::BankArray(1, 10, sim::BankCacheConfig{2, 8, 0}, false),
-               std::invalid_argument);
+               dxbsp::Error);
   EXPECT_THROW(sim::BankArray(1, 10, sim::BankCacheConfig{2, 8, 11}, false),
-               std::invalid_argument);
+               dxbsp::Error);
 }
 
 TEST(Combining, MergesInFlightRequests) {
@@ -181,20 +181,20 @@ TEST(ConfigParse, BareKeyValues) {
 
 TEST(ConfigParse, Errors) {
   EXPECT_THROW((void)sim::MachineConfig::parse("bogus-preset"),
-               std::invalid_argument);
+               dxbsp::Error);
   EXPECT_THROW((void)sim::MachineConfig::parse("j90,unknown=1"),
-               std::invalid_argument);
+               dxbsp::Error);
   EXPECT_THROW((void)sim::MachineConfig::parse("j90,p"),
-               std::invalid_argument);
+               dxbsp::Error);
   EXPECT_THROW((void)sim::MachineConfig::parse("j90,p=abc"),
-               std::invalid_argument);
+               dxbsp::Error);
   EXPECT_THROW((void)sim::MachineConfig::parse("j90,dist=diagonal"),
-               std::invalid_argument);
+               dxbsp::Error);
   // validate() runs on the result.
   EXPECT_THROW((void)sim::MachineConfig::parse("j90,p=0"),
-               std::invalid_argument);
+               dxbsp::Error);
   EXPECT_THROW((void)sim::MachineConfig::parse("j90,cached-delay=99,cache-lines=1"),
-               std::invalid_argument);
+               dxbsp::Error);
 }
 
 TEST(ConfigParse, EmptySpecGivesValidDefaults) {

@@ -28,16 +28,16 @@ sim::MachineConfig simple(std::uint64_t p, std::uint64_t g, std::uint64_t L,
 TEST(MachineConfig, ValidateRejectsBadParameters) {
   auto c = simple(1, 1, 0, 1, 1);
   c.processors = 0;
-  EXPECT_THROW(c.validate(), std::invalid_argument);
+  EXPECT_THROW(c.validate(), dxbsp::Error);
   c = simple(1, 0, 0, 1, 1);
-  EXPECT_THROW(c.validate(), std::invalid_argument);
+  EXPECT_THROW(c.validate(), dxbsp::Error);
   c = simple(1, 1, 0, 0, 1);
-  EXPECT_THROW(c.validate(), std::invalid_argument);
+  EXPECT_THROW(c.validate(), dxbsp::Error);
   c = simple(1, 1, 0, 1, 0);
-  EXPECT_THROW(c.validate(), std::invalid_argument);
+  EXPECT_THROW(c.validate(), dxbsp::Error);
   c = simple(2, 1, 0, 1, 2);
   c.network_sections = 8;  // more sections than the 4 banks
-  EXPECT_THROW(c.validate(), std::invalid_argument);
+  EXPECT_THROW(c.validate(), dxbsp::Error);
 }
 
 TEST(MachineConfig, ValidateRejectsEveryZeroParameter) {
@@ -47,7 +47,7 @@ TEST(MachineConfig, ValidateRejectsEveryZeroParameter) {
   auto expect_reject = [&](auto&& mutate) {
     auto c = base;
     mutate(c);
-    EXPECT_THROW(c.validate(), std::invalid_argument);
+    EXPECT_THROW(c.validate(), dxbsp::Error);
   };
   expect_reject([](auto& c) { c.processors = 0; });
   expect_reject([](auto& c) { c.gap = 0; });
@@ -70,7 +70,7 @@ TEST(MachineConfig, ValidateRejectsButterflySectionMix) {
   auto c = simple(4, 1, 8, 4, 4);
   c.butterfly_network = true;
   c.network_sections = 2;
-  EXPECT_THROW(c.validate(), std::invalid_argument);
+  EXPECT_THROW(c.validate(), dxbsp::Error);
   c.network_sections = 0;
   EXPECT_NO_THROW(c.validate());
 }
@@ -78,28 +78,28 @@ TEST(MachineConfig, ValidateRejectsButterflySectionMix) {
 TEST(MachineConfig, ParseRejectsBadSpecs) {
   using sim::MachineConfig;
   // Unknown preset and unknown key.
-  EXPECT_THROW((void)MachineConfig::parse("cray-t3e"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("cray-t3e"), dxbsp::Error);
   EXPECT_THROW((void)MachineConfig::parse("j90,bogus=1"),
-               std::invalid_argument);
+               dxbsp::Error);
   // Malformed tokens and values.
-  EXPECT_THROW((void)MachineConfig::parse("j90,p"), std::invalid_argument);
-  EXPECT_THROW((void)MachineConfig::parse("p=abc"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("j90,p"), dxbsp::Error);
+  EXPECT_THROW((void)MachineConfig::parse("p=abc"), dxbsp::Error);
   EXPECT_THROW((void)MachineConfig::parse("dist=diagonal"),
-               std::invalid_argument);
+               dxbsp::Error);
   // Zero values reach validate() and are rejected there.
-  EXPECT_THROW((void)MachineConfig::parse("p=0"), std::invalid_argument);
-  EXPECT_THROW((void)MachineConfig::parse("g=0"), std::invalid_argument);
-  EXPECT_THROW((void)MachineConfig::parse("d=0"), std::invalid_argument);
-  EXPECT_THROW((void)MachineConfig::parse("x=0"), std::invalid_argument);
-  EXPECT_THROW((void)MachineConfig::parse("S=0"), std::invalid_argument);
+  EXPECT_THROW((void)MachineConfig::parse("p=0"), dxbsp::Error);
+  EXPECT_THROW((void)MachineConfig::parse("g=0"), dxbsp::Error);
+  EXPECT_THROW((void)MachineConfig::parse("d=0"), dxbsp::Error);
+  EXPECT_THROW((void)MachineConfig::parse("x=0"), dxbsp::Error);
+  EXPECT_THROW((void)MachineConfig::parse("S=0"), dxbsp::Error);
   EXPECT_THROW((void)MachineConfig::parse("section-period=0"),
-               std::invalid_argument);
+               dxbsp::Error);
   EXPECT_THROW((void)MachineConfig::parse("link-period=0"),
-               std::invalid_argument);
-  EXPECT_THROW((void)MachineConfig::parse("ports=0"), std::invalid_argument);
+               dxbsp::Error);
+  EXPECT_THROW((void)MachineConfig::parse("ports=0"), dxbsp::Error);
   // The butterfly/sections exclusion applies through parse too.
   EXPECT_THROW((void)MachineConfig::parse("butterfly=1,sections=2"),
-               std::invalid_argument);
+               dxbsp::Error);
   // A valid spec still parses.
   EXPECT_NO_THROW((void)MachineConfig::parse("j90,p=16,d=20"));
 }
@@ -132,8 +132,8 @@ TEST(BankArray, ResetClears) {
 }
 
 TEST(BankArray, RejectsBadConstruction) {
-  EXPECT_THROW(sim::BankArray(0, 1), std::invalid_argument);
-  EXPECT_THROW(sim::BankArray(1, 0), std::invalid_argument);
+  EXPECT_THROW(sim::BankArray(0, 1), dxbsp::Error);
+  EXPECT_THROW(sim::BankArray(1, 0), dxbsp::Error);
 }
 
 TEST(Network, IdealNetworkAddsLatencyOnly) {
@@ -279,14 +279,14 @@ TEST(Machine, DeterministicAcrossRuns) {
 TEST(Machine, MappingMismatchThrows) {
   auto cfg = simple(2, 1, 0, 1, 2);  // 4 banks
   auto mapping = std::make_shared<mem::InterleavedMapping>(8);
-  EXPECT_THROW(sim::Machine(cfg, mapping), std::invalid_argument);
-  EXPECT_THROW(sim::Machine(cfg, nullptr), std::invalid_argument);
+  EXPECT_THROW(sim::Machine(cfg, mapping), dxbsp::Error);
+  EXPECT_THROW(sim::Machine(cfg, nullptr), dxbsp::Error);
 }
 
 TEST(Machine, OutOfRangeBankIdThrows) {
   sim::Machine m(simple(1, 1, 0, 1, 2));
   const std::vector<std::uint64_t> banks = {99};
-  EXPECT_THROW((void)m.scatter_banks(banks), std::out_of_range);
+  EXPECT_THROW((void)m.scatter_banks(banks), dxbsp::Error);
 }
 
 TEST(Machine, SectionedNetworkCongestsSinglePort) {

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "resilience/error.hpp"
 #include "util/bits.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -247,13 +248,97 @@ TEST(Cli, BareTrailingFlagIsBoolean) {
 TEST(Cli, BadIntegerThrows) {
   const char* argv[] = {"prog", "--n=abc"};
   const util::Cli cli(2, argv);
-  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_int("n", 0), dxbsp::Error);
 }
 
 TEST(Cli, DoubleFlag) {
   const char* argv[] = {"prog", "--rho=1.5"};
   const util::Cli cli(2, argv);
   EXPECT_DOUBLE_EQ(cli.get_double("rho", 0.0), 1.5);
+}
+
+TEST(Cli, IntegerRejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--n=8x"};
+  const util::Cli cli(2, argv);
+  try {
+    (void)cli.get_int("n", 0);
+    FAIL() << "expected Error";
+  } catch (const dxbsp::Error& e) {
+    EXPECT_EQ(e.code(), dxbsp::ErrorCode::kParse);
+    // The message must name the offending flag so a user with ten flags
+    // knows which one to fix.
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos);
+  }
+}
+
+TEST(Cli, IntegerRejectsOverflow) {
+  const char* argv[] = {"prog", "--n=99999999999999999999999999"};
+  const util::Cli cli(2, argv);
+  try {
+    (void)cli.get_int("n", 0);
+    FAIL() << "expected Error";
+  } catch (const dxbsp::Error& e) {
+    EXPECT_EQ(e.code(), dxbsp::ErrorCode::kParse);
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+TEST(Cli, IntegerRejectsEmptyValue) {
+  const char* argv[] = {"prog", "--n="};
+  const util::Cli cli(2, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), dxbsp::Error);
+}
+
+TEST(Cli, IntegerAcceptsNegative) {
+  const char* argv[] = {"prog", "--delta=-12"};
+  const util::Cli cli(2, argv);
+  EXPECT_EQ(cli.get_int("delta", 0), -12);
+}
+
+TEST(Cli, UnsignedRejectsNegative) {
+  const char* argv[] = {"prog", "--n=-5"};
+  const util::Cli cli(2, argv);
+  try {
+    (void)cli.get_uint("n", 0);
+    FAIL() << "expected Error";
+  } catch (const dxbsp::Error& e) {
+    EXPECT_EQ(e.code(), dxbsp::ErrorCode::kParse);
+    EXPECT_NE(std::string(e.what()).find("--n"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("non-negative"), std::string::npos);
+  }
+}
+
+TEST(Cli, UnsignedParsesLargeValues) {
+  // Values above INT64_MAX are fine for a uint flag.
+  const char* argv[] = {"prog", "--n=18446744073709551615"};
+  const util::Cli cli(2, argv);
+  EXPECT_EQ(cli.get_uint("n", 0), 18446744073709551615ULL);
+}
+
+TEST(Cli, DoubleRejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--rho=1.5abc"};
+  const util::Cli cli(2, argv);
+  try {
+    (void)cli.get_double("rho", 0.0);
+    FAIL() << "expected Error";
+  } catch (const dxbsp::Error& e) {
+    EXPECT_EQ(e.code(), dxbsp::ErrorCode::kParse);
+    EXPECT_NE(std::string(e.what()).find("--rho"), std::string::npos);
+  }
+}
+
+TEST(Cli, DoubleRejectsOverflow) {
+  const char* argv[] = {"prog", "--rho=1e999"};
+  const util::Cli cli(2, argv);
+  EXPECT_THROW((void)cli.get_double("rho", 0.0), dxbsp::Error);
+}
+
+TEST(Cli, DoubleAcceptsScientificNotation) {
+  const char* argv[] = {"prog", "--rho=2.5e-3"};
+  const util::Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("rho", 0.0), 2.5e-3);
 }
 
 TEST(ThreadPool, RunsAllTasks) {
