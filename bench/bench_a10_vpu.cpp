@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   cfg.expansion = 256;
   cfg.slackness = 1 << 20;
 
-  bench::banner("Ablation A10 (instruction-level validation)",
+  bench::Obs obs(cli, "Ablation A10 (instruction-level validation)",
                 "Scatter kernel: bulk model vs naive vs software-pipelined "
                 "vector code; n = " + std::to_string(n) +
                     ", one core, d = 14, 256 banks");
@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     const auto idx = workload::k_hot(n, k, n, seed + k);
 
     sim::Machine machine(cfg);
+    obs.attach(machine, k);
     std::vector<std::uint64_t> full;
     full.reserve(3 * n);
     for (std::uint64_t i = 0; i < n; ++i) {
@@ -91,5 +92,5 @@ int main(int argc, char** argv) {
                "at high k every layer is the hot bank's queue. The model's\n"
                "numbers are the numbers of *well-scheduled* vector code —\n"
                "which is what [ZB91]/[BHZ93] codes were.\n";
-  return 0;
+  return obs.finish();
 }

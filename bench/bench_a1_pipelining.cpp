@@ -20,11 +20,12 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 18);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Ablation A1 (pipelining)",
+  bench::Obs obs(cli, "Ablation A1 (pipelining)",
                 "Pipelined issue vs bulk-synchronous delivery; n = " +
                     std::to_string(n) + ", machine = " + cfg.name);
 
   sim::Machine machine(cfg);
+  obs.attach(machine);
   util::Table t({"contention k", "pipelined", "bulk delivery",
                  "bulk/pipelined"});
   for (std::uint64_t k = 1; k <= n; k *= 16) {
@@ -41,5 +42,5 @@ int main(int argc, char** argv) {
                "the hot bank's queue dominates and the two mechanisms agree.\n"
                "Both regimes are exactly what max(g·h_proc, d·h_bank)\n"
                "encodes — neither term can be dropped.\n";
-  return 0;
+  return obs.finish();
 }

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 17);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Ablation A2 (hash degree vs stride)",
+  bench::Obs obs(cli, "Ablation A2 (hash degree vs stride)",
                 "Max bank load and time for strided patterns under each "
                 "mapping; banks = " + std::to_string(cfg.banks()) +
                     ", machine = " + cfg.name);
@@ -40,11 +40,12 @@ int main(int argc, char** argv) {
       auto mapping = mem::make_mapping(name, cfg.banks(), rng);
       const auto loads = mem::analyze_banks(addrs, *mapping);
       sim::Machine machine(cfg, std::move(mapping));
+      obs.attach(machine);
       const auto meas = machine.scatter(addrs);
       t.add_row(name, loads.max_load, meas.cycles,
                 meas.cycles_per_element());
     }
     bench::emit(cli, t);
   }
-  return 0;
+  return obs.finish();
 }

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 17);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Ablation A3 (slackness)",
+  bench::Obs obs(cli, "Ablation A3 (slackness)",
                 "Scatter time vs outstanding-request window S; n = " +
                     std::to_string(n) + ", machine = " + cfg.name +
                     ", L = " + std::to_string(cfg.latency));
@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   for (std::uint64_t s = 1; s <= 64 * 1024; s *= 8) {
     cfg.slackness = s;
     sim::Machine machine(cfg);
+    obs.attach(machine, s);
     const auto meas = machine.scatter(addrs);
     if (base == 0) base = meas.cycles;
     t.add_row(s, meas.cycles, meas.cycles_per_element(), meas.stall_cycles,
@@ -39,5 +40,5 @@ int main(int argc, char** argv) {
   bench::emit(cli, t);
   std::cout << "The window stops mattering once S exceeds the bandwidth-"
                "delay product (~2L/g + d requests in flight).\n";
-  return 0;
+  return obs.finish();
 }

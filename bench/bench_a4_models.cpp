@@ -25,12 +25,13 @@ int main(int argc, char** argv) {
   const std::uint64_t overhead = cli.get_int("o", 2);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Ablation A4 (model landscape)",
+  bench::Obs obs(cli, "Ablation A4 (model landscape)",
                 "Simulator vs every cost model; n = " + std::to_string(n) +
                     ", machine = " + cfg.name + ", LogP overhead o = " +
                     std::to_string(overhead));
 
   sim::Machine machine(cfg);
+  obs.attach(machine);
   const auto m = core::DxBspParams::from_config(cfg);
   const auto lp = core::DxLogPParams::from_bsp(m, overhead);
 
@@ -66,5 +67,5 @@ int main(int argc, char** argv) {
             << " (machine has " << cfg.banks()
             << ") — conflict avoidance asks a different question than\n"
                "  heavy-load throughput, which is the paper's regime.\n";
-  return 0;
+  return obs.finish();
 }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 18);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Ablation A5 (bank caching & combining)",
+  bench::Obs obs(cli, "Ablation A5 (bank caching & combining)",
                 "Fig-4 contention sweep on plain / cached / combining "
                 "variants of " + base.name);
 
@@ -66,5 +66,5 @@ int main(int argc, char** argv) {
   std::cout << "Combining removes the d·k term (the QRQW charge) entirely;\n"
                "caching only helps patterns with line reuse. Both justify\n"
                "the paper's choice to model the plain FIFO bank.\n";
-  return 0;
+  return obs.finish();
 }

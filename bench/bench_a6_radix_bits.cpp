@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const unsigned key_bits = static_cast<unsigned>(cli.get_int("key-bits", 24));
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Ablation A6 (radix digit width)",
+  bench::Obs obs(cli, "Ablation A6 (radix digit width)",
                 "Radix sort cycles vs digit width; n = " + std::to_string(n) +
                     ", " + std::to_string(key_bits) + "-bit keys, machine = " +
                     cfg.name);
@@ -51,5 +51,5 @@ int main(int argc, char** argv) {
                "histogram sweeps (p*2^r words per pass). Skewed keys also\n"
                "concentrate the histogram scatter (d*(n/p) worst case),\n"
                "which widens the optimum toward smaller digits.\n";
-  return 0;
+  return obs.finish();
 }

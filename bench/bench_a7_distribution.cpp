@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 18);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Ablation A7 (element distribution)",
+  bench::Obs obs(cli, "Ablation A7 (element distribution)",
                 "Block vs cyclic processor assignment; n = " +
                     std::to_string(n) + ", machine = " + cfg.name);
 
@@ -58,5 +58,5 @@ int main(int argc, char** argv) {
                "hot-location case is bank-bound either way (d*k dominates),\n"
                "so even a pessimal issue imbalance hides behind the bank\n"
                "queue — contention, not distribution, is the lever here.\n";
-  return 0;
+  return obs.finish();
 }

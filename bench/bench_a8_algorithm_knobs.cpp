@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 16);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Ablation A8 (algorithm knobs)",
+  bench::Obs obs(cli, "Ablation A8 (algorithm knobs)",
                 "Dart table density and tree replication targets; n = " +
                     std::to_string(n) + ", machine = " + cfg.name);
 
@@ -101,5 +101,5 @@ int main(int argc, char** argv) {
                "Fanout trades depth against per-level traffic; without\n"
                "replication the root stays hot at every fanout — width\n"
                "alone cannot buy what the QRQW replication buys.\n";
-  return 0;
+  return obs.finish();
 }

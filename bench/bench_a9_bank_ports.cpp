@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 18);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Ablation A9 (bank ports vs expansion)",
+  bench::Obs obs(cli, "Ablation A9 (bank ports vs expansion)",
                 "b ports on B banks vs 1 port on b*B banks; n = " +
                     std::to_string(n));
 
@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
   std::cout << "Balanced traffic: ports == expansion. Hot location: only\n"
                "ports help — the d·k term is a location property, not a\n"
                "bank-count property.\n";
-  return 0;
+  return obs.finish();
 }

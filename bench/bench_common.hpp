@@ -15,10 +15,13 @@
 // (EX_TEMPFAIL) so scripts can tell "resume me" from "I failed".
 
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/report.hpp"
 #include "resilience/error.hpp"
 #include "resilience/sweep.hpp"
+#include "sim/machine.hpp"
 #include "sim/machine_config.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -29,6 +32,87 @@ namespace dxbsp::bench {
 inline void banner(const std::string& id, const std::string& what) {
   std::cout << "=== " << id << " ===\n" << what << "\n\n";
 }
+
+/// Flags that shape execution rather than the workload. They are kept
+/// out of run reports so a report is byte-identical across --threads /
+/// checkpointing settings (docs/observability.md).
+inline bool is_execution_flag(const std::string& name) {
+  return name == "checkpoint" || name == "resume" || name == "deadline" ||
+         name == "stall-timeout" || name == "checkpoint-every" ||
+         name == "threads" || name == "trace" || name == "trace-capacity" ||
+         name == "report" || name == "report-csv" || name == "metrics";
+}
+
+/// Observability wiring shared by every bench (docs/observability.md):
+///   --trace=PATH         Chrome trace_event JSON of the simulated runs
+///   --trace-capacity=N   retained events per track (default 65536)
+///   --report=PATH        versioned JSON run report
+///   --report-csv=PATH    the same report as CSV rows
+///   --metrics=PATH       full metrics dump (includes host metrics)
+/// Construct one per invocation (prints the banner), attach() every
+/// Machine the bench drives (one track per sweep point), and return
+/// through finish() so the files get written — also on the interrupted
+/// (exit 75) path, where a partial report is still useful.
+class Obs {
+ public:
+  Obs(const util::Cli& cli, const std::string& id, const std::string& what)
+      : trace_path_(cli.get("trace", "")),
+        report_path_(cli.get("report", "")),
+        report_csv_path_(cli.get("report-csv", "")),
+        metrics_path_(cli.get("metrics", "")) {
+    banner(id, what);
+    info_.bench = id;
+    info_.description = what;
+    info_.machine = cli.get("machine", "");
+    info_.seed = cli.get_uint("seed", 0);
+    for (const auto& [name, value] : cli.flags())
+      if (!is_execution_flag(name)) info_.flags.emplace_back(name, value);
+    if (!trace_path_.empty())
+      tracer_ = std::make_unique<obs::Tracer>(static_cast<std::size_t>(
+          cli.get_uint("trace-capacity", std::uint64_t{1} << 16)));
+    // A bench invocation reports from zero even if the process (a test
+    // harness, say) already ran simulations.
+    obs::MetricsRegistry::global().reset();
+  }
+
+  /// Routes the machine's trace events into this run's tracer under
+  /// `track` (use the sweep-point key). No-op without --trace.
+  void attach(sim::Machine& machine, std::uint64_t track = 0) {
+    if (tracer_) machine.set_tracer(&tracer_->track(track));
+  }
+
+  [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
+
+  /// Writes the requested artifacts and passes `rc` through.
+  int finish(int rc = 0) {
+    const auto& reg = obs::MetricsRegistry::global();
+    if (!trace_path_.empty())
+      obs::write_file(trace_path_, [&](std::ostream& os) {
+        tracer_->write_chrome_json(os);
+      });
+    if (!report_path_.empty())
+      obs::write_file(report_path_, [&](std::ostream& os) {
+        obs::write_report_json(os, info_, reg, tracer_.get());
+      });
+    if (!report_csv_path_.empty())
+      obs::write_file(report_csv_path_, [&](std::ostream& os) {
+        obs::write_report_csv(os, info_, reg, tracer_.get());
+      });
+    if (!metrics_path_.empty())
+      obs::write_file(metrics_path_, [&](std::ostream& os) {
+        reg.write_json(os, /*include_host=*/true);
+      });
+    return rc;
+  }
+
+ private:
+  obs::RunInfo info_;
+  std::string trace_path_;
+  std::string report_path_;
+  std::string report_csv_path_;
+  std::string metrics_path_;
+  std::unique_ptr<obs::Tracer> tracer_;
+};
 
 /// Emits the table as ASCII or CSV per the --csv flag.
 inline void emit(const util::Cli& cli, const util::Table& table) {

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const std::uint64_t p = cli.get_int("p", 8);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 10 (QRQW emulation)",
+  bench::Obs obs(cli, "Fig 10 (QRQW emulation)",
                 "Emulation slowdown vs d and x; step of n = " +
                     std::to_string(n) + " ops, contention k = " +
                     std::to_string(k));
@@ -79,5 +79,5 @@ int main(int argc, char** argv) {
                 << "\n";
     }
   }
-  return 0;
+  return obs.finish();
 }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 14);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 10b (emulating real programs)",
+  bench::Obs obs(cli, "Fig 10b (emulating real programs)",
                 "QRQW programs extracted from algorithm runs, emulated on " +
                     cfg.name + "; base size n = " + std::to_string(n));
 
@@ -57,5 +57,5 @@ int main(int argc, char** argv) {
   std::cout << "Low-contention programs emulate at slowdown ~= the per-op\n"
                "bandwidth cost; the star graph's contention-n steps emulate\n"
                "at slowdown ~= d·k/cost — in all cases under the bound.\n";
-  return 0;
+  return obs.finish();
 }

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n_max = cli.get_int("n", 1 << 19);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 11 (random permutation)",
+  bench::Obs obs(cli, "Fig 11 (random permutation)",
                 "QRQW dart-throwing vs EREW radix-sort permutation; "
                 "machine = " + cfg.name);
 
@@ -54,5 +54,5 @@ int main(int argc, char** argv) {
   (void)algos::random_permutation_qrqw(vm, n_max, seed);
   std::cout << "QRQW phase breakdown at n = " << n_max << ":\n";
   vm.ledger().print(std::cout);
-  return 0;
+  return obs.finish();
 }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n_max = cli.get_int("n", 1 << 18);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 11b (binary search)",
+  bench::Obs obs(cli, "Fig 11b (binary search)",
                 "Search n keys in a tree of m = " + std::to_string(m) +
                     " keys: QRQW replicated tree vs naive vs EREW "
                     "sort-merge; machine = " + cfg.name);
@@ -60,5 +60,5 @@ int main(int argc, char** argv) {
               tree.footprint());
   }
   bench::emit(cli, t);
-  return 0;
+  return obs.finish();
 }

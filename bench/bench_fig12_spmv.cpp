@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const std::uint64_t nnz_per_row = cli.get_int("nnz-per-row", 4);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 12 (sparse matvec)",
+  bench::Obs obs(cli, "Fig 12 (sparse matvec)",
                 "SpMV time vs dense-column length; rows = " +
                     std::to_string(rows) + ", nnz/row = " +
                     std::to_string(nnz_per_row) + ", machine = " + cfg.name);
@@ -63,5 +63,5 @@ int main(int argc, char** argv) {
   std::vector<double> x(a.cols, 1.0);
   (void)algos::spmv(vm, a, x);
   vm.ledger().print(std::cout);
-  return 0;
+  return obs.finish();
 }

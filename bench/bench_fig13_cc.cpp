@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 16);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 13 (connected components)",
+  bench::Obs obs(cli, "Fig 13 (connected components)",
                 "Per-iteration contention and cost of hook-and-contract CC; "
                 "n = " + std::to_string(n) + " vertices, machine = " +
                     cfg.name);
@@ -90,5 +90,5 @@ int main(int argc, char** argv) {
                     std::to_string(s_rm.iterations.size()));
   }
   bench::emit(cli, cmp);
-  return 0;
+  return obs.finish();
 }

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n_max = cli.get_int("n", 1 << 17);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 14 (list ranking)",
+  bench::Obs obs(cli, "Fig 14 (list ranking)",
                 "Wyllie pointer jumping; machine = " + cfg.name);
 
   {
@@ -58,5 +58,5 @@ int main(int argc, char** argv) {
                "turns an initially contention-free structure into a maximal\n"
                "hot spot — exactly the pattern the (d,x)-BSP prices and\n"
                "BSP/LogP miss.\n";
-  return 0;
+  return obs.finish();
 }

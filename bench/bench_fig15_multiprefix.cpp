@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const std::uint64_t num_keys = cli.get_int("keys", 1 << 12);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 15 (multiprefix)",
+  bench::Obs obs(cli, "Fig 15 (multiprefix)",
                 "Fetch-add vs sort-based multiprefix vs key skew; n = " +
                     std::to_string(n) + ", " + std::to_string(num_keys) +
                     " keys, machine = " + cfg.name);
@@ -57,5 +57,5 @@ int main(int argc, char** argv) {
                "the sort degrades with it, because its private histograms\n"
                "inherit the skew (d·k/p per pass) on top of the fixed sorting\n"
                "passes. Well-accounted contention wins at every skew here.\n";
-  return 0;
+  return obs.finish();
 }

@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n_max = cli.get_int("n", 1 << 18);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 16 (collectives)",
+  bench::Obs obs(cli, "Fig 16 (collectives)",
                 "Broadcast and reduction, naive vs contention-aware; "
                 "machine = " + cfg.name);
 
@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
   std::cout << "Naive collectives cost ~d per element (the single cell's\n"
                "bank serializes); the contention-aware forms cost ~g/p per\n"
                "element plus logarithmic rounds — a factor ~d*p/g.\n";
-  return 0;
+  return obs.finish();
 }

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 16);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 17 (parallel hashing)",
+  bench::Obs obs(cli, "Fig 17 (parallel hashing)",
                 "Hash table build/lookup vs load factor; n = " +
                     std::to_string(n) + " keys, machine = " + cfg.name);
 
@@ -54,5 +54,5 @@ int main(int argc, char** argv) {
                "at every density — the QRQW charge that makes hashing an\n"
                "efficient shared-memory implementation [KU86] survives the\n"
                "bank delay intact.\n";
-  return 0;
+  return obs.finish();
 }

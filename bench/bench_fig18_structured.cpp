@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   const auto cfg = bench::machine_from_cli(cli);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 18 (structured kernels)",
+  bench::Obs obs(cli, "Fig 18 (structured kernels)",
                 "Transpose / Walsh-Hadamard / stencil under interleaved vs "
                 "hashed mappings; machine = " + cfg.name +
                     " (" + std::to_string(cfg.banks()) + " banks)");
@@ -119,5 +119,5 @@ int main(int argc, char** argv) {
                "collapse of bench_a2. That contrast is the expansion story:\n"
                "enough banks turn structured conflicts from catastrophic\n"
                "into marginal, and hashing mops up the rest.\n";
-  return 0;
+  return obs.finish();
 }

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 15);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 19 (sorting suite)",
+  bench::Obs obs(cli, "Fig 19 (sorting suite)",
                 "Radix vs merge sort across key widths, plus the dart-throw "
                 "permutation; n = " + std::to_string(n) + ", machine = " +
                     cfg.name);
@@ -62,5 +62,5 @@ int main(int argc, char** argv) {
                "pass per digit); merge sort is width-oblivious but pays\n"
                "log2(n) full passes. The crossover sits where\n"
                "bits/8 ~ log2(n) passes of roughly equal cost.\n";
-  return 0;
+  return obs.finish();
 }

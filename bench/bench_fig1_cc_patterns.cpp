@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 15);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 1 (CC access patterns)",
+  bench::Obs obs(cli, "Fig 1 (CC access patterns)",
                 "Measured vs predicted scatter time for access patterns "
                 "extracted from connected-components traces; machine = " +
                     cfg.name);
@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
             });
 
   sim::Machine machine(cfg);
+  obs.attach(machine);
   stats::Comparison cmp("contention", "CC traces");
   util::Table t({"contention k", "requests", "measured", "dxbsp", "bsp",
                  "dxbsp/meas", "bsp/meas"});
@@ -80,5 +81,5 @@ int main(int argc, char** argv) {
   std::cout << "dxbsp rms rel err: " << cmp.dxbsp_rms_error()
             << "   bsp rms rel err: " << cmp.bsp_rms_error()
             << "   bsp max rel err: " << cmp.bsp_max_error() << "\n";
-  return 0;
+  return obs.finish();
 }

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   using namespace dxbsp;
   const util::Cli cli(argc, argv);
   const std::uint64_t n = cli.get_int("n", 1 << 20);
-  bench::banner("Fig 2 (model)",
+  bench::Obs obs(cli, "Fig 2 (model)",
                 "Superstep cost vs max bank load h_bank, n = " +
                     std::to_string(n) + " requests, p = 8, g = 1");
 
@@ -36,5 +36,5 @@ int main(int argc, char** argv) {
   std::cout << "knee (contention where the bank term starts to bind):\n"
             << "  d=6:  k = " << core::contention_knee(c90, n) << "\n"
             << "  d=14: k = " << core::contention_knee(j90, n) << "\n";
-  return 0;
+  return obs.finish();
 }

@@ -21,11 +21,12 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 18);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 3 (queue dynamics)",
+  bench::Obs obs(cli, "Fig 3 (queue dynamics)",
                 "Per-request bank queue waits vs contention; n = " +
                     std::to_string(n) + ", machine = " + cfg.name);
 
   sim::Machine machine(cfg);
+  obs.attach(machine);
   util::Table t({"k", "mean wait", "p50", "p95", "p99", "max wait",
                  "d*k", "makespan"});
   for (std::uint64_t k = 1; k <= n; k *= 16) {
@@ -45,5 +46,5 @@ int main(int argc, char** argv) {
   std::cout << "The max wait tracks d*k (the hot bank drains one request\n"
                "per d cycles) while the median stays near zero: the\n"
                "contended tail, not the typical request, sets the time.\n";
-  return 0;
+  return obs.finish();
 }

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
     const std::uint64_t n = cli.get_uint("n", 1 << 20);
     const std::uint64_t seed = cli.get_uint("seed", 1995);
 
-    bench::banner("Fig 4 / Experiment 1",
+    bench::Obs obs(cli, "Fig 4 / Experiment 1",
                   "Scatter time vs contention k; n = " + std::to_string(n) +
                       ", machine = " + cfg.name);
 
@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
       const auto addrs = workload::k_hot(n, k, 1ULL << 30, seed + k);
       sim::Machine machine(cfg);
       machine.set_cancel(&runner.token());
+      obs.attach(machine, k);
       const auto pred = core::predict_scatter(addrs, cfg, &machine.mapping());
       resilience::SnapshotRecord rec;
       rec.key = k;
@@ -54,7 +55,7 @@ int main(int argc, char** argv) {
       rec.aux[1] = pred.bsp;
       return rec;
     });
-    if (!report.ok()) return bench::finish_sweep(report);
+    if (!report.ok()) return obs.finish(bench::finish_sweep(report));
 
     stats::Comparison cmp("contention k", "measured vs predicted (cycles)");
     util::Table t({"k", "measured", "dxbsp", "bsp", "cyc/elt", "dxbsp/meas",
@@ -75,6 +76,6 @@ int main(int argc, char** argv) {
     std::cout << "dxbsp rms rel err: " << cmp.dxbsp_rms_error()
               << "   bsp rms rel err: " << cmp.bsp_rms_error()
               << "   bsp max rel err: " << cmp.bsp_max_error() << "\n";
-    return 0;
+    return obs.finish();
   });
 }

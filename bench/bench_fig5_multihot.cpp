@@ -20,10 +20,11 @@ int main(int argc, char** argv) {
   const std::uint64_t n = cli.get_int("n", 1 << 20);
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 5 / Experiment 2",
+  bench::Obs obs(cli, "Fig 5 / Experiment 2",
                 "Scatter time vs number of hot locations; n = " +
                     std::to_string(n) + ", machine = " + cfg.name);
   sim::Machine machine(cfg);
+  obs.attach(machine);
 
   {
     const std::uint64_t k = cli.get_int("k", 1 << 12);
@@ -51,5 +52,5 @@ int main(int argc, char** argv) {
     }
     bench::emit(cli, t);
   }
-  return 0;
+  return obs.finish();
 }

@@ -25,11 +25,12 @@ int main(int argc, char** argv) {
   const unsigned bits = static_cast<unsigned>(cli.get_int("bits", 26));
   const std::uint64_t seed = cli.get_int("seed", 1995);
 
-  bench::banner("Fig 6 / Experiment 3",
+  bench::Obs obs(cli, "Fig 6 / Experiment 3",
                 "Scatter time vs key entropy (Thearling–Smith AND-folding); "
                 "n = " + std::to_string(n) + ", machine = " + cfg.name);
 
   sim::Machine machine(cfg);
+  obs.attach(machine);
   stats::Comparison cmp("entropy", "entropy family");
   util::Table t({"round", "entropy (bits)", "max k", "measured", "dxbsp",
                  "bsp", "dxbsp/meas"});
@@ -67,5 +68,5 @@ int main(int argc, char** argv) {
     }
     bench::emit(cli, tz);
   }
-  return 0;
+  return obs.finish();
 }

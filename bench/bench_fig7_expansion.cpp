@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     const std::uint64_t p = cli.get_uint("p", 8);
     const std::uint64_t seed = cli.get_uint("seed", 1995);
 
-    bench::banner("Fig 7 (expansion)",
+    bench::Obs obs(cli, "Fig 7 (expansion)",
                   "Scatter time vs expansion x, random pattern, n = " +
                       std::to_string(n) + ", p = " + std::to_string(p));
 
@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
       cfg.slackness = 64 * 1024;
       sim::Machine machine(cfg);
       machine.set_cancel(&runner.token());
+      obs.attach(machine, key);
       resilience::SnapshotRecord rec;
       rec.key = key;
       rec.rng_state = seed;
@@ -69,7 +70,7 @@ int main(int argc, char** argv) {
           core::predicted_random_pattern_cycles(n, p, 1, 30, d, x));
       return rec;
     });
-    if (!report.ok()) return bench::finish_sweep(report);
+    if (!report.ok()) return obs.finish(bench::finish_sweep(report));
 
     for (const std::uint64_t d : delays) {
       util::Table t({"x (d=" + std::to_string(d) + ")", "measured cycles",
@@ -91,6 +92,6 @@ int main(int argc, char** argv) {
           << "expansion after which banks stop mattering (analytic): x = "
           << core::effective_expansion_limit(n, p, 1, d, 1024) << "\n\n";
     }
-    return 0;
+    return obs.finish();
   });
 }

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = cli.get_int("seed", 1995);
   const unsigned draws = static_cast<unsigned>(cli.get_int("draws", 5));
 
-  bench::banner("Fig 8 (module map, §4)",
+  bench::Obs obs(cli, "Fig 8 (module map, §4)",
                 "Ratio of time with module-map contention to the location-"
                 "only ideal, worst-case distinct pattern, cubic hashing; "
                 "n = " + std::to_string(n));
@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
       util::Xoshiro256 rng(util::substream(seed, 70 + i));
       sim::Machine machine(cfg, std::make_shared<mem::HashedMapping>(
                                     cfg.banks(), mem::HashDegree::kCubic, rng));
+      obs.attach(machine, i);
       const double c = static_cast<double>(machine.scatter(addrs).cycles);
       sum += c;
       worst = std::max(worst, c);
@@ -62,5 +63,5 @@ int main(int argc, char** argv) {
               worst / ideal);
   }
   bench::emit(cli, t);
-  return 0;
+  return obs.finish();
 }

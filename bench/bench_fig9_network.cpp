@@ -28,12 +28,13 @@ int main(int argc, char** argv) {
   cfg.network_sections = cli.get_int("sections", cfg.processors);
   cfg.section_period = cli.get_int("section-period", 1);
 
-  bench::banner("Fig 9 (network versions a/b/c)",
+  bench::Obs obs(cli, "Fig 9 (network versions a/b/c)",
                 "Same scatter volume, three processor-to-section placements; "
                 "sections = " + std::to_string(cfg.network_sections) +
                     ", machine = " + cfg.name);
 
   sim::Machine machine(cfg);
+  obs.attach(machine);
   const std::uint64_t B = cfg.banks();
   const std::uint64_t S = cfg.network_sections;
 
@@ -111,5 +112,5 @@ int main(int argc, char** argv) {
                "needs no network term. Quarter-rate wires: the network\n"
                "binds for all placements and the concentrated one worst —\n"
                "the regime where [ST91]-style modeling becomes necessary.\n";
-  return 0;
+  return obs.finish();
 }

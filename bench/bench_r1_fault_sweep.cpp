@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
     const std::uint64_t n = cli.get_uint("n", 1 << 17);
     const std::uint64_t seed = cli.get_uint("seed", 1995);
 
-    bench::banner("R1 (fault sweep)",
+    bench::Obs obs(cli, "R1 (fault sweep)",
                   "simulated vs predicted degraded time; n = " +
                       std::to_string(n));
 
@@ -113,6 +113,7 @@ int main(int argc, char** argv) {
       auto plan = std::make_shared<fault::FaultPlan>(s.config, cfg.banks());
       sim::Machine machine(cfg);
       machine.set_cancel(&runner.token());
+      obs.attach(machine, key);
       machine.inject(plan);
       const auto out = machine.scatter_faulty(addrs);
       resilience::SnapshotRecord rec;
@@ -124,7 +125,7 @@ int main(int argc, char** argv) {
           stats::predict_degraded(cfg, *plan, n).cycles);
       return rec;
     });
-    if (!report.ok()) return bench::finish_sweep(report);
+    if (!report.ok()) return obs.finish(bench::finish_sweep(report));
 
     const std::vector<std::string> first_col = {"slow banks", "dead banks",
                                                 "drop rate", "compound"};
@@ -154,6 +155,6 @@ int main(int argc, char** argv) {
                  "stays predictive;\nthe tight-budget row demonstrates "
                  "structured degradation (no hang, no\nsilent loss) when "
                  "retries cannot save a request.\n";
-    return 0;
+    return obs.finish();
   });
 }

@@ -12,7 +12,7 @@
 int main(int argc, char** argv) {
   using namespace dxbsp;
   const util::Cli cli(argc, argv);
-  bench::banner("Table 1",
+  bench::Obs obs(cli, "Table 1",
                 "Machines with more memory banks than processors "
                 "(simulator presets approximating the paper's survey)");
 
@@ -28,5 +28,5 @@ int main(int argc, char** argv) {
   std::cout << "Every preset has x >= d/g: the hardware supplies at least\n"
                "enough banks to match processor bandwidth, and (per the\n"
                "paper and bench_fig7_expansion) exceeding that still helps.\n";
-  return 0;
+  return obs.finish();
 }

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const std::uint64_t probe = cli.get_int("probe", 1 << 16);
 
-  bench::banner("Table 2 (calibration)",
+  bench::Obs obs(cli, "Table 2 (calibration)",
                 "Model parameters recovered by black-box probing vs the "
                 "configured truth, per machine preset");
 
@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
                  "banks (probed)"});
   for (const auto& cfg : sim::MachineConfig::table1_presets()) {
     sim::Machine machine(cfg);
+    obs.attach(machine);
     const auto cal = core::calibrate(machine, probe);
     t.add_row(cfg.name, cfg.gap, cal.g, cfg.latency, cal.L, cfg.bank_delay,
               cal.d, cfg.banks(), cal.banks);
@@ -39,5 +40,5 @@ int main(int argc, char** argv) {
                "one would run on real hardware (and, per the paper's\n"
                "Figure 1 story, the ones whose results forced d into the\n"
                "model in the first place).\n";
-  return 0;
+  return obs.finish();
 }

@@ -8,10 +8,15 @@
 //
 //   ./machine_explorer [--n=1048576] [--k=1024] [--d=14] [--p=8]
 //                      [--faults=slow=0.25,slow-mult=4,drop=0.01,...]
+//                      [--trace=PATH] [--metrics=PATH]
 //
 // With --faults= the sweep runs against a seeded fault plan
 // (see fault::FaultConfig::parse for the key set) and reports the
 // degraded telemetry next to the healthy prediction.
+//
+// --trace writes a Chrome trace_event JSON of every simulated sweep
+// point (one track per expansion x; open in Perfetto), and --metrics
+// dumps the full metrics registry (docs/observability.md).
 
 #include <iostream>
 #include <memory>
@@ -20,6 +25,9 @@
 #include "resilience/error.hpp"
 #include "core/predictor.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "sim/machine.hpp"
 #include "stats/degraded.hpp"
 #include "util/cli.hpp"
@@ -51,6 +59,11 @@ static int run(int argc, char** argv) {
   const bool faulty = !fault_spec.empty();
   fault::FaultConfig fc;
   if (faulty) fc = fault::FaultConfig::parse(fault_spec);
+  const std::string trace_path = cli.get("trace", "");
+  const std::string metrics_path = cli.get("metrics", "");
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
+  obs::MetricsRegistry::global().reset();
 
   std::cout << "Workload: n = " << n << " requests, hottest location k = "
             << k << "; machine: p = " << p << ", g = 1, d = " << d << "\n";
@@ -79,6 +92,7 @@ static int run(int argc, char** argv) {
     cfg.expansion = x;
     cfg.slackness = 64 * 1024;
     sim::Machine machine(cfg);
+    if (tracer) machine.set_tracer(&tracer->track(x));
     sim::BulkResult meas;
     std::string status;
     std::uint64_t degraded_pred = 0;
@@ -124,5 +138,13 @@ static int run(int argc, char** argv) {
                "d*k term\nis mapping-independent, so past the balance point "
                "the win comes only\nfrom thinning the random module-map "
                "tail.\n";
+
+  if (tracer)
+    obs::write_file(trace_path,
+                    [&](std::ostream& os) { tracer->write_chrome_json(os); });
+  if (!metrics_path.empty())
+    obs::write_file(metrics_path, [&](std::ostream& os) {
+      obs::MetricsRegistry::global().write_json(os, /*include_host=*/true);
+    });
   return 0;
 }

@@ -12,6 +12,10 @@
 #    straight-through run. Also checks that --deadline=0.000001 produces
 #    the structured Interrupted outcome (exit 75) and a loadable
 #    checkpoint.
+# 4. Observability smoke: a traced fig4 run must produce JSON that
+#    `python3 -m json.tool` accepts (Chrome trace + run report), and the
+#    report/trace must be byte-identical between --threads=1 and
+#    --threads=4 (docs/observability.md).
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -79,5 +83,32 @@ grep -q "INTERRUPTED cause=deadline" "$SMOKE/deadline.txt"
 "$BENCH" "${SMOKE_ARGS[@]}" --resume="$SMOKE/dl.snap" > "$SMOKE/dl_resumed.txt"
 cmp "$SMOKE/reference.txt" "$SMOKE/dl_resumed.txt"
 echo "deadline interrupt is structured and resumable"
+
+echo "== observability smoke =="
+OBS_BENCH=./build-ci/bench/bench_fig4_contention_sweep
+OBS_ARGS=(--n=16384 --seed=1995)
+
+# Traced run: the Chrome trace, the run report, and the metrics dump
+# must all be valid JSON.
+"$OBS_BENCH" "${OBS_ARGS[@]}" --threads=1 \
+  --trace="$SMOKE/t1.trace.json" --report="$SMOKE/report1.json" \
+  --report-csv="$SMOKE/report1.csv" --metrics="$SMOKE/metrics1.json" \
+  > /dev/null
+python3 -m json.tool "$SMOKE/t1.trace.json" > /dev/null
+python3 -m json.tool "$SMOKE/report1.json" > /dev/null
+python3 -m json.tool "$SMOKE/metrics1.json" > /dev/null
+echo "trace, report and metrics dumps are valid JSON"
+
+# Determinism: reports and traces must not depend on --threads.
+"$OBS_BENCH" "${OBS_ARGS[@]}" --threads=4 \
+  --trace="$SMOKE/t4.trace.json" --report="$SMOKE/report4.json" \
+  > /dev/null
+cmp "$SMOKE/report1.json" "$SMOKE/report4.json"
+cmp "$SMOKE/t1.trace.json" "$SMOKE/t4.trace.json"
+echo "report and trace are byte-identical across --threads=1/4"
+
+# Reconciliation + registry stress under the sanitizers.
+./build-ci-san/tests/obs_test \
+  --gtest_filter='Reconcile.*:Metrics.ConcurrentUpdatesAreExact'
 
 echo "ci.sh: all green"

@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+#include "resilience/error.hpp"
+
+namespace dxbsp::obs {
+
+const char* metric_kind_name(MetricKind k) noexcept {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    raise(ErrorCode::kConfig, "Histogram: bounds must be sorted");
+}
+
+void Histogram::observe(std::uint64_t x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  std::uint64_t t = 0;
+  for (const auto& b : buckets_) t += b.load(std::memory_order_relaxed);
+  return t;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::span<const std::uint64_t> pow4_bounds() noexcept {
+  static const std::uint64_t bounds[] = {
+      1ULL,        4ULL,        16ULL,       64ULL,
+      256ULL,      1024ULL,     4096ULL,     16384ULL,
+      65536ULL,    262144ULL,   1048576ULL,  4194304ULL,
+      16777216ULL, 67108864ULL, 268435456ULL, 1073741824ULL};
+  return bounds;
+}
+
+struct MetricsRegistry::Slot {
+  MetricKind kind;
+  Stability stability;
+  Counter counter;
+  Gauge gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Slot& MetricsRegistry::slot(
+    const std::string& name, MetricKind kind, Stability s,
+    std::span<const std::uint64_t> bounds) {
+  std::lock_guard lock(mu_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    auto sl = std::make_unique<Slot>();
+    sl->kind = kind;
+    sl->stability = s;
+    if (kind == MetricKind::kHistogram)
+      sl->histogram = std::make_unique<Histogram>(
+          std::vector<std::uint64_t>(bounds.begin(), bounds.end()));
+    it = slots_.emplace(name, std::move(sl)).first;
+  } else if (it->second->kind != kind) {
+    raise(ErrorCode::kConfig,
+          "MetricsRegistry: metric '" + name + "' already registered as " +
+              metric_kind_name(it->second->kind) + ", requested " +
+              metric_kind_name(kind));
+  } else if (kind == MetricKind::kHistogram &&
+             !std::equal(bounds.begin(), bounds.end(),
+                         it->second->histogram->bounds().begin(),
+                         it->second->histogram->bounds().end())) {
+    raise(ErrorCode::kConfig, "MetricsRegistry: histogram '" + name +
+                                  "' re-registered with different bounds");
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Stability s) {
+  return slot(name, MetricKind::kCounter, s, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Stability s) {
+  return slot(name, MetricKind::kGauge, s, {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::span<const std::uint64_t> bounds,
+                                      Stability s) {
+  return *slot(name, MetricKind::kHistogram, s, bounds).histogram;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot(
+    bool include_host) const {
+  std::lock_guard lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(slots_.size());
+  for (const auto& [name, sl] : slots_) {  // std::map: sorted by name
+    if (sl->stability == Stability::kHost && !include_host) continue;
+    Entry e;
+    e.name = name;
+    e.kind = sl->kind;
+    e.stability = sl->stability;
+    switch (sl->kind) {
+      case MetricKind::kCounter:
+        e.value = sl->counter.value();
+        break;
+      case MetricKind::kGauge:
+        e.value = sl->gauge.value();
+        break;
+      case MetricKind::kHistogram:
+        e.bounds = sl->histogram->bounds();
+        e.bucket_counts = sl->histogram->counts();
+        e.value = sl->histogram->total();
+        break;
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os, bool include_host) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("metrics").begin_object();
+  for (const Entry& e : snapshot(include_host)) {
+    w.key(e.name).begin_object();
+    w.member("kind", metric_kind_name(e.kind));
+    w.member("stability", e.stability == Stability::kHost ? "host"
+                                                          : "deterministic");
+    if (e.kind == MetricKind::kHistogram) {
+      w.member("total", e.value);
+      w.key("bounds").begin_array();
+      for (const std::uint64_t b : e.bounds) w.value(b);
+      w.end_array();
+      w.key("counts").begin_array();
+      for (const std::uint64_t c : e.bucket_counts) w.value(c);
+      w.end_array();
+    } else {
+      w.member("value", e.value);
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+void MetricsRegistry::write_csv(std::ostream& os, bool include_host) const {
+  os << "name,kind,stability,value\n";
+  for (const Entry& e : snapshot(include_host)) {
+    os << e.name << ',' << metric_kind_name(e.kind) << ','
+       << (e.stability == Stability::kHost ? "host" : "deterministic") << ','
+       << e.value << '\n';
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, sl] : slots_) {
+    sl->counter.reset();
+    sl->gauge.reset();
+    if (sl->histogram) sl->histogram->reset();
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return slots_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+}  // namespace dxbsp::obs

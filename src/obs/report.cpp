@@ -1,0 +1,137 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "resilience/error.hpp"
+
+#ifndef DXBSP_GIT_DESCRIBE
+#define DXBSP_GIT_DESCRIBE "unknown"
+#endif
+
+namespace dxbsp::obs {
+
+const char* build_git_describe() noexcept { return DXBSP_GIT_DESCRIBE; }
+
+namespace {
+
+/// Per-track timeline row: superstep makespan + event accounting. Only
+/// deterministic quantities (the trace itself is deterministic).
+struct TimelineRow {
+  std::uint64_t track = 0;
+  std::uint64_t superstep_cycles = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t counts[kTraceKinds] = {};
+};
+
+std::vector<TimelineRow> timeline_rows(const Tracer& tracer) {
+  std::vector<TimelineRow> rows;
+  for (const std::uint64_t id : tracer.track_ids()) {
+    const TraceRing* ring = tracer.find(id);
+    if (ring == nullptr) continue;
+    TimelineRow row;
+    row.track = id;
+    row.recorded = ring->recorded();
+    row.dropped = ring->dropped();
+    for (std::size_t k = 0; k < kTraceKinds; ++k)
+      row.counts[k] = ring->count(static_cast<TraceKind>(k));
+    for (const TraceEvent& ev : ring->drain())
+      if (ev.kind == TraceKind::kSuperstep)
+        row.superstep_cycles = std::max(row.superstep_cycles, ev.ts + ev.dur);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& os, const RunInfo& info,
+                       const MetricsRegistry& metrics, const Tracer* tracer) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("report_version", kReportVersion);
+  w.member("generator", "dxbsp");
+  w.member("git", build_git_describe());
+  w.member("bench", info.bench);
+  w.member("description", info.description);
+  w.member("machine", info.machine);
+  w.member("seed", info.seed);
+
+  w.key("flags").begin_object();
+  for (const auto& [name, value] : info.flags) w.member(name, value);
+  w.end_object();
+
+  w.key("metrics").begin_object();
+  for (const auto& e : metrics.snapshot(/*include_host=*/false)) {
+    if (e.kind == MetricKind::kHistogram) {
+      w.key(e.name).begin_object();
+      w.member("total", e.value);
+      w.key("bounds").begin_array();
+      for (const std::uint64_t b : e.bounds) w.value(b);
+      w.end_array();
+      w.key("counts").begin_array();
+      for (const std::uint64_t c : e.bucket_counts) w.value(c);
+      w.end_array();
+      w.end_object();
+    } else {
+      w.member(e.name, e.value);
+    }
+  }
+  w.end_object();
+
+  if (tracer != nullptr) {
+    w.key("timeline").begin_array();
+    for (const TimelineRow& row : timeline_rows(*tracer)) {
+      w.begin_object();
+      w.member("track", row.track);
+      w.member("superstep_cycles", row.superstep_cycles);
+      w.member("events_recorded", row.recorded);
+      w.member("events_dropped", row.dropped);
+      w.key("counts").begin_object();
+      for (std::size_t k = 0; k < kTraceKinds; ++k)
+        w.member(trace_kind_name(static_cast<TraceKind>(k)), row.counts[k]);
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  os << '\n';
+}
+
+void write_report_csv(std::ostream& os, const RunInfo& info,
+                      const MetricsRegistry& metrics, const Tracer* tracer) {
+  os << "section,key,value\n";
+  os << "run,report_version," << kReportVersion << '\n';
+  os << "run,git," << build_git_describe() << '\n';
+  os << "run,bench," << info.bench << '\n';
+  os << "run,machine," << info.machine << '\n';
+  os << "run,seed," << info.seed << '\n';
+  for (const auto& [name, value] : info.flags)
+    os << "flag," << name << ',' << value << '\n';
+  for (const auto& e : metrics.snapshot(/*include_host=*/false))
+    os << "metric," << e.name << ',' << e.value << '\n';
+  if (tracer != nullptr) {
+    for (const TimelineRow& row : timeline_rows(*tracer)) {
+      os << "timeline,track_" << row.track << ".superstep_cycles,"
+         << row.superstep_cycles << '\n';
+      os << "timeline,track_" << row.track << ".events_recorded,"
+         << row.recorded << '\n';
+      os << "timeline,track_" << row.track << ".events_dropped,"
+         << row.dropped << '\n';
+    }
+  }
+}
+
+void write_file(const std::string& path,
+                const std::function<void(std::ostream&)>& fn) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) raise(ErrorCode::kIo, "cannot open '" + path + "' for writing");
+  fn(os);
+  os.flush();
+  if (!os) raise(ErrorCode::kIo, "failed writing '" + path + "'");
+}
+
+}  // namespace dxbsp::obs

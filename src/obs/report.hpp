@@ -1,0 +1,56 @@
+#pragma once
+// Structured run reports: one versioned JSON (or CSV) document per bench
+// invocation, carrying everything needed to interpret a BENCH_*.json
+// trajectory after the fact — experiment id, machine/workload flags,
+// seed, build id, every deterministic metric, and (when tracing) a
+// per-track timeline summary. See docs/observability.md for the schema.
+//
+// Reports deliberately exclude anything host- or execution-dependent
+// (wall-clock time, thread counts, checkpoint cadence, host metrics):
+// a report produced with --threads=4 is byte-identical to one produced
+// with --threads=1, and CI diffs them to prove it.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace dxbsp::obs {
+
+inline constexpr std::uint64_t kReportVersion = 1;
+
+/// Build identifier baked in at configure time ("unknown" outside git).
+[[nodiscard]] const char* build_git_describe() noexcept;
+
+/// Invocation identity, filled by bench::Obs from the CLI.
+struct RunInfo {
+  std::string bench;        ///< experiment id (the banner id)
+  std::string description;  ///< banner description line
+  std::string machine;      ///< machine preset ("" when per-point/custom)
+  std::uint64_t seed = 0;
+  /// Workload-shaping flags, sorted by name. Execution flags (--threads,
+  /// --checkpoint, ...) must not appear here — see report determinism.
+  std::vector<std::pair<std::string, std::string>> flags;
+};
+
+/// Writes the versioned JSON report. `tracer` may be null (no timeline
+/// section); host-stability metrics are always excluded.
+void write_report_json(std::ostream& os, const RunInfo& info,
+                       const MetricsRegistry& metrics, const Tracer* tracer);
+
+/// CSV twin: `section,key,value` rows with the same content and the same
+/// determinism contract.
+void write_report_csv(std::ostream& os, const RunInfo& info,
+                      const MetricsRegistry& metrics, const Tracer* tracer);
+
+/// Opens `path` for writing and runs `fn(stream)`; any failure is
+/// Error{kIo} naming the path.
+void write_file(const std::string& path,
+                const std::function<void(std::ostream&)>& fn);
+
+}  // namespace dxbsp::obs

@@ -3,6 +3,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace dxbsp::resilience {
@@ -50,6 +51,10 @@ const SnapshotRecord& SweepRunner::record(std::uint64_t key) const {
 
 void SweepRunner::flush_completed() {
   if (!writer_) return;
+  // Flush cadence depends on thread interleaving: host stability.
+  obs::MetricsRegistry::global()
+      .counter("sweep.checkpoint_flushes", obs::Stability::kHost)
+      .add();
   std::lock_guard lock(flush_mu_);
   std::vector<SnapshotRecord> done;
   done.reserve(records_.size());
@@ -170,6 +175,12 @@ SweepReport SweepRunner::run(
                        ? CancelCause::kCancelled
                        : token_.cause();
   }
+  // Progress accounting for the run report: which points ran is a pure
+  // function of the grid and the resume snapshot, not of --threads.
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("sweep.points_total").add(report.total);
+  reg.counter("sweep.points_completed").add(report.completed);
+  reg.counter("sweep.points_resumed").add(report.resumed);
   return report;
 }
 

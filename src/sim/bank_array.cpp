@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "resilience/error.hpp"
 
 namespace dxbsp::sim {
@@ -103,6 +104,14 @@ std::uint64_t BankArray::serve_addr(std::uint64_t bank, std::uint64_t arrival,
   const std::uint64_t end = occupy(bank, arrival, busy * busy_scale);
   if (combining_) pending_[addr] = end;
   return end;
+}
+
+void BankArray::publish(obs::MetricsRegistry& reg) const {
+  reg.counter("bank.requests").add(total_);
+  reg.counter("bank.cache_hits").add(hits_);
+  reg.counter("bank.combined").add(combined_);
+  reg.counter("bank.degraded_cycles").add(degraded_cycles_);
+  reg.gauge("bank.max_load").observe(max_load_);
 }
 
 void BankArray::reset() {

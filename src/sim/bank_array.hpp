@@ -16,6 +16,10 @@
 
 #include "resilience/cancel.hpp"
 
+namespace dxbsp::obs {
+class MetricsRegistry;
+}
+
 namespace dxbsp::sim {
 
 /// Optional bank-cache parameters (0 lines disables caching).
@@ -88,6 +92,11 @@ class BankArray {
   }
   /// Whether the most recent serve_addr call was merged by combining.
   [[nodiscard]] bool last_combined() const noexcept { return last_combined_; }
+
+  /// Publishes this array's counters into `reg` under the "bank." prefix
+  /// (requests served, cache hits, combined, degraded cycles; max load
+  /// as a max-gauge). Called by Machine at the end of each bulk op.
+  void publish(obs::MetricsRegistry& reg) const;
 
   /// Resets all banks to idle and clears statistics.
   void reset();

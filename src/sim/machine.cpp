@@ -5,12 +5,50 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "resilience/error.hpp"
 #include "util/bits.hpp"
 
 namespace dxbsp::sim {
 
 namespace {
+
+/// Trace-record helper: compiles to nothing with DXBSP_OBS_TRACE=0 and
+/// to a single null test when tracing is compiled in but not attached.
+inline void rec([[maybe_unused]] obs::TraceRing* ring,
+                [[maybe_unused]] obs::TraceKind kind,
+                [[maybe_unused]] std::uint64_t ts,
+                [[maybe_unused]] std::uint64_t dur,
+                [[maybe_unused]] std::uint64_t a,
+                [[maybe_unused]] std::uint64_t b) noexcept {
+  if constexpr (obs::kTraceCompiledIn) {
+    if (ring != nullptr) ring->record({ts, dur, a, b, kind});
+  }
+}
+
+/// Publishes one bulk operation's telemetry into the global metrics
+/// registry. Every update is commutative (docs/observability.md), so
+/// aggregate values are identical for any sweep-thread interleaving.
+void publish_bulk(const BulkResult& res, std::uint64_t failed,
+                  const BankArray& banks, const Network& net) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("sim.bulk_ops").add();
+  reg.counter("sim.requests").add(res.n);
+  reg.counter("sim.cycles").add(res.cycles);
+  reg.counter("sim.completed").add(res.completed);
+  reg.counter("sim.failed_requests").add(failed);
+  reg.counter("sim.stall_cycles").add(res.stall_cycles);
+  reg.gauge("sim.max_cycles").observe(res.cycles);
+  reg.gauge("sim.max_bank_load").observe(res.max_bank_load);
+  reg.gauge("sim.max_proc_requests").observe(res.max_proc_requests);
+  reg.histogram("sim.bulk_cycles", obs::pow4_bounds()).observe(res.cycles);
+  reg.counter("fault.retries").add(res.retries);
+  reg.counter("fault.nacks").add(res.nacks);
+  reg.counter("fault.failovers").add(res.failovers);
+  reg.counter("fault.degraded_cycles").add(res.degraded_cycles);
+  banks.publish(reg);
+  net.publish(reg);
+}
 
 Network make_network(const MachineConfig& cfg) {
   if (cfg.butterfly_network) {
@@ -124,7 +162,10 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   FaultyBulk out;
   BulkResult& res = out.bulk;
   res.n = ids.size();
-  if (ids.empty()) return out;
+  if (ids.empty()) {
+    publish_bulk(res, 0, banks_, network_);
+    return out;
+  }
 
   const fault::FaultPlan* plan = plan_.get();
   const std::uint64_t p = config_.processors;
@@ -199,6 +240,7 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
         if (spare == fault::kNoBank) {
           fail_reason = "no bank alive for failover";
         } else {
+          rec(trace_, obs::TraceKind::kFailover, arrival, 0, bank, spare);
           bank = spare;
           ++res.failovers;
         }
@@ -207,11 +249,14 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
         if (ev.attempt < plan->retry().max_retries) {
           // NACK travels back; the processor re-issues after backoff.
           ++res.nacks;
+          rec(trace_, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
           ack = network_.nack_return(arrival);
           const std::uint64_t delay =
               plan->backoff_delay(elem, ev.attempt + 1);
           heap.push(Event{ack + delay, elem, ev.proc, ev.attempt + 1});
           ++res.retries;
+          rec(trace_, obs::TraceKind::kRetry, ack + delay, 0, elem,
+              ev.attempt + 1);
           served_ok = false;
         } else {
           fail_reason = "retry budget exhausted";
@@ -219,6 +264,7 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
       }
       if (fail_reason != nullptr) {
         ++res.nacks;
+        rec(trace_, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
         ack = network_.nack_return(arrival);
         if (failed == 0) {
           first_failed_elem = elem;
@@ -231,6 +277,15 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
     }
 
     if (served_ok) {
+      if constexpr (obs::kTraceCompiledIn) {
+        if (trace_ != nullptr) {
+          // Backlog the request finds at its bank (cycles until a port
+          // frees), sampled as a counter series per bank.
+          const std::uint64_t free = banks_.free_at(bank);
+          rec(trace_, obs::TraceKind::kQueueDepth, arrival, 0, bank,
+              free > arrival ? free - arrival : 0);
+        }
+      }
       const std::uint64_t scale =
           plan != nullptr ? plan->busy_multiplier(bank, arrival) : 1;
       // Address-aware service applies bank caching/combining; the
@@ -240,6 +295,10 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
                         : banks_.serve_addr(bank, arrival, addr, scale);
       ack = served + config_.latency;
       ++res.completed;
+      // A combined request occupies no bank slot, so no busy span.
+      if (!banks_.last_combined())
+        rec(trace_, obs::TraceKind::kBankBusy, banks_.last_start(),
+            served - banks_.last_start(), bank, 0);
 
       if (timing != nullptr) {
         timing->issue[elem] = ev.depart;
@@ -268,6 +327,8 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
           const std::uint64_t gate = ps.completions[ps.issued % window];
           if (gate > next) {
             ps.stall += gate - next;
+            rec(trace_, obs::TraceKind::kStall, next, gate - next, ev.proc,
+                0);
             next = gate;
           }
         }
@@ -296,8 +357,9 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
     res.last_issue = std::max(res.last_issue, ps.last_issue);
   }
   res.bank_utilization =
-      static_cast<double>(config_.bank_delay) * static_cast<double>(n) /
-      (static_cast<double>(config_.banks()) * static_cast<double>(res.cycles));
+      bank_utilization_of(config_.bank_delay, n, config_.banks(), res.cycles);
+  rec(trace_, obs::TraceKind::kSuperstep, 0, makespan, n, 0);
+  publish_bulk(res, failed, banks_, network_);
   return out;
 }
 
@@ -308,7 +370,10 @@ BulkResult Machine::scatter_bulk_delivery(
 
   BulkResult res;
   res.n = addrs.size();
-  if (addrs.empty()) return res;
+  if (addrs.empty()) {
+    publish_bulk(res, 0, banks_, network_);
+    return res;
+  }
 
   // Every request materializes at its bank at time L, in index order;
   // there is no issue pipelining and no slackness limit. This models the
@@ -325,9 +390,10 @@ BulkResult Machine::scatter_bulk_delivery(
   res.completed = res.n;
   res.max_bank_load = banks_.max_load();
   res.max_proc_requests = per;
-  res.bank_utilization =
-      static_cast<double>(config_.bank_delay) * static_cast<double>(res.n) /
-      (static_cast<double>(config_.banks()) * static_cast<double>(res.cycles));
+  res.bank_utilization = bank_utilization_of(config_.bank_delay, res.n,
+                                             config_.banks(), res.cycles);
+  rec(trace_, obs::TraceKind::kSuperstep, 0, makespan, res.n, 0);
+  publish_bulk(res, 0, banks_, network_);
   return res;
 }
 

@@ -24,10 +24,12 @@
 
 #include "fault/fault_plan.hpp"
 #include "mem/bank_mapping.hpp"
+#include "obs/trace.hpp"
 #include "resilience/cancel.hpp"
 #include "sim/bank_array.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/network.hpp"
+#include "sim/telemetry.hpp"
 
 namespace dxbsp::sim {
 
@@ -54,7 +56,7 @@ struct BulkResult {
   double bank_utilization = 0.0;
 
   [[nodiscard]] double cycles_per_element() const noexcept {
-    return n == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(n);
+    return cycles_per_element_of(cycles, n);
   }
 };
 
@@ -115,6 +117,16 @@ class Machine {
     banks_.set_cancel(token);
   }
 
+  /// Attaches a trace ring (non-owning; must outlive the Machine's use
+  /// of it): subsequent bulk operations record superstep spans, bank
+  /// busy intervals, queue-depth samples, issue-stall spans and fault
+  /// events into it (docs/observability.md). One ring per concurrent
+  /// Machine — rings are single-writer. Pass nullptr to detach. When
+  /// tracing is compiled out (DXBSP_OBS_TRACE=0) this is accepted and
+  /// ignored.
+  void set_tracer(obs::TraceRing* ring) noexcept { trace_ = ring; }
+  [[nodiscard]] obs::TraceRing* tracer() const noexcept { return trace_; }
+
   /// Attaches a fault plan: subsequent bulk operations run fault-aware
   /// (slow banks, failover off dead banks, NACK/retry). The plan must be
   /// sized to this machine's bank count. Pass nullptr to clear.
@@ -173,6 +185,7 @@ class Machine {
   Network network_;
   std::shared_ptr<const fault::FaultPlan> plan_;
   const resilience::CancelToken* cancel_ = nullptr;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace dxbsp::sim

@@ -1,8 +1,9 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
-#include "resilience/error.hpp"
 
+#include "obs/metrics.hpp"
+#include "resilience/error.hpp"
 #include "util/bits.hpp"
 
 namespace dxbsp::sim {
@@ -78,6 +79,11 @@ std::uint64_t Network::traverse(std::uint64_t bank, std::uint64_t depart,
     }
   }
   return depart + latency_;
+}
+
+void Network::publish(obs::MetricsRegistry& reg) const {
+  reg.counter("net.port_conflicts").add(port_conflicts_);
+  reg.counter("net.nacks").add(nacks_);
 }
 
 void Network::reset() {

@@ -17,6 +17,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace dxbsp::obs {
+class MetricsRegistry;
+}
+
 namespace dxbsp::sim {
 
 enum class NetworkModel { kIdeal, kSectioned, kButterfly };
@@ -71,6 +75,10 @@ class Network {
 
   /// NACKs carried back so far.
   [[nodiscard]] std::uint64_t nacks() const noexcept { return nacks_; }
+
+  /// Publishes this network's counters into `reg` under the "net."
+  /// prefix. Called by Machine at the end of each bulk op.
+  void publish(obs::MetricsRegistry& reg) const;
 
   void reset();
 

@@ -1,0 +1,32 @@
+#pragma once
+// The derived-telemetry formulas shared by every BulkResult producer.
+//
+// Centralized because the naive forms divide by quantities that are
+// legitimately zero on an empty superstep (n == 0 => cycles == 0, and a
+// zero-bank config would make B·cycles == 0): every caller used to
+// open-code the division and most forgot the guard. Both helpers define
+// the empty superstep's value as 0.0 — "no work" uses no bank capacity
+// and costs nothing per element — and never divide by zero.
+
+#include <cstdint>
+
+namespace dxbsp::sim {
+
+/// Fraction of bank service capacity used: d·n / (B·cycles); 0.0 when
+/// the denominator would be 0 (empty superstep or degenerate config).
+[[nodiscard]] constexpr double bank_utilization_of(
+    std::uint64_t bank_delay, std::uint64_t n, std::uint64_t banks,
+    std::uint64_t cycles) noexcept {
+  if (banks == 0 || cycles == 0) return 0.0;
+  return static_cast<double>(bank_delay) * static_cast<double>(n) /
+         (static_cast<double>(banks) * static_cast<double>(cycles));
+}
+
+/// Average cycles per element: cycles / n; 0.0 for an empty superstep.
+[[nodiscard]] constexpr double cycles_per_element_of(
+    std::uint64_t cycles, std::uint64_t n) noexcept {
+  if (n == 0) return 0.0;
+  return static_cast<double>(cycles) / static_cast<double>(n);
+}
+
+}  // namespace dxbsp::sim

@@ -43,6 +43,12 @@ class Cli {
   /// than "false"/"0").
   [[nodiscard]] bool has(const std::string& name) const;
 
+  /// Every parsed flag, sorted by name (std::map order) — the run-report
+  /// writer iterates this for a deterministic flag section.
+  [[nodiscard]] const std::map<std::string, std::string>& flags() const {
+    return flags_;
+  }
+
   /// Positional (non-flag) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace dxbsp::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -44,6 +46,15 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
                               const resilience::CancelToken* cancel) {
   if (n == 0) return;
+  // Pool shape and chunking vary with the host, so these are kHost
+  // metrics: visible in --metrics dumps, excluded from run reports.
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("pool.parallel_for_calls", obs::Stability::kHost).add();
+    reg.counter("pool.indices", obs::Stability::kHost).add(n);
+    reg.gauge("pool.max_workers", obs::Stability::kHost)
+        .observe(workers_.size());
+  }
   // Chunk the index space instead of submitting one task per index: a
   // million-element loop must not allocate a million futures. ~4 chunks
   // per worker keeps the tail balanced without per-index overhead.
