@@ -1,0 +1,216 @@
+// Perf 4: hot-path regression harness for the event engine.
+//
+// Runs the same workloads through BOTH engines — the reference
+// priority_queue loop and the calendar-queue scheduler (the default;
+// docs/performance.md) — and reports simulator throughput as host
+// metrics: events processed per wall-clock second and simulated cycles
+// per second, per scenario and engine, plus the calendar/reference
+// speedup. Every run also cross-checks that the two engines produced
+// identical telemetry (the cheap always-on slice of
+// tests/engine_equivalence_test.cpp), so the sanitizer CI job gets
+// correctness value from the bench even though it skips the throughput
+// gate.
+//
+// The scenario set covers the hot-path variants that take different
+// code: the dense fast path (headline: uniform random, p=64, x=4, d=8,
+// 1M requests), the general calendar path (tight slackness window),
+// combining, bank caching, and a faulty run (retry backoffs through the
+// scheduler's overflow heap).
+//
+// Flags beyond the shared set (--seed, --csv, observability):
+//   --n=N        headline request count        (default 1048576)
+//   --reps=R     timed repetitions, best-of    (default 3)
+//   --quick      CI smoke sizing: n/16, reps=2 (scripts/ci.sh)
+//
+// scripts/ci.sh runs `--quick --metrics=...` and compares the headline
+// speedup against the committed BENCH_4.json baseline (20% tolerance).
+// Refresh the baseline with:
+//   ./build/bench/bench_perf_hotpath --metrics=BENCH_4.json
+
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fault/fault_plan.hpp"
+#include "obs/metrics.hpp"
+#include "sim/machine.hpp"
+#include "workload/patterns.hpp"
+
+namespace {
+
+using namespace dxbsp;
+
+struct Scenario {
+  std::string name;
+  sim::MachineConfig cfg;
+  std::vector<std::uint64_t> addrs;
+  std::shared_ptr<const fault::FaultPlan> plan;
+};
+
+struct Measurement {
+  double events_per_sec = 0.0;
+  double cycles_per_sec = 0.0;
+  sim::BulkResult bulk;
+};
+
+Measurement run_engine(const Scenario& sc, sim::Machine::Engine engine,
+                       std::uint64_t reps) {
+  sim::Machine m(sc.cfg);
+  m.set_engine(engine);
+  if (sc.plan) m.inject(sc.plan);
+
+  Measurement best;
+  for (std::uint64_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = m.scatter_faulty(sc.addrs);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec =
+        std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+            .count();
+    // Scheduler events processed: one per fresh issue plus one per retry.
+    const double events =
+        static_cast<double>(out.bulk.n + out.bulk.retries);
+    const double evps = sec > 0.0 ? events / sec : 0.0;
+    if (evps > best.events_per_sec) {
+      best.events_per_sec = evps;
+      best.cycles_per_sec =
+          sec > 0.0 ? static_cast<double>(out.bulk.cycles) / sec : 0.0;
+      best.bulk = out.bulk;
+    }
+  }
+  return best;
+}
+
+/// The engines must agree exactly; a mismatch is a correctness bug, not
+/// a perf regression, and fails the bench loudly.
+void check_agreement(const Scenario& sc, const sim::BulkResult& cal,
+                     const sim::BulkResult& ref) {
+  if (cal.cycles != ref.cycles || cal.completed != ref.completed ||
+      cal.retries != ref.retries || cal.stall_cycles != ref.stall_cycles ||
+      cal.max_bank_load != ref.max_bank_load ||
+      cal.combined != ref.combined || cal.cache_hits != ref.cache_hits) {
+    raise(ErrorCode::kInternal,
+          "bench_perf_hotpath: engine mismatch in scenario '" + sc.name +
+              "' (calendar " + std::to_string(cal.cycles) + " cycles vs " +
+              "reference " + std::to_string(ref.cycles) + ")");
+  }
+}
+
+std::vector<Scenario> build_scenarios(std::uint64_t n_headline,
+                                      std::uint64_t seed) {
+  std::vector<Scenario> out;
+  const std::uint64_t n_small = std::max<std::uint64_t>(n_headline / 4, 1024);
+
+  {
+    // Headline: the acceptance config — uniform random scatter on
+    // p=64, x=4, d=8. No faults, default slackness: dense fast path.
+    Scenario sc;
+    sc.name = "uniform_p64_x4_d8";
+    sc.cfg = sim::MachineConfig::parse("p=64,x=4,d=8,g=1,L=8");
+    sc.addrs = workload::uniform_random(n_headline, 1ULL << 26, seed);
+    out.push_back(std::move(sc));
+  }
+  {
+    // Tight slackness: the completion-window gate binds, so the general
+    // calendar path (and its stall bookkeeping) is what is timed.
+    Scenario sc;
+    sc.name = "hot_tight_window";
+    sc.cfg = sim::MachineConfig::parse("p=16,x=4,d=4,g=1,L=8,S=64");
+    sc.addrs = workload::k_hot(n_small, n_small / 8, 1ULL << 24, seed + 1);
+    out.push_back(std::move(sc));
+  }
+  {
+    Scenario sc;
+    sc.name = "combining_multihot";
+    sc.cfg = sim::MachineConfig::parse("p=16,x=4,d=4,g=1,L=8,combine=1");
+    sc.addrs =
+        workload::multi_hot(n_small, 32, n_small / 64, 1ULL << 24, seed + 2);
+    out.push_back(std::move(sc));
+  }
+  {
+    Scenario sc;
+    sc.name = "cached_stride";
+    sc.cfg = sim::MachineConfig::parse(
+        "p=16,x=4,d=8,g=1,L=8,cache-lines=4,line-words=8,cached-delay=1");
+    sc.addrs = workload::strided(n_small, 1, 0);
+    out.push_back(std::move(sc));
+  }
+  {
+    // Faulty: drops with a retry budget — backoffs land past the wheel
+    // horizon, timing the scheduler's overflow heap and the fault path.
+    Scenario sc;
+    sc.name = "faulty_drop_retry";
+    sc.cfg = sim::MachineConfig::parse("p=16,x=4,d=4,g=1,L=8");
+    fault::FaultConfig fc;
+    fc.seed = seed + 3;
+    fc.drop_rate = 0.02;
+    fc.slow_fraction = 0.25;
+    fc.slow_multiplier = 4;
+    sc.plan = std::make_shared<fault::FaultPlan>(fc, sc.cfg.banks());
+    sc.addrs = workload::uniform_random(n_small, 1ULL << 24, seed + 4);
+    out.push_back(std::move(sc));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  return bench::guarded([&] {
+    const util::Cli cli(argc, argv);
+    const bool quick = cli.has("quick");
+    const std::uint64_t n =
+        cli.get_uint("n", quick ? (1u << 16) : (1u << 20));
+    const std::uint64_t reps = cli.get_uint("reps", quick ? 2 : 3);
+    const std::uint64_t seed = cli.get_uint("seed", 1995);
+
+    bench::Obs obs(cli, "Perf 4 (hot path)",
+                   "Event-engine throughput, calendar vs reference; "
+                   "headline n = " + std::to_string(n) +
+                       ", reps = " + std::to_string(reps));
+
+    auto& reg = obs::MetricsRegistry::global();
+    util::Table t({"scenario", "n", "ref Mev/s", "cal Mev/s", "speedup",
+                   "cycles"});
+    double headline_speedup = 0.0;
+
+    for (const auto& sc : build_scenarios(n, seed)) {
+      const auto ref = run_engine(sc, sim::Machine::Engine::kReference, reps);
+      const auto cal = run_engine(sc, sim::Machine::Engine::kCalendar, reps);
+      check_agreement(sc, cal.bulk, ref.bulk);
+
+      const double speedup = ref.events_per_sec > 0.0
+                                 ? cal.events_per_sec / ref.events_per_sec
+                                 : 0.0;
+      if (sc.name == "uniform_p64_x4_d8") headline_speedup = speedup;
+      t.add_row(sc.name, sc.addrs.size(), ref.events_per_sec / 1e6,
+                cal.events_per_sec / 1e6, speedup, cal.bulk.cycles);
+
+      // Host metrics (wall-clock dependent, excluded from deterministic
+      // run reports; BENCH_4.json is written via --metrics, which
+      // includes them).
+      const std::string pre = "perf." + sc.name;
+      reg.gauge(pre + ".events_per_sec.reference", obs::Stability::kHost)
+          .observe(static_cast<std::uint64_t>(ref.events_per_sec));
+      reg.gauge(pre + ".events_per_sec.calendar", obs::Stability::kHost)
+          .observe(static_cast<std::uint64_t>(cal.events_per_sec));
+      reg.gauge(pre + ".cycles_per_sec.reference", obs::Stability::kHost)
+          .observe(static_cast<std::uint64_t>(ref.cycles_per_sec));
+      reg.gauge(pre + ".cycles_per_sec.calendar", obs::Stability::kHost)
+          .observe(static_cast<std::uint64_t>(cal.cycles_per_sec));
+      reg.gauge(pre + ".speedup_x100", obs::Stability::kHost)
+          .observe(static_cast<std::uint64_t>(speedup * 100.0));
+    }
+
+    bench::emit(cli, t);
+    std::cout << "headline uniform_p64_x4_d8 speedup: " << headline_speedup
+              << "x (acceptance target: >= 2x on the full-size run)\n"
+              << "Engines cross-checked: identical telemetry on every "
+                 "scenario.\n";
+    return obs.finish();
+  });
+}

@@ -16,6 +16,13 @@
 #    `python3 -m json.tool` accepts (Chrome trace + run report), and the
 #    report/trace must be byte-identical between --threads=1 and
 #    --threads=4 (docs/observability.md).
+# 5. Perf smoke (docs/performance.md): bench_perf_hotpath --quick on the
+#    plain (optimized) build must emit valid metrics JSON and its
+#    headline calendar/reference speedup must stay within 20% of the
+#    committed BENCH_4.json baseline (capped, so a fast dev host can't
+#    commit a baseline CI machines can't reach). The sanitizer build
+#    runs the same bench for its engine cross-check but skips the
+#    throughput gate — sanitized timings measure the sanitizer.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -110,5 +117,36 @@ echo "report and trace are byte-identical across --threads=1/4"
 # Reconciliation + registry stress under the sanitizers.
 ./build-ci-san/tests/obs_test \
   --gtest_filter='Reconcile.*:Metrics.ConcurrentUpdatesAreExact'
+
+echo "== perf smoke (event-engine throughput) =="
+PERF=./build-ci/bench/bench_perf_hotpath
+
+# Engine cross-check under the sanitizers (throughput numbers from a
+# sanitized build are meaningless, so no gate — the bench itself fails
+# on any calendar/reference telemetry mismatch).
+./build-ci-san/bench/bench_perf_hotpath --quick --reps=1 > /dev/null
+echo "sanitized engine cross-check passed"
+
+# Throughput gate on the optimized build, against the committed
+# baseline. The baseline speedup is capped at 2.5x before applying the
+# 20% tolerance: the gate catches "the calendar engine stopped being
+# faster", not host-to-host variance above the acceptance bar.
+"$PERF" --quick --metrics="$SMOKE/perf.json" > "$SMOKE/perf.txt"
+python3 -m json.tool "$SMOKE/perf.json" > /dev/null
+python3 - "$SMOKE/perf.json" BENCH_4.json <<'EOF'
+import json, sys
+
+KEY = "perf.uniform_p64_x4_d8.speedup_x100"
+current = json.load(open(sys.argv[1]))["metrics"][KEY]["value"]
+baseline = json.load(open(sys.argv[2]))["metrics"][KEY]["value"]
+floor = 0.8 * min(baseline, 250)
+print(f"headline speedup: current {current/100:.2f}x, "
+      f"baseline {baseline/100:.2f}x, gate >= {floor/100:.2f}x")
+if current < floor:
+    sys.exit(f"perf smoke: headline speedup {current/100:.2f}x fell below "
+             f"{floor/100:.2f}x (>20% regression vs committed baseline); "
+             "if intended, refresh BENCH_4.json (docs/performance.md)")
+EOF
+echo "perf smoke passed"
 
 echo "ci.sh: all green"

@@ -33,4 +33,13 @@ std::string FailoverMapping::name() const {
   return base_->name() + "+failover";
 }
 
+void FailoverMapping::map(std::span<const std::uint64_t> addrs,
+                          std::span<std::uint64_t> banks) const {
+  base_->bank_of_batch(addrs, banks);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const std::uint64_t spare = plan_->failover(banks[i], addrs[i], time_);
+    if (spare != kNoBank) banks[i] = spare;
+  }
+}
+
 }  // namespace dxbsp::fault

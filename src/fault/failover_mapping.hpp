@@ -32,6 +32,13 @@ class FailoverMapping final : public mem::BankMapping {
   [[nodiscard]] std::uint64_t bank_of(std::uint64_t addr) const override;
   [[nodiscard]] std::string name() const override;
 
+  /// Batched override: one dispatch to the base mapping's batch loop,
+  /// then the failover correction applied in place — so bulk routing
+  /// through a failover view costs the same one virtual call per bulk op
+  /// as the base mapping (mem::BankMapping::bank_of_batch).
+  void map(std::span<const std::uint64_t> addrs,
+           std::span<std::uint64_t> banks) const override;
+
  private:
   std::shared_ptr<const mem::BankMapping> base_;
   std::shared_ptr<const FaultPlan> plan_;

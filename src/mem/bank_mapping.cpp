@@ -1,5 +1,6 @@
 #include "mem/bank_mapping.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/bits.hpp"
@@ -16,6 +17,40 @@ void BankMapping::map(std::span<const std::uint64_t> addrs,
   if (addrs.size() != banks.size())
     throw std::invalid_argument("BankMapping::map: size mismatch");
   for (std::size_t i = 0; i < addrs.size(); ++i) banks[i] = bank_of(addrs[i]);
+}
+
+void InterleavedMapping::map(std::span<const std::uint64_t> addrs,
+                             std::span<std::uint64_t> banks) const {
+  if (addrs.size() != banks.size())
+    throw std::invalid_argument("BankMapping::map: size mismatch");
+  const std::uint64_t b = num_banks_;
+  for (std::size_t i = 0; i < addrs.size(); ++i) banks[i] = addrs[i] % b;
+}
+
+void BitReversalMapping::map(std::span<const std::uint64_t> addrs,
+                             std::span<std::uint64_t> banks) const {
+  if (addrs.size() != banks.size())
+    throw std::invalid_argument("BankMapping::map: size mismatch");
+  // Hoist the per-call bit-width computation of bank_of out of the loop.
+  const unsigned bits = util::log2_ceil(num_banks_);
+  if (bits == 0) {
+    std::fill(banks.begin(), banks.end(), 0);
+    return;
+  }
+  const std::uint64_t mask = (1ULL << bits) - 1;
+  const bool pow2 = util::is_pow2(num_banks_);
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    const std::uint64_t rev = util::reverse_bits(addrs[i] & mask, bits);
+    banks[i] = pow2 ? rev : (rev * num_banks_) >> bits;
+  }
+}
+
+void HashedMapping::map(std::span<const std::uint64_t> addrs,
+                        std::span<std::uint64_t> banks) const {
+  if (addrs.size() != banks.size())
+    throw std::invalid_argument("BankMapping::map: size mismatch");
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    banks[i] = (hash_(addrs[i]) * num_banks_) >> 32;
 }
 
 std::uint64_t BitReversalMapping::bank_of(std::uint64_t addr) const {

@@ -42,6 +42,18 @@ class BankMapping {
   virtual void map(std::span<const std::uint64_t> addrs,
                    std::span<std::uint64_t> banks) const;
 
+  /// Batched routing for hot paths: fills banks[i] = bank_of(addrs[i])
+  /// with ONE virtual dispatch for the whole span instead of one per
+  /// element. The simulator precomputes its address→bank route per bulk
+  /// op through this; every concrete mapping overrides map() with a
+  /// devirtualized inner loop (the classes are final, so the compiler
+  /// inlines their bank_of). Throws std::invalid_argument on a size
+  /// mismatch, like map().
+  void bank_of_batch(std::span<const std::uint64_t> addrs,
+                     std::span<std::uint64_t> banks) const {
+    map(addrs, banks);
+  }
+
  protected:
   std::uint64_t num_banks_;
 };
@@ -55,6 +67,8 @@ class InterleavedMapping final : public BankMapping {
     return addr % num_banks_;
   }
   [[nodiscard]] std::string name() const override { return "interleaved"; }
+  void map(std::span<const std::uint64_t> addrs,
+           std::span<std::uint64_t> banks) const override;
 };
 
 /// bank = bit_reverse_64(addr) mod B. A deterministic scrambling that
@@ -65,6 +79,8 @@ class BitReversalMapping final : public BankMapping {
       : BankMapping(num_banks) {}
   [[nodiscard]] std::uint64_t bank_of(std::uint64_t addr) const override;
   [[nodiscard]] std::string name() const override { return "bit-reversal"; }
+  void map(std::span<const std::uint64_t> addrs,
+           std::span<std::uint64_t> banks) const override;
 };
 
 /// bank = floor(h(addr)·B / 2^32) for a universal polynomial hash h with
@@ -85,6 +101,8 @@ class HashedMapping final : public BankMapping {
   [[nodiscard]] std::string name() const override {
     return "hashed-" + to_string(hash_.degree());
   }
+  void map(std::span<const std::uint64_t> addrs,
+           std::span<std::uint64_t> banks) const override;
   [[nodiscard]] const PolynomialHash& hash() const noexcept { return hash_; }
 
  private:

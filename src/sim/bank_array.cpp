@@ -39,19 +39,25 @@ void BankArray::poll_cancel() {
 
 std::uint64_t BankArray::occupy(std::uint64_t bank, std::uint64_t arrival,
                                 std::uint64_t busy) {
-  // Serve on the earliest-free port of the bank.
-  std::uint64_t* ports = &free_at_[bank * ports_];
-  std::uint64_t best = 0;
-  for (std::uint64_t q = 1; q < ports_; ++q)
-    if (ports[q] < ports[best]) best = q;
-  std::uint64_t& free_at = ports[best];
-  const std::uint64_t start = std::max(arrival, free_at);
+  // Serve on the earliest-free port of the bank. Single-port banks (the
+  // common case) skip the port scan and the base-offset multiply.
+  std::uint64_t* slot;
+  if (ports_ == 1) {
+    slot = &free_at_[bank];
+  } else {
+    std::uint64_t* ports = &free_at_[bank * ports_];
+    std::uint64_t best = 0;
+    for (std::uint64_t q = 1; q < ports_; ++q)
+      if (ports[q] < ports[best]) best = q;
+    slot = &ports[best];
+  }
+  const std::uint64_t start = std::max(arrival, *slot);
   last_start_ = start;
   last_combined_ = false;
-  free_at = start + busy;
+  *slot = start + busy;
   const std::uint64_t count = ++load_[bank];
   max_load_ = std::max(max_load_, count);
-  return free_at;
+  return *slot;
 }
 
 std::uint64_t BankArray::serve(std::uint64_t bank, std::uint64_t arrival,
@@ -69,40 +75,38 @@ std::uint64_t BankArray::serve_addr(std::uint64_t bank, std::uint64_t arrival,
   poll_cancel();
 
   if (combining_) {
-    const auto it = pending_.find(addr);
-    if (it != pending_.end() && it->second > arrival) {
+    const std::uint64_t* pend = pending_.find(addr);
+    if (pend != nullptr && *pend > arrival) {
       // A request for this word is still queued or in service: ride it.
       ++combined_;
       last_start_ = arrival;  // no bank slot consumed
       last_combined_ = true;
-      return it->second;
+      return *pend;
     }
   }
 
   std::uint64_t busy = delay_;
   if (cache_.lines > 0) {
     const std::uint64_t line = addr / cache_.line_words;
-    std::uint64_t* slots = &mru_[bank * cache_.lines];
-    std::uint64_t pos = cache_.lines;
-    for (std::uint64_t i = 0; i < cache_.lines; ++i) {
-      if (slots[i] == line) {
-        pos = i;
-        break;
-      }
-    }
-    if (pos < cache_.lines) {
+    std::uint64_t* const slots = &mru_[bank * cache_.lines];
+    std::uint64_t* const end = slots + cache_.lines;
+    std::uint64_t* const hit = std::find(slots, end, line);
+    if (hit != end) {
       busy = cache_.cached_delay;
       ++hits_;
+      // Move-to-front: one rotate of [front, hit] instead of the old
+      // element-by-element shift-down.
+      std::rotate(slots, hit, hit + 1);
+    } else {
+      // Miss: evict the LRU tail and insert at the front.
+      std::rotate(slots, end - 1, end);
+      slots[0] = line;
     }
-    // Move-to-front (insert on miss, refresh on hit).
-    const std::uint64_t last = std::min(pos, cache_.lines - 1);
-    for (std::uint64_t i = last; i > 0; --i) slots[i] = slots[i - 1];
-    slots[0] = line;
   }
 
   if (busy_scale > 1) degraded_cycles_ += busy * (busy_scale - 1);
   const std::uint64_t end = occupy(bank, arrival, busy * busy_scale);
-  if (combining_) pending_[addr] = end;
+  if (combining_) pending_.insert_or_assign(addr, end);
   return end;
 }
 
@@ -114,11 +118,14 @@ void BankArray::publish(obs::MetricsRegistry& reg) const {
   reg.gauge("bank.max_load").observe(max_load_);
 }
 
-void BankArray::reset() {
+void BankArray::reset(std::size_t expected_requests) {
   std::fill(free_at_.begin(), free_at_.end(), 0);
   std::fill(load_.begin(), load_.end(), 0);
   std::fill(mru_.begin(), mru_.end(), ~0ULL);
   pending_.clear();
+  // Size the combining table for the whole bulk op up front (a no-op
+  // once grown: reserve never shrinks), so serve_addr never rehashes.
+  if (combining_ && expected_requests > 0) pending_.reserve(expected_requests);
   max_load_ = 0;
   total_ = 0;
   hits_ = 0;
@@ -127,7 +134,11 @@ void BankArray::reset() {
 }
 
 std::uint64_t BankArray::free_at(std::uint64_t bank) const {
-  const std::uint64_t* ports = &free_at_.at(bank * ports_);
+  // Unchecked indexing, consistent with occupy(): this sits on the
+  // per-event trace path and bank ids are validated at entry to the
+  // bulk op, not per query. Single-port banks skip the scan.
+  if (ports_ == 1) return free_at_[bank];
+  const std::uint64_t* ports = &free_at_[bank * ports_];
   std::uint64_t best = ports[0];
   for (std::uint64_t q = 1; q < ports_; ++q) best = std::min(best, ports[q]);
   return best;

@@ -10,11 +10,12 @@
 // request for a word that is already queued or in service at its bank is
 // merged with the pending one and occupies no extra bank time.
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "resilience/cancel.hpp"
+#include "util/flat_map.hpp"
 
 namespace dxbsp::obs {
 class MetricsRegistry;
@@ -99,7 +100,10 @@ class BankArray {
   void publish(obs::MetricsRegistry& reg) const;
 
   /// Resets all banks to idle and clears statistics.
-  void reset();
+  /// `expected_requests` (the upcoming bulk op's size, 0 = unknown)
+  /// pre-sizes the combining table so the hot loop never rehashes;
+  /// capacity is kept across resets either way.
+  void reset(std::size_t expected_requests = 0);
 
   /// Attaches a cancellation token (non-owning; nullptr detaches). The
   /// serve paths poll it every 64Ki requests and abort with
@@ -128,8 +132,10 @@ class BankArray {
   // mru_[b*cache_.lines .. (b+1)*cache_.lines). ~0 = empty slot.
   std::vector<std::uint64_t> mru_;
   // Combining: pending service completion per word (an address lives in
-  // exactly one bank, so a single map is sound). Pruned lazily.
-  std::unordered_map<std::uint64_t, std::uint64_t> pending_;
+  // exactly one bank, so a single map is sound). Open-addressing flat
+  // map, reserved to the bulk-op size by reset(); stale entries are
+  // pruned lazily (the `> arrival` check ignores them).
+  util::FlatMap64 pending_;
 
   const resilience::CancelToken* cancel_ = nullptr;
   std::uint64_t max_load_ = 0;

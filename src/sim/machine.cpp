@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "resilience/error.hpp"
 #include "util/bits.hpp"
+#include "util/calendar_queue.hpp"
+#include "util/scratch.hpp"
 
 namespace dxbsp::sim {
 
@@ -63,7 +66,8 @@ Network make_network(const MachineConfig& cfg) {
 
 namespace {
 
-/// Per-processor issue state during one bulk operation.
+/// Per-processor issue state during one bulk operation (reference
+/// engine; the calendar engine uses the flattened ProcFlat).
 struct ProcState {
   std::uint64_t begin = 0;       // first element index (block) / proc id (cyclic)
   std::uint64_t count = 0;       // elements owned
@@ -74,13 +78,26 @@ struct ProcState {
   std::vector<std::uint64_t> completions;
 };
 
+/// Calendar-engine per-processor state: POD so the whole array lives in
+/// one reusable scratch vector; the completion ring is a slice
+/// [ring_off, ring_off + window) of one shared flat ring buffer.
+struct ProcFlat {
+  std::uint64_t count = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t last_issue = 0;
+  std::uint64_t stall = 0;
+  std::uint64_t ring_off = 0;
+  std::uint64_t window = 0;
+};
+
 struct Event {
   std::uint64_t depart;  // time the request enters the network
   std::uint64_t elem;    // element index (only meaningful for retries)
   std::uint32_t proc;
   std::uint32_t attempt;  // 0 = fresh issue; k >= 1 = k-th retry
-  // Min-heap by (depart, proc, attempt, elem): the tiebreaks make the
-  // simulation deterministic regardless of heap internals.
+  // Min-queue by (depart, proc, attempt, elem): the tiebreaks make the
+  // simulation deterministic regardless of scheduler internals, and both
+  // engines (heap and calendar queue) pop in exactly this order.
   friend bool operator>(const Event& a, const Event& b) {
     if (a.depart != b.depart) return a.depart > b.depart;
     if (a.proc != b.proc) return a.proc > b.proc;
@@ -89,7 +106,23 @@ struct Event {
   }
 };
 
+struct EventKey {
+  std::uint64_t operator()(const Event& e) const noexcept { return e.depart; }
+};
+
+// Scratch-arena slot names (uint64 buffers).
+constexpr std::size_t kRouteSlot = 0;  // addr → bank, one per element
+constexpr std::size_t kRingSlot = 1;   // flattened completion rings
+
 }  // namespace
+
+/// Reusable calendar-engine state: allocated on first bulk op, after
+/// which a steady-state sweep performs no per-op allocations here
+/// (docs/performance.md §scratch).
+struct Machine::EngineState {
+  util::ScratchArena arena;
+  util::CalendarQueue<Event, EventKey> queue{4096};
+};
 
 Machine::Machine(MachineConfig config,
                  std::shared_ptr<const mem::BankMapping> mapping)
@@ -117,6 +150,8 @@ std::shared_ptr<const mem::BankMapping> default_mapping(
 Machine::Machine(MachineConfig config)
     : Machine(config, default_mapping(config)) {}
 
+Machine::~Machine() = default;
+
 void Machine::inject(std::shared_ptr<const fault::FaultPlan> plan) {
   if (plan && plan->num_banks() != config_.banks())
     raise(ErrorCode::kConfig,
@@ -142,11 +177,14 @@ FaultyBulk Machine::scatter_faulty(std::span<const std::uint64_t> addrs) {
 BulkResult Machine::scatter_detailed(std::span<const std::uint64_t> addrs,
                                      RequestTiming& timing) {
   const std::size_t n = addrs.size();
-  timing.issue.assign(n, 0);
-  timing.arrival.assign(n, 0);
-  timing.start.assign(n, 0);
-  timing.completion.assign(n, 0);
-  timing.bank.assign(n, 0);
+  // Pre-fill with the unserved sentinel: a request the fault path fails
+  // keeps kUnserved in all five slots instead of a zero that reads as
+  // "completed at cycle 0". Served requests overwrite every slot.
+  timing.issue.assign(n, RequestTiming::kUnserved);
+  timing.arrival.assign(n, RequestTiming::kUnserved);
+  timing.start.assign(n, RequestTiming::kUnserved);
+  timing.completion.assign(n, RequestTiming::kUnserved);
+  timing.bank.assign(n, RequestTiming::kUnserved);
   return unwrap(run(addrs, /*ids_are_banks=*/false, &timing));
 }
 
@@ -156,7 +194,7 @@ BulkResult Machine::scatter_banks(std::span<const std::uint64_t> banks) {
 
 FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
                         bool ids_are_banks, RequestTiming* timing) {
-  banks_.reset();
+  banks_.reset(ids.size());
   network_.reset();
 
   FaultyBulk out;
@@ -167,6 +205,39 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
     return out;
   }
 
+  FailTally tally;
+  const std::uint64_t makespan =
+      engine_ == Engine::kReference
+          ? run_reference(ids, ids_are_banks, timing, res, tally)
+          : run_calendar(ids, ids_are_banks, timing, res, tally);
+
+  if (res.completed + tally.failed != res.n)
+    raise(ErrorCode::kInternal, "Machine: request conservation violated");
+  if (tally.failed > 0) {
+    out.degraded = fault::DegradedResult{
+        tally.failed, tally.first_elem, tally.first_attempts,
+        std::string(tally.first_reason) +
+            (" (" + std::to_string(tally.failed) + " of " +
+             std::to_string(res.n) + " requests failed)")};
+  }
+
+  res.cycles = makespan;
+  res.max_bank_load = banks_.max_load();
+  res.port_conflicts = network_.port_conflicts();
+  res.cache_hits = banks_.cache_hits();
+  res.combined = banks_.combined();
+  res.degraded_cycles = banks_.degraded_cycles();
+  res.bank_utilization = bank_utilization_of(config_.bank_delay, res.n,
+                                             config_.banks(), res.cycles);
+  rec(trace_, obs::TraceKind::kSuperstep, 0, makespan, res.n, 0);
+  publish_bulk(res, tally.failed, banks_, network_);
+  return out;
+}
+
+std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
+                                     bool ids_are_banks,
+                                     RequestTiming* timing, BulkResult& res,
+                                     FailTally& tally) {
   const fault::FaultPlan* plan = plan_.get();
   const std::uint64_t p = config_.processors;
   const std::uint64_t n = ids.size();
@@ -200,10 +271,6 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   }
 
   std::uint64_t makespan = 0;
-  std::uint64_t failed = 0;
-  std::uint64_t first_failed_elem = 0;
-  std::uint64_t first_failed_attempts = 0;
-  std::string first_failed_reason;
   std::uint64_t events = 0;
   while (!heap.empty()) {
     // Cancellation point: poll the token every 4096 events (the deadline
@@ -266,12 +333,12 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
         ++res.nacks;
         rec(trace_, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
         ack = network_.nack_return(arrival);
-        if (failed == 0) {
-          first_failed_elem = elem;
-          first_failed_attempts = ev.attempt + 1;
-          first_failed_reason = fail_reason;
+        if (tally.failed == 0) {
+          tally.first_elem = elem;
+          tally.first_attempts = ev.attempt + 1;
+          tally.first_reason = fail_reason;
         }
-        ++failed;
+        ++tally.failed;
         served_ok = false;
       }
     }
@@ -337,35 +404,262 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
     }
   }
 
-  if (res.completed + failed != res.n)
-    raise(ErrorCode::kInternal, "Machine: request conservation violated");
-  if (failed > 0) {
-    out.degraded = fault::DegradedResult{
-        failed, first_failed_elem, first_failed_attempts,
-        first_failed_reason + (" (" + std::to_string(failed) + " of " +
-                               std::to_string(res.n) + " requests failed)")};
-  }
-
-  res.cycles = makespan;
-  res.max_bank_load = banks_.max_load();
-  res.port_conflicts = network_.port_conflicts();
-  res.cache_hits = banks_.cache_hits();
-  res.combined = banks_.combined();
-  res.degraded_cycles = banks_.degraded_cycles();
   for (const auto& ps : procs) {
     res.stall_cycles += ps.stall;
     res.last_issue = std::max(res.last_issue, ps.last_issue);
   }
-  res.bank_utilization =
-      bank_utilization_of(config_.bank_delay, n, config_.banks(), res.cycles);
-  rec(trace_, obs::TraceKind::kSuperstep, 0, makespan, n, 0);
-  publish_bulk(res, failed, banks_, network_);
-  return out;
+  return makespan;
+}
+
+std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
+                                    bool ids_are_banks,
+                                    RequestTiming* timing, BulkResult& res,
+                                    FailTally& tally) {
+  const fault::FaultPlan* plan = plan_.get();
+  const std::uint64_t p = config_.processors;
+  const std::uint64_t n = ids.size();
+  const std::uint64_t per = util::ceil_div(n, p);
+  const std::uint64_t latency = config_.latency;
+  const bool block = config_.distribution == Distribution::kBlock;
+
+  auto element_of = [&](std::uint64_t proc, std::uint64_t j) {
+    return block ? proc * per + j : j * p + proc;
+  };
+  auto count_of = [&](std::uint64_t proc) -> std::uint64_t {
+    if (block) {
+      const std::uint64_t lo = proc * per;
+      if (lo >= n) return 0;
+      return std::min(per, n - lo);
+    }
+    return proc < n % p ? n / p + 1 : n / p;
+  };
+
+  if (!state_) state_ = std::make_unique<EngineState>();
+  EngineState& st = *state_;
+
+  // Batched bank routing: ONE virtual dispatch per bulk op fills the
+  // whole addr→bank route, replacing the per-event mapping_->bank_of
+  // call of the reference engine. scatter_banks traffic routes itself.
+  const std::uint64_t* route = ids.data();
+  if (!ids_are_banks) {
+    auto& banks = st.arena.vec<std::uint64_t>(kRouteSlot);
+    banks.resize(n);
+    mapping_->bank_of_batch(ids, banks);
+    route = banks.data();
+  } else {
+    // Caller-supplied bank ids are the only ones that can be out of
+    // range (mappings are bank-count checked at construction); validate
+    // once up front so the hot loop indexes unchecked.
+    for (std::size_t i = 0; i < n; ++i)
+      if (ids[i] >= config_.banks())
+        raise(ErrorCode::kConfig, "Machine: bank id out of range");
+  }
+
+  auto& procs = st.arena.vec<ProcFlat>();
+  procs.assign(p, ProcFlat{});
+  auto& rings = st.arena.vec<std::uint64_t>(kRingSlot);
+  std::uint64_t ring_total = 0;
+  std::uint64_t max_count = 0;
+  for (std::uint64_t i = 0; i < p; ++i) {
+    const std::uint64_t cnt = count_of(i);
+    procs[i].count = cnt;
+    max_count = std::max(max_count, cnt);
+    const std::uint64_t window = std::min(config_.slackness, cnt);
+    procs[i].window = window;
+    procs[i].ring_off = ring_total;
+    ring_total += window;
+  }
+  res.max_proc_requests = max_count;
+  // Ring slot j % window is written at issue j and first read at issue
+  // j + window, so stale contents from the previous bulk op are never
+  // observed — resize without zeroing.
+  if (rings.size() < ring_total)
+    rings.resize(static_cast<std::size_t>(ring_total));
+
+  std::uint64_t makespan = 0;
+  std::uint64_t events = 0;
+  const std::uint64_t g = config_.gap;
+
+  if (plan == nullptr && config_.slackness >= max_count) {
+    // Dense fast path. With no fault plan there are no retries, and with
+    // the outstanding window never binding (S >= every per-proc count;
+    // window = min(S, count) = count, and the gate index never reaches
+    // it) every issue departs exactly `gap` after the previous one:
+    // processor P's j-th request departs at j·g, unconditionally. The
+    // scheduler's (depart, proc, attempt, elem) pop order is therefore
+    // the nested (j, proc) loop below, so the scheduler itself — and the
+    // completion rings — can be skipped. Bit-identical results, traces
+    // and cancellation cadence to the general path.
+    for (std::uint64_t j = 0; j < max_count; ++j) {
+      const std::uint64_t depart = j * g;
+      for (std::uint64_t proc = 0; proc < p; ++proc) {
+        if (j >= procs[proc].count) continue;
+        if (cancel_ != nullptr && (++events & 0xFFFU) == 0) {
+          cancel_->heartbeat();
+          cancel_->raise_if_expired("Machine::run");
+        }
+        const std::uint64_t elem =
+            block ? proc * per + j : j * p + proc;
+        const std::uint64_t bank = route[elem];
+        const std::uint64_t arrival = network_.traverse(bank, depart, proc);
+        if constexpr (obs::kTraceCompiledIn) {
+          if (trace_ != nullptr) {
+            const std::uint64_t free = banks_.free_at(bank);
+            rec(trace_, obs::TraceKind::kQueueDepth, arrival, 0, bank,
+                free > arrival ? free - arrival : 0);
+          }
+        }
+        const std::uint64_t served =
+            ids_are_banks ? banks_.serve(bank, arrival)
+                          : banks_.serve_addr(bank, arrival, ids[elem]);
+        const std::uint64_t ack = served + latency;
+        if (!banks_.last_combined())
+          rec(trace_, obs::TraceKind::kBankBusy, banks_.last_start(),
+              served - banks_.last_start(), bank, 0);
+        if (timing != nullptr) {
+          timing->issue[elem] = depart;
+          timing->arrival[elem] = arrival;
+          timing->start[elem] = banks_.last_start();
+          timing->completion[elem] = ack;
+          timing->bank[elem] = bank;
+        }
+        if (ack > makespan) makespan = ack;
+      }
+    }
+    res.completed += n;
+    res.last_issue = (max_count - 1) * g;
+    return makespan;
+  }
+
+  // General path: the calendar queue replaces the binary heap; pop order
+  // is identical (util/calendar_queue.hpp). Retry backoffs beyond the
+  // wheel horizon take the queue's internal heap fallback.
+  auto& q = st.queue;
+  q.reset();
+  for (std::uint64_t i = 0; i < p; ++i)
+    if (procs[i].count > 0)
+      q.push(Event{0, 0, static_cast<std::uint32_t>(i), 0});
+
+  while (!q.empty()) {
+    if (cancel_ != nullptr && (++events & 0xFFFU) == 0) {
+      cancel_->heartbeat();
+      cancel_->raise_if_expired("Machine::run");
+    }
+    const Event ev = q.pop();
+    ProcFlat& ps = procs[ev.proc];
+    const bool fresh = ev.attempt == 0;
+
+    const std::uint64_t elem = fresh ? element_of(ev.proc, ps.issued) : ev.elem;
+    const std::uint64_t addr = ids[elem];
+    std::uint64_t bank = route[elem];
+
+    const std::uint64_t arrival = network_.traverse(bank, ev.depart, ev.proc);
+
+    bool served_ok = true;
+    std::uint64_t ack = 0;
+    if (plan != nullptr) {
+      const char* fail_reason = nullptr;
+      if (plan->dead_at(bank, arrival)) {
+        const std::uint64_t spare = plan->failover(bank, addr, arrival);
+        if (spare == fault::kNoBank) {
+          fail_reason = "no bank alive for failover";
+        } else {
+          rec(trace_, obs::TraceKind::kFailover, arrival, 0, bank, spare);
+          bank = spare;
+          ++res.failovers;
+        }
+      }
+      if (fail_reason == nullptr && plan->drop(elem, ev.attempt)) {
+        if (ev.attempt < plan->retry().max_retries) {
+          ++res.nacks;
+          rec(trace_, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
+          ack = network_.nack_return(arrival);
+          const std::uint64_t delay =
+              plan->backoff_delay(elem, ev.attempt + 1);
+          q.push(Event{ack + delay, elem, ev.proc, ev.attempt + 1});
+          ++res.retries;
+          rec(trace_, obs::TraceKind::kRetry, ack + delay, 0, elem,
+              ev.attempt + 1);
+          served_ok = false;
+        } else {
+          fail_reason = "retry budget exhausted";
+        }
+      }
+      if (fail_reason != nullptr) {
+        ++res.nacks;
+        rec(trace_, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
+        ack = network_.nack_return(arrival);
+        if (tally.failed == 0) {
+          tally.first_elem = elem;
+          tally.first_attempts = ev.attempt + 1;
+          tally.first_reason = fail_reason;
+        }
+        ++tally.failed;
+        served_ok = false;
+      }
+    }
+
+    if (served_ok) {
+      if constexpr (obs::kTraceCompiledIn) {
+        if (trace_ != nullptr) {
+          const std::uint64_t free = banks_.free_at(bank);
+          rec(trace_, obs::TraceKind::kQueueDepth, arrival, 0, bank,
+              free > arrival ? free - arrival : 0);
+        }
+      }
+      const std::uint64_t scale =
+          plan != nullptr ? plan->busy_multiplier(bank, arrival) : 1;
+      const std::uint64_t served =
+          ids_are_banks ? banks_.serve(bank, arrival, scale)
+                        : banks_.serve_addr(bank, arrival, addr, scale);
+      ack = served + latency;
+      ++res.completed;
+      if (!banks_.last_combined())
+        rec(trace_, obs::TraceKind::kBankBusy, banks_.last_start(),
+            served - banks_.last_start(), bank, 0);
+
+      if (timing != nullptr) {
+        timing->issue[elem] = ev.depart;
+        timing->arrival[elem] = arrival;
+        timing->start[elem] = banks_.last_start();
+        timing->completion[elem] = ack;
+        timing->bank[elem] = bank;
+      }
+    }
+    makespan = std::max(makespan, ack);
+
+    if (fresh) {
+      const std::uint64_t window = ps.window;
+      rings[ps.ring_off + ps.issued % window] = ack;
+      ps.last_issue = ev.depart;
+      ++ps.issued;
+
+      if (ps.issued < ps.count) {
+        std::uint64_t next = ps.last_issue + g;
+        if (ps.issued >= window) {
+          const std::uint64_t gate = rings[ps.ring_off + ps.issued % window];
+          if (gate > next) {
+            ps.stall += gate - next;
+            rec(trace_, obs::TraceKind::kStall, next, gate - next, ev.proc,
+                0);
+            next = gate;
+          }
+        }
+        q.push(Event{next, 0, ev.proc, 0});
+      }
+    }
+  }
+
+  for (const auto& ps : procs) {
+    res.stall_cycles += ps.stall;
+    res.last_issue = std::max(res.last_issue, ps.last_issue);
+  }
+  return makespan;
 }
 
 BulkResult Machine::scatter_bulk_delivery(
     std::span<const std::uint64_t> addrs) {
-  banks_.reset();
+  banks_.reset(addrs.size());
   network_.reset();
 
   BulkResult res;

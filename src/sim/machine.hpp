@@ -94,6 +94,13 @@ class Machine {
   /// Per-request timing record of one bulk operation (scatter_detailed).
   /// All vectors have one entry per request, in element order.
   struct RequestTiming {
+    /// Sentinel held in every slot of a request the fault path failed
+    /// (retry budget exhausted / no bank alive): ~0 cannot be confused
+    /// with a real cycle, unlike the 0 it used to read as. Served
+    /// requests always overwrite all five slots; inspect `timing` after
+    /// catching fault::DegradedError to see which requests never made it.
+    static constexpr std::uint64_t kUnserved = ~0ULL;
+
     std::vector<std::uint64_t> issue;       ///< departure from the CPU
     std::vector<std::uint64_t> arrival;     ///< arrival at the bank
     std::vector<std::uint64_t> start;       ///< bank service start
@@ -104,7 +111,23 @@ class Machine {
     [[nodiscard]] std::uint64_t wait(std::size_t i) const {
       return start[i] - arrival[i];
     }
+
+    /// Whether request i completed (false: all its slots are kUnserved).
+    [[nodiscard]] bool served(std::size_t i) const {
+      return completion[i] != kUnserved;
+    }
   };
+
+  /// Event-engine selection (docs/performance.md). kCalendar — the
+  /// calendar-queue scheduler with batched bank routing and scratch
+  /// reuse — is the default; kReference is the original heap-based loop,
+  /// kept for differential testing and before/after benchmarking. The
+  /// two produce bit-identical BulkResult/RequestTiming/trace output
+  /// (tests/engine_equivalence_test.cpp). Compiling with
+  /// -DDXBSP_REFERENCE_ENGINE pins the default to kReference.
+  enum class Engine { kCalendar, kReference };
+  void set_engine(Engine e) noexcept { engine_ = e; }
+  [[nodiscard]] Engine engine() const noexcept { return engine_; }
 
   /// Attaches a cancellation token (non-owning; may outlive bulk ops but
   /// must outlive the Machine's use of it). The event loop polls it
@@ -175,9 +198,31 @@ class Machine {
   [[nodiscard]] std::uint64_t compute(std::uint64_t n_elements,
                                       double ops_per_element) const;
 
+  ~Machine();
+
  private:
+  /// First-failure record the engines fill for the degraded epilogue.
+  struct FailTally {
+    std::uint64_t failed = 0;
+    std::uint64_t first_elem = 0;
+    std::uint64_t first_attempts = 0;
+    const char* first_reason = nullptr;
+  };
+
   FaultyBulk run(std::span<const std::uint64_t> ids, bool ids_are_banks,
                  RequestTiming* timing = nullptr);
+
+  /// The original priority_queue event loop (pre-calendar hot path);
+  /// returns the makespan.
+  std::uint64_t run_reference(std::span<const std::uint64_t> ids,
+                              bool ids_are_banks, RequestTiming* timing,
+                              BulkResult& res, FailTally& tally);
+
+  /// Calendar-queue engine: batched bank routing, scratch-arena state,
+  /// and a dense fast path when the slackness window cannot bind.
+  std::uint64_t run_calendar(std::span<const std::uint64_t> ids,
+                             bool ids_are_banks, RequestTiming* timing,
+                             BulkResult& res, FailTally& tally);
 
   MachineConfig config_;
   std::shared_ptr<const mem::BankMapping> mapping_;
@@ -186,6 +231,16 @@ class Machine {
   std::shared_ptr<const fault::FaultPlan> plan_;
   const resilience::CancelToken* cancel_ = nullptr;
   obs::TraceRing* trace_ = nullptr;
+#ifdef DXBSP_REFERENCE_ENGINE
+  Engine engine_ = Engine::kReference;
+#else
+  Engine engine_ = Engine::kCalendar;
+#endif
+  // Calendar-engine working state (scheduler buckets, route vector,
+  // per-processor issue state, completion rings), allocated on first use
+  // and reused across every bulk op of this Machine's lifetime.
+  struct EngineState;
+  std::unique_ptr<EngineState> state_;
 };
 
 }  // namespace dxbsp::sim

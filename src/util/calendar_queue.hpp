@@ -1,0 +1,165 @@
+#pragma once
+// Calendar-queue / bucketed time-wheel scheduler for integer-cycle event
+// simulation (the Machine::run hot path; docs/performance.md).
+//
+// A std::priority_queue pays O(log n) comparisons and element moves per
+// push/pop. The simulator's keys are integer cycles and overwhelmingly
+// *dense* in time — in steady state every cycle carries a handful of
+// events — so a time wheel of power-of-two buckets (one cycle per
+// bucket) gives O(1) amortized push/pop: an event lands in bucket
+// `cycle & mask`, and pop walks an occupancy bitmap to the next
+// nonempty cycle (64 buckets per word scanned).
+//
+// Events beyond the wheel horizon (`bucket_count()` cycles past the
+// current time — retry backoffs, far stall gates) fall back to a binary
+// heap and are merged back in key order at pop time, so sparse horizons
+// stay correct at O(log overflow) without unbounded wheel memory.
+//
+// Determinism: pop order is EXACTLY that of
+// `std::priority_queue<Ev, std::vector<Ev>, Compare>` — `Compare` is the
+// same "comes after" order (std::greater-style for a min-queue) whose
+// primary key must agree with `KeyFn` (the integer cycle); within a
+// bucket events are kept heap-ordered by the full comparator, and the
+// overflow heap is compared head-to-head against the wheel's earliest
+// bucket, so same-cycle ties resolve identically to the heap engine.
+// Machine::run relies on this for bit-identical BulkResult/RequestTiming
+// against the reference engine (tests/engine_equivalence_test.cpp).
+//
+// Invariant: every wheel-resident event has key in [cur, cur + buckets),
+// where cur only advances (to the key of the last popped event), so each
+// bucket holds at most one distinct cycle at any time. Keys may lag cur
+// (defensive) — such pushes take the overflow path, which orders them
+// correctly anyway.
+//
+// Not thread-safe; one queue per simulation loop. reset() keeps bucket
+// capacity so steady-state bulk ops allocate nothing.
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dxbsp::util {
+
+template <class Ev, class KeyFn, class Compare = std::greater<Ev>>
+class CalendarQueue {
+ public:
+  /// `num_buckets` is rounded up to a power of two, minimum 64. Larger
+  /// wheels keep long-latency events out of the overflow heap at the
+  /// cost of bitmap size (4096 buckets = 64 words = one cache line scan).
+  explicit CalendarQueue(std::size_t num_buckets = 4096, KeyFn key = KeyFn{},
+                         Compare after = Compare{})
+      : key_(key), after_(after) {
+    const std::size_t nb =
+        std::bit_ceil(std::max<std::size_t>(num_buckets, 64));
+    buckets_.resize(nb);
+    words_.assign(nb / 64, 0);
+    mask_ = nb - 1;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  /// Events currently parked past the wheel horizon (test introspection).
+  [[nodiscard]] std::size_t overflow_size() const noexcept {
+    return overflow_.size();
+  }
+  /// Key of the most recently popped event (the queue's current time).
+  [[nodiscard]] std::uint64_t now() const noexcept { return cur_; }
+
+  void push(Ev ev) {
+    const std::uint64_t k = key_(ev);
+    if (k >= cur_ && k - cur_ <= mask_) {
+      auto& b = buckets_[static_cast<std::size_t>(k) & mask_];
+      b.push_back(std::move(ev));
+      if (b.size() == 1) {
+        set_bit(static_cast<std::size_t>(k) & mask_);
+      } else {
+        std::push_heap(b.begin(), b.end(), after_);
+      }
+    } else {
+      overflow_.push_back(std::move(ev));
+      std::push_heap(overflow_.begin(), overflow_.end(), after_);
+    }
+    ++size_;
+  }
+
+  /// Removes and returns the minimum event. Precondition: !empty().
+  Ev pop() {
+    const bool wheel_nonempty = size_ > overflow_.size();
+    std::size_t idx = 0;
+    if (wheel_nonempty)
+      idx = next_occupied(static_cast<std::size_t>(cur_) & mask_);
+    const bool from_overflow =
+        !wheel_nonempty ||
+        (!overflow_.empty() && after_(buckets_[idx].front(), overflow_.front()));
+    Ev ev;
+    if (from_overflow) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), after_);
+      ev = std::move(overflow_.back());
+      overflow_.pop_back();
+    } else {
+      auto& b = buckets_[idx];
+      std::pop_heap(b.begin(), b.end(), after_);
+      ev = std::move(b.back());
+      b.pop_back();
+      if (b.empty()) clear_bit(idx);
+    }
+    const std::uint64_t k = key_(ev);
+    if (k > cur_) cur_ = k;
+    --size_;
+    return ev;
+  }
+
+  /// Empties the queue and rewinds time to `start_cycle`, keeping every
+  /// bucket's capacity (reuse across bulk ops is the point).
+  void reset(std::uint64_t start_cycle = 0) {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        buckets_[(w << 6) |
+                 static_cast<std::size_t>(std::countr_zero(word))].clear();
+        word &= word - 1;
+      }
+      words_[w] = 0;
+    }
+    overflow_.clear();
+    size_ = 0;
+    cur_ = start_cycle;
+  }
+
+ private:
+  void set_bit(std::size_t i) noexcept {
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+  void clear_bit(std::size_t i) noexcept {
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  /// Index of the first occupied bucket at or after `start`, scanning
+  /// the occupancy bitmap with wraparound. Precondition: some bit set.
+  [[nodiscard]] std::size_t next_occupied(std::size_t start) const noexcept {
+    std::size_t w = start >> 6;
+    std::uint64_t word = words_[w] & (~0ULL << (start & 63));
+    while (word == 0) {
+      w = (w + 1) & (words_.size() - 1);
+      word = words_[w];
+    }
+    return (w << 6) | static_cast<std::size_t>(std::countr_zero(word));
+  }
+
+  KeyFn key_;
+  Compare after_;
+  std::size_t mask_ = 0;
+  std::uint64_t cur_ = 0;
+  std::size_t size_ = 0;
+  std::vector<std::vector<Ev>> buckets_;  // per-cycle min-heaps
+  std::vector<std::uint64_t> words_;      // bucket occupancy bitmap
+  std::vector<Ev> overflow_;              // min-heap of far-future events
+};
+
+}  // namespace dxbsp::util

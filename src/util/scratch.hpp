@@ -1,0 +1,77 @@
+#pragma once
+// Scratch arena: named, typed, reusable buffers for hot loops that would
+// otherwise re-allocate the same working vectors thousands of times (one
+// arena per Machine; docs/performance.md has the lifetime rules).
+//
+// A bulk simulation needs a handful of working arrays whose sizes track
+// the request count — the address→bank route, the per-processor issue
+// state, the slackness completion rings. Allocating them per bulk op
+// costs malloc traffic and page faults proportional to the sweep length.
+// The arena keys each buffer by (element type, slot index) and hands the
+// SAME std::vector back every time, so capacity grown in the first bulk
+// op is reused by every later one.
+//
+// Lifetime rules:
+//   * a reference returned by vec<T>(slot) is stable until shrink() —
+//     the arena never destroys or reallocates the vector object itself
+//     (the vector's elements move on resize as usual);
+//   * contents persist across calls: callers must assign/resize for
+//     their own use and must not assume zeroed storage;
+//   * distinct (T, slot) pairs never alias; the same pair always does;
+//   * not thread-safe — one arena per owner, like the owner itself.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace dxbsp::util {
+
+namespace detail {
+
+inline std::atomic<std::size_t>& scratch_type_counter() noexcept {
+  static std::atomic<std::size_t> counter{0};
+  return counter;
+}
+
+/// Process-wide dense id per element type (assigned on first use).
+template <class T>
+std::size_t scratch_type_id() noexcept {
+  static const std::size_t id =
+      scratch_type_counter().fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace detail
+
+class ScratchArena {
+ public:
+  /// The reusable vector<T> for `slot` (created empty on first use).
+  template <class T>
+  std::vector<T>& vec(std::size_t slot = 0) {
+    const std::size_t tid = detail::scratch_type_id<T>();
+    if (tid >= by_type_.size()) by_type_.resize(tid + 1);
+    auto& holder = by_type_[tid];
+    if (!holder) holder = std::make_unique<Holder<T>>();
+    auto& bufs = static_cast<Holder<T>*>(holder.get())->bufs;
+    if (slot >= bufs.size()) bufs.resize(slot + 1);
+    return bufs[slot];
+  }
+
+  /// Releases every buffer (memory returned to the allocator). The arena
+  /// stays usable; previously returned references are invalidated.
+  void shrink() noexcept { by_type_.clear(); }
+
+ private:
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+  };
+  template <class T>
+  struct Holder final : HolderBase {
+    std::vector<std::vector<T>> bufs;  // indexed by slot
+  };
+
+  std::vector<std::unique_ptr<HolderBase>> by_type_;
+};
+
+}  // namespace dxbsp::util

@@ -1,0 +1,274 @@
+// Differential tests for the two event engines: the calendar-queue
+// scheduler (default) must produce BIT-IDENTICAL results to the
+// reference priority_queue loop — BulkResult field for field,
+// RequestTiming slot for slot, trace event for event — across machine
+// features, distributions, fault scenarios and slackness regimes
+// (docs/performance.md).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "obs/trace.hpp"
+#include "sim/machine.hpp"
+#include "workload/patterns.hpp"
+
+namespace dxbsp {
+namespace {
+
+void expect_same_bulk(const sim::BulkResult& a, const sim::BulkResult& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.max_bank_load, b.max_bank_load);
+  EXPECT_EQ(a.max_proc_requests, b.max_proc_requests);
+  EXPECT_EQ(a.last_issue, b.last_issue);
+  EXPECT_EQ(a.stall_cycles, b.stall_cycles);
+  EXPECT_EQ(a.port_conflicts, b.port_conflicts);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.combined, b.combined);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.nacks, b.nacks);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.degraded_cycles, b.degraded_cycles);
+  EXPECT_DOUBLE_EQ(a.bank_utilization, b.bank_utilization);
+}
+
+void expect_same_timing(const sim::Machine::RequestTiming& a,
+                        const sim::Machine::RequestTiming& b) {
+  EXPECT_EQ(a.issue, b.issue);
+  EXPECT_EQ(a.arrival, b.arrival);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.completion, b.completion);
+  EXPECT_EQ(a.bank, b.bank);
+}
+
+void expect_same_trace(const obs::TraceRing& a, const obs::TraceRing& b) {
+  const auto ea = a.drain();
+  const auto eb = b.drain();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].ts, eb[i].ts) << "event " << i;
+    EXPECT_EQ(ea[i].dur, eb[i].dur) << "event " << i;
+    EXPECT_EQ(ea[i].a, eb[i].a) << "event " << i;
+    EXPECT_EQ(ea[i].b, eb[i].b) << "event " << i;
+    EXPECT_EQ(ea[i].kind, eb[i].kind) << "event " << i;
+  }
+}
+
+/// Runs the same workload on both engines of otherwise-identical
+/// machines and asserts byte-identical outputs. Each engine runs the
+/// workload twice back-to-back so scratch-arena reuse (second bulk op
+/// hits warm buffers) is covered by the same assertions.
+void check_equivalent(sim::MachineConfig cfg,
+                      const std::vector<std::uint64_t>& addrs,
+                      std::shared_ptr<const fault::FaultPlan> plan = nullptr,
+                      bool with_timing = true) {
+  sim::Machine cal(cfg);
+  sim::Machine ref(cfg);
+  cal.set_engine(sim::Machine::Engine::kCalendar);
+  ref.set_engine(sim::Machine::Engine::kReference);
+  if (plan) {
+    cal.inject(plan);
+    ref.inject(plan);
+  }
+
+  for (int round = 0; round < 2; ++round) {
+    obs::TraceRing ring_cal(1 << 18);
+    obs::TraceRing ring_ref(1 << 18);
+    cal.set_tracer(&ring_cal);
+    ref.set_tracer(&ring_ref);
+
+    const auto out_cal = cal.scatter_faulty(addrs);
+    const auto out_ref = ref.scatter_faulty(addrs);
+    expect_same_bulk(out_cal.bulk, out_ref.bulk);
+    ASSERT_EQ(out_cal.degraded.has_value(), out_ref.degraded.has_value());
+    if (out_cal.degraded) {
+      EXPECT_EQ(out_cal.degraded->failed_requests,
+                out_ref.degraded->failed_requests);
+      EXPECT_EQ(out_cal.degraded->first_failed_element,
+                out_ref.degraded->first_failed_element);
+      EXPECT_EQ(out_cal.degraded->attempts, out_ref.degraded->attempts);
+      EXPECT_EQ(out_cal.degraded->reason, out_ref.degraded->reason);
+    }
+    expect_same_trace(ring_cal, ring_ref);
+
+    if (with_timing && !out_cal.degraded) {
+      sim::Machine::RequestTiming t_cal, t_ref;
+      const auto d_cal = cal.scatter_detailed(addrs, t_cal);
+      const auto d_ref = ref.scatter_detailed(addrs, t_ref);
+      expect_same_bulk(d_cal, d_ref);
+      expect_same_timing(t_cal, t_ref);
+    } else if (with_timing) {
+      // Degraded runs throw from scatter_detailed but must still leave
+      // identical timing records (kUnserved in the failed slots).
+      sim::Machine::RequestTiming t_cal, t_ref;
+      EXPECT_THROW((void)cal.scatter_detailed(addrs, t_cal),
+                   fault::DegradedError);
+      EXPECT_THROW((void)ref.scatter_detailed(addrs, t_ref),
+                   fault::DegradedError);
+      expect_same_timing(t_cal, t_ref);
+    }
+    cal.set_tracer(nullptr);
+    ref.set_tracer(nullptr);
+  }
+}
+
+sim::MachineConfig base_config(sim::Distribution dist) {
+  auto cfg = sim::MachineConfig::test_machine();  // p=4, d=4, L=8, x=4
+  cfg.distribution = dist;
+  return cfg;
+}
+
+std::shared_ptr<const fault::FaultPlan> drop_plan(std::uint64_t banks,
+                                                  double drop,
+                                                  std::uint64_t max_retries) {
+  fault::FaultConfig fc;
+  fc.seed = 11;
+  fc.drop_rate = drop;
+  fc.retry.max_retries = max_retries;
+  fc.retry.backoff_base = 16;
+  fc.retry.backoff_cap = 8192;  // beyond the wheel: exercises overflow
+  fc.retry.jitter = 8;
+  return std::make_shared<fault::FaultPlan>(fc, banks);
+}
+
+std::shared_ptr<const fault::FaultPlan> chaos_plan(std::uint64_t banks) {
+  fault::FaultConfig fc;
+  fc.seed = 5;
+  fc.slow_fraction = 0.25;
+  fc.slow_multiplier = 4;
+  fc.dead_fraction = 0.125;
+  fc.dead_onset = 200;
+  fc.drop_rate = 0.02;
+  return std::make_shared<fault::FaultPlan>(fc, banks);
+}
+
+TEST(EngineEquivalence, UniformRandomBothDistributions) {
+  const auto addrs = workload::uniform_random(20000, 1 << 20, 42);
+  check_equivalent(base_config(sim::Distribution::kBlock), addrs);
+  check_equivalent(base_config(sim::Distribution::kCyclic), addrs);
+}
+
+TEST(EngineEquivalence, UnevenTailRequestCount) {
+  // n not divisible by p: processors own unequal counts, so the dense
+  // fast path's per-processor bounds and the ring offsets differ.
+  const auto addrs = workload::uniform_random(10007, 1 << 20, 7);
+  check_equivalent(base_config(sim::Distribution::kBlock), addrs);
+  check_equivalent(base_config(sim::Distribution::kCyclic), addrs);
+}
+
+TEST(EngineEquivalence, HotSpotTrafficTightSlackness) {
+  // A hot location plus S smaller than the per-processor count: the
+  // completion-window gate binds, forcing the general calendar path
+  // (stalls, non-monotone heads) instead of the dense one.
+  auto addrs = workload::k_hot(8000, 2000, 1 << 20, 3);
+  for (auto dist : {sim::Distribution::kBlock, sim::Distribution::kCyclic}) {
+    auto cfg = base_config(dist);
+    cfg.slackness = 16;
+    check_equivalent(cfg, addrs);
+  }
+}
+
+TEST(EngineEquivalence, CombiningMachine) {
+  auto cfg = base_config(sim::Distribution::kBlock);
+  cfg.combine_requests = true;
+  check_equivalent(cfg, workload::k_hot(6000, 3000, 1 << 16, 9));
+}
+
+TEST(EngineEquivalence, CachingMachine) {
+  auto cfg = base_config(sim::Distribution::kBlock);
+  cfg.bank_cache_lines = 4;
+  cfg.cache_line_words = 8;
+  cfg.cached_delay = 1;
+  check_equivalent(cfg, workload::strided(8000, 1, 0));
+}
+
+TEST(EngineEquivalence, MultiPortBanks) {
+  auto cfg = base_config(sim::Distribution::kCyclic);
+  cfg.bank_ports = 2;
+  check_equivalent(cfg, workload::uniform_random(8000, 1 << 18, 13));
+}
+
+TEST(EngineEquivalence, SectionedNetwork) {
+  auto cfg = base_config(sim::Distribution::kBlock);
+  cfg.network_sections = 4;
+  cfg.section_period = 2;
+  check_equivalent(cfg, workload::uniform_random(6000, 1 << 18, 17));
+}
+
+TEST(EngineEquivalence, ButterflyNetwork) {
+  auto cfg = base_config(sim::Distribution::kCyclic);
+  cfg.butterfly_network = true;
+  cfg.link_period = 1;
+  check_equivalent(cfg, workload::uniform_random(6000, 1 << 18, 19));
+}
+
+TEST(EngineEquivalence, FaultyDropsWithRetries) {
+  // Recoverable drops: retry backoffs land far ahead of the wheel
+  // horizon, exercising the calendar queue's overflow heap.
+  auto cfg = base_config(sim::Distribution::kBlock);
+  check_equivalent(cfg, workload::uniform_random(8000, 1 << 18, 23),
+                   drop_plan(cfg.banks(), 0.05, 8));
+}
+
+TEST(EngineEquivalence, FaultyExhaustedBudgetDegrades) {
+  // Unrecoverable drops (budget 0): the degraded epilogue, failed-count
+  // bookkeeping and kUnserved timing slots must match exactly.
+  auto cfg = base_config(sim::Distribution::kCyclic);
+  check_equivalent(cfg, workload::uniform_random(4000, 1 << 18, 29),
+                   drop_plan(cfg.banks(), 0.1, 0));
+}
+
+TEST(EngineEquivalence, FaultyChaosSlowDeadAndDrops) {
+  auto cfg = base_config(sim::Distribution::kBlock);
+  cfg.slackness = 64;  // window gate + faults together
+  check_equivalent(cfg, workload::uniform_random(6000, 1 << 18, 31),
+                   chaos_plan(cfg.banks()));
+}
+
+TEST(EngineEquivalence, ScatterBanksPath) {
+  // Bank ids supplied directly (mapping bypassed, serve() not
+  // serve_addr()); also covers the calendar engine's id validation.
+  auto cfg = base_config(sim::Distribution::kBlock);
+  std::vector<std::uint64_t> banks(5000);
+  for (std::size_t i = 0; i < banks.size(); ++i)
+    banks[i] = (i * 7 + i / 13) % cfg.banks();
+
+  sim::Machine cal(cfg);
+  sim::Machine ref(cfg);
+  cal.set_engine(sim::Machine::Engine::kCalendar);
+  ref.set_engine(sim::Machine::Engine::kReference);
+  expect_same_bulk(cal.scatter_banks(banks), ref.scatter_banks(banks));
+
+  banks[123] = cfg.banks();  // out of range: both engines must reject
+  EXPECT_THROW((void)cal.scatter_banks(banks), dxbsp::Error);
+  EXPECT_THROW((void)ref.scatter_banks(banks), dxbsp::Error);
+}
+
+TEST(EngineEquivalence, GapAndLatencyVariants) {
+  for (std::uint64_t g : {1ULL, 3ULL}) {
+    for (std::uint64_t L : {0ULL, 8ULL, 100ULL}) {
+      auto cfg = base_config(sim::Distribution::kBlock);
+      cfg.gap = g;
+      cfg.latency = L;
+      check_equivalent(cfg, workload::uniform_random(4000, 1 << 18, 37),
+                       nullptr, /*with_timing=*/false);
+    }
+  }
+}
+
+TEST(EngineEquivalence, DefaultEngineIsCalendar) {
+#ifdef DXBSP_REFERENCE_ENGINE
+  sim::Machine m(sim::MachineConfig::test_machine());
+  EXPECT_EQ(m.engine(), sim::Machine::Engine::kReference);
+#else
+  sim::Machine m(sim::MachineConfig::test_machine());
+  EXPECT_EQ(m.engine(), sim::Machine::Engine::kCalendar);
+#endif
+}
+
+}  // namespace
+}  // namespace dxbsp

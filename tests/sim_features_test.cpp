@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "fault/fault_plan.hpp"
 #include "mem/contention.hpp"
 #include "sim/bank_array.hpp"
 #include "sim/machine.hpp"
@@ -200,6 +203,66 @@ TEST(ConfigParse, Errors) {
 TEST(ConfigParse, EmptySpecGivesValidDefaults) {
   const auto cfg = sim::MachineConfig::parse("");
   EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(BankCache, RotateBasedMruKeepsHitMissAccountingUnchanged) {
+  // The MRU list is maintained with std::find + std::rotate; this pins
+  // the exact hit/miss sequence (and completion times) of a 3-line
+  // cache under re-reference, so any accounting drift in the rotation
+  // fails loudly.
+  sim::BankArray banks(1, 10, sim::BankCacheConfig{3, 1, 2}, false);
+  EXPECT_EQ(banks.serve_addr(0, 0, 1), 10u);     // miss       [1]
+  EXPECT_EQ(banks.serve_addr(0, 20, 2), 30u);    // miss       [2,1]
+  EXPECT_EQ(banks.serve_addr(0, 40, 3), 50u);    // miss       [3,2,1]
+  EXPECT_EQ(banks.serve_addr(0, 60, 1), 62u);    // hit (tail) [1,3,2]
+  EXPECT_EQ(banks.serve_addr(0, 80, 3), 82u);    // hit (mid)  [3,1,2]
+  EXPECT_EQ(banks.serve_addr(0, 100, 3), 102u);  // hit (head) [3,1,2]
+  EXPECT_EQ(banks.serve_addr(0, 120, 4), 130u);  // miss, evicts 2
+  EXPECT_EQ(banks.serve_addr(0, 140, 2), 150u);  // miss (evicted)
+  EXPECT_EQ(banks.cache_hits(), 3u);
+  EXPECT_EQ(banks.total_served(), 8u);
+}
+
+TEST(RequestTiming, UnservedSentinelMarksFailedRequests) {
+  // Requests the fault path fails (retry budget 0) must keep kUnserved
+  // in every timing slot — not a 0 that reads as "completed at cycle 0".
+  auto cfg = sim::MachineConfig::test_machine();
+  sim::Machine m(cfg);
+  fault::FaultConfig fc;
+  fc.seed = 3;
+  fc.drop_rate = 0.2;
+  fc.retry.max_retries = 0;
+  m.inject(std::make_shared<fault::FaultPlan>(fc, cfg.banks()));
+
+  const auto addrs = workload::uniform_random(2000, 1 << 16, 77);
+  sim::Machine::RequestTiming t;
+  std::uint64_t reported_failed = 0;
+  try {
+    (void)m.scatter_detailed(addrs, t);
+    FAIL() << "expected DegradedError";
+  } catch (const fault::DegradedError& e) {
+    reported_failed = e.result().failed_requests;
+  }
+  ASSERT_GT(reported_failed, 0u);
+
+  std::uint64_t unserved = 0;
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (!t.served(i)) {
+      ++unserved;
+      // All five slots carry the sentinel together.
+      EXPECT_EQ(t.issue[i], sim::Machine::RequestTiming::kUnserved);
+      EXPECT_EQ(t.arrival[i], sim::Machine::RequestTiming::kUnserved);
+      EXPECT_EQ(t.start[i], sim::Machine::RequestTiming::kUnserved);
+      EXPECT_EQ(t.bank[i], sim::Machine::RequestTiming::kUnserved);
+    } else {
+      // Served slots are fully overwritten and internally consistent.
+      EXPECT_LT(t.bank[i], cfg.banks());
+      EXPECT_LE(t.issue[i], t.arrival[i]);
+      EXPECT_LE(t.arrival[i], t.start[i]);
+      EXPECT_LT(t.start[i], t.completion[i]);
+    }
+  }
+  EXPECT_EQ(unserved, reported_failed);
 }
 
 }  // namespace
