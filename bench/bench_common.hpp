@@ -49,17 +49,24 @@ inline bool is_execution_flag(const std::string& name) {
 ///   --report=PATH        versioned JSON run report
 ///   --report-csv=PATH    the same report as CSV rows
 ///   --metrics=PATH       full metrics dump (includes host metrics)
+///   --drift-band=X       drift-detector relative-error band (default 0.25)
 /// Construct one per invocation (prints the banner), attach() every
 /// Machine the bench drives (one track per sweep point), and return
 /// through finish() so the files get written — also on the interrupted
 /// (exit 75) path, where a partial report is still useful.
+///
+/// Cost attribution and drift detection are always on (they are
+/// deterministic and cheap); their aggregates land in the report's
+/// "attribution" and "drift" sections whenever --report/--report-csv is
+/// given.
 class Obs {
  public:
   Obs(const util::Cli& cli, const std::string& id, const std::string& what)
       : trace_path_(cli.get("trace", "")),
         report_path_(cli.get("report", "")),
         report_csv_path_(cli.get("report-csv", "")),
-        metrics_path_(cli.get("metrics", "")) {
+        metrics_path_(cli.get("metrics", "")),
+        drift_(obs::DriftConfig{cli.get_double("drift-band", 0.25)}) {
     banner(id, what);
     info_.bench = id;
     info_.description = what;
@@ -76,12 +83,19 @@ class Obs {
   }
 
   /// Routes the machine's trace events into this run's tracer under
-  /// `track` (use the sweep-point key). No-op without --trace.
+  /// `track` (use the sweep-point key), and wires the machine's cost
+  /// attribution + drift samples into this run's aggregates.
   void attach(sim::Machine& machine, std::uint64_t track = 0) {
     if (tracer_) machine.set_tracer(&tracer_->track(track));
+    machine.set_attribution(&attribution_);
+    machine.set_drift(&drift_, track);
   }
 
   [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
+  [[nodiscard]] obs::AttributionAggregate& attribution() noexcept {
+    return attribution_;
+  }
+  [[nodiscard]] obs::DriftDetector& drift() noexcept { return drift_; }
 
   /// Writes the requested artifacts and passes `rc` through.
   int finish(int rc = 0) {
@@ -92,11 +106,13 @@ class Obs {
       });
     if (!report_path_.empty())
       obs::write_file(report_path_, [&](std::ostream& os) {
-        obs::write_report_json(os, info_, reg, tracer_.get());
+        obs::write_report_json(os, info_, reg, tracer_.get(), &attribution_,
+                               &drift_);
       });
     if (!report_csv_path_.empty())
       obs::write_file(report_csv_path_, [&](std::ostream& os) {
-        obs::write_report_csv(os, info_, reg, tracer_.get());
+        obs::write_report_csv(os, info_, reg, tracer_.get(), &attribution_,
+                              &drift_);
       });
     if (!metrics_path_.empty())
       obs::write_file(metrics_path_, [&](std::ostream& os) {
@@ -112,6 +128,8 @@ class Obs {
   std::string report_csv_path_;
   std::string metrics_path_;
   std::unique_ptr<obs::Tracer> tracer_;
+  obs::AttributionAggregate attribution_;
+  obs::DriftDetector drift_;
 };
 
 /// Emits the table as ASCII or CSV per the --csv flag.

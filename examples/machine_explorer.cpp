@@ -8,15 +8,22 @@
 //
 //   ./machine_explorer [--n=1048576] [--k=1024] [--d=14] [--p=8]
 //                      [--faults=slow=0.25,slow-mult=4,drop=0.01,...]
-//                      [--trace=PATH] [--metrics=PATH]
+//                      [--explain] [--trace=PATH] [--trace-capacity=N]
+//                      [--metrics=PATH]
 //
 // With --faults= the sweep runs against a seeded fault plan
 // (see fault::FaultConfig::parse for the key set) and reports the
 // degraded telemetry next to the healthy prediction.
 //
+// --explain prints a second table decomposing each sweep point's
+// makespan into the attribution terms (docs/observability.md
+// §attribution) next to the model prediction it is scored against —
+// the per-superstep view of where the cycles went.
+//
 // --trace writes a Chrome trace_event JSON of every simulated sweep
-// point (one track per expansion x; open in Perfetto), and --metrics
-// dumps the full metrics registry (docs/observability.md).
+// point (one track per expansion x; open in Perfetto), --trace-capacity
+// bounds the retained events per track (default 65536, must be > 0),
+// and --metrics dumps the full metrics registry (docs/observability.md).
 
 #include <iostream>
 #include <memory>
@@ -25,6 +32,7 @@
 #include "resilience/error.hpp"
 #include "core/predictor.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/drift.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -61,8 +69,18 @@ static int run(int argc, char** argv) {
   if (faulty) fc = fault::FaultConfig::parse(fault_spec);
   const std::string trace_path = cli.get("trace", "");
   const std::string metrics_path = cli.get("metrics", "");
+  const bool explain = cli.has("explain");
+  // Strict parse (trailing garbage / negatives raise kParse naming the
+  // flag); 0 would silently drop every event, so reject it loudly too.
+  const std::uint64_t trace_capacity =
+      cli.get_uint("trace-capacity", std::uint64_t{1} << 16);
+  if (trace_capacity == 0)
+    raise(ErrorCode::kConfig,
+          "--trace-capacity must be > 0 (0 would retain no events)");
   std::unique_ptr<obs::Tracer> tracer;
-  if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
+  if (!trace_path.empty())
+    tracer = std::make_unique<obs::Tracer>(
+        static_cast<std::size_t>(trace_capacity));
   obs::MetricsRegistry::global().reset();
 
   std::cout << "Workload: n = " << n << " requests, hottest location k = "
@@ -80,6 +98,10 @@ static int run(int argc, char** argv) {
                                         "verdict"}
              : std::vector<std::string>{"x", "banks", "sim cycles", "dxbsp",
                                         "marginal speedup", "verdict"});
+  util::Table ex({"x", "cycles", "issue_gap", "window_stall", "latency",
+                  "bank_service", "retry_backoff", "failover", "k",
+                  "bank p50", "bank p99", "bank max", "predicted",
+                  "rel err"});
   std::uint64_t prev = 0;
   std::uint64_t chosen = 0;
   for (std::uint64_t x = 1; x <= 256; x *= 2) {
@@ -96,8 +118,9 @@ static int run(int argc, char** argv) {
     sim::BulkResult meas;
     std::string status;
     std::uint64_t degraded_pred = 0;
+    std::shared_ptr<fault::FaultPlan> plan;
     if (faulty) {
-      auto plan = std::make_shared<fault::FaultPlan>(fc, cfg.banks());
+      plan = std::make_shared<fault::FaultPlan>(fc, cfg.banks());
       machine.inject(plan);
       auto out = machine.scatter_faulty(addrs);
       meas = out.bulk;
@@ -106,6 +129,21 @@ static int run(int argc, char** argv) {
           stats::predict_degraded(cfg, *plan, n).cycles);
     } else {
       meas = machine.scatter(addrs);
+    }
+    if (explain) {
+      const double predicted = obs::drift_prediction(
+          cfg, plan.get(), n, meas.max_proc_requests, meas.max_bank_load,
+          meas.max_location_contention);
+      const double rel_err =
+          predicted > 0.0
+              ? static_cast<double>(meas.cycles) / predicted - 1.0
+              : 0.0;
+      const obs::CostBreakdown& b = meas.breakdown;
+      ex.add_row(x, meas.cycles, b.issue_gap, b.window_stall, b.latency,
+                 b.bank_service, b.retry_backoff, b.failover,
+                 meas.max_location_contention, meas.bank_sketch.p50(),
+                 meas.bank_sketch.p99(), meas.bank_sketch.max, predicted,
+                 rel_err);
     }
     const auto pred = core::predict_scatter(addrs, cfg, &machine.mapping());
     const double marginal =
@@ -128,6 +166,13 @@ static int run(int argc, char** argv) {
     prev = meas.cycles;
   }
   t.print(std::cout);
+
+  if (explain) {
+    std::cout << "\nCost attribution per sweep point (cycles; terms sum to "
+                 "the measured makespan,\nprediction per "
+                 "docs/observability.md §drift):\n";
+    ex.print(std::cout);
+  }
 
   if (chosen == 0) chosen = 256;
   std::cout << "\nrecommended expansion for this workload: x ~ " << chosen

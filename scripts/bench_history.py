@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Fold BENCH_*.json baselines into one metric trend table.
+
+Usage:
+    python3 scripts/bench_history.py FILE.json [FILE.json ...]
+
+Each input is either a metrics dump (``--metrics``: a top-level
+``metrics`` object whose entries carry kind/stability/value) or a
+versioned run report (``--report``: ``metrics`` maps names straight to
+numbers, histograms to ``{total, bounds, counts}``). Output is one row
+per metric name, one column per file — the committed baselines read as
+a trajectory. ``tools/bench_trend.cpp`` is the C++ twin.
+
+Stdlib only (json/sys); exits non-zero with a diagnostic on malformed
+input, which is what lets scripts/ci.sh run it as a lint over the
+committed BENCH_*.json files.
+"""
+
+import json
+import sys
+
+
+def load_metrics(path):
+    """Return {metric name: value} for one dump or report file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(
+            f"{path}: no \"metrics\" object (not a metrics dump or run report)"
+        )
+    out = {}
+    for name, value in metrics.items():
+        if isinstance(value, (int, float)):
+            out[name] = value
+        elif isinstance(value, dict):
+            scalar = value.get("value", value.get("total"))
+            if isinstance(scalar, (int, float)):
+                out[name] = scalar
+    return out
+
+
+def format_cell(value):
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value)) if isinstance(value, float) else str(value)
+
+
+def main(argv):
+    paths = argv[1:]
+    if not paths:
+        print("usage: bench_history.py FILE.json [FILE.json ...]",
+              file=sys.stderr)
+        return 64
+    try:
+        columns = [load_metrics(p) for p in paths]
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 65
+
+    names = sorted(set().union(*(c.keys() for c in columns)))
+    header = ["metric"] + paths
+    rows = [
+        [name] + [
+            format_cell(col[name]) if name in col else "-" for col in columns
+        ]
+        for name in names
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    def emit(cells):
+        print("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    emit(header)
+    print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        emit(row)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,7 +16,16 @@
 #    `python3 -m json.tool` accepts (Chrome trace + run report), and the
 #    report/trace must be byte-identical between --threads=1 and
 #    --threads=4 (docs/observability.md).
-# 5. Perf smoke (docs/performance.md): bench_perf_hotpath --quick on the
+# 5. Attribution & drift smoke (docs/observability.md): the healthy
+#    fig4 report from step 4 and a seeded faulty r1 sweep must both
+#    carry schema-versioned "attribution"/"drift" sections whose cost
+#    terms sum exactly to the attributed cycles, the faulty report must
+#    be byte-identical across --threads=1/4, every drift sample must
+#    stay inside the ±25% model band, the attribution identity and
+#    drift-band tests rerun under the sanitizers, and
+#    scripts/bench_history.py must lint the committed BENCH_*.json
+#    baselines.
+# 6. Perf smoke (docs/performance.md): bench_perf_hotpath --quick on the
 #    plain (optimized) build must emit valid metrics JSON and its
 #    headline calendar/reference speedup must stay within 20% of the
 #    committed BENCH_4.json baseline (capped, so a fast dev host can't
@@ -117,6 +126,62 @@ echo "report and trace are byte-identical across --threads=1/4"
 # Reconciliation + registry stress under the sanitizers.
 ./build-ci-san/tests/obs_test \
   --gtest_filter='Reconcile.*:Metrics.ConcurrentUpdatesAreExact'
+
+echo "== attribution & drift smoke =="
+ATTR_BENCH=./build-ci/bench/bench_r1_fault_sweep
+# n=65536 keeps the deliberately pathological "lossy, tight budget"
+# scenario's retry tail inside the ±25% band (at tiny n its relative
+# error is dominated by per-attempt constants).
+ATTR_ARGS=(--n=65536 --seed=1995)
+
+"$ATTR_BENCH" "${ATTR_ARGS[@]}" --threads=1 --report="$SMOKE/attr1.json" \
+  > /dev/null
+python3 -m json.tool "$SMOKE/attr1.json" > /dev/null
+
+# The healthy fig4 report from the observability smoke and the faulty
+# r1 report must both decompose every attributed cycle (terms sum
+# exactly to cycles) and keep every per-superstep drift sample inside
+# the model band.
+python3 - "$SMOKE/report1.json" "$SMOKE/attr1.json" <<'EOF'
+import json, sys
+
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    attr = doc["attribution"]
+    assert attr["schema_version"] == 1, (path, attr)
+    assert attr["supersteps"] > 0, (path, attr)
+    assert sum(attr["terms"].values()) == attr["cycles"], (path, attr)
+    sketch = attr["bank_load"]
+    assert len(sketch["counts"]) == 65, (path, len(sketch["counts"]))
+    drift = doc["drift"]
+    assert drift["schema_version"] == 1, (path, drift)
+    assert drift["supersteps"] == attr["supersteps"], (path, drift)
+    assert drift["out_of_band"] == 0, (path, drift)
+    worst = drift["worst"]
+    assert worst is None or abs(worst["rel_err"]) <= drift["band"], worst
+    print(f"{path}: {attr['supersteps']} supersteps, "
+          f"{attr['cycles']} cycles fully attributed; "
+          f"max |rel err| {drift['max_abs_rel_err']:.4f} "
+          f"within the {drift['band']:.2f} band")
+EOF
+
+# Faulty-path determinism: the attribution/drift sections must not
+# depend on --threads any more than the rest of the report does.
+"$ATTR_BENCH" "${ATTR_ARGS[@]}" --threads=4 --report="$SMOKE/attr4.json" \
+  > /dev/null
+cmp "$SMOKE/attr1.json" "$SMOKE/attr4.json"
+echo "faulty-sweep report is byte-identical across --threads=1/4"
+
+# Identity property matrix and the drift-band acceptance tests under
+# the sanitizers (the attributor's origin maps and the sketch merge are
+# fresh pointer-heavy code).
+./build-ci-san/tests/attribution_test \
+  --gtest_filter='AttributionIdentity.*:DriftBand.*:AttributionUnserved.*'
+
+# Trend-reader lint over the committed baselines: malformed BENCH_*.json
+# exits non-zero here instead of surprising the first person to chart it.
+python3 scripts/bench_history.py BENCH_*.json > /dev/null
+echo "bench_history.py lint passed on committed baselines"
 
 echo "== perf smoke (event-engine throughput) =="
 PERF=./build-ci/bench/bench_perf_hotpath

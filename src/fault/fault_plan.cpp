@@ -3,6 +3,7 @@
 #include "resilience/error.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <numeric>
 
@@ -283,6 +284,35 @@ double FaultPlan::max_stall_fraction() const noexcept {
   std::uint64_t mult = 1;
   for (const auto& w : slow_) mult = std::max(mult, w.multiplier);
   return 1.0 - 1.0 / static_cast<double>(mult);
+}
+
+std::uint64_t FaultPlan::fingerprint() const noexcept {
+  // FNV-1a over every structural field, each word mixed so adjacent
+  // fields cannot cancel. The indexes (slow_begin_, death_onset_) are
+  // derived from slow_/deaths_, so hashing the source lists suffices.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto word = [&h](std::uint64_t v) {
+    h ^= util::mix64(v);
+    h *= 0x100000001B3ULL;
+  };
+  word(num_banks_);
+  word(seed_);
+  word(std::bit_cast<std::uint64_t>(drop_rate_));
+  word(retry_.max_retries);
+  word(retry_.backoff_base);
+  word(retry_.backoff_cap);
+  word(retry_.jitter);
+  for (const auto& w : slow_) {
+    word(w.bank);
+    word(w.onset);
+    word(w.duration);
+    word(w.multiplier);
+  }
+  for (const auto& d : deaths_) {
+    word(d.bank);
+    word(d.onset);
+  }
+  return h;
 }
 
 }  // namespace dxbsp::fault

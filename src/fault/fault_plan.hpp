@@ -171,6 +171,12 @@ class FaultPlan {
   [[nodiscard]] std::uint64_t backoff_delay(std::uint64_t request,
                                             std::uint64_t attempt) const;
 
+  /// Structural hash of the plan (banks, seed, drop rate, retry policy,
+  /// every slow window and death): two plans hash equal iff they inject
+  /// the same faults. Used by the drift detector to identify the fault
+  /// context of a flagged superstep in run reports.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept;
+
   // ---- Aggregates for the analytic degraded model (stats/degraded) ----
 
   /// Fraction of banks that die at some point.

@@ -1,0 +1,32 @@
+#include "obs/attribution.hpp"
+
+namespace dxbsp::obs {
+
+// Order matches the Eq. (1) reading of docs/observability.md: the issue
+// pipeline (g·h_proc side), then the bank side (d·h_bank), then the wire
+// and the fault-path extras.
+const char* cost_term_name(std::size_t i) noexcept {
+  switch (i) {
+    case 0: return "issue_gap";
+    case 1: return "window_stall";
+    case 2: return "latency";
+    case 3: return "bank_service";
+    case 4: return "retry_backoff";
+    case 5: return "failover";
+    default: return "?";
+  }
+}
+
+std::uint64_t cost_term_value(const CostBreakdown& c, std::size_t i) noexcept {
+  switch (i) {
+    case 0: return c.issue_gap;
+    case 1: return c.window_stall;
+    case 2: return c.latency;
+    case 3: return c.bank_service;
+    case 4: return c.retry_backoff;
+    case 5: return c.failover;
+    default: return 0;
+  }
+}
+
+}  // namespace dxbsp::obs

@@ -1,0 +1,77 @@
+#include "obs/drift.hpp"
+
+#include <cmath>
+
+#include "core/cost.hpp"
+#include "core/params.hpp"
+#include "fault/fault_plan.hpp"
+#include "stats/degraded.hpp"
+
+namespace dxbsp::obs {
+
+double drift_prediction(const sim::MachineConfig& cfg,
+                        const fault::FaultPlan* plan, std::uint64_t n,
+                        std::uint64_t h_proc, std::uint64_t h_bank,
+                        std::uint64_t location_contention) {
+  if (plan != nullptr) {
+    return stats::predict_degraded(cfg, *plan, n,
+                                   std::max<std::uint64_t>(
+                                       location_contention, 1))
+        .cycles;
+  }
+  const auto params = core::DxBspParams::from_config(cfg);
+  return static_cast<double>(
+      core::dxbsp_step_time(params, core::StepProfile{h_proc, h_bank, n}));
+}
+
+double DriftDetector::observe(const DriftSample& sample) {
+  const double predicted =
+      sample.config == nullptr
+          ? 0.0
+          : drift_prediction(*sample.config, sample.plan, sample.n,
+                             sample.h_proc, sample.h_bank,
+                             sample.location_contention);
+  // An unpredictable superstep (empty op, or no config) scores 0 error
+  // rather than dividing by zero.
+  const double rel_err =
+      predicted > 0.0
+          ? static_cast<double>(sample.cycles) / predicted - 1.0
+          : 0.0;
+  const double abs_err = std::fabs(rel_err);
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++snap_.supersteps;
+  if (abs_err > cfg_.band) ++snap_.out_of_band;
+  snap_.max_abs_rel_err = std::max(snap_.max_abs_rel_err, abs_err);
+
+  // Worst-offender latch, interleaving-independent: strictly larger
+  // |error| wins; exact ties go to the lower (track, step) identity so
+  // concurrent sweep threads converge on the same offender.
+  DriftWorst& w = snap_.worst;
+  const bool better =
+      !w.valid || abs_err > std::fabs(w.rel_err) ||
+      (abs_err == std::fabs(w.rel_err) &&
+       (sample.track < w.track ||
+        (sample.track == w.track && sample.step < w.step)));
+  if (better) {
+    w.valid = true;
+    w.track = sample.track;
+    w.step = sample.step;
+    w.measured = sample.cycles;
+    w.predicted = predicted;
+    w.rel_err = rel_err;
+    w.n = sample.n;
+    w.h_proc = sample.h_proc;
+    w.h_bank = sample.h_bank;
+    w.location_contention = sample.location_contention;
+    w.breakdown = sample.breakdown;
+    w.sketch_p50 = sample.sketch_p50;
+    w.sketch_p99 = sample.sketch_p99;
+    w.sketch_max = sample.sketch_max;
+    w.mapping = sample.mapping;
+    w.plan_fingerprint = sample.plan_fingerprint;
+  }
+  return predicted;
+}
+
+}  // namespace dxbsp::obs

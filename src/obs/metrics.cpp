@@ -169,7 +169,7 @@ void MetricsRegistry::write_json(std::ostream& os, bool include_host) const {
 void MetricsRegistry::write_csv(std::ostream& os, bool include_host) const {
   os << "name,kind,stability,value\n";
   for (const Entry& e : snapshot(include_host)) {
-    os << e.name << ',' << metric_kind_name(e.kind) << ','
+    os << csv_escape(e.name) << ',' << metric_kind_name(e.kind) << ','
        << (e.stability == Stability::kHost ? "host" : "deterministic") << ','
        << e.value << '\n';
   }

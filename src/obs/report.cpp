@@ -48,7 +48,9 @@ std::vector<TimelineRow> timeline_rows(const Tracer& tracer) {
 }  // namespace
 
 void write_report_json(std::ostream& os, const RunInfo& info,
-                       const MetricsRegistry& metrics, const Tracer* tracer) {
+                       const MetricsRegistry& metrics, const Tracer* tracer,
+                       const AttributionAggregate* attribution,
+                       const DriftDetector* drift) {
   JsonWriter w(os);
   w.begin_object();
   w.member("report_version", kReportVersion);
@@ -81,6 +83,67 @@ void write_report_json(std::ostream& os, const RunInfo& info,
   }
   w.end_object();
 
+  if (attribution != nullptr) {
+    const AttributionAggregate::Snapshot a = attribution->snapshot();
+    w.key("attribution").begin_object();
+    w.member("schema_version", kAttributionSchemaVersion);
+    w.member("supersteps", a.supersteps);
+    w.member("cycles", a.cycles);
+    w.key("terms").begin_object();
+    for (std::size_t i = 0; i < kCostTerms; ++i)
+      w.member(cost_term_name(i), cost_term_value(a.terms, i));
+    w.end_object();
+    w.member("max_location_contention", a.max_location_contention);
+    w.key("bank_load").begin_object();
+    w.member("banks", a.sketch.banks);
+    w.member("served", a.sketch.served);
+    w.member("max", a.sketch.max);
+    w.member("p50", a.sketch.p50());
+    w.member("p90", a.sketch.p90());
+    w.member("p99", a.sketch.p99());
+    w.member("overflow", a.sketch.overflow);
+    w.key("counts").begin_array();
+    for (const std::uint64_t c : a.sketch.counts) w.value(c);
+    w.end_array();
+    w.end_object();
+    w.end_object();
+  }
+
+  if (drift != nullptr) {
+    const DriftDetector::Snapshot d = drift->snapshot();
+    w.key("drift").begin_object();
+    w.member("schema_version", kDriftSchemaVersion);
+    w.member("band", d.band);
+    w.member("supersteps", d.supersteps);
+    w.member("out_of_band", d.out_of_band);
+    w.member("max_abs_rel_err", d.max_abs_rel_err);
+    if (d.worst.valid) {
+      w.key("worst").begin_object();
+      w.member("track", d.worst.track);
+      w.member("step", d.worst.step);
+      w.member("measured_cycles", d.worst.measured);
+      w.member("predicted_cycles", d.worst.predicted);
+      w.member("rel_err", d.worst.rel_err);
+      w.member("n", d.worst.n);
+      w.member("h_proc", d.worst.h_proc);
+      w.member("h_bank", d.worst.h_bank);
+      w.member("location_contention", d.worst.location_contention);
+      w.key("breakdown").begin_object();
+      for (std::size_t i = 0; i < kCostTerms; ++i)
+        w.member(cost_term_name(i), cost_term_value(d.worst.breakdown, i));
+      w.end_object();
+      w.member("bank_load_p50", d.worst.sketch_p50);
+      w.member("bank_load_p99", d.worst.sketch_p99);
+      w.member("bank_load_max", d.worst.sketch_max);
+      w.member("mapping", d.worst.mapping);
+      w.member("fault_plan_fingerprint", d.worst.plan_fingerprint);
+      w.end_object();
+    } else {
+      w.key("worst").null_value();
+    }
+    w.end_object();
+  }
+
   if (tracer != nullptr) {
     w.key("timeline").begin_array();
     for (const TimelineRow& row : timeline_rows(*tracer)) {
@@ -102,17 +165,56 @@ void write_report_json(std::ostream& os, const RunInfo& info,
 }
 
 void write_report_csv(std::ostream& os, const RunInfo& info,
-                      const MetricsRegistry& metrics, const Tracer* tracer) {
+                      const MetricsRegistry& metrics, const Tracer* tracer,
+                      const AttributionAggregate* attribution,
+                      const DriftDetector* drift) {
   os << "section,key,value\n";
   os << "run,report_version," << kReportVersion << '\n';
-  os << "run,git," << build_git_describe() << '\n';
-  os << "run,bench," << info.bench << '\n';
-  os << "run,machine," << info.machine << '\n';
+  os << "run,git," << csv_escape(build_git_describe()) << '\n';
+  os << "run,bench," << csv_escape(info.bench) << '\n';
+  os << "run,machine," << csv_escape(info.machine) << '\n';
   os << "run,seed," << info.seed << '\n';
   for (const auto& [name, value] : info.flags)
-    os << "flag," << name << ',' << value << '\n';
+    os << "flag," << csv_escape(name) << ',' << csv_escape(value) << '\n';
   for (const auto& e : metrics.snapshot(/*include_host=*/false))
-    os << "metric," << e.name << ',' << e.value << '\n';
+    os << "metric," << csv_escape(e.name) << ',' << e.value << '\n';
+  if (attribution != nullptr) {
+    const AttributionAggregate::Snapshot a = attribution->snapshot();
+    os << "attribution,schema_version," << kAttributionSchemaVersion << '\n';
+    os << "attribution,supersteps," << a.supersteps << '\n';
+    os << "attribution,cycles," << a.cycles << '\n';
+    for (std::size_t i = 0; i < kCostTerms; ++i)
+      os << "attribution,terms." << cost_term_name(i) << ','
+         << cost_term_value(a.terms, i) << '\n';
+    os << "attribution,max_location_contention," << a.max_location_contention
+       << '\n';
+    os << "attribution,bank_load.banks," << a.sketch.banks << '\n';
+    os << "attribution,bank_load.served," << a.sketch.served << '\n';
+    os << "attribution,bank_load.max," << a.sketch.max << '\n';
+    os << "attribution,bank_load.p50," << a.sketch.p50() << '\n';
+    os << "attribution,bank_load.p90," << a.sketch.p90() << '\n';
+    os << "attribution,bank_load.p99," << a.sketch.p99() << '\n';
+    os << "attribution,bank_load.overflow," << a.sketch.overflow << '\n';
+  }
+  if (drift != nullptr) {
+    const DriftDetector::Snapshot d = drift->snapshot();
+    os << "drift,schema_version," << kDriftSchemaVersion << '\n';
+    os << "drift,band," << json_number(d.band) << '\n';
+    os << "drift,supersteps," << d.supersteps << '\n';
+    os << "drift,out_of_band," << d.out_of_band << '\n';
+    os << "drift,max_abs_rel_err," << json_number(d.max_abs_rel_err) << '\n';
+    if (d.worst.valid) {
+      os << "drift,worst.track," << d.worst.track << '\n';
+      os << "drift,worst.step," << d.worst.step << '\n';
+      os << "drift,worst.measured_cycles," << d.worst.measured << '\n';
+      os << "drift,worst.predicted_cycles," << json_number(d.worst.predicted)
+         << '\n';
+      os << "drift,worst.rel_err," << json_number(d.worst.rel_err) << '\n';
+      os << "drift,worst.mapping," << csv_escape(d.worst.mapping) << '\n';
+      os << "drift,worst.fault_plan_fingerprint," << d.worst.plan_fingerprint
+         << '\n';
+    }
+  }
   if (tracer != nullptr) {
     for (const TimelineRow& row : timeline_rows(*tracer)) {
       os << "timeline,track_" << row.track << ".superstep_cycles,"

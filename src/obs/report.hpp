@@ -17,12 +17,18 @@
 #include <utility>
 #include <vector>
 
+#include "obs/attribution.hpp"
+#include "obs/drift.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dxbsp::obs {
 
-inline constexpr std::uint64_t kReportVersion = 1;
+/// Version 2 added the "attribution" and "drift" sections (each carrying
+/// its own schema_version so consumers can evolve per-section).
+inline constexpr std::uint64_t kReportVersion = 2;
+inline constexpr std::uint64_t kAttributionSchemaVersion = 1;
+inline constexpr std::uint64_t kDriftSchemaVersion = 1;
 
 /// Build identifier baked in at configure time ("unknown" outside git).
 [[nodiscard]] const char* build_git_describe() noexcept;
@@ -38,15 +44,21 @@ struct RunInfo {
   std::vector<std::pair<std::string, std::string>> flags;
 };
 
-/// Writes the versioned JSON report. `tracer` may be null (no timeline
-/// section); host-stability metrics are always excluded.
+/// Writes the versioned JSON report. `tracer`, `attribution` and `drift`
+/// may each be null (their sections are omitted); host-stability metrics
+/// are always excluded.
 void write_report_json(std::ostream& os, const RunInfo& info,
-                       const MetricsRegistry& metrics, const Tracer* tracer);
+                       const MetricsRegistry& metrics, const Tracer* tracer,
+                       const AttributionAggregate* attribution = nullptr,
+                       const DriftDetector* drift = nullptr);
 
 /// CSV twin: `section,key,value` rows with the same content and the same
-/// determinism contract.
+/// determinism contract. Fields are RFC 4180-escaped (csv_escape), so
+/// caller-chosen names with commas/quotes cannot shear a row.
 void write_report_csv(std::ostream& os, const RunInfo& info,
-                      const MetricsRegistry& metrics, const Tracer* tracer);
+                      const MetricsRegistry& metrics, const Tracer* tracer,
+                      const AttributionAggregate* attribution = nullptr,
+                      const DriftDetector* drift = nullptr);
 
 /// Opens `path` for writing and runs `fn(stream)`; any failure is
 /// Error{kIo} naming the path.

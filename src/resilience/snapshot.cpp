@@ -47,7 +47,9 @@ std::uint64_t read_u64(const unsigned char* p) {
 
 // Field order is the format contract: key, rng_state, failed_requests,
 // aux[4], then the BulkResult fields in declaration order with
-// bank_utilization bit-cast to u64. Changing this bumps kSnapshotVersion.
+// bank_utilization bit-cast to u64 and the CostBreakdown flattened
+// term-by-term (the BankLoadSketch is not persisted — see kRecordBytes).
+// Changing this bumps kSnapshotVersion.
 void put_record(std::vector<unsigned char>& out, const SnapshotRecord& r) {
   put_u64(out, r.key);
   put_u64(out, r.rng_state);
@@ -68,7 +70,14 @@ void put_record(std::vector<unsigned char>& out, const SnapshotRecord& r) {
   put_u64(out, b.nacks);
   put_u64(out, b.failovers);
   put_u64(out, b.degraded_cycles);
+  put_u64(out, b.max_location_contention);
   put_u64(out, std::bit_cast<std::uint64_t>(b.bank_utilization));
+  put_u64(out, b.breakdown.issue_gap);
+  put_u64(out, b.breakdown.window_stall);
+  put_u64(out, b.breakdown.latency);
+  put_u64(out, b.breakdown.bank_service);
+  put_u64(out, b.breakdown.retry_backoff);
+  put_u64(out, b.breakdown.failover);
 }
 
 SnapshotRecord read_record(const unsigned char* p) {
@@ -97,7 +106,14 @@ SnapshotRecord read_record(const unsigned char* p) {
   b.nacks = next();
   b.failovers = next();
   b.degraded_cycles = next();
+  b.max_location_contention = next();
   b.bank_utilization = std::bit_cast<double>(next());
+  b.breakdown.issue_gap = next();
+  b.breakdown.window_stall = next();
+  b.breakdown.latency = next();
+  b.breakdown.bank_service = next();
+  b.breakdown.retry_backoff = next();
+  b.breakdown.failover = next();
   return r;
 }
 

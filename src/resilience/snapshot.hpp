@@ -13,7 +13,7 @@
 // docs/resilience.md):
 //
 //   u8  magic[8]   "DXSNAP01"
-//   u32 version    (currently 1)
+//   u32 version    (currently 2)
 //   u32 crc32      IEEE CRC-32 over every byte AFTER this field
 //   u64 sweep_id   fingerprint of (bench id, grid parameters, seed)
 //   u64 point_count
@@ -52,8 +52,12 @@ struct SnapshotRecord {
 };
 
 /// Serialized size of one record; bumping the format bumps kVersion.
-inline constexpr std::uint64_t kSnapshotVersion = 1;
-inline constexpr std::uint64_t kRecordBytes = (3 + 4 + 14 + 1) * 8;
+/// Version 2 extended the record with max_location_contention and the
+/// six CostBreakdown terms (PR 5 attribution); the per-op BankLoadSketch
+/// is report-side only and deliberately not persisted — no bench prints
+/// it, so resumed sweeps stay byte-identical without it.
+inline constexpr std::uint64_t kSnapshotVersion = 2;
+inline constexpr std::uint64_t kRecordBytes = (3 + 4 + 15 + 1 + 6) * 8;
 inline constexpr std::uint64_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
 
 /// A loaded (or in-construction) snapshot.

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/drift.hpp"
 #include "obs/metrics.hpp"
 #include "resilience/error.hpp"
 #include "util/bits.hpp"
@@ -49,6 +50,17 @@ void publish_bulk(const BulkResult& res, std::uint64_t failed,
   reg.counter("fault.nacks").add(res.nacks);
   reg.counter("fault.failovers").add(res.failovers);
   reg.counter("fault.degraded_cycles").add(res.degraded_cycles);
+  // Cost attribution (docs/observability.md §attribution): per-term
+  // cycle totals of the critical-path decomposition, the hottest
+  // location, and the per-op max bank load distribution.
+  for (std::size_t i = 0; i < obs::kCostTerms; ++i)
+    reg.counter(std::string("attr.") + obs::cost_term_name(i) + "_cycles")
+        .add(obs::cost_term_value(res.breakdown, i));
+  reg.counter("attr.supersteps").add();
+  reg.gauge("attr.max_location_contention")
+      .observe(res.max_location_contention);
+  reg.histogram("attr.bank_load_max", obs::pow4_bounds())
+      .observe(res.bank_sketch.max);
   banks.publish(reg);
   net.publish(reg);
 }
@@ -206,6 +218,7 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   }
 
   FailTally tally;
+  attr_.begin();
   const std::uint64_t makespan =
       engine_ == Engine::kReference
           ? run_reference(ids, ids_are_banks, timing, res, tally)
@@ -229,6 +242,47 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   res.degraded_cycles = banks_.degraded_cycles();
   res.bank_utilization = bank_utilization_of(config_.bank_delay, res.n,
                                              config_.banks(), res.cycles);
+
+  // Attribution (docs/observability.md): location contention k over the
+  // requested ids (addresses; bank ids for scatter_banks), the per-bank
+  // load distribution (served requests only — loads() never counts a
+  // NACK-failed or combined slot), and the critical-event cost
+  // decomposition, whose terms must reproduce the makespan exactly.
+  contention_.clear();
+  contention_.reserve(ids.size());
+  for (const std::uint64_t id : ids)
+    res.max_location_contention =
+        std::max(res.max_location_contention, contention_.bump(id));
+  for (const std::uint64_t load : banks_.loads())
+    res.bank_sketch.observe(load);
+  res.breakdown = attr_.breakdown();
+  if (res.breakdown.total() != res.cycles)
+    raise(ErrorCode::kInternal, "Machine: attribution identity violated");
+
+  if (attr_agg_ != nullptr)
+    attr_agg_->record(res.breakdown, res.bank_sketch,
+                      res.max_location_contention, res.cycles);
+  if (drift_ != nullptr) {
+    obs::DriftSample s;
+    s.track = drift_track_;
+    s.step = superstep_seq_;
+    s.cycles = res.cycles;
+    s.n = res.n;
+    s.h_proc = res.max_proc_requests;
+    s.h_bank = res.max_bank_load;
+    s.location_contention = res.max_location_contention;
+    s.breakdown = res.breakdown;
+    s.sketch_p50 = res.bank_sketch.p50();
+    s.sketch_p99 = res.bank_sketch.p99();
+    s.sketch_max = res.bank_sketch.max;
+    s.mapping = ids_are_banks ? "(direct banks)" : mapping_->name();
+    s.plan_fingerprint = plan_ != nullptr ? plan_->fingerprint() : 0;
+    s.config = &config_;
+    s.plan = plan_.get();
+    drift_->observe(s);
+  }
+  ++superstep_seq_;
+
   rec(trace_, obs::TraceKind::kSuperstep, 0, makespan, res.n, 0);
   publish_bulk(res, tally.failed, banks_, network_);
   return out;
@@ -299,6 +353,11 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
     // which the processor recovers from by retry with backoff — or, once
     // the budget is spent, records as a failed request.
     bool served_ok = true;
+    bool redirected = false;
+    // j·g of a fresh issue: its position in the issue pipeline, the
+    // issue_gap term of the cost attribution (retries recover theirs
+    // from the origin recorded at their first NACK).
+    const std::uint64_t fresh_gap = fresh ? ps.issued * config_.gap : 0;
     std::uint64_t ack = 0;  // when the processor learns the outcome
     if (plan != nullptr) {
       const char* fail_reason = nullptr;
@@ -310,6 +369,7 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
           rec(trace_, obs::TraceKind::kFailover, arrival, 0, bank, spare);
           bank = spare;
           ++res.failovers;
+          redirected = true;
         }
       }
       if (fail_reason == nullptr && plan->drop(elem, ev.attempt)) {
@@ -318,6 +378,7 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
           ++res.nacks;
           rec(trace_, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
           ack = network_.nack_return(arrival);
+          if (fresh) attr_.note_origin(elem, fresh_gap, ev.depart);
           const std::uint64_t delay =
               plan->backoff_delay(elem, ev.attempt + 1);
           heap.push(Event{ack + delay, elem, ev.proc, ev.attempt + 1});
@@ -362,6 +423,8 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
                         : banks_.serve_addr(bank, arrival, addr, scale);
       ack = served + config_.latency;
       ++res.completed;
+      attr_.observe_served(ack, fresh, elem, fresh_gap, ev.depart, arrival,
+                           served, config_.latency, redirected);
       // A combined request occupies no bank slot, so no busy span.
       if (!banks_.last_combined())
         rec(trace_, obs::TraceKind::kBankBusy, banks_.last_start(),
@@ -374,6 +437,8 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
         timing->completion[elem] = ack;
         timing->bank[elem] = bank;
       }
+    } else {
+      attr_.observe_unserved(ack, fresh, elem, fresh_gap, ev.depart);
     }
     makespan = std::max(makespan, ack);
 
@@ -523,7 +588,15 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
           timing->completion[elem] = ack;
           timing->bank[elem] = bank;
         }
-        if (ack > makespan) makespan = ack;
+        if (ack > makespan) {
+          makespan = ack;
+          // Same latch rule as the scheduler path (first strict max in
+          // pop order): depart == j·g exactly, so window_stall is 0 and
+          // the fresh gap is the departure itself.
+          attr_.observe_served(ack, /*fresh=*/true, elem, depart, depart,
+                               arrival, served, latency,
+                               /*redirected=*/false);
+        }
       }
     }
     res.completed += n;
@@ -556,6 +629,8 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
     const std::uint64_t arrival = network_.traverse(bank, ev.depart, ev.proc);
 
     bool served_ok = true;
+    bool redirected = false;
+    const std::uint64_t fresh_gap = fresh ? ps.issued * g : 0;
     std::uint64_t ack = 0;
     if (plan != nullptr) {
       const char* fail_reason = nullptr;
@@ -567,6 +642,7 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
           rec(trace_, obs::TraceKind::kFailover, arrival, 0, bank, spare);
           bank = spare;
           ++res.failovers;
+          redirected = true;
         }
       }
       if (fail_reason == nullptr && plan->drop(elem, ev.attempt)) {
@@ -574,6 +650,7 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
           ++res.nacks;
           rec(trace_, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
           ack = network_.nack_return(arrival);
+          if (fresh) attr_.note_origin(elem, fresh_gap, ev.depart);
           const std::uint64_t delay =
               plan->backoff_delay(elem, ev.attempt + 1);
           q.push(Event{ack + delay, elem, ev.proc, ev.attempt + 1});
@@ -614,6 +691,8 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
                         : banks_.serve_addr(bank, arrival, addr, scale);
       ack = served + latency;
       ++res.completed;
+      attr_.observe_served(ack, fresh, elem, fresh_gap, ev.depart, arrival,
+                           served, latency, redirected);
       if (!banks_.last_combined())
         rec(trace_, obs::TraceKind::kBankBusy, banks_.last_start(),
             served - banks_.last_start(), bank, 0);
@@ -625,6 +704,8 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
         timing->completion[elem] = ack;
         timing->bank[elem] = bank;
       }
+    } else {
+      attr_.observe_unserved(ack, fresh, elem, fresh_gap, ev.depart);
     }
     makespan = std::max(makespan, ack);
 
@@ -686,6 +767,18 @@ BulkResult Machine::scatter_bulk_delivery(
   res.max_proc_requests = per;
   res.bank_utilization = bank_utilization_of(config_.bank_delay, res.n,
                                              config_.banks(), res.cycles);
+  // Attribution of the ablation: no issue pipeline, so the critical
+  // request's lifetime is exactly wire-out + bank queue/service +
+  // wire-back (makespan >= 2L holds because every request arrives at L).
+  contention_.clear();
+  contention_.reserve(addrs.size());
+  for (const std::uint64_t addr : addrs)
+    res.max_location_contention =
+        std::max(res.max_location_contention, contention_.bump(addr));
+  for (const std::uint64_t load : banks_.loads())
+    res.bank_sketch.observe(load);
+  res.breakdown.latency = 2 * config_.latency;
+  res.breakdown.bank_service = makespan - 2 * config_.latency;
   rec(trace_, obs::TraceKind::kSuperstep, 0, makespan, res.n, 0);
   publish_bulk(res, 0, banks_, network_);
   return res;

@@ -24,12 +24,17 @@
 
 #include "fault/fault_plan.hpp"
 #include "mem/bank_mapping.hpp"
+#include "obs/attribution.hpp"
 #include "obs/trace.hpp"
 #include "resilience/cancel.hpp"
 #include "sim/bank_array.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/network.hpp"
 #include "sim/telemetry.hpp"
+
+namespace dxbsp::obs {
+class DriftDetector;
+}
 
 namespace dxbsp::sim {
 
@@ -52,11 +57,30 @@ struct BulkResult {
   std::uint64_t failovers = 0;       ///< requests redirected off a dead bank
   std::uint64_t degraded_cycles = 0; ///< extra bank busy cycles from slowness
 
+  /// Location contention k: requests aimed at the hottest single address
+  /// (hottest bank for scatter_banks) — the paper's k in the d·k bound.
+  std::uint64_t max_location_contention = 0;
+
   /// Fraction of bank service capacity used: d·n / (B · cycles).
   double bank_utilization = 0.0;
 
+  /// Exact decomposition of `cycles` into issue-gap / window-stall /
+  /// latency / bank-service / retry-backoff / failover. The terms sum to
+  /// `cycles` — an identity Machine::run enforces on every operation and
+  /// that holds bit-identically on both engines
+  /// (docs/observability.md §attribution).
+  obs::CostBreakdown breakdown;
+
+  /// Per-bank load distribution of this operation: served requests only,
+  /// so NACK-failed (RequestTiming::kUnserved) slots never count.
+  obs::BankLoadSketch bank_sketch;
+
+  /// Average cycles per completed element. Failed requests (their timing
+  /// slots hold RequestTiming::kUnserved) are excluded: a lossy run's
+  /// per-element cost reflects the work that happened, not a denominator
+  /// padded with requests that never finished.
   [[nodiscard]] double cycles_per_element() const noexcept {
-    return cycles_per_element_of(cycles, n);
+    return cycles_per_element_of(cycles, completed);
   }
 };
 
@@ -150,6 +174,24 @@ class Machine {
   void set_tracer(obs::TraceRing* ring) noexcept { trace_ = ring; }
   [[nodiscard]] obs::TraceRing* tracer() const noexcept { return trace_; }
 
+  /// Attaches run-level attribution aggregation (non-owning; nullptr
+  /// detaches): each bulk op's CostBreakdown and BankLoadSketch are
+  /// merged into `agg` (commutative, so sweep-thread interleaving never
+  /// changes the totals). Per-op attribution itself is always on.
+  void set_attribution(obs::AttributionAggregate* agg) noexcept {
+    attr_agg_ = agg;
+  }
+
+  /// Attaches a drift detector (non-owning; nullptr detaches): each bulk
+  /// op is scored against the model prediction under `track` (use the
+  /// sweep-point key). Resets this machine's superstep sequence number.
+  void set_drift(obs::DriftDetector* detector,
+                 std::uint64_t track = 0) noexcept {
+    drift_ = detector;
+    drift_track_ = track;
+    superstep_seq_ = 0;
+  }
+
   /// Attaches a fault plan: subsequent bulk operations run fault-aware
   /// (slow banks, failover off dead banks, NACK/retry). The plan must be
   /// sized to this machine's bank count. Pass nullptr to clear.
@@ -231,6 +273,14 @@ class Machine {
   std::shared_ptr<const fault::FaultPlan> plan_;
   const resilience::CancelToken* cancel_ = nullptr;
   obs::TraceRing* trace_ = nullptr;
+  obs::AttributionAggregate* attr_agg_ = nullptr;
+  obs::DriftDetector* drift_ = nullptr;
+  std::uint64_t drift_track_ = 0;
+  std::uint64_t superstep_seq_ = 0;
+  // Per-op attribution scratch (critical-event latch + retry origins)
+  // and the location-contention counting table, reused across bulk ops.
+  obs::CostAttributor attr_;
+  util::FlatMap64 contention_;
 #ifdef DXBSP_REFERENCE_ENGINE
   Engine engine_ = Engine::kReference;
 #else

@@ -59,6 +59,32 @@ class FlatMap64 {
     }
   }
 
+  /// Increments the value of `key` (inserting it at 0 first) and returns
+  /// the new value: the one-probe form of find + insert_or_assign for
+  /// counting loops (location-contention accounting).
+  std::uint64_t bump(std::uint64_t key) {
+    if (key == kEmpty) {
+      if (!has_empty_key_) {
+        has_empty_key_ = true;
+        empty_key_val_ = 0;
+      }
+      return ++empty_key_val_;
+    }
+    if ((size_ + 1) * 2 > keys_.size()) rehash(cap_for(size_ + 1));
+    std::size_t i = probe_start(key);
+    while (true) {
+      std::uint64_t& k = keys_[i];
+      if (k == kEmpty) {
+        k = key;
+        vals_[i] = 1;
+        ++size_;
+        return 1;
+      }
+      if (k == key) return ++vals_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+
   void insert_or_assign(std::uint64_t key, std::uint64_t value) {
     if (key == kEmpty) {
       has_empty_key_ = true;

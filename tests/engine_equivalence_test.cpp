@@ -33,7 +33,12 @@ void expect_same_bulk(const sim::BulkResult& a, const sim::BulkResult& b) {
   EXPECT_EQ(a.nacks, b.nacks);
   EXPECT_EQ(a.failovers, b.failovers);
   EXPECT_EQ(a.degraded_cycles, b.degraded_cycles);
+  EXPECT_EQ(a.max_location_contention, b.max_location_contention);
   EXPECT_DOUBLE_EQ(a.bank_utilization, b.bank_utilization);
+  // Attribution is part of the bit-identical contract: same critical
+  // event, same decomposition, same bank-load distribution.
+  EXPECT_EQ(a.breakdown, b.breakdown);
+  EXPECT_EQ(a.bank_sketch, b.bank_sketch);
 }
 
 void expect_same_timing(const sim::Machine::RequestTiming& a,

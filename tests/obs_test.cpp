@@ -16,6 +16,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "obs/json.hpp"
+#include "obs/json_read.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -347,7 +348,7 @@ TEST(Report, ExcludesHostMetricsAndIsDeterministic) {
   obs::write_report_json(two, info, reg, nullptr);
   EXPECT_EQ(one.str(), two.str());
   const std::string json = one.str();
-  EXPECT_NE(json.find("\"report_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"report_version\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"sim.cycles\": 1234"), std::string::npos);
   EXPECT_NE(json.find("\"seed\": 21"), std::string::npos);
   EXPECT_NE(json.find("\"n\": \"1024\""), std::string::npos);
@@ -383,6 +384,176 @@ TEST(Report, CsvTwinCarriesSameContent) {
   EXPECT_NE(csv.find("metric,sim.cycles,77"), std::string::npos);
   EXPECT_EQ(csv.find("pool.x"), std::string::npos);
   EXPECT_NE(csv.find("run,bench,csv bench"), std::string::npos);
+}
+
+TEST(CsvEscape, PassesPlainFieldsThrough) {
+  EXPECT_EQ(obs::csv_escape("sim.cycles"), "sim.cycles");
+  EXPECT_EQ(obs::csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesCommasQuotesAndNewlines) {
+  EXPECT_EQ(obs::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(obs::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(obs::csv_escape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(obs::csv_escape("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(CsvEscape, ReportCsvRowsSurviveHostileNames) {
+  // A metric or flag name containing a comma must not shear the
+  // section,key,value row: the field comes back quoted, and every line
+  // still splits into exactly three CSV fields.
+  obs::MetricsRegistry reg;
+  reg.counter("evil,metric \"x\"").add(5);
+  obs::RunInfo info;
+  info.bench = "b";
+  info.flags.emplace_back("with,comma", "v,1");
+  std::ostringstream os;
+  obs::write_report_csv(os, info, reg, nullptr);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("metric,\"evil,metric \"\"x\"\"\",5"),
+            std::string::npos);
+  EXPECT_NE(csv.find("flag,\"with,comma\",\"v,1\""), std::string::npos);
+
+  // Round-trip: parse each line as RFC 4180 and count fields.
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    int fields = 1;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '"') {
+        if (quoted && i + 1 < line.size() && line[i + 1] == '"') {
+          ++i;  // escaped quote
+        } else {
+          quoted = !quoted;
+        }
+      } else if (line[i] == ',' && !quoted) {
+        ++fields;
+      }
+    }
+    EXPECT_EQ(fields, 3) << "sheared row: " << line;
+    EXPECT_FALSE(quoted) << "unbalanced quotes: " << line;
+  }
+}
+
+TEST(CsvEscape, MetricsCsvEscapesNames) {
+  obs::MetricsRegistry reg;
+  reg.gauge("g,1").observe(7);
+  std::ostringstream os;
+  reg.write_csv(os, /*include_host=*/true);
+  EXPECT_NE(os.str().find("\"g,1\",gauge"), std::string::npos);
+}
+
+// ---------------------------------------------------------- JSON reader
+
+TEST(JsonRead, ParsesScalarsContainersAndEscapes) {
+  const auto doc = obs::JsonValue::parse(
+      R"({"a": 1, "b": [true, null, -2.5e1], "s": "x\n\"y\" é"})",
+      "test").value();
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("a")->as_u64(), 1u);
+  const obs::JsonValue* b = doc.find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].as_bool());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_DOUBLE_EQ(b->items()[2].as_double(), -25.0);
+  EXPECT_EQ(doc.find("s")->as_string(), "x\n\"y\" \xc3\xa9");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonRead, BigIntegersSurviveExactly) {
+  const auto doc =
+      obs::JsonValue::parse(R"({"v": 18446744073709551615})", "t").value();
+  EXPECT_EQ(doc.find("v")->as_u64(), 18446744073709551615ULL);
+  EXPECT_EQ(doc.find("v")->raw_number(), "18446744073709551615");
+}
+
+TEST(JsonRead, MalformedInputIsStructuredParseError) {
+  for (const char* bad : {"{", "[1,", "{\"a\" 1}", "tru", "\"unterminated",
+                          "{\"a\": 1} trailing", "01x"}) {
+    const auto res = obs::JsonValue::parse(bad, "bad.json");
+    ASSERT_FALSE(res.ok()) << bad;
+    EXPECT_EQ(res.error().code(), ErrorCode::kParse) << bad;
+    EXPECT_NE(std::string(res.error().what()).find("bad.json"),
+              std::string::npos);
+  }
+}
+
+TEST(JsonRead, RoundTripsOwnReportWriter) {
+  // The reader must load what our writer emits — the exact contract
+  // bench_trend relies on for BENCH_*.json baselines.
+  obs::MetricsRegistry reg;
+  reg.counter("sim.cycles").add(321);
+  const std::vector<std::uint64_t> bounds = {1, 10, 100};
+  reg.histogram("lat", bounds).observe(5);
+  obs::RunInfo info;
+  info.bench = "round trip";
+  info.seed = 9;
+  std::ostringstream os;
+  obs::write_report_json(os, info, reg, nullptr);
+  const auto doc = obs::JsonValue::parse(os.str(), "report").value();
+  EXPECT_EQ(doc.find("report_version")->as_u64(), obs::kReportVersion);
+  const obs::JsonValue* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("sim.cycles")->as_u64(), 321u);
+  EXPECT_EQ(metrics->find("lat")->find("total")->as_u64(), 1u);
+}
+
+// ------------------------------------------- attribution/drift sections
+
+TEST(Report, AttributionAndDriftSections) {
+  obs::MetricsRegistry reg;
+  obs::AttributionAggregate agg;
+  obs::CostBreakdown terms;
+  terms.issue_gap = 40;
+  terms.bank_service = 60;
+  obs::BankLoadSketch sketch;
+  sketch.observe(3);
+  agg.record(terms, sketch, 2, 100);
+
+  obs::DriftDetector det(obs::DriftConfig{0.25});
+  const auto cfg = sim::MachineConfig::test_machine();
+  obs::DriftSample sample;
+  sample.track = 4;
+  sample.cycles = 5000;
+  sample.n = 1000;
+  sample.h_proc = 250;
+  sample.h_bank = 70;
+  sample.location_contention = 1;
+  sample.mapping = "interleaved";
+  sample.config = &cfg;
+  det.observe(sample);
+
+  obs::RunInfo info;
+  info.bench = "sections";
+  std::ostringstream os;
+  obs::write_report_json(os, info, reg, nullptr, &agg, &det);
+  const auto doc = obs::JsonValue::parse(os.str(), "report").value();
+
+  const obs::JsonValue* attr = doc.find("attribution");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->find("schema_version")->as_u64(),
+            obs::kAttributionSchemaVersion);
+  EXPECT_EQ(attr->find("supersteps")->as_u64(), 1u);
+  EXPECT_EQ(attr->find("cycles")->as_u64(), 100u);
+  EXPECT_EQ(attr->find("terms")->find("issue_gap")->as_u64(), 40u);
+  EXPECT_EQ(attr->find("bank_load")->find("served")->as_u64(), 3u);
+
+  const obs::JsonValue* drift = doc.find("drift");
+  ASSERT_NE(drift, nullptr);
+  EXPECT_EQ(drift->find("schema_version")->as_u64(),
+            obs::kDriftSchemaVersion);
+  EXPECT_EQ(drift->find("supersteps")->as_u64(), 1u);
+  ASSERT_NE(drift->find("worst"), nullptr);
+  EXPECT_EQ(drift->find("worst")->find("track")->as_u64(), 4u);
+
+  // Without aggregates the sections are absent, not empty.
+  std::ostringstream bare;
+  obs::write_report_json(bare, info, reg, nullptr);
+  EXPECT_EQ(bare.str().find("\"attribution\""), std::string::npos);
+  EXPECT_EQ(bare.str().find("\"drift\""), std::string::npos);
 }
 
 TEST(Report, WriteFileRaisesIoOnBadPath) {

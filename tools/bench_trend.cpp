@@ -1,0 +1,95 @@
+// bench_trend: fold BENCH_*.json baselines into one trend table.
+//
+//   ./bench_trend FILE.json [FILE.json ...]
+//
+// Each input is either a metrics dump (--metrics: top-level "metrics"
+// whose entries carry kind/stability/value) or a versioned run report
+// (--report: "metrics" maps names straight to numbers, histograms to
+// {total, bounds, counts}). The output is one row per metric name, one
+// column per file, so a sequence of committed baselines reads as a
+// trajectory — the C++ twin of scripts/bench_history.py, sharing its
+// obs::JsonValue reader with the rest of the tooling.
+//
+// Exit codes follow the library taxonomy: malformed JSON or a file
+// without a "metrics" section is a structured error (65/74), not a
+// silently empty column — scripts/ci.sh runs this as a lint over the
+// committed baselines.
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_read.hpp"
+#include "resilience/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using dxbsp::obs::JsonValue;
+
+/// name -> raw value text for one file's metrics section.
+std::map<std::string, std::string> load_metrics(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    dxbsp::raise(dxbsp::ErrorCode::kIo, "cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const JsonValue doc = JsonValue::parse(buf.str(), path).value();
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object())
+    dxbsp::raise(dxbsp::ErrorCode::kCorruptInput,
+                 path + ": no \"metrics\" object (not a metrics dump "
+                        "or run report)");
+  std::map<std::string, std::string> out;
+  for (const auto& [name, v] : metrics->members()) {
+    if (v.is_number()) {
+      // Run-report scalar: name -> number.
+      out.emplace(name, v.raw_number());
+    } else if (v.is_object()) {
+      // Metrics-dump entry ("value") or histogram ("total").
+      const JsonValue* val = v.find("value");
+      if (val == nullptr) val = v.find("total");
+      if (val != nullptr && val->is_number())
+        out.emplace(name, val->raw_number());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  std::vector<std::string> paths(argv + 1, argv + argc);
+  if (paths.empty()) {
+    std::cerr << "usage: bench_trend FILE.json [FILE.json ...]\n";
+    return exit_code(ErrorCode::kConfig);
+  }
+  try {
+    std::vector<std::map<std::string, std::string>> columns;
+    std::map<std::string, bool> names;  // sorted union of metric names
+    for (const std::string& path : paths) {
+      columns.push_back(load_metrics(path));
+      for (const auto& [name, _] : columns.back()) names[name] = true;
+    }
+    std::vector<std::string> header{"metric"};
+    header.insert(header.end(), paths.begin(), paths.end());
+    util::Table t(header);
+    for (const auto& [name, _] : names) {
+      std::vector<std::string> row{name};
+      for (const auto& col : columns) {
+        const auto it = col.find(name);
+        row.push_back(it == col.end() ? "-" : it->second);
+      }
+      t.add_row_strings(std::move(row));
+    }
+    t.print(std::cout);
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return exit_code(e.code());
+  }
+}
