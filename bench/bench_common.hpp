@@ -20,9 +20,11 @@
 
 #include "obs/report.hpp"
 #include "resilience/error.hpp"
+#include "resilience/shard.hpp"
 #include "resilience/sweep.hpp"
 #include "sim/machine.hpp"
 #include "sim/machine_config.hpp"
+#include "svc/worker.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -37,10 +39,16 @@ inline void banner(const std::string& id, const std::string& what) {
 /// out of run reports so a report is byte-identical across --threads /
 /// checkpointing settings (docs/observability.md).
 inline bool is_execution_flag(const std::string& name) {
+  // --svc-lease is execution-shaping (which shard, where the protocol
+  // files live) so a fleet worker's RunInfo matches the serial run's and
+  // merged reports stay byte-comparable. --shard is NOT here: a
+  // standalone shard run computes a different grid, which must show in
+  // its report identity.
   return name == "checkpoint" || name == "resume" || name == "deadline" ||
          name == "stall-timeout" || name == "checkpoint-every" ||
          name == "threads" || name == "trace" || name == "trace-capacity" ||
-         name == "report" || name == "report-csv" || name == "metrics";
+         name == "report" || name == "report-csv" || name == "metrics" ||
+         name == "svc-lease";
 }
 
 /// Observability wiring shared by every bench (docs/observability.md):
@@ -96,6 +104,8 @@ class Obs {
     return attribution_;
   }
   [[nodiscard]] obs::DriftDetector& drift() noexcept { return drift_; }
+  /// The run identity (fleet workers ship it in their result message).
+  [[nodiscard]] const obs::RunInfo& info() const noexcept { return info_; }
 
   /// Writes the requested artifacts and passes `rc` through.
   int finish(int rc = 0) {
@@ -180,6 +190,34 @@ inline int finish_sweep(const resilience::SweepReport& report) {
                                               : report.checkpoint)
             << "\n";
   return exit_code(ErrorCode::kInterrupted);
+}
+
+/// Applies the shard execution modes to a sweep about to run, returning
+/// the (possibly shard-scoped) sweep id:
+///   --svc-lease=FILE  fleet worker — follow the coordinator's lease
+///                     (slices keys, rewires opt, arms partial-result
+///                     publication; docs/resilience.md §fleet mode);
+///   --shard=i/S       standalone shard run — same slice and scoped
+///                     sweep id, no coordinator (the poisoned-shard
+///                     repro path).
+/// After runner.run(), worker-mode benches must return through
+/// `worker.finish(report, obs.info())` instead of printing tables.
+inline std::uint64_t apply_sharding(svc::WorkerContext& worker,
+                                    const util::Cli& cli, std::uint64_t id,
+                                    std::vector<std::uint64_t>& keys,
+                                    resilience::SweepOptions& opt, Obs& obs) {
+  const std::string lease = cli.get("svc-lease", "");
+  if (!lease.empty()) {
+    worker.init(lease);
+    return worker.prepare(id, keys, opt, &obs.attribution(), &obs.drift());
+  }
+  const std::string shard = cli.get("shard", "");
+  if (!shard.empty()) {
+    const auto spec = resilience::ShardSpec::parse(shard);
+    keys = spec.slice(keys);
+    return resilience::shard_sweep_id(id, spec);
+  }
+  return id;
 }
 
 /// Wraps a bench's main body: dxbsp::Error maps to its structured exit

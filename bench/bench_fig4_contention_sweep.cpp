@@ -36,11 +36,16 @@ int main(int argc, char** argv) {
     std::vector<std::uint64_t> keys;
     for (std::uint64_t k = 1; k <= n; k *= 4) keys.push_back(k);
 
-    resilience::SweepRunner runner(
+    svc::WorkerContext worker;
+    auto opt = bench::sweep_options_from_cli(cli);
+    const std::uint64_t id = bench::apply_sharding(
+        worker, cli,
         resilience::sweep_id("fig4_contention",
                              {n, seed, cfg.processors, cfg.bank_delay,
                               cfg.expansion}),
-        bench::sweep_options_from_cli(cli));
+        keys, opt, obs);
+    resilience::SweepRunner runner(id, std::move(opt));
+    worker.begin(runner.token());
     const auto report = runner.run(keys, [&](std::uint64_t k) {
       const auto addrs = workload::k_hot(n, k, 1ULL << 30, seed + k);
       sim::Machine machine(cfg);
@@ -55,6 +60,8 @@ int main(int argc, char** argv) {
       rec.aux[1] = pred.bsp;
       return rec;
     });
+    if (worker.active())
+      return obs.finish(worker.finish(report, obs.info()));
     if (!report.ok()) return obs.finish(bench::finish_sweep(report));
 
     stats::Comparison cmp("contention k", "measured vs predicted (cycles)");

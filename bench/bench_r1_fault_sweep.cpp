@@ -104,9 +104,14 @@ int main(int argc, char** argv) {
     std::vector<std::uint64_t> keys(grid.size());
     for (std::size_t i = 0; i < grid.size(); ++i) keys[i] = i;
 
-    resilience::SweepRunner runner(
+    svc::WorkerContext worker;
+    auto opt = bench::sweep_options_from_cli(cli);
+    const std::uint64_t id = bench::apply_sharding(
+        worker, cli,
         resilience::sweep_id("r1_fault_sweep", {n, seed, grid.size()}),
-        bench::sweep_options_from_cli(cli));
+        keys, opt, obs);
+    resilience::SweepRunner runner(id, std::move(opt));
+    worker.begin(runner.token());
     const auto report = runner.run(keys, [&](std::uint64_t key) {
       const Scenario& s = grid[key];
       const auto addrs = workload::uniform_random(n, 1ULL << 30, seed);
@@ -125,6 +130,8 @@ int main(int argc, char** argv) {
           stats::predict_degraded(cfg, *plan, n).cycles);
       return rec;
     });
+    if (worker.active())
+      return obs.finish(worker.finish(report, obs.info()));
     if (!report.ok()) return obs.finish(bench::finish_sweep(report));
 
     const std::vector<std::string> first_col = {"slow banks", "dead banks",
@@ -133,7 +140,7 @@ int main(int argc, char** argv) {
       util::Table t({first_col[table], "sim cycles", "predicted", "pred/sim",
                      "retries", "nacks", "failovers", "degr cycles",
                      "status"});
-      for (std::size_t i = 0; i < grid.size(); ++i) {
+      for (const std::uint64_t i : keys) {
         if (grid[i].table != table) continue;
         const auto& rec = runner.record(i);
         const auto& bulk = rec.result;

@@ -214,4 +214,55 @@ if current < floor:
 EOF
 echo "perf smoke passed"
 
+echo "== coordinator smoke (fleet mode) =="
+COORD=./build-ci/tools/sweep_coordinator
+
+# Healthy fleet: a 4-worker sharded fig4 sweep's merged report must be
+# byte-identical to the serial run's (report1.json from the
+# observability smoke, same workload flags).
+"$COORD" --quiet --workers=4 --shards=4 --dir="$SMOKE/fleet" \
+  --report="$SMOKE/fleet.json" \
+  -- "$OBS_BENCH" "${OBS_ARGS[@]}" > "$SMOKE/fleet.txt"
+grep -q "FLEET completed" "$SMOKE/fleet.txt"
+cmp "$SMOKE/report1.json" "$SMOKE/fleet.json"
+echo "healthy 4-worker fleet report is byte-identical to the serial run"
+
+# Crash recovery: SIGKILL one worker mid-shard (deterministically, via
+# the chaos hook) and require the same bytes again.
+"$COORD" --quiet --workers=4 --shards=4 --dir="$SMOKE/fleet-kill" \
+  --report="$SMOKE/fleet-kill.json" --backoff=0.05 \
+  --chaos='shard=1,attempt=0,phase=point:1,action=kill' \
+  -- "$OBS_BENCH" "${OBS_ARGS[@]}" > "$SMOKE/fleet-kill.txt"
+grep -q "deaths=1" "$SMOKE/fleet-kill.txt"
+cmp "$SMOKE/report1.json" "$SMOKE/fleet-kill.json"
+echo "fleet survives a mid-shard SIGKILL with byte-identical output"
+
+# Degraded path: a shard that dies at every lease grant must be
+# quarantined (exit 69, poisoned range in the report), never hung.
+RC=0
+"$COORD" --quiet --workers=2 --shards=4 --dir="$SMOKE/fleet-poison" \
+  --report="$SMOKE/fleet-poison.json" --max-strikes=2 --backoff=0.05 \
+  --chaos='shard=2,phase=lease,action=kill' \
+  -- "$OBS_BENCH" "${OBS_ARGS[@]}" > "$SMOKE/fleet-poison.txt" || RC=$?
+if [[ "$RC" != 69 ]]; then
+  echo "coordinator smoke: expected exit 69 (degraded), got $RC" >&2
+  exit 1
+fi
+grep -q "POISONED shard=2/4" "$SMOKE/fleet-poison.txt"
+python3 -m json.tool "$SMOKE/fleet-poison.json" > /dev/null
+grep -q '"degraded"' "$SMOKE/fleet-poison.json"
+echo "permanently-failing shard degrades the fleet (exit 69) with a repro"
+
+# Scaling model check (docs/resilience.md §fleet mode): fleet wall
+# clock vs the BSF master-worker prediction, generous CI band.
+./build-ci/bench/bench_svc_scaling --n=131072 --points=8 --shards=4 \
+  --dir="$SMOKE/svc-scaling" --band=1.0 > /dev/null
+echo "coordinator scaling stays within the master-worker model band"
+
+# The multi-process chaos harness under the sanitizers: protocol
+# parsing, partial-aggregate banking and merge run asan/ubsan-clean.
+./build-ci-san/tests/svc_chaos_test > /dev/null
+./build-ci-san/tests/svc_test > /dev/null
+echo "chaos harness is sanitizer-clean"
+
 echo "ci.sh: all green"

@@ -276,6 +276,20 @@ class AttributionAggregate {
     return snap_;
   }
 
+  /// Folds another aggregate's snapshot in (all fields commutative:
+  /// sums, sketch merge, max). Merging every shard's snapshot of a
+  /// partitioned sweep reproduces the single-process aggregate exactly —
+  /// the path fleet coordinators use to assemble a merged report.
+  void merge(const Snapshot& o) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snap_.supersteps += o.supersteps;
+    snap_.cycles += o.cycles;
+    snap_.terms.add(o.terms);
+    snap_.sketch.merge(o.sketch);
+    snap_.max_location_contention =
+        std::max(snap_.max_location_contention, o.max_location_contention);
+  }
+
  private:
   mutable std::mutex mu_;
   Snapshot snap_;

@@ -5,6 +5,7 @@
 #include "core/cost.hpp"
 #include "core/params.hpp"
 #include "fault/fault_plan.hpp"
+#include "resilience/error.hpp"
 #include "stats/degraded.hpp"
 
 namespace dxbsp::obs {
@@ -72,6 +73,26 @@ double DriftDetector::observe(const DriftSample& sample) {
     w.plan_fingerprint = sample.plan_fingerprint;
   }
   return predicted;
+}
+
+void DriftDetector::merge(const Snapshot& o) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (o.band != snap_.band)
+    raise(ErrorCode::kConfig,
+          "DriftDetector::merge: band mismatch (" + std::to_string(o.band) +
+              " vs " + std::to_string(snap_.band) + ")");
+  snap_.supersteps += o.supersteps;
+  snap_.out_of_band += o.out_of_band;
+  snap_.max_abs_rel_err = std::max(snap_.max_abs_rel_err, o.max_abs_rel_err);
+  if (!o.worst.valid) return;
+  DriftWorst& w = snap_.worst;
+  const double abs_err = std::fabs(o.worst.rel_err);
+  const bool better =
+      !w.valid || abs_err > std::fabs(w.rel_err) ||
+      (abs_err == std::fabs(w.rel_err) &&
+       (o.worst.track < w.track ||
+        (o.worst.track == w.track && o.worst.step < w.step)));
+  if (better) w = o.worst;
 }
 
 }  // namespace dxbsp::obs

@@ -100,6 +100,15 @@ class DriftDetector {
     return snap_;
   }
 
+  /// Folds another detector's snapshot in: counts add, max_abs_rel_err
+  /// maxes, and the worst-offender latch applies the same total order as
+  /// observe() (strictly larger |rel_err| wins, exact ties to the lower
+  /// (track, step)), so merging per-shard snapshots of disjoint sample
+  /// sets — in any order — latches the same worst offender a single
+  /// detector scoring every sample would have. Bands must match; a
+  /// mismatch is Error{kConfig} (shards of one sweep share the band).
+  void merge(const Snapshot& o);
+
   [[nodiscard]] const DriftConfig& config() const noexcept { return cfg_; }
 
  private:

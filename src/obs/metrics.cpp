@@ -31,6 +31,16 @@ void Histogram::observe(std::uint64_t x) noexcept {
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
 }
 
+void Histogram::add_counts(std::span<const std::uint64_t> counts) {
+  if (counts.size() != buckets_.size())
+    raise(ErrorCode::kConfig,
+          "Histogram::add_counts: " + std::to_string(counts.size()) +
+              " buckets, this histogram has " +
+              std::to_string(buckets_.size()));
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i].fetch_add(counts[i], std::memory_order_relaxed);
+}
+
 std::vector<std::uint64_t> Histogram::counts() const {
   std::vector<std::uint64_t> out(buckets_.size());
   for (std::size_t i = 0; i < buckets_.size(); ++i)
@@ -137,6 +147,20 @@ std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot(
     out.push_back(std::move(e));
   }
   return out;
+}
+
+void MetricsRegistry::merge(const Entry& e) {
+  switch (e.kind) {
+    case MetricKind::kCounter:
+      counter(e.name, e.stability).add(e.value);
+      break;
+    case MetricKind::kGauge:
+      gauge(e.name, e.stability).observe(e.value);
+      break;
+    case MetricKind::kHistogram:
+      histogram(e.name, e.bounds, e.stability).add_counts(e.bucket_counts);
+      break;
+  }
 }
 
 void MetricsRegistry::write_json(std::ostream& os, bool include_host) const {

@@ -83,6 +83,10 @@ class Histogram {
   explicit Histogram(std::vector<std::uint64_t> bounds);
 
   void observe(std::uint64_t x) noexcept;
+  /// Per-bucket merge: adds another histogram's counts (same bounds;
+  /// counts.size() must be bounds().size() + 1). The commutative merge
+  /// path fleet coordinators use to fold per-shard snapshots together.
+  void add_counts(std::span<const std::uint64_t> counts);
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const noexcept {
     return bounds_;
   }
@@ -133,6 +137,15 @@ class MetricsRegistry {
   /// Snapshot sorted by name. Host-stability metrics are included only
   /// when `include_host` (run reports pass false).
   [[nodiscard]] std::vector<Entry> snapshot(bool include_host) const;
+
+  /// Merges one snapshot entry into this registry with the metric's own
+  /// commutative update: counter add, gauge max, histogram per-bucket
+  /// add. Registers the metric (kind, stability, bounds) when absent;
+  /// throws Error{kConfig} on a kind or bounds mismatch — exactly the
+  /// existing re-registration rules. Folding every shard's snapshot()
+  /// into a fresh registry therefore reproduces the values a single
+  /// process running all shards would have published.
+  void merge(const Entry& e);
 
   /// Full JSON / CSV dumps (used by --metrics=PATH; include host metrics
   /// so they see everything).

@@ -50,7 +50,8 @@ std::vector<TimelineRow> timeline_rows(const Tracer& tracer) {
 void write_report_json(std::ostream& os, const RunInfo& info,
                        const MetricsRegistry& metrics, const Tracer* tracer,
                        const AttributionAggregate* attribution,
-                       const DriftDetector* drift) {
+                       const DriftDetector* drift,
+                       const DegradedInfo* degraded) {
   JsonWriter w(os);
   w.begin_object();
   w.member("report_version", kReportVersion);
@@ -144,6 +145,27 @@ void write_report_json(std::ostream& os, const RunInfo& info,
     w.end_object();
   }
 
+  if (degraded != nullptr) {
+    w.key("degraded").begin_object();
+    w.member("schema_version", kDegradedSchemaVersion);
+    w.member("poisoned_shards", degraded->poisoned_shards);
+    w.member("retries", degraded->retries);
+    w.member("worker_deaths", degraded->worker_deaths);
+    w.key("shards").begin_array();
+    for (const DegradedInfo::Shard& s : degraded->shards) {
+      w.begin_object();
+      w.member("shard", s.shard);
+      w.member("strikes", s.strikes);
+      w.member("completed", s.completed);
+      w.member("total", s.total);
+      w.member("last_error", s.last_error);
+      w.member("repro", s.repro);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
   if (tracer != nullptr) {
     w.key("timeline").begin_array();
     for (const TimelineRow& row : timeline_rows(*tracer)) {
@@ -167,7 +189,8 @@ void write_report_json(std::ostream& os, const RunInfo& info,
 void write_report_csv(std::ostream& os, const RunInfo& info,
                       const MetricsRegistry& metrics, const Tracer* tracer,
                       const AttributionAggregate* attribution,
-                      const DriftDetector* drift) {
+                      const DriftDetector* drift,
+                      const DegradedInfo* degraded) {
   os << "section,key,value\n";
   os << "run,report_version," << kReportVersion << '\n';
   os << "run,git," << csv_escape(build_git_describe()) << '\n';
@@ -213,6 +236,22 @@ void write_report_csv(std::ostream& os, const RunInfo& info,
       os << "drift,worst.mapping," << csv_escape(d.worst.mapping) << '\n';
       os << "drift,worst.fault_plan_fingerprint," << d.worst.plan_fingerprint
          << '\n';
+    }
+  }
+  if (degraded != nullptr) {
+    os << "degraded,schema_version," << kDegradedSchemaVersion << '\n';
+    os << "degraded,poisoned_shards," << degraded->poisoned_shards << '\n';
+    os << "degraded,retries," << degraded->retries << '\n';
+    os << "degraded,worker_deaths," << degraded->worker_deaths << '\n';
+    for (const DegradedInfo::Shard& s : degraded->shards) {
+      os << "degraded,shard_" << csv_escape(s.shard) << ".strikes,"
+         << s.strikes << '\n';
+      os << "degraded,shard_" << csv_escape(s.shard) << ".completed,"
+         << s.completed << '\n';
+      os << "degraded,shard_" << csv_escape(s.shard) << ".total," << s.total
+         << '\n';
+      os << "degraded,shard_" << csv_escape(s.shard) << ".last_error,"
+         << csv_escape(s.last_error) << '\n';
     }
   }
   if (tracer != nullptr) {

@@ -25,10 +25,14 @@
 namespace dxbsp::obs {
 
 /// Version 2 added the "attribution" and "drift" sections (each carrying
-/// its own schema_version so consumers can evolve per-section).
+/// its own schema_version so consumers can evolve per-section). The
+/// "degraded" section (fleet-mode partial results) carries its own
+/// schema version too and only appears when a sweep actually degraded,
+/// so healthy merged reports stay byte-identical to serial ones.
 inline constexpr std::uint64_t kReportVersion = 2;
 inline constexpr std::uint64_t kAttributionSchemaVersion = 1;
 inline constexpr std::uint64_t kDriftSchemaVersion = 1;
+inline constexpr std::uint64_t kDegradedSchemaVersion = 1;
 
 /// Build identifier baked in at configure time ("unknown" outside git).
 [[nodiscard]] const char* build_git_describe() noexcept;
@@ -44,13 +48,34 @@ struct RunInfo {
   std::vector<std::pair<std::string, std::string>> flags;
 };
 
-/// Writes the versioned JSON report. `tracer`, `attribution` and `drift`
-/// may each be null (their sections are omitted); host-stability metrics
-/// are always excluded.
+/// Partial-result accounting for a sharded sweep that could not complete
+/// every shard (docs/resilience.md §fleet mode). Only passed to the
+/// report writers when at least one shard was quarantined: retry and
+/// death counts are host-dependent, so a healthy fleet run omits the
+/// section entirely and its report stays byte-identical to a serial run.
+struct DegradedInfo {
+  std::uint64_t poisoned_shards = 0;
+  std::uint64_t retries = 0;        ///< lease re-grants across all shards
+  std::uint64_t worker_deaths = 0;  ///< abnormal worker terminations
+  struct Shard {
+    std::string shard;       ///< "index/count"
+    std::uint64_t strikes = 0;
+    std::uint64_t completed = 0;  ///< last observed progress
+    std::uint64_t total = 0;      ///< points in the shard (0 = never seen)
+    std::string last_error;  ///< last failure observed for the shard
+    std::string repro;       ///< standalone command reproducing the range
+  };
+  std::vector<Shard> shards;  ///< the quarantined shards, by index
+};
+
+/// Writes the versioned JSON report. `tracer`, `attribution`, `drift`
+/// and `degraded` may each be null (their sections are omitted);
+/// host-stability metrics are always excluded.
 void write_report_json(std::ostream& os, const RunInfo& info,
                        const MetricsRegistry& metrics, const Tracer* tracer,
                        const AttributionAggregate* attribution = nullptr,
-                       const DriftDetector* drift = nullptr);
+                       const DriftDetector* drift = nullptr,
+                       const DegradedInfo* degraded = nullptr);
 
 /// CSV twin: `section,key,value` rows with the same content and the same
 /// determinism contract. Fields are RFC 4180-escaped (csv_escape), so
@@ -58,7 +83,8 @@ void write_report_json(std::ostream& os, const RunInfo& info,
 void write_report_csv(std::ostream& os, const RunInfo& info,
                       const MetricsRegistry& metrics, const Tracer* tracer,
                       const AttributionAggregate* attribution = nullptr,
-                      const DriftDetector* drift = nullptr);
+                      const DriftDetector* drift = nullptr,
+                      const DegradedInfo* degraded = nullptr);
 
 /// Opens `path` for writing and runs `fn(stream)`; any failure is
 /// Error{kIo} naming the path.

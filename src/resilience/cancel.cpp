@@ -71,7 +71,11 @@ Watchdog::Watchdog(CancelToken& token, std::chrono::milliseconds stall_after)
 }
 
 Watchdog::~Watchdog() {
-  stop_.store(true, std::memory_order_release);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
   thread_.join();
 }
 
@@ -79,8 +83,13 @@ void Watchdog::loop(std::chrono::milliseconds stall_after) {
   const auto poll = std::max(std::chrono::milliseconds(10), stall_after / 4);
   std::uint64_t last = token_.heartbeats();
   auto last_change = std::chrono::steady_clock::now();
-  while (!stop_.load(std::memory_order_acquire)) {
-    std::this_thread::sleep_for(poll);
+  for (;;) {
+    {
+      // Interruptible sleep: the destructor must not have to wait out a
+      // poll interval (a fleet coordinator tears one down per lease).
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, poll, [this] { return stop_; })) return;
+    }
     if (token_.expired()) return;  // someone else already stopped the run
     const std::uint64_t now_beats = token_.heartbeats();
     const auto now = std::chrono::steady_clock::now();

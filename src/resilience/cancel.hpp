@@ -17,7 +17,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <thread>
 
 #include "resilience/error.hpp"
@@ -88,6 +90,19 @@ class CancelToken {
     return static_cast<CancelCause>(state_.load(std::memory_order_acquire));
   }
 
+  /// Re-arms a tripped token: clears the latched cause, the heartbeat
+  /// counter and any attached deadline, returning the token to its
+  /// freshly-constructed state. For reuse across *sequential* runs (a
+  /// worker loop calling SweepRunner::run repeatedly); must not be
+  /// called while any loop, Watchdog or signal handler can still observe
+  /// the token — those would race the un-latch and see a phantom reset.
+  void reset() noexcept {
+    state_.store(static_cast<int>(CancelCause::kNone),
+                 std::memory_order_release);
+    progress_.store(0, std::memory_order_relaxed);
+    deadline_ = Deadline{};
+  }
+
   /// Throws Error{kInterrupted} when expired; `where` names the loop.
   void raise_if_expired(const char* where) const {
     if (expired())
@@ -142,7 +157,9 @@ class Watchdog {
   void loop(std::chrono::milliseconds stall_after);
 
   CancelToken& token_;
-  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
   std::thread thread_;
 };
 

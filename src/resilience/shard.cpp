@@ -1,0 +1,80 @@
+#include "resilience/shard.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "resilience/error.hpp"
+#include "util/rng.hpp"
+
+namespace dxbsp::resilience {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+    raise(ErrorCode::kParse, "ShardSpec: malformed " + what + " '" + text +
+                                 "' (want \"index/count\", e.g. \"2/8\")");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size())
+    raise(ErrorCode::kParse, "ShardSpec: " + what + " '" + text +
+                                 "' out of range");
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+ShardSpec ShardSpec::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos)
+    raise(ErrorCode::kParse, "ShardSpec: malformed '" + text +
+                                 "' (want \"index/count\", e.g. \"2/8\")");
+  ShardSpec spec;
+  spec.index = parse_u64(text.substr(0, slash), "index");
+  spec.count = parse_u64(text.substr(slash + 1), "count");
+  if (spec.count == 0)
+    raise(ErrorCode::kConfig, "ShardSpec: count must be positive");
+  if (spec.index >= spec.count)
+    raise(ErrorCode::kConfig, "ShardSpec: index " +
+                                  std::to_string(spec.index) +
+                                  " out of range for count " +
+                                  std::to_string(spec.count));
+  return spec;
+}
+
+std::string ShardSpec::str() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+std::pair<std::size_t, std::size_t> ShardSpec::range(std::size_t n) const {
+  if (count == 0 || index >= count)
+    raise(ErrorCode::kConfig, "ShardSpec::range: invalid shard " + str());
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;
+  // The first `extra` shards hold base+1 points each.
+  const std::size_t begin =
+      static_cast<std::size_t>(index) * base +
+      std::min<std::size_t>(static_cast<std::size_t>(index), extra);
+  const std::size_t len = base + (static_cast<std::size_t>(index) < extra);
+  return {begin, begin + len};
+}
+
+std::vector<std::uint64_t> ShardSpec::slice(
+    std::span<const std::uint64_t> keys) const {
+  const auto [begin, end] = range(keys.size());
+  return {keys.begin() + static_cast<std::ptrdiff_t>(begin),
+          keys.begin() + static_cast<std::ptrdiff_t>(end)};
+}
+
+std::uint64_t shard_sweep_id(std::uint64_t base_id, const ShardSpec& shard) {
+  if (!shard.sharded()) return base_id;
+  // Same chained-mix64 construction as sweep_id(): the shard identity is
+  // just two more grid-shaping parameters.
+  std::uint64_t h = util::mix64(base_id ^ 0x7368617264'3031ULL);  // "shard01"
+  h = util::mix64(h ^ shard.index);
+  h = util::mix64(h ^ shard.count);
+  return h;
+}
+
+}  // namespace dxbsp::resilience

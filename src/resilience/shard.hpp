@@ -1,0 +1,59 @@
+#pragma once
+// Shard-range sweeps: deterministic partitioning of a sweep grid into
+// contiguous key slices, plus shard-scoped sweep fingerprints so one
+// shard's checkpoint can never resume another's (docs/resilience.md
+// §fleet mode).
+//
+// A ShardSpec is "index/count" — shard 2/8 owns the third of eight
+// contiguous slices of the key vector, balanced so slice sizes differ by
+// at most one. Slicing is a pure function of (keys, spec): every worker
+// of a fleet derives its own slice from the same grid, so the union over
+// shards is exactly the serial grid and no keys are shared.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dxbsp::resilience {
+
+/// One shard of a sweep grid: slice `index` of `count` contiguous
+/// slices. The default (0/1) is the whole grid.
+struct ShardSpec {
+  std::uint64_t index = 0;
+  std::uint64_t count = 1;
+
+  /// True when this spec actually restricts the grid.
+  [[nodiscard]] bool sharded() const noexcept { return count > 1; }
+
+  /// Parses "index/count" (e.g. "2/8"). Throws Error{kParse} on
+  /// malformed input and Error{kConfig} when index >= count or count
+  /// is 0.
+  [[nodiscard]] static ShardSpec parse(const std::string& text);
+
+  /// "index/count", the inverse of parse().
+  [[nodiscard]] std::string str() const;
+
+  /// Half-open slot range [begin, end) of this shard in an n-point
+  /// grid. Balanced: the first (n % count) shards get one extra point.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> range(
+      std::size_t n) const;
+
+  /// This shard's contiguous slice of `keys`.
+  [[nodiscard]] std::vector<std::uint64_t> slice(
+      std::span<const std::uint64_t> keys) const;
+
+  friend bool operator==(const ShardSpec&, const ShardSpec&) = default;
+};
+
+/// Shard-scoped sweep fingerprint: mixes the shard identity into the
+/// base grid id, so a foreign shard's checkpoint (same grid, different
+/// slice) is refused by SweepRunner's resume check exactly like a
+/// different grid's would be. The unsharded spec (0/1) maps to the base
+/// id unchanged — a whole-grid checkpoint stays resumable by a
+/// whole-grid run.
+[[nodiscard]] std::uint64_t shard_sweep_id(std::uint64_t base_id,
+                                           const ShardSpec& shard);
+
+}  // namespace dxbsp::resilience

@@ -3,10 +3,30 @@
 #include <optional>
 #include <unordered_map>
 
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace dxbsp::resilience {
+
+const char* sweep_status_name(SweepStatus status) noexcept {
+  switch (status) {
+    case SweepStatus::kCompleted: return "completed";
+    case SweepStatus::kInterrupted: return "interrupted";
+  }
+  return "unknown";
+}
+
+void SweepReport::write_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.member("status", sweep_status_name(status));
+  w.member("cause", cancel_cause_name(cause));
+  w.member("total", static_cast<std::uint64_t>(total));
+  w.member("completed", static_cast<std::uint64_t>(completed));
+  w.member("resumed", static_cast<std::uint64_t>(resumed));
+  w.member("checkpoint", checkpoint);
+  w.end_object();
+}
 
 std::uint64_t sweep_id(const std::string& bench,
                        std::initializer_list<std::uint64_t> params) {
@@ -66,6 +86,12 @@ void SweepRunner::flush_completed() {
 SweepReport SweepRunner::run(
     std::span<const std::uint64_t> keys,
     const std::function<SnapshotRecord(std::uint64_t)>& fn) {
+  // Re-arm the token: a previous run's trip (deadline, watchdog stall,
+  // signal) must not leak into this one, or a worker loop could never
+  // run a second sweep after its first was interrupted. Nothing else
+  // observes the token between runs — the per-run Deadline, Watchdog and
+  // signal routing below are all scoped to run().
+  token_.reset();
   keys_.assign(keys.begin(), keys.end());
   records_.assign(keys_.size(), SnapshotRecord{});
   done_.clear();
@@ -129,6 +155,7 @@ SweepReport SweepRunner::run(
   // their key, so a point abandoned mid-simulation (token tripped inside
   // Machine::run) is simply recomputed — identically — on resume.
   std::atomic<std::uint64_t> since_flush{0};
+  std::atomic<std::uint64_t> done_count{report.resumed};
   auto run_point = [&](std::size_t pi) {
     const std::size_t i = pending[pi];
     records_[i] = fn(keys_[i]);
@@ -141,6 +168,12 @@ SweepReport SweepRunner::run(
       since_flush.store(0, std::memory_order_release);
       flush_completed();
     }
+    // After the flush, so a progress observer that persists state sees
+    // the checkpoint at least as far along as itself.
+    if (options_.on_progress)
+      options_.on_progress(done_count.fetch_add(1, std::memory_order_acq_rel) +
+                               1,
+                           keys_.size());
   };
 
   try {

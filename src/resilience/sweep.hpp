@@ -32,6 +32,10 @@
 #include "resilience/snapshot.hpp"
 #include "util/thread_pool.hpp"
 
+namespace dxbsp::obs {
+class JsonWriter;
+}
+
 namespace dxbsp::resilience {
 
 /// Fingerprint of a sweep: bench id plus every parameter that shapes the
@@ -48,9 +52,17 @@ struct SweepOptions {
   std::uint64_t checkpoint_every = 1;  ///< flush cadence (completed points)
   std::uint64_t threads = 0;    ///< 0/1 = serial; else pool of this size
   bool handle_signals = true;   ///< route SIGINT/SIGTERM to the token
+  /// Called after every completed point (and after its checkpoint flush,
+  /// when checkpointing) with (points done so far, grid total). Fleet
+  /// workers hang heartbeats and partial-result publication off this;
+  /// it runs on whichever thread finished the point.
+  std::function<void(std::uint64_t, std::uint64_t)> on_progress;
 };
 
 enum class SweepStatus { kCompleted, kInterrupted };
+
+/// Stable lower-case name ("completed" / "interrupted").
+[[nodiscard]] const char* sweep_status_name(SweepStatus status) noexcept;
 
 /// What happened; the structured "Interrupted outcome" of docs/resilience.md.
 struct SweepReport {
@@ -64,6 +76,12 @@ struct SweepReport {
   [[nodiscard]] bool ok() const noexcept {
     return status == SweepStatus::kCompleted;
   }
+
+  /// Machine-readable emission: one JSON object with status, cause and
+  /// the progress counters, written through the deterministic JsonWriter
+  /// (so coordinators parse worker outcomes instead of scraping the
+  /// human-formatted INTERRUPTED line).
+  void write_json(obs::JsonWriter& w) const;
 };
 
 class SweepRunner {
@@ -73,7 +91,10 @@ class SweepRunner {
   /// Runs fn(key) for every key not already in the resume snapshot.
   /// Keys must be unique. fn must be a pure function of its key and is
   /// invoked concurrently when threads > 1. Returns the report; after a
-  /// kCompleted report every key has a record().
+  /// kCompleted report every key has a record(). The runner's token is
+  /// re-armed (reset) at entry, so a runner whose previous run tripped
+  /// (deadline, watchdog, cancel) can simply be run again — cancellation
+  /// sources only count from the moment run() starts.
   SweepReport run(std::span<const std::uint64_t> keys,
                   const std::function<SnapshotRecord(std::uint64_t)>& fn);
 

@@ -1,0 +1,132 @@
+#include "svc/chaos.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+
+#include "resilience/error.hpp"
+
+namespace dxbsp::svc {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || errno != 0 || end != text.c_str() + text.size())
+    raise(ErrorCode::kParse, "chaos: bad " + what + " '" + text + "'");
+  return v;
+}
+
+}  // namespace
+
+ChaosPlan ChaosPlan::parse(const std::string& spec) {
+  ChaosPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& group : split(spec, ';')) {
+    if (group.empty()) continue;
+    ChaosEvent ev;
+    bool have_shard = false;
+    bool have_phase = false;
+    bool have_action = false;
+    for (const std::string& field : split(group, ',')) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos)
+        raise(ErrorCode::kParse,
+              "chaos: field '" + field + "' is not key=value");
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "shard") {
+        ev.shard = parse_u64(value, "shard");
+        have_shard = true;
+      } else if (key == "attempt") {
+        ev.attempt = parse_u64(value, "attempt");
+      } else if (key == "phase") {
+        have_phase = true;
+        if (value == "lease") {
+          ev.phase = ChaosPhase::kLease;
+        } else if (value == "result") {
+          ev.phase = ChaosPhase::kResult;
+        } else if (value.rfind("point:", 0) == 0) {
+          ev.phase = ChaosPhase::kPoint;
+          ev.point = parse_u64(value.substr(6), "point index");
+          if (ev.point == 0)
+            raise(ErrorCode::kParse, "chaos: point index must be >= 1");
+        } else {
+          raise(ErrorCode::kParse, "chaos: unknown phase '" + value + "'");
+        }
+      } else if (key == "action") {
+        have_action = true;
+        if (value == "kill") {
+          ev.action = ChaosAction::kKill;
+        } else if (value == "hang") {
+          ev.action = ChaosAction::kHang;
+        } else if (value.rfind("exit:", 0) == 0) {
+          ev.action = ChaosAction::kExit;
+          ev.exit_code = static_cast<int>(parse_u64(value.substr(5),
+                                                    "exit code"));
+        } else {
+          raise(ErrorCode::kParse, "chaos: unknown action '" + value + "'");
+        }
+      } else {
+        raise(ErrorCode::kParse, "chaos: unknown field '" + key + "'");
+      }
+    }
+    if (!have_shard || !have_phase || !have_action)
+      raise(ErrorCode::kParse,
+            "chaos: event '" + group + "' needs shard=, phase= and action=");
+    plan.events_.push_back(ev);
+  }
+  return plan;
+}
+
+const ChaosEvent* ChaosPlan::match(std::uint64_t shard, std::uint64_t attempt,
+                                   ChaosPhase phase,
+                                   std::uint64_t point) const noexcept {
+  for (const ChaosEvent& ev : events_) {
+    if (ev.shard != shard) continue;
+    if (ev.attempt && *ev.attempt != attempt) continue;
+    if (ev.phase != phase) continue;
+    if (phase == ChaosPhase::kPoint && ev.point != point) continue;
+    return &ev;
+  }
+  return nullptr;
+}
+
+void chaos_execute(const ChaosEvent& event) {
+  switch (event.action) {
+    case ChaosAction::kKill:
+      std::raise(SIGKILL);
+      break;
+    case ChaosAction::kExit:
+      ::_exit(event.exit_code);
+    case ChaosAction::kHang:
+      break;
+  }
+  // kHang (and the unreachable fallthrough after a failed raise): stop
+  // making progress — no heartbeats, no exit — until the coordinator's
+  // stall detection revokes the lease and kills us.
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+}
+
+}  // namespace dxbsp::svc

@@ -1,0 +1,73 @@
+#pragma once
+// Deterministic fault injection for the sweep-coordinator protocol: a
+// ChaosPlan names exact points in a worker's lifetime — which shard,
+// which lease attempt, which protocol phase — and what the worker does
+// to itself when it reaches them. Workers execute their own chaos (the
+// coordinator just forwards the spec inside the lease), so a "kill at
+// point 2 of shard 1's first attempt" lands at exactly the same protocol
+// state on every run: the property that lets tests assert byte-identical
+// merged output after a crash, not just "it eventually finished".
+//
+// Spec grammar (one event per ';'-separated group, fields ','-separated):
+//   shard=I         which shard the event applies to (required)
+//   attempt=A       which lease attempt (default: every attempt —
+//                   a permanently-failing shard, the quarantine path)
+//   phase=lease | point:K | result
+//                   where in the protocol: right after the lease is
+//                   validated, after the K-th point of this attempt
+//                   completes (checkpoint + partials on disk), or just
+//                   before the result message is written
+//   action=kill | exit:N | hang
+//                   SIGKILL yourself, exit with code N, or stop making
+//                   progress until the coordinator's heartbeat timeout
+//                   revokes the lease
+// Example: "shard=1,attempt=0,phase=point:2,action=kill;shard=3,phase=lease,action=exit:70"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dxbsp::svc {
+
+enum class ChaosPhase : std::uint8_t { kLease, kPoint, kResult };
+enum class ChaosAction : std::uint8_t { kKill, kExit, kHang };
+
+struct ChaosEvent {
+  std::uint64_t shard = 0;
+  std::optional<std::uint64_t> attempt;  ///< nullopt = every attempt
+  ChaosPhase phase = ChaosPhase::kLease;
+  std::uint64_t point = 0;  ///< for kPoint: fire after this many points
+  ChaosAction action = ChaosAction::kKill;
+  int exit_code = 70;  ///< for kExit
+};
+
+class ChaosPlan {
+ public:
+  ChaosPlan() = default;
+
+  /// Parses the spec grammar above; empty spec = empty plan. Throws
+  /// Error{kParse} on malformed input.
+  [[nodiscard]] static ChaosPlan parse(const std::string& spec);
+
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] const std::vector<ChaosEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// The first event matching (shard, attempt, phase, point), or null.
+  [[nodiscard]] const ChaosEvent* match(std::uint64_t shard,
+                                        std::uint64_t attempt,
+                                        ChaosPhase phase,
+                                        std::uint64_t point = 0) const noexcept;
+
+ private:
+  std::vector<ChaosEvent> events_;
+};
+
+/// Executes the event's action in this process: kill raises SIGKILL,
+/// exit calls _exit, hang sleeps without heartbeating until killed.
+/// Never returns.
+[[noreturn]] void chaos_execute(const ChaosEvent& event);
+
+}  // namespace dxbsp::svc

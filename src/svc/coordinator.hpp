@@ -1,0 +1,133 @@
+#pragma once
+// Fault-tolerant multi-process sweep coordinator (docs/resilience.md
+// §fleet mode).
+//
+// The coordinator partitions a sweep grid into S shards and runs them
+// across W worker subprocesses — each worker a normal bench binary
+// started with --svc-lease=FILE (svc/worker.hpp). Every shard is
+// governed by a *lease*: the coordinator grants it, watches the
+// worker's heartbeat file, and revokes it — SIGKILL plus requeue — when
+// the worker dies, wedges (no heartbeat progress inside the stall
+// window, detected by the same resilience::Watchdog the simulator uses)
+// or blows its per-attempt deadline.
+//
+// Partial results survive revocation: workers republish cumulative
+// aggregates after every completed point (checkpoint first, aggregates
+// second), so on revocation the coordinator banks whatever consistent
+// prefix the attempt covered and re-leases only the remainder. A shard
+// whose attempts repeatedly fail *without banking any new progress*
+// accumulates strikes, with bounded exponential backoff between grants;
+// at max_strikes it is quarantined as poisoned, with the exact repro
+// command for its key range recorded. Attempts that do make progress
+// clear the strike count — a shard that keeps moving is never poisoned,
+// and a shard that never moves can never hang the fleet.
+//
+// When every shard is done the per-shard aggregates are folded — in
+// deterministic (shard, attempt) order, through the commutative
+// MetricsRegistry / AttributionAggregate / DriftDetector merge paths —
+// into ONE schema-versioned run report. Because each point's
+// contribution is banked exactly once (see worker.hpp's truncation
+// contract), a fleet report with no poisoned shards is byte-identical
+// to the report a serial run of the same bench would write; a degraded
+// fleet adds the structured "degraded" section and exits 69 (EX_UNAVAILABLE).
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "resilience/cancel.hpp"
+#include "resilience/shard.hpp"
+#include "svc/payload.hpp"
+
+namespace dxbsp::svc {
+
+struct CoordinatorOptions {
+  /// The worker command: a bench binary plus its workload flags, exactly
+  /// as the equivalent serial run would be invoked. The coordinator
+  /// appends --svc-lease=FILE per grant.
+  std::vector<std::string> worker_argv;
+  std::string dir;  ///< working directory for protocol files (created)
+  std::uint64_t workers = 2;  ///< concurrent leases
+  std::uint64_t shards = 0;   ///< grid partitions (0 = 2 * workers)
+  double heartbeat_interval_seconds = 0.05;  ///< worker publication cadence
+  double heartbeat_timeout_seconds = 5.0;    ///< stall window per lease
+  double poll_seconds = 0.02;        ///< coordinator event-loop cadence
+  double attempt_deadline_seconds = 0;  ///< per-attempt budget (0 = none)
+  double deadline_seconds = 0;       ///< whole-fleet budget (0 = none)
+  std::uint64_t max_strikes = 3;     ///< no-progress failures before poison
+  double backoff_base_seconds = 0.1;  ///< requeue delay, doubling per strike
+  double backoff_cap_seconds = 2.0;   ///< backoff ceiling
+  std::string chaos;        ///< fault-injection spec forwarded to workers
+  std::string report_path;  ///< merged JSON run report ("" = none)
+  std::string report_csv_path;  ///< merged CSV run report ("" = none)
+  bool handle_signals = true;  ///< route SIGINT/SIGTERM to a clean stop
+  std::ostream* log = nullptr;  ///< progress lines (null = quiet)
+};
+
+/// What the fleet did. Counters cover the whole run, all shards.
+struct FleetReport {
+  enum class Status { kCompleted, kDegraded, kInterrupted };
+  Status status = Status::kCompleted;
+  std::uint64_t shards = 0;
+  std::uint64_t completed_shards = 0;
+  std::uint64_t leases_granted = 0;
+  std::uint64_t retries = 0;        ///< re-grants after a failed attempt
+  std::uint64_t worker_deaths = 0;  ///< signals + exits other than 0/75
+  std::uint64_t stalls = 0;         ///< heartbeat-timeout revocations
+  std::uint64_t points_total = 0;   ///< grid points across observed shards
+  std::uint64_t points_completed = 0;  ///< points banked across all shards
+  obs::DegradedInfo degraded;  ///< poisoned-shard record (when any)
+  /// Per-shard wall-clock of the completing attempt, by shard index
+  /// (0 when the shard never completed). Host-only; the scaling bench's
+  /// raw material.
+  std::vector<double> shard_elapsed_seconds;
+  double elapsed_seconds = 0;  ///< whole-fleet wall clock (host-only)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == Status::kCompleted;
+  }
+  /// 0 completed, 69 (EX_UNAVAILABLE) degraded, 75 (EX_TEMPFAIL)
+  /// interrupted.
+  [[nodiscard]] int exit_code() const noexcept;
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorOptions opt);
+  ~Coordinator();
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Runs the fleet to completion (or interruption) and writes the
+  /// merged report(s). Throws Error{kConfig} for unusable options and
+  /// Error{kIo} when the working directory cannot be created.
+  FleetReport run();
+
+ private:
+  struct ShardState;
+
+  void grant(ShardState& s);
+  void reap();
+  void check_stalls();
+  void revoke(ShardState& s, const std::string& why, bool already_dead);
+  void bank_partial(ShardState& s);
+  void on_result(ShardState& s);
+  void fail_attempt(ShardState& s, const std::string& why);
+  void kill_all();
+  void write_merged_reports();
+  void publish_host_metrics() const;
+  [[nodiscard]] double now() const;
+  void log_line(const std::string& line) const;
+
+  CoordinatorOptions opt_;
+  std::vector<std::unique_ptr<ShardState>> states_;
+  resilience::CancelToken stop_;  ///< fleet-level interrupt latch
+  FleetReport fleet_;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+}  // namespace dxbsp::svc

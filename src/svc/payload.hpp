@@ -1,0 +1,108 @@
+#pragma once
+// Typed payloads for the four sweep-coordinator protocol messages, with
+// JSON codecs over the framed wire format (svc/wire.hpp):
+//
+//   lease       coordinator -> worker: your shard, attempt number, how
+//               many points prior attempts already covered, where to put
+//               checkpoint/heartbeat/aggregates/result, timing knobs and
+//               the (test-only) chaos spec.
+//   heartbeat   worker -> coordinator: liveness + progress. Republished
+//               every interval; the coordinator only cares that `beat`
+//               keeps changing.
+//   aggregates  worker -> coordinator: cumulative partial results of the
+//               CURRENT attempt — the metric/attribution/drift state for
+//               every point this attempt has completed. Republished after
+//               every point, atomically, so whatever the coordinator
+//               captures after revoking a dead lease is a consistent
+//               prefix it can bank before re-leasing the remainder.
+//   result      worker -> coordinator: final outcome — the SweepReport,
+//               the run identity (for the merged report header) and the
+//               attempt's final aggregates.
+//
+// Metric entries travel with their kind and stability because the run
+// report's JSON flattens counters and gauges to bare numbers: a merge
+// must know whether to add or max, so the protocol cannot reuse the
+// report schema. Decoders return Expected (never throw): a half-dead
+// worker writing garbage must read as a strike, not a coordinator crash.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/attribution.hpp"
+#include "obs/drift.hpp"
+#include "obs/json_read.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "resilience/error.hpp"
+
+namespace dxbsp::svc {
+
+inline constexpr const char* kMsgLease = "lease";
+inline constexpr const char* kMsgHeartbeat = "heartbeat";
+inline constexpr const char* kMsgAggregates = "aggregates";
+inline constexpr const char* kMsgResult = "result";
+
+struct LeaseMsg {
+  std::string shard;  ///< "index/count" (resilience::ShardSpec::str)
+  std::uint64_t attempt = 0;
+  /// Points already covered by prior attempts' captured aggregates; the
+  /// worker resumes from exactly this checkpoint prefix (truncating any
+  /// uncaptured tail) so every point is aggregated exactly once.
+  std::uint64_t resume_points = 0;
+  std::string checkpoint_path;
+  std::string heartbeat_path;
+  std::string aggregates_path;
+  std::string result_path;
+  double deadline_seconds = 0;     ///< per-attempt budget (<= 0 = none)
+  double hb_interval_seconds = 0;  ///< heartbeat publication cadence
+  std::string chaos;               ///< forwarded ChaosPlan spec ("" = none)
+};
+
+struct HeartbeatMsg {
+  std::string shard;
+  std::uint64_t attempt = 0;
+  std::uint64_t beat = 0;       ///< monotone while the worker is alive
+  std::uint64_t completed = 0;  ///< points done (resumed + computed)
+  std::uint64_t total = 0;      ///< points in the shard slice
+};
+
+struct AggregatesMsg {
+  std::string shard;
+  std::uint64_t attempt = 0;
+  /// Points this attempt has newly covered (and whose contributions are
+  /// fully contained in the snapshots below). Excludes resumed points —
+  /// their contributions were banked from earlier attempts.
+  std::uint64_t covered = 0;
+  std::vector<obs::MetricsRegistry::Entry> metrics;
+  obs::AttributionAggregate::Snapshot attribution;
+  bool has_drift = false;
+  obs::DriftDetector::Snapshot drift;
+};
+
+struct ResultMsg {
+  std::string shard;
+  std::uint64_t attempt = 0;
+  std::string status;  ///< sweep_status_name: "completed"/"interrupted"
+  std::string cause;   ///< cancel_cause_name when interrupted
+  std::uint64_t total = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t resumed = 0;
+  double elapsed_seconds = 0;  ///< host-only; scaling bench input
+  bool has_info = false;
+  obs::RunInfo info;  ///< run identity for the merged report header
+  AggregatesMsg aggregates;
+};
+
+[[nodiscard]] std::string encode_lease(const LeaseMsg& m);
+[[nodiscard]] std::string encode_heartbeat(const HeartbeatMsg& m);
+[[nodiscard]] std::string encode_aggregates(const AggregatesMsg& m);
+[[nodiscard]] std::string encode_result(const ResultMsg& m);
+
+[[nodiscard]] Expected<LeaseMsg> decode_lease(const obs::JsonValue& v);
+[[nodiscard]] Expected<HeartbeatMsg> decode_heartbeat(const obs::JsonValue& v);
+[[nodiscard]] Expected<AggregatesMsg> decode_aggregates(
+    const obs::JsonValue& v);
+[[nodiscard]] Expected<ResultMsg> decode_result(const obs::JsonValue& v);
+
+}  // namespace dxbsp::svc

@@ -1,0 +1,140 @@
+#include "svc/wire.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "resilience/snapshot.hpp"
+
+namespace dxbsp::svc {
+
+namespace {
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
+std::uint32_t payload_crc(std::string_view payload) {
+  return resilience::crc32(
+      {reinterpret_cast<const unsigned char*>(payload.data()),
+       payload.size()});
+}
+
+Error corrupt(const std::string& origin, const std::string& what) {
+  return Error(ErrorCode::kCorruptInput, origin + ": " + what);
+}
+
+}  // namespace
+
+std::string wire_frame(const std::string& type,
+                       const std::string& payload_json) {
+  std::string out;
+  out.reserve(payload_json.size() + 64);
+  out += kWireMagic;
+  out += ' ';
+  out += type;
+  out += ' ';
+  out += std::to_string(payload_json.size());
+  out += ' ';
+  out += crc_hex(payload_crc(payload_json));
+  out += '\n';
+  out += payload_json;
+  return out;
+}
+
+Expected<WireMessage> wire_parse(std::string_view bytes,
+                                 const std::string& origin) {
+  const std::size_t nl = bytes.find('\n');
+  if (nl == std::string_view::npos)
+    return corrupt(origin, "missing frame header line");
+  const std::string_view header = bytes.substr(0, nl);
+  const std::string_view payload = bytes.substr(nl + 1);
+
+  // Header: magic SP type SP length SP crc — strict, no extra fields.
+  std::istringstream hs{std::string(header)};
+  std::string magic;
+  std::string type;
+  std::string len_text;
+  std::string crc_text;
+  std::string extra;
+  hs >> magic >> type >> len_text >> crc_text;
+  if (hs.fail() || (hs >> extra))
+    return corrupt(origin, "malformed frame header '" + std::string(header) +
+                               "'");
+  if (magic != kWireMagic)
+    return corrupt(origin, "bad magic/version '" + magic + "' (want " +
+                               std::string(kWireMagic) + ")");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long len = std::strtoull(len_text.c_str(), &end, 10);
+  if (errno != 0 || end != len_text.c_str() + len_text.size())
+    return corrupt(origin, "bad payload length '" + len_text + "'");
+  if (len != payload.size())
+    return corrupt(origin, "payload length " + std::to_string(payload.size()) +
+                               " does not match declared " + len_text);
+  errno = 0;
+  const unsigned long long crc = std::strtoull(crc_text.c_str(), &end, 16);
+  if (errno != 0 || end != crc_text.c_str() + crc_text.size() ||
+      crc_text.size() != 8)
+    return corrupt(origin, "bad crc field '" + crc_text + "'");
+  if (static_cast<std::uint32_t>(crc) != payload_crc(payload))
+    return corrupt(origin, "payload CRC mismatch");
+
+  auto parsed = obs::JsonValue::parse(payload, origin);
+  if (!parsed.ok())
+    return corrupt(origin, std::string("payload JSON invalid: ") +
+                               parsed.error().what());
+  WireMessage msg;
+  msg.type = type;
+  msg.payload = std::move(parsed).value();
+  return msg;
+}
+
+void wire_write_file(const std::string& path, const std::string& type,
+                     const std::string& payload_json) {
+  const std::string bytes = wire_frame(type, payload_json);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    raise(ErrorCode::kIo,
+          "wire: cannot open " + tmp + ": " + std::strerror(errno));
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      raise(ErrorCode::kIo,
+            "wire: write failed for " + tmp + ": " + std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::close(fd) != 0)
+    raise(ErrorCode::kIo,
+          "wire: close failed for " + tmp + ": " + std::strerror(errno));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    raise(ErrorCode::kIo, "wire: rename " + tmp + " -> " + path +
+                              " failed: " + std::strerror(errno));
+}
+
+Expected<WireMessage> wire_read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is)
+    return Error(ErrorCode::kIo, "wire: cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (is.bad())
+    return Error(ErrorCode::kIo, "wire: read failed for " + path);
+  return wire_parse(buf.str(), path);
+}
+
+}  // namespace dxbsp::svc

@@ -1,0 +1,225 @@
+#include "svc/worker.hpp"
+
+#include <cstdio>
+#include <span>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "resilience/snapshot.hpp"
+#include "svc/wire.hpp"
+
+namespace dxbsp::svc {
+
+namespace {
+
+/// The per-run() progress counters are synthesized by the coordinator
+/// (total = grid total, resumed = 0) so a retried shard's merged report
+/// stays byte-identical to a serial run's; workers keep them out of
+/// their aggregates.
+bool coordinator_synthesized(const std::string& name) {
+  return name == "sweep.points_total" || name == "sweep.points_completed" ||
+         name == "sweep.points_resumed";
+}
+
+}  // namespace
+
+WorkerContext::~WorkerContext() { stop_heartbeat(); }
+
+void WorkerContext::init(const std::string& lease_path) {
+  auto msg = wire_read_file(lease_path);
+  if (!msg.ok()) throw msg.error();
+  if (msg.value().type != kMsgLease)
+    raise(ErrorCode::kCorruptInput, lease_path + ": expected a '" +
+                                        kMsgLease + "' message, got '" +
+                                        msg.value().type + "'");
+  auto decoded = decode_lease(msg.value().payload);
+  if (!decoded.ok()) throw decoded.error();
+  lease_ = std::move(decoded).value();
+  shard_ = resilience::ShardSpec::parse(lease_.shard);
+  chaos_ = ChaosPlan::parse(lease_.chaos);
+  started_ = std::chrono::steady_clock::now();
+  active_ = true;
+}
+
+std::uint64_t WorkerContext::prepare(std::uint64_t base_id,
+                                     std::vector<std::uint64_t>& keys,
+                                     resilience::SweepOptions& opt,
+                                     const obs::AttributionAggregate*
+                                         attribution,
+                                     const obs::DriftDetector* drift) {
+  if (!active_) return base_id;
+  attribution_ = attribution;
+  drift_ = drift;
+  keys = shard_.slice(keys);
+  keys_ = keys;
+  const std::uint64_t id = resilience::shard_sweep_id(base_id, shard_);
+
+  // Serial + per-point flushing is what makes the checkpoint a
+  // key-ordered prefix of the slice — the shape the banked-prefix
+  // accounting below depends on.
+  opt.threads = 0;
+  opt.checkpoint_every = 1;
+  opt.checkpoint_path = lease_.checkpoint_path;
+  opt.deadline_seconds = lease_.deadline_seconds;
+
+  if (lease_.resume_points > 0) {
+    // Prior attempts banked the aggregates of the first resume_points
+    // points; the checkpoint must hold at least that prefix (it is
+    // flushed before the aggregates are published). Anything beyond it
+    // was computed but never banked — truncate so it is recomputed and
+    // aggregated this attempt, keeping every point counted exactly once.
+    auto loaded = resilience::Snapshot::load(lease_.checkpoint_path);
+    if (!loaded.ok()) throw loaded.error();
+    const resilience::Snapshot& snap = loaded.value();
+    if (snap.sweep_id != id)
+      raise(ErrorCode::kConfig,
+            lease_.checkpoint_path +
+                ": checkpoint belongs to a different sweep/shard");
+    if (snap.records.size() < lease_.resume_points)
+      raise(ErrorCode::kCorruptSnapshot,
+            lease_.checkpoint_path + ": banked prefix of " +
+                std::to_string(lease_.resume_points) + " points but only " +
+                std::to_string(snap.records.size()) + " records");
+    for (std::uint64_t i = 0; i < lease_.resume_points; ++i)
+      if (snap.records[i].key != keys_[i])
+        raise(ErrorCode::kCorruptSnapshot,
+              lease_.checkpoint_path + ": record " + std::to_string(i) +
+                  " key " + std::to_string(snap.records[i].key) +
+                  " does not match slice key " + std::to_string(keys_[i]));
+    if (snap.records.size() > lease_.resume_points) {
+      resilience::CheckpointWriter writer(lease_.checkpoint_path, id);
+      writer.flush(std::span<const resilience::SnapshotRecord>(snap.records)
+                       .first(lease_.resume_points));
+    }
+    opt.resume_path = lease_.checkpoint_path;
+  } else {
+    // Nothing banked: any leftover checkpoint is an unbanked tail from a
+    // crashed attempt — start clean.
+    std::remove(lease_.checkpoint_path.c_str());
+    opt.resume_path.clear();
+  }
+
+  completed_.store(lease_.resume_points, std::memory_order_relaxed);
+  opt.on_progress = [this](std::uint64_t done, std::uint64_t total) {
+    on_point(done, total);
+  };
+
+  maybe_chaos(ChaosPhase::kLease);
+  return id;
+}
+
+void WorkerContext::begin(resilience::CancelToken& token) {
+  if (!active_) return;
+  token_ = &token;
+  hb_stop_ = false;
+  hb_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void WorkerContext::heartbeat_loop() {
+  const double interval =
+      lease_.hb_interval_seconds > 0 ? lease_.hb_interval_seconds : 0.05;
+  const auto period =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(interval));
+  std::unique_lock lock(hb_mu_);
+  for (;;) {
+    HeartbeatMsg hb;
+    hb.shard = lease_.shard;
+    hb.attempt = lease_.attempt;
+    hb.completed = completed_.load(std::memory_order_relaxed);
+    hb.total = keys_.size();
+    // The simulator pumps the token's heartbeat counter inside its event
+    // loops, so `beat` advances even while one point runs for a long
+    // time — a wedge *inside* a point still reads as a stall upstream.
+    hb.beat = (token_ != nullptr ? token_->heartbeats() : 0) + hb.completed;
+    lock.unlock();
+    try {
+      wire_write_file(lease_.heartbeat_path, kMsgHeartbeat,
+                      encode_heartbeat(hb));
+    } catch (const Error&) {
+      // A failed heartbeat write must not kill the worker; if it keeps
+      // failing the coordinator sees a stall and revokes the lease.
+    }
+    lock.lock();
+    if (hb_cv_.wait_for(lock, period, [this] { return hb_stop_; })) return;
+  }
+}
+
+void WorkerContext::stop_heartbeat() {
+  if (!hb_thread_.joinable()) return;
+  {
+    std::lock_guard lock(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  hb_thread_.join();
+}
+
+AggregatesMsg WorkerContext::aggregates_now(std::uint64_t covered) const {
+  AggregatesMsg agg;
+  agg.shard = lease_.shard;
+  agg.attempt = lease_.attempt;
+  agg.covered = covered;
+  for (auto& e :
+       obs::MetricsRegistry::global().snapshot(/*include_host=*/false))
+    if (!coordinator_synthesized(e.name)) agg.metrics.push_back(std::move(e));
+  if (attribution_ != nullptr) agg.attribution = attribution_->snapshot();
+  if (drift_ != nullptr) {
+    agg.has_drift = true;
+    agg.drift = drift_->snapshot();
+  }
+  return agg;
+}
+
+void WorkerContext::on_point(std::uint64_t done, std::uint64_t /*total*/) {
+  completed_.store(done, std::memory_order_relaxed);
+  // The runner flushed the checkpoint before this hook ran, so the
+  // invariant "checkpoint >= banked aggregates" holds at every kill
+  // point in between the two writes.
+  const std::uint64_t covered = done - lease_.resume_points;
+  wire_write_file(lease_.aggregates_path, kMsgAggregates,
+                  encode_aggregates(aggregates_now(covered)));
+  maybe_chaos(ChaosPhase::kPoint, covered);
+}
+
+int WorkerContext::finish(const resilience::SweepReport& report,
+                          const obs::RunInfo& info) {
+  if (!active_) return report.ok() ? 0 : exit_code(ErrorCode::kInterrupted);
+  stop_heartbeat();
+  maybe_chaos(ChaosPhase::kResult);
+
+  ResultMsg res;
+  res.shard = lease_.shard;
+  res.attempt = lease_.attempt;
+  res.status = resilience::sweep_status_name(report.status);
+  res.cause = resilience::cancel_cause_name(report.cause);
+  res.total = report.total;
+  res.completed = report.completed;
+  res.resumed = report.resumed;
+  res.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  res.has_info = true;
+  res.info = info;
+  res.aggregates =
+      aggregates_now(report.completed > report.resumed
+                         ? report.completed - report.resumed
+                         : 0);
+  wire_write_file(lease_.result_path, kMsgResult, encode_result(res));
+  return report.ok() ? 0 : exit_code(ErrorCode::kInterrupted);
+}
+
+void WorkerContext::maybe_chaos(ChaosPhase phase, std::uint64_t point) {
+  if (!active_ || chaos_.empty()) return;
+  const ChaosEvent* ev =
+      chaos_.match(shard_.index, lease_.attempt, phase, point);
+  if (ev == nullptr) return;
+  // A hanging worker must hang *completely*: with the sampler still
+  // running, heartbeats would keep advancing and the coordinator could
+  // never tell this wedge from slow progress.
+  stop_heartbeat();
+  chaos_execute(*ev);
+}
+
+}  // namespace dxbsp::svc

@@ -11,11 +11,14 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "obs/json.hpp"
+#include "obs/json_read.hpp"
 #include "resilience/cancel.hpp"
 #include "resilience/error.hpp"
 #include "resilience/snapshot.hpp"
@@ -646,6 +649,73 @@ TEST(Sweep, ResumePathAloneStillCheckpoints) {
   EXPECT_EQ(report.checkpoint, path);
   EXPECT_TRUE(Snapshot::load(path).ok());
   std::remove(path.c_str());
+}
+
+TEST(Cancel, ResetRearmsATrippedToken) {
+  CancelToken token;
+  token.heartbeat();
+  token.cancel(CancelCause::kDeadline);
+  ASSERT_TRUE(token.expired());
+  token.reset();
+  EXPECT_FALSE(token.expired());
+  EXPECT_EQ(token.cause(), CancelCause::kNone);
+  EXPECT_EQ(token.heartbeats(), 0u) << "progress counter must restart too";
+}
+
+TEST(Sweep, RunnerIsReusableAfterItsTokenTripped) {
+  // A watchdog (or revoked lease) trips the token mid-sweep; the SAME
+  // runner must be runnable again — run() re-arms the token instead of
+  // inheriting the previous invocation's cancelled state.
+  const std::string path = tmp_path("reuse.snap");
+  std::remove(path.c_str());
+  auto opt = quiet_options();
+  opt.checkpoint_path = path;
+  opt.resume_path = path;
+  SweepRunner runner(resilience::sweep_id("t", {7}), opt);
+  const auto keys = sweep_keys();
+  std::size_t produced = 0;
+  const auto first = runner.run(keys, [&](std::uint64_t k) {
+    if (++produced == 3) runner.token().cancel(CancelCause::kStalled);
+    return simulate_point(k, nullptr);
+  });
+  EXPECT_EQ(first.status, SweepStatus::kInterrupted);
+  EXPECT_EQ(first.cause, CancelCause::kStalled);
+  EXPECT_LT(first.completed, keys.size());
+
+  // Second run() on the same runner: must resume and complete, not
+  // report the stale kStalled immediately.
+  const auto second = runner.run(
+      keys, [&](std::uint64_t k) { return simulate_point(k, nullptr); });
+  EXPECT_TRUE(second.ok());
+  EXPECT_EQ(second.cause, CancelCause::kNone);
+  EXPECT_EQ(second.completed, keys.size());
+  EXPECT_EQ(second.resumed, first.completed);
+  std::remove(path.c_str());
+}
+
+TEST(Sweep, ReportWritesMachineReadableJson) {
+  resilience::SweepReport report;
+  report.status = SweepStatus::kInterrupted;
+  report.cause = CancelCause::kStalled;
+  report.total = 9;
+  report.completed = 4;
+  report.resumed = 2;
+  report.checkpoint = "runs/sweep.snap";
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  report.write_json(w);
+  // Coordinators parse this instead of scraping the human-readable
+  // INTERRUPTED line: it must round-trip through the JSON reader.
+  const auto parsed = obs::JsonValue::parse(os.str(), "test");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().what();
+  const auto& v = parsed.value();
+  ASSERT_NE(v.find("status"), nullptr);
+  EXPECT_EQ(v.find("status")->as_string(), "interrupted");
+  EXPECT_EQ(v.find("cause")->as_string(), "stalled");
+  EXPECT_EQ(v.find("total")->as_u64(), 9u);
+  EXPECT_EQ(v.find("completed")->as_u64(), 4u);
+  EXPECT_EQ(v.find("resumed")->as_u64(), 2u);
+  EXPECT_EQ(v.find("checkpoint")->as_string(), "runs/sweep.snap");
 }
 
 }  // namespace

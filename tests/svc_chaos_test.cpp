@@ -1,0 +1,194 @@
+// Deterministic chaos harness for the sweep coordinator (the ISSUE's
+// acceptance gate): real multi-process fleets over the fig4 bench
+// binary, with seeded faults injected at every protocol phase — lease
+// grant, mid-shard, result publication — plus wedges and fleet
+// deadlines. The invariant under test: whenever no shard ends up
+// poisoned, the merged run report is byte-identical to an undisturbed
+// run's; a permanently-failing shard degrades the fleet (exit 69,
+// poisoned range recorded) instead of hanging it.
+//
+// Chaos is executed by the workers themselves at exact protocol states
+// (svc/chaos.hpp), so every scenario is reproducible — no sleeps, no
+// racing the scheduler to land a kill.
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "svc/coordinator.hpp"
+
+namespace {
+
+using namespace dxbsp;
+
+// Injected by CMake: the real bench binary the fleets run.
+const char* worker_bin() { return DXBSP_SVC_WORKER_BIN; }
+
+std::string tmp_dir(const std::string& name) {
+  return ::testing::TempDir() + "dxbsp_chaos_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+svc::CoordinatorOptions fleet_options(const std::string& name) {
+  svc::CoordinatorOptions opt;
+  opt.worker_argv = {worker_bin(), "--n=4096", "--seed=1995"};
+  opt.dir = tmp_dir(name);
+  opt.workers = 2;
+  opt.shards = 4;
+  opt.backoff_base_seconds = 0.01;  // fast requeues: this is a test
+  opt.backoff_cap_seconds = 0.05;
+  opt.handle_signals = false;  // never touch gtest's signal handlers
+  opt.report_path = tmp_dir(name) + ".report.json";
+  return opt;
+}
+
+svc::FleetReport run_fleet(svc::CoordinatorOptions opt) {
+  svc::Coordinator coordinator(std::move(opt));
+  return coordinator.run();
+}
+
+// The undisturbed fleet's merged report — the byte-identity baseline
+// for every chaos scenario. Computed once.
+const std::string& baseline_report() {
+  static const std::string bytes = [] {
+    auto opt = fleet_options("baseline");
+    const auto fleet = run_fleet(std::move(opt));
+    EXPECT_EQ(fleet.status, svc::FleetReport::Status::kCompleted);
+    EXPECT_EQ(fleet.exit_code(), 0);
+    EXPECT_EQ(fleet.completed_shards, 4u);
+    EXPECT_EQ(fleet.retries, 0u);
+    EXPECT_EQ(fleet.worker_deaths, 0u);
+    return slurp(tmp_dir("baseline") + ".report.json");
+  }();
+  return bytes;
+}
+
+void expect_identical_to_baseline(const std::string& name) {
+  const std::string report = slurp(tmp_dir(name) + ".report.json");
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report, baseline_report())
+      << "merged report diverged from the undisturbed run";
+}
+
+TEST(SvcChaos, SerialRunMatchesTheFleetByteForByte) {
+  // The end-to-end promise: the fleet's merged report is the SAME FILE
+  // a plain serial run of the bench would have written.
+  const std::string serial = tmp_dir("serial") + ".report.json";
+  const std::string cmd = std::string(worker_bin()) +
+                          " --n=4096 --seed=1995 --report=" + serial +
+                          " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  EXPECT_EQ(slurp(serial), baseline_report());
+}
+
+TEST(SvcChaos, KillsAtEveryProtocolPhaseRecoverByteIdentically) {
+  auto opt = fleet_options("phases");
+  opt.report_csv_path = tmp_dir("phases") + ".report.csv";
+  opt.chaos =
+      "shard=1,attempt=0,phase=lease,action=kill;"
+      "shard=2,attempt=0,phase=point:1,action=kill;"
+      "shard=0,attempt=0,phase=result,action=kill";
+  const auto fleet = run_fleet(std::move(opt));
+  EXPECT_EQ(fleet.status, svc::FleetReport::Status::kCompleted);
+  EXPECT_EQ(fleet.completed_shards, 4u);
+  EXPECT_EQ(fleet.worker_deaths, 3u);
+  EXPECT_EQ(fleet.retries, 3u);
+  EXPECT_EQ(fleet.degraded.poisoned_shards, 0u);
+  expect_identical_to_baseline("phases");
+
+  // CSV emission goes through the same merge: also byte-stable, so
+  // compare two chaos runs' CSVs via a second undisturbed fleet.
+  auto base = fleet_options("phases_base");
+  base.report_csv_path = tmp_dir("phases_base") + ".report.csv";
+  const auto undisturbed = run_fleet(std::move(base));
+  EXPECT_EQ(undisturbed.status, svc::FleetReport::Status::kCompleted);
+  EXPECT_EQ(slurp(tmp_dir("phases") + ".report.csv"),
+            slurp(tmp_dir("phases_base") + ".report.csv"));
+}
+
+TEST(SvcChaos, NonZeroExitsStrikeAndCleanTempfailDoesNotCountAsDeath) {
+  auto opt = fleet_options("exits");
+  opt.chaos =
+      "shard=3,attempt=0,phase=lease,action=exit:75;"
+      "shard=1,attempt=0,phase=point:1,action=exit:70";
+  const auto fleet = run_fleet(std::move(opt));
+  EXPECT_EQ(fleet.status, svc::FleetReport::Status::kCompleted);
+  EXPECT_EQ(fleet.retries, 2u);
+  EXPECT_EQ(fleet.worker_deaths, 1u)
+      << "exit 75 is a clean self-interruption, not a death";
+  expect_identical_to_baseline("exits");
+}
+
+TEST(SvcChaos, WedgedWorkerIsStalledRevokedAndRecovered) {
+  auto opt = fleet_options("hang");
+  opt.heartbeat_interval_seconds = 0.02;
+  opt.heartbeat_timeout_seconds = 0.4;
+  opt.chaos = "shard=2,attempt=0,phase=point:1,action=hang";
+  const auto fleet = run_fleet(std::move(opt));
+  EXPECT_EQ(fleet.status, svc::FleetReport::Status::kCompleted);
+  EXPECT_GE(fleet.stalls, 1u);
+  EXPECT_GE(fleet.retries, 1u);
+  expect_identical_to_baseline("hang");
+}
+
+TEST(SvcChaos, ProgressEveryAttemptConvergesDespitePermanentChaos) {
+  // The strike counter resets whenever an attempt banks new points, so
+  // a worker that dies after EVERY point (attempt unpinned = fires on
+  // all attempts) still converges — one banked point per lease.
+  auto opt = fleet_options("converge");
+  opt.max_strikes = 2;
+  opt.chaos = "shard=0,phase=point:1,action=kill";
+  const auto fleet = run_fleet(std::move(opt));
+  EXPECT_EQ(fleet.status, svc::FleetReport::Status::kCompleted);
+  EXPECT_EQ(fleet.degraded.poisoned_shards, 0u);
+  EXPECT_GE(fleet.retries, 2u);
+  expect_identical_to_baseline("converge");
+}
+
+TEST(SvcChaos, PermanentNoProgressFailurePoisonsTheShardNotTheFleet) {
+  auto opt = fleet_options("poison");
+  opt.max_strikes = 2;
+  opt.chaos = "shard=1,phase=lease,action=kill";  // every attempt
+  const auto fleet = run_fleet(std::move(opt));
+  EXPECT_EQ(fleet.status, svc::FleetReport::Status::kDegraded);
+  EXPECT_EQ(fleet.exit_code(), 69) << "EX_UNAVAILABLE: completed degraded";
+  EXPECT_EQ(fleet.completed_shards, 3u);
+  ASSERT_EQ(fleet.degraded.poisoned_shards, 1u);
+  const auto& poisoned = fleet.degraded.shards[0];
+  EXPECT_EQ(poisoned.strikes, 2u);
+  EXPECT_FALSE(poisoned.last_error.empty());
+  EXPECT_NE(poisoned.repro.find("--shard=1/4"), std::string::npos)
+      << "repro must name the poisoned key range: " << poisoned.repro;
+
+  // The healthy shards' partial results still merge into a report, now
+  // carrying the structured degraded section.
+  const std::string report = slurp(tmp_dir("poison") + ".report.json");
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report, baseline_report());
+  EXPECT_NE(report.find("\"degraded\""), std::string::npos);
+  EXPECT_NE(report.find("poisoned"), std::string::npos);
+}
+
+TEST(SvcChaos, FleetDeadlineInterruptsAWedgedFleetInBoundedTime) {
+  auto opt = fleet_options("deadline");
+  opt.heartbeat_timeout_seconds = 30;  // stall detection out of the way
+  opt.deadline_seconds = 0.5;
+  opt.chaos = "shard=0,phase=lease,action=hang";
+  const auto fleet = run_fleet(std::move(opt));
+  EXPECT_EQ(fleet.status, svc::FleetReport::Status::kInterrupted);
+  EXPECT_EQ(fleet.exit_code(), 75);
+}
+
+}  // namespace

@@ -1,0 +1,537 @@
+// Unit tests for the sweep-coordinator protocol pieces: shard specs and
+// shard-scoped fingerprints, the framed wire format, the chaos spec
+// grammar, the typed payload codecs, and the worker-side lease/resume
+// logic (including the satellite-4 property: one shard's checkpoint can
+// never be resumed as another's). The multi-process recovery paths are
+// exercised end to end in svc_chaos_test.cpp.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/attribution.hpp"
+#include "obs/drift.hpp"
+#include "resilience/error.hpp"
+#include "resilience/shard.hpp"
+#include "resilience/snapshot.hpp"
+#include "resilience/sweep.hpp"
+#include "svc/chaos.hpp"
+#include "svc/payload.hpp"
+#include "svc/wire.hpp"
+#include "svc/worker.hpp"
+
+namespace {
+
+using namespace dxbsp;
+using resilience::ShardSpec;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "dxbsp_svc_" + name;
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// ---------------------------------------------------------------- shards
+
+TEST(ShardSpec, ParsesAndRoundTrips) {
+  const auto s = ShardSpec::parse("2/8");
+  EXPECT_EQ(s.index, 2u);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_TRUE(s.sharded());
+  EXPECT_EQ(s.str(), "2/8");
+  EXPECT_EQ(ShardSpec::parse(s.str()), s);
+  EXPECT_FALSE(ShardSpec{}.sharded());
+}
+
+TEST(ShardSpec, RejectsMalformedAndOutOfRange) {
+  EXPECT_THROW((void)ShardSpec::parse(""), Error);
+  EXPECT_THROW((void)ShardSpec::parse("2"), Error);
+  EXPECT_THROW((void)ShardSpec::parse("a/4"), Error);
+  EXPECT_THROW((void)ShardSpec::parse("1/0"), Error);
+  EXPECT_THROW((void)ShardSpec::parse("4/4"), Error);
+  EXPECT_THROW((void)ShardSpec::parse("5/4"), Error);
+  try {
+    (void)ShardSpec::parse("4/4");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+  }
+}
+
+TEST(ShardSpec, SlicesPartitionTheGridExactly) {
+  // Union over shards == the serial grid, order preserved, no overlap,
+  // sizes balanced to within one — for several grid/shard combinations
+  // including count > n (some shards legitimately empty).
+  for (const std::size_t n : {0UL, 1UL, 5UL, 8UL, 13UL}) {
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < n; ++i) keys.push_back(100 + i * 7);
+    for (const std::uint64_t count : {1ULL, 2ULL, 3ULL, 8ULL}) {
+      std::vector<std::uint64_t> joined;
+      std::size_t smallest = n + 1, largest = 0;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const ShardSpec s{i, count};
+        const auto slice = s.slice(keys);
+        const auto [b, e] = s.range(n);
+        EXPECT_EQ(slice.size(), e - b);
+        smallest = std::min(smallest, slice.size());
+        largest = std::max(largest, slice.size());
+        joined.insert(joined.end(), slice.begin(), slice.end());
+      }
+      EXPECT_EQ(joined, keys) << "n=" << n << " count=" << count;
+      if (n > 0) EXPECT_LE(largest - smallest, 1u);
+    }
+  }
+}
+
+TEST(ShardSpec, ShardScopedSweepIdsAreDistinct) {
+  const std::uint64_t base = resilience::sweep_id("svc_test", {1, 2, 3});
+  EXPECT_EQ(resilience::shard_sweep_id(base, ShardSpec{}), base)
+      << "whole-grid spec must keep the base fingerprint";
+  const std::uint64_t a = resilience::shard_sweep_id(base, {0, 4});
+  const std::uint64_t b = resilience::shard_sweep_id(base, {1, 4});
+  const std::uint64_t c = resilience::shard_sweep_id(base, {1, 8});
+  EXPECT_NE(a, base);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c) << "same index, different count must differ";
+}
+
+// ------------------------------------------------------------------ wire
+
+TEST(Wire, FrameRoundTrips) {
+  const std::string framed = svc::wire_frame("lease", "{\"x\":1}");
+  EXPECT_EQ(framed.substr(0, 7), svc::kWireMagic);
+  const auto msg = svc::wire_parse(framed, "test");
+  ASSERT_TRUE(msg.ok()) << msg.error().what();
+  EXPECT_EQ(msg.value().type, "lease");
+  const auto* x = msg.value().payload.find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->as_u64(), 1u);
+}
+
+TEST(Wire, RejectsCorruption) {
+  std::string framed = svc::wire_frame("result", "{\"points\":12}");
+  // Flip one payload byte: CRC must catch it.
+  std::string flipped = framed;
+  flipped[flipped.size() - 2] ^= 0x20;
+  EXPECT_FALSE(svc::wire_parse(flipped, "t").ok());
+  // Truncated payload: declared length no longer matches.
+  EXPECT_FALSE(svc::wire_parse(framed.substr(0, framed.size() - 3), "t").ok());
+  // Foreign magic / future version.
+  std::string magic = framed;
+  magic[6] = '9';
+  EXPECT_FALSE(svc::wire_parse(magic, "t").ok());
+  EXPECT_FALSE(svc::wire_parse("", "t").ok());
+  EXPECT_FALSE(svc::wire_parse("not a frame at all", "t").ok());
+  for (const auto* bytes : {"", "not a frame at all"}) {
+    const auto r = svc::wire_parse(bytes, "t");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), ErrorCode::kCorruptInput);
+  }
+}
+
+TEST(Wire, FileRoundTripAndFailureModes) {
+  const std::string path = tmp_path("wire.msg");
+  svc::wire_write_file(path, "heartbeat", "{\"beat\":7}");
+  const auto msg = svc::wire_read_file(path);
+  ASSERT_TRUE(msg.ok()) << msg.error().what();
+  EXPECT_EQ(msg.value().type, "heartbeat");
+  const auto* beat = msg.value().payload.find("beat");
+  ASSERT_NE(beat, nullptr);
+  EXPECT_EQ(beat->as_u64(), 7u);
+  {
+    std::ifstream tmp(path + ".tmp");
+    EXPECT_FALSE(tmp.good()) << "tmp file left behind after rename";
+  }
+
+  const auto missing = svc::wire_read_file(tmp_path("wire_missing.msg"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code(), ErrorCode::kIo)
+      << "missing message must read as retryable, not corrupt";
+
+  write_raw(path, "DXSVCW1 heartbeat 10 00000000\n{\"beat\":7}");
+  const auto corrupt = svc::wire_read_file(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.error().code(), ErrorCode::kCorruptInput);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------- chaos
+
+TEST(Chaos, ParsesTheFullGrammar) {
+  const auto plan = svc::ChaosPlan::parse(
+      "shard=1,attempt=0,phase=point:2,action=kill;"
+      "shard=3,phase=lease,action=exit:70;"
+      "shard=0,attempt=2,phase=result,action=hang");
+  ASSERT_EQ(plan.events().size(), 3u);
+  const auto& e0 = plan.events()[0];
+  EXPECT_EQ(e0.shard, 1u);
+  ASSERT_TRUE(e0.attempt.has_value());
+  EXPECT_EQ(*e0.attempt, 0u);
+  EXPECT_EQ(e0.phase, svc::ChaosPhase::kPoint);
+  EXPECT_EQ(e0.point, 2u);
+  EXPECT_EQ(e0.action, svc::ChaosAction::kKill);
+  const auto& e1 = plan.events()[1];
+  EXPECT_FALSE(e1.attempt.has_value()) << "omitted attempt = every attempt";
+  EXPECT_EQ(e1.phase, svc::ChaosPhase::kLease);
+  EXPECT_EQ(e1.action, svc::ChaosAction::kExit);
+  EXPECT_EQ(e1.exit_code, 70);
+  EXPECT_EQ(plan.events()[2].action, svc::ChaosAction::kHang);
+  EXPECT_TRUE(svc::ChaosPlan::parse("").empty());
+}
+
+TEST(Chaos, RejectsMalformedSpecs) {
+  for (const auto* spec :
+       {"phase=lease,action=kill",              // missing shard
+        "shard=1,action=kill",                  // missing phase
+        "shard=1,phase=lease",                  // missing action
+        "shard=x,phase=lease,action=kill",      // bad number
+        "shard=1,phase=warp,action=kill",       // unknown phase
+        "shard=1,phase=point:0,action=kill",    // point counts from 1
+        "shard=1,phase=lease,action=explode",   // unknown action
+        "shard=1,phase=lease,action=exit:x"}) {
+    try {
+      (void)svc::ChaosPlan::parse(spec);
+      FAIL() << "accepted: " << spec;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kParse) << spec;
+    }
+  }
+}
+
+TEST(Chaos, MatchRespectsShardAttemptPhaseAndPoint) {
+  const auto plan = svc::ChaosPlan::parse(
+      "shard=1,attempt=1,phase=point:2,action=kill;"
+      "shard=2,phase=lease,action=exit:70");
+  using svc::ChaosPhase;
+  EXPECT_EQ(plan.match(0, 0, ChaosPhase::kLease), nullptr);
+  EXPECT_EQ(plan.match(1, 0, ChaosPhase::kPoint, 2), nullptr)
+      << "attempt-pinned event must not fire on other attempts";
+  EXPECT_EQ(plan.match(1, 1, ChaosPhase::kPoint, 1), nullptr)
+      << "point event fires at its exact point only";
+  ASSERT_NE(plan.match(1, 1, ChaosPhase::kPoint, 2), nullptr);
+  // Wildcard attempt fires on every attempt — the quarantine path.
+  for (const std::uint64_t attempt : {0ULL, 1ULL, 7ULL}) {
+    const auto* hit = plan.match(2, attempt, ChaosPhase::kLease);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->action, svc::ChaosAction::kExit);
+  }
+}
+
+// -------------------------------------------------------------- payloads
+
+template <typename T, typename Decode>
+T reencode(const std::string& type, const std::string& json, Decode decode) {
+  const auto msg = svc::wire_parse(svc::wire_frame(type, json), "test");
+  EXPECT_TRUE(msg.ok());
+  auto decoded = decode(msg.value().payload);
+  EXPECT_TRUE(decoded.ok()) << decoded.error().what();
+  return std::move(decoded).value();
+}
+
+TEST(Payload, LeaseRoundTrips) {
+  svc::LeaseMsg m;
+  m.shard = "3/8";
+  m.attempt = 2;
+  m.resume_points = 5;
+  m.checkpoint_path = "dir/shard-3.snap";
+  m.heartbeat_path = "dir/shard-3.hb";
+  m.aggregates_path = "dir/shard-3.agg";
+  m.result_path = "dir/shard-3.res";
+  m.deadline_seconds = 1.5;
+  m.hb_interval_seconds = 0.05;
+  m.chaos = "shard=3,phase=lease,action=kill";
+  const auto r = reencode<svc::LeaseMsg>(svc::kMsgLease, svc::encode_lease(m),
+                                         svc::decode_lease);
+  EXPECT_EQ(r.shard, m.shard);
+  EXPECT_EQ(r.attempt, m.attempt);
+  EXPECT_EQ(r.resume_points, m.resume_points);
+  EXPECT_EQ(r.checkpoint_path, m.checkpoint_path);
+  EXPECT_EQ(r.heartbeat_path, m.heartbeat_path);
+  EXPECT_EQ(r.aggregates_path, m.aggregates_path);
+  EXPECT_EQ(r.result_path, m.result_path);
+  EXPECT_EQ(r.deadline_seconds, m.deadline_seconds);
+  EXPECT_EQ(r.hb_interval_seconds, m.hb_interval_seconds);
+  EXPECT_EQ(r.chaos, m.chaos);
+}
+
+TEST(Payload, HeartbeatRoundTrips) {
+  svc::HeartbeatMsg m;
+  m.shard = "0/2";
+  m.attempt = 1;
+  m.beat = 123456;
+  m.completed = 3;
+  m.total = 9;
+  const auto r = reencode<svc::HeartbeatMsg>(
+      svc::kMsgHeartbeat, svc::encode_heartbeat(m), svc::decode_heartbeat);
+  EXPECT_EQ(r.shard, m.shard);
+  EXPECT_EQ(r.attempt, m.attempt);
+  EXPECT_EQ(r.beat, m.beat);
+  EXPECT_EQ(r.completed, m.completed);
+  EXPECT_EQ(r.total, m.total);
+}
+
+svc::AggregatesMsg sample_aggregates() {
+  svc::AggregatesMsg m;
+  m.shard = "1/4";
+  m.attempt = 3;
+  m.covered = 2;
+  obs::MetricsRegistry::Entry counter;
+  counter.name = "sim.retries";
+  counter.kind = obs::MetricKind::kCounter;
+  counter.value = 42;
+  obs::MetricsRegistry::Entry gauge;
+  gauge.name = "sweep.peak_queue";
+  gauge.kind = obs::MetricKind::kGauge;
+  gauge.value = 17;
+  obs::MetricsRegistry::Entry histo;
+  histo.name = "sim.bank_queue_depth";
+  histo.kind = obs::MetricKind::kHistogram;
+  histo.bounds = {1, 2, 4};
+  histo.bucket_counts = {10, 5, 2, 1};
+  m.metrics = {counter, gauge, histo};
+  m.attribution.supersteps = 2;
+  m.attribution.cycles = 9000;
+  m.attribution.terms.issue_gap = 100;
+  m.attribution.terms.bank_service = 8000;
+  m.attribution.terms.retry_backoff = 900;
+  m.attribution.sketch.counts[0] = 3;
+  m.attribution.sketch.counts[64] = 1;
+  m.attribution.sketch.overflow = 2;
+  m.attribution.sketch.banks = 6;
+  m.attribution.sketch.max = 70;
+  m.attribution.sketch.served = 80;
+  m.attribution.max_location_contention = 64;
+  m.has_drift = true;
+  m.drift.band = 0.25;
+  m.drift.supersteps = 2;
+  m.drift.out_of_band = 1;
+  m.drift.max_abs_rel_err = 0.31;
+  m.drift.worst.valid = true;
+  m.drift.worst.measured = 1300;
+  m.drift.worst.predicted = 990.5;
+  m.drift.worst.rel_err = 0.3125;
+  m.drift.worst.n = 4096;
+  return m;
+}
+
+TEST(Payload, AggregatesRoundTripIncludingHistogramsAndDrift) {
+  const auto m = sample_aggregates();
+  const auto r = reencode<svc::AggregatesMsg>(
+      svc::kMsgAggregates, svc::encode_aggregates(m), svc::decode_aggregates);
+  EXPECT_EQ(r.shard, m.shard);
+  EXPECT_EQ(r.covered, m.covered);
+  ASSERT_EQ(r.metrics.size(), 3u);
+  EXPECT_EQ(r.metrics[0].name, "sim.retries");
+  EXPECT_EQ(r.metrics[0].kind, obs::MetricKind::kCounter);
+  EXPECT_EQ(r.metrics[0].value, 42u);
+  EXPECT_EQ(r.metrics[1].kind, obs::MetricKind::kGauge);
+  EXPECT_EQ(r.metrics[2].bounds, m.metrics[2].bounds);
+  EXPECT_EQ(r.metrics[2].bucket_counts, m.metrics[2].bucket_counts);
+  EXPECT_EQ(r.attribution.supersteps, 2u);
+  EXPECT_EQ(r.attribution.terms.retry_backoff, 900u);
+  EXPECT_EQ(r.attribution.sketch.counts, m.attribution.sketch.counts);
+  EXPECT_EQ(r.attribution.sketch.max, 70u);
+  ASSERT_TRUE(r.has_drift);
+  EXPECT_EQ(r.drift.band, 0.25);
+  EXPECT_EQ(r.drift.out_of_band, 1u);
+  ASSERT_TRUE(r.drift.worst.valid);
+  EXPECT_EQ(r.drift.worst.predicted, 990.5);
+
+  svc::AggregatesMsg no_drift = m;
+  no_drift.has_drift = false;
+  const auto r2 = reencode<svc::AggregatesMsg>(
+      svc::kMsgAggregates, svc::encode_aggregates(no_drift),
+      svc::decode_aggregates);
+  EXPECT_FALSE(r2.has_drift);
+}
+
+TEST(Payload, ResultRoundTrips) {
+  svc::ResultMsg m;
+  m.shard = "0/4";
+  m.attempt = 1;
+  m.status = "completed";
+  m.cause = "none";
+  m.total = 3;
+  m.completed = 3;
+  m.resumed = 1;
+  m.elapsed_seconds = 0.75;
+  m.has_info = true;
+  m.info.bench = "Fig 4 / Experiment 1";
+  m.info.description = "Scatter time vs contention k";
+  m.info.machine = "cray-j90";
+  m.info.seed = 1995;
+  m.info.flags = {{"n", "4096"}, {"seed", "1995"}};
+  m.aggregates = sample_aggregates();
+  const auto r = reencode<svc::ResultMsg>(
+      svc::kMsgResult, svc::encode_result(m), svc::decode_result);
+  EXPECT_EQ(r.shard, m.shard);
+  EXPECT_EQ(r.status, "completed");
+  EXPECT_EQ(r.total, 3u);
+  EXPECT_EQ(r.resumed, 1u);
+  EXPECT_EQ(r.elapsed_seconds, 0.75);
+  ASSERT_TRUE(r.has_info);
+  EXPECT_EQ(r.info.bench, m.info.bench);
+  EXPECT_EQ(r.info.flags, m.info.flags);
+  EXPECT_EQ(r.aggregates.covered, 2u);
+  EXPECT_EQ(r.aggregates.metrics.size(), 3u);
+}
+
+TEST(Payload, DecodersReturnErrorsInsteadOfThrowing) {
+  // A half-dead worker writing structurally-valid JSON with the wrong
+  // shape must be a decode error the coordinator turns into a strike.
+  const auto msg = svc::wire_parse(
+      svc::wire_frame(svc::kMsgLease, "{\"shard\":\"0/2\"}"), "t");
+  ASSERT_TRUE(msg.ok());
+  const auto lease = svc::decode_lease(msg.value().payload);
+  EXPECT_FALSE(lease.ok());
+  const auto hb = svc::decode_heartbeat(msg.value().payload);
+  EXPECT_FALSE(hb.ok());
+  const auto agg = svc::decode_aggregates(msg.value().payload);
+  EXPECT_FALSE(agg.ok());
+  const auto res = svc::decode_result(msg.value().payload);
+  EXPECT_FALSE(res.ok());
+}
+
+// ------------------------------------------------- worker lease handling
+
+svc::LeaseMsg make_lease(const std::string& tag, const std::string& shard,
+                         std::uint64_t resume_points) {
+  svc::LeaseMsg lease;
+  lease.shard = shard;
+  lease.attempt = 1;
+  lease.resume_points = resume_points;
+  lease.checkpoint_path = tmp_path(tag + ".snap");
+  lease.heartbeat_path = tmp_path(tag + ".hb");
+  lease.aggregates_path = tmp_path(tag + ".agg");
+  lease.result_path = tmp_path(tag + ".res");
+  lease.hb_interval_seconds = 0.05;
+  return lease;
+}
+
+std::vector<std::uint64_t> grid_keys() { return {10, 11, 12, 13, 14, 15}; }
+
+resilience::SnapshotRecord record_for(std::uint64_t key) {
+  resilience::SnapshotRecord rec;
+  rec.key = key;
+  rec.rng_state = key * 3;
+  rec.result.cycles = key * 100;
+  return rec;
+}
+
+TEST(Worker, RefusesAForeignShardsCheckpoint) {
+  // Satellite 4: shard 1's worker handed shard 0's checkpoint (same
+  // grid!) must refuse with kConfig, not silently resume foreign points.
+  const std::uint64_t base = resilience::sweep_id("svc_worker_test", {6});
+  const auto keys0 = ShardSpec{0, 2}.slice(grid_keys());
+  std::vector<resilience::SnapshotRecord> recs;
+  for (const auto k : keys0) recs.push_back(record_for(k));
+  resilience::CheckpointWriter foreign(
+      tmp_path("foreign.snap"),
+      resilience::shard_sweep_id(base, ShardSpec{0, 2}));
+  foreign.flush(recs);
+
+  auto lease = make_lease("shard1", "1/2", 1);
+  lease.checkpoint_path = tmp_path("foreign.snap");
+  svc::wire_write_file(tmp_path("shard1.lease"), svc::kMsgLease,
+                       svc::encode_lease(lease));
+
+  svc::WorkerContext worker;
+  worker.init(tmp_path("shard1.lease"));
+  ASSERT_TRUE(worker.active());
+  auto keys = grid_keys();
+  resilience::SweepOptions opt;
+  obs::AttributionAggregate attribution;
+  try {
+    (void)worker.prepare(base, keys, opt, &attribution, nullptr);
+    FAIL() << "expected Error{kConfig}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    EXPECT_NE(std::string(e.what()).find("different sweep"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Worker, TruncatesCheckpointToTheBankedPrefix) {
+  // The lease says 1 point was banked but the dead attempt checkpointed
+  // 2: the uncaptured tail must be truncated so its point is recomputed
+  // and aggregated exactly once.
+  const std::uint64_t base = resilience::sweep_id("svc_worker_test", {6});
+  const ShardSpec spec{1, 2};
+  const auto slice = spec.slice(grid_keys());
+  ASSERT_EQ(slice.size(), 3u);
+  const std::uint64_t shard_id = resilience::shard_sweep_id(base, spec);
+  std::vector<resilience::SnapshotRecord> recs;
+  for (std::size_t i = 0; i < 2; ++i) recs.push_back(record_for(slice[i]));
+  const auto lease = make_lease("trunc", "1/2", 1);
+  resilience::CheckpointWriter writer(lease.checkpoint_path, shard_id);
+  writer.flush(recs);
+  svc::wire_write_file(tmp_path("trunc.lease"), svc::kMsgLease,
+                       svc::encode_lease(lease));
+
+  svc::WorkerContext worker;
+  worker.init(tmp_path("trunc.lease"));
+  auto keys = grid_keys();
+  resilience::SweepOptions opt;
+  obs::AttributionAggregate attribution;
+  const std::uint64_t id = worker.prepare(base, keys, opt, &attribution,
+                                          nullptr);
+  EXPECT_EQ(id, shard_id);
+  EXPECT_EQ(keys, slice) << "prepare must slice the grid to the shard";
+  EXPECT_EQ(opt.threads, 0u);
+  EXPECT_EQ(opt.checkpoint_every, 1u);
+  EXPECT_EQ(opt.resume_path, lease.checkpoint_path);
+
+  const auto snap = resilience::Snapshot::load(lease.checkpoint_path);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap.value().records.size(), 1u)
+      << "uncaptured tail record must be gone";
+  EXPECT_EQ(snap.value().records[0].key, slice[0]);
+}
+
+TEST(Worker, RejectsACheckpointShorterThanTheBankedPrefix) {
+  // Banked 2 points but the checkpoint only holds 1: that checkpoint
+  // cannot reproduce what the coordinator already aggregated — corrupt.
+  const std::uint64_t base = resilience::sweep_id("svc_worker_test", {6});
+  const ShardSpec spec{1, 2};
+  const auto slice = spec.slice(grid_keys());
+  const auto lease = make_lease("short", "1/2", 2);
+  resilience::CheckpointWriter writer(
+      lease.checkpoint_path, resilience::shard_sweep_id(base, spec));
+  std::vector<resilience::SnapshotRecord> recs = {record_for(slice[0])};
+  writer.flush(recs);
+  svc::wire_write_file(tmp_path("short.lease"), svc::kMsgLease,
+                       svc::encode_lease(lease));
+
+  svc::WorkerContext worker;
+  worker.init(tmp_path("short.lease"));
+  auto keys = grid_keys();
+  resilience::SweepOptions opt;
+  obs::AttributionAggregate attribution;
+  try {
+    (void)worker.prepare(base, keys, opt, &attribution, nullptr);
+    FAIL() << "expected Error{kCorruptSnapshot}";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptSnapshot);
+  }
+}
+
+TEST(Worker, InactiveContextIsAPassthrough) {
+  svc::WorkerContext worker;
+  EXPECT_FALSE(worker.active());
+  auto keys = grid_keys();
+  const auto before = keys;
+  resilience::SweepOptions opt;
+  const std::uint64_t id = worker.prepare(42, keys, opt, nullptr, nullptr);
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(keys, before);
+}
+
+}  // namespace
