@@ -9,15 +9,161 @@
 // the QRQW dart thrower. Key width matters: radix pays per bit, merge
 // pays per comparison level, darts pay neither.
 
+// --stream adds an out-of-core bucket sort on the streaming subsystem
+// (docs/streaming.md): keys are generated counter-style in slabs, range-
+// partitioned by their top bits, staged in a budget-bound SlabPool that
+// spills whole partitions to a SpillStore under back-pressure, then each
+// partition (ascending = ascending key range) is restored and radix
+// sorted. Sortedness, partition boundaries, element count and a
+// content hash are all verified — the sort is the proof that the spill
+// tier moves bytes faithfully, not just that it doesn't crash.
+
 #include <algorithm>
 #include <iostream>
+#include <optional>
 
 #include "algos/merge.hpp"
 #include "algos/radix_sort.hpp"
 #include "algos/random_permutation.hpp"
 #include "algos/vm.hpp"
 #include "bench_common.hpp"
+#include "stream/slab_pool.hpp"
+#include "stream/spill_store.hpp"
+#include "util/rng.hpp"
 #include "workload/patterns.hpp"
+
+namespace {
+
+// Out-of-core bucket sort; returns the process exit code.
+int stream_sort(const dxbsp::util::Cli& cli, const dxbsp::sim::MachineConfig& cfg,
+                std::uint64_t n, std::uint64_t seed, dxbsp::bench::Obs& obs) {
+  using namespace dxbsp;
+  constexpr unsigned kBits = 32;  // key width; partitions split the top bits
+  const std::uint64_t space = std::uint64_t{1} << kBits;
+  const std::uint64_t partitions = cli.get_uint("partitions", 16);
+  const std::uint64_t slab_bytes =
+      cli.get_uint("slab-bytes", std::uint64_t{64} << 10);
+  const std::uint64_t budget = cli.get_uint("mem-budget", 0);
+  const std::string spill_dir = cli.get("spill-dir", "");
+  if (partitions == 0 || slab_bytes < 8 || slab_bytes % 8 != 0)
+    raise(ErrorCode::kConfig, "--partitions >= 1 and --slab-bytes a positive "
+                              "multiple of 8 required");
+  const std::uint64_t slab_elems = slab_bytes / 8;
+
+  stream::SlabPool pool(budget == 0 ? stream::kUnlimitedBudget : budget,
+                        slab_bytes);
+  std::optional<stream::SpillStore> store;
+  if (!spill_dir.empty()) {
+    stream::SpillOptions opt;
+    opt.dir = spill_dir;
+    opt.stream_id = seed ^ (n * 1099511628211ULL);
+    store.emplace(std::move(opt));
+  }
+
+  // Ingest: generate counter-style, range-partition by top bits into
+  // per-partition staging buffers (the TLA model's PARTITIONS*THREADS
+  // working set — bounded by partitions * slab_bytes and outside the
+  // pool's budget), admit full buffers as slabs, evict under pressure.
+  std::vector<std::vector<std::uint64_t>> stage(partitions);
+  std::vector<std::uint64_t> next_chunk(partitions, 0);
+  std::uint64_t slab_seq = 0;
+  std::uint64_t ingest_hash = 0;
+  const auto flush_stage = [&](std::uint64_t p) {
+    pool.admit(slab_seq++, p, std::move(stage[p]));
+    stage[p] = {};
+    while (pool.over_budget()) {
+      if (!store.has_value())
+        raise(ErrorCode::kConfig,
+              "--mem-budget exceeded but no --spill-dir configured");
+      const auto victim = pool.victim_partition();
+      if (!victim) break;
+      for (const std::size_t h : pool.resident_of(*victim)) {
+        const std::uint64_t chunk = next_chunk[*victim]++;
+        store->write(*victim, chunk, pool.slabs()[h].data);
+        pool.mark_spilled(h, chunk);
+      }
+    }
+  };
+  for (std::uint64_t begin = 0; begin < n; begin += slab_elems) {
+    const std::uint64_t count = std::min(slab_elems, n - begin);
+    const auto keys =
+        workload::stream_slab(seed, begin, count, space, /*hot_every=*/0);
+    for (const std::uint64_t k : keys) {
+      ingest_hash += util::mix64(k);
+      const std::uint64_t p =
+          static_cast<std::uint64_t>((static_cast<unsigned __int128>(k) *
+                                      partitions) >> kBits);
+      stage[p].push_back(k);
+      if (stage[p].size() >= slab_elems) flush_stage(p);
+    }
+  }
+  for (std::uint64_t p = 0; p < partitions; ++p)
+    if (!stage[p].empty()) flush_stage(p);
+
+  // Drain ascending: partition p holds exactly the keys in
+  // [p*space/P, (p+1)*space/P) — restoring and sorting them in id order
+  // yields the globally sorted stream without ever holding it whole.
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_elems = 0;
+  std::uint64_t drain_hash = 0;
+  std::uint64_t prev_max = 0;
+  bool have_prev = false;
+  for (std::uint64_t p = 0; p < partitions; ++p) {
+    std::vector<std::uint64_t> bucket;
+    for (std::size_t h = 0; h < pool.slabs().size(); ++h) {
+      if (pool.slabs()[h].partition != p) continue;
+      if (pool.slabs()[h].spilled) {
+        const std::uint64_t chunk = pool.slabs()[h].chunk;
+        auto restored = store->read(p, chunk);
+        std::vector<std::uint64_t> data = std::move(restored).value();
+        pool.charge_restored(data.size() * 8);
+        bucket.insert(bucket.end(), data.begin(), data.end());
+        pool.release_restored(data.size() * 8);
+        store->remove(p, chunk);
+      } else if (!pool.slabs()[h].data.empty()) {
+        const auto data = pool.take(h);
+        bucket.insert(bucket.end(), data.begin(), data.end());
+      }
+    }
+    if (bucket.empty()) continue;
+    algos::Vm vm(cfg);
+    const auto rs = algos::radix_sort(vm, bucket, kBits);
+    total_cycles += vm.cycles();
+    for (std::size_t i = 0; i < rs.sorted_keys.size(); ++i) {
+      if (i > 0 && rs.sorted_keys[i] < rs.sorted_keys[i - 1]) {
+        std::cerr << "STREAM SORT FAILED: partition " << p
+                  << " not sorted\n";
+        return obs.finish(exit_code(ErrorCode::kInternal));
+      }
+      drain_hash += util::mix64(rs.sorted_keys[i]);
+    }
+    const std::uint64_t lo = rs.sorted_keys.front();
+    if (have_prev && lo < prev_max) {
+      std::cerr << "STREAM SORT FAILED: partition " << p
+                << " overlaps its predecessor\n";
+      return obs.finish(exit_code(ErrorCode::kInternal));
+    }
+    prev_max = rs.sorted_keys.back();
+    have_prev = true;
+    total_elems += rs.sorted_keys.size();
+  }
+  if (total_elems != n || drain_hash != ingest_hash) {
+    std::cerr << "STREAM SORT FAILED: drained " << total_elems << "/" << n
+              << " elements, hash " << (drain_hash == ingest_hash ? "ok"
+                                                                  : "MISMATCH")
+              << "\n";
+    return obs.finish(exit_code(ErrorCode::kInternal));
+  }
+  std::cout << "STREAM SORT OK n=" << total_elems
+            << " cycles=" << total_cycles << " hash=" << drain_hash
+            << " peak_bytes=" << pool.peak_bytes()
+            << " spilled_bytes=" << pool.spilled_bytes() << "\n";
+  if (budget != 0 && pool.peak_bytes() > budget + slab_bytes)
+    raise(ErrorCode::kInternal, "MemoryInvariant violated in stream sort");
+  return obs.finish(0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dxbsp;
@@ -30,6 +176,9 @@ int main(int argc, char** argv) {
                 "Radix vs merge sort across key widths, plus the dart-throw "
                 "permutation; n = " + std::to_string(n) + ", machine = " +
                     cfg.name);
+
+  if (cli.has("stream"))
+    return bench::guarded([&] { return stream_sort(cli, cfg, n, seed, obs); });
 
   util::Table t({"key bits", "radix cycles", "radix cyc/elt",
                  "merge cycles", "merge cyc/elt", "merge/radix"});

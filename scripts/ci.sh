@@ -25,7 +25,16 @@
 #    drift-band tests rerun under the sanitizers, and
 #    scripts/bench_history.py must lint the committed BENCH_*.json
 #    baselines.
-# 6. Perf smoke (docs/performance.md): bench_perf_hotpath --quick on the
+# 6. Streaming smoke (docs/streaming.md): the out-of-core pressure
+#    bench's budget sweep must stay byte-equivalent to its in-RAM
+#    baseline; the same workload must complete under `ulimit -v` at
+#    probed-peak + 25%; injected ENOSPC must exit 69 (degraded) and a
+#    hung spill write must exit 75 (revoked by the stall watchdog), not
+#    crash or wedge; SIGKILL at the worst spill instant must leave an
+#    fsck-clean spill directory and resume byte-identically; the DXSPL1
+#    corruption fuzz (every truncation, every bit flip) runs under the
+#    sanitizers.
+# 7. Perf smoke (docs/performance.md): bench_perf_hotpath --quick on the
 #    plain (optimized) build must emit valid metrics JSON and its
 #    headline calendar/reference speedup must stay within 20% of the
 #    committed BENCH_4.json baseline (capped, so a fast dev host can't
@@ -55,6 +64,12 @@ echo "== chaos fault harness under sanitizers =="
 echo "== snapshot corruption fuzz under sanitizers =="
 ./build-ci-san/tests/resilience_test \
   --gtest_filter='Snapshot.*:Sweep.Resume*'
+
+echo "== spill corruption fuzz under sanitizers =="
+# Every truncation point and every single-bit flip of a DXSPL1 chunk,
+# plus the pressure-model model check, on attacker-shaped bytes.
+./build-ci-san/tests/stream_test \
+  --gtest_filter='SpillFuzz.*:SpillStore.*:PressureModel.*'
 
 echo "== kill-and-resume smoke =="
 SMOKE=$(mktemp -d)
@@ -217,14 +232,19 @@ echo "perf smoke passed"
 echo "== coordinator smoke (fleet mode) =="
 COORD=./build-ci/tools/sweep_coordinator
 
+# Serial baseline with exactly the worker invocation (no --trace: a
+# traced report carries a "timeline" section the untraced fleet merge
+# never has, so report1.json from the observability smoke is not a
+# valid baseline here).
+"$OBS_BENCH" "${OBS_ARGS[@]}" --report="$SMOKE/serial.json" > /dev/null
+
 # Healthy fleet: a 4-worker sharded fig4 sweep's merged report must be
-# byte-identical to the serial run's (report1.json from the
-# observability smoke, same workload flags).
+# byte-identical to the serial run's.
 "$COORD" --quiet --workers=4 --shards=4 --dir="$SMOKE/fleet" \
   --report="$SMOKE/fleet.json" \
   -- "$OBS_BENCH" "${OBS_ARGS[@]}" > "$SMOKE/fleet.txt"
 grep -q "FLEET completed" "$SMOKE/fleet.txt"
-cmp "$SMOKE/report1.json" "$SMOKE/fleet.json"
+cmp "$SMOKE/serial.json" "$SMOKE/fleet.json"
 echo "healthy 4-worker fleet report is byte-identical to the serial run"
 
 # Crash recovery: SIGKILL one worker mid-shard (deterministically, via
@@ -234,7 +254,7 @@ echo "healthy 4-worker fleet report is byte-identical to the serial run"
   --chaos='shard=1,attempt=0,phase=point:1,action=kill' \
   -- "$OBS_BENCH" "${OBS_ARGS[@]}" > "$SMOKE/fleet-kill.txt"
 grep -q "deaths=1" "$SMOKE/fleet-kill.txt"
-cmp "$SMOKE/report1.json" "$SMOKE/fleet-kill.json"
+cmp "$SMOKE/serial.json" "$SMOKE/fleet-kill.json"
 echo "fleet survives a mid-shard SIGKILL with byte-identical output"
 
 # Degraded path: a shard that dies at every lease grant must be
@@ -264,5 +284,85 @@ echo "coordinator scaling stays within the master-worker model band"
 ./build-ci-san/tests/svc_chaos_test > /dev/null
 ./build-ci-san/tests/svc_test > /dev/null
 echo "chaos harness is sanitizer-clean"
+
+echo "== streaming smoke (out-of-core, docs/streaming.md) =="
+STREAM=./build-ci/bench/bench_stream_pressure
+STREAM_ARGS=(--n=65536 --slab-bytes=8192 --seed=1995)
+
+# Budget sweep: the bench runs the same stream in RAM and at budgets of
+# 1/2, 1/4 and 1/8 of the data size, and itself fails on any checksum
+# divergence or MemoryInvariant violation.
+"$STREAM" "${STREAM_ARGS[@]}" --spill-dir="$SMOKE/stream-sweep" \
+  > "$SMOKE/stream-sweep.txt"
+grep -q "byte-equivalent to the in-RAM baseline" "$SMOKE/stream-sweep.txt"
+echo "budget sweep: spilled runs byte-equivalent, invariant held"
+
+# Bounded footprint under a hard address-space cap: probe the spilled
+# run's true VmPeak, then rerun the identical workload under
+# `ulimit -v` at peak + 25% and require byte-identical canonical output.
+"$STREAM" "${STREAM_ARGS[@]}" --mem-budget=65536 \
+  --spill-dir="$SMOKE/stream-probe" --out="$SMOKE/stream-probe.out" \
+  > "$SMOKE/stream-probe.txt"
+PEAK_KB=$(sed -n 's/.*vm_peak_kb=\([0-9]*\).*/\1/p' "$SMOKE/stream-probe.txt")
+CAP_KB=$(( PEAK_KB + PEAK_KB / 4 ))
+( ulimit -v "$CAP_KB"
+  exec "$STREAM" "${STREAM_ARGS[@]}" --mem-budget=65536 \
+    --spill-dir="$SMOKE/stream-capped" --out="$SMOKE/stream-capped.out" \
+    > /dev/null )
+cmp "$SMOKE/stream-probe.out" "$SMOKE/stream-capped.out"
+echo "streaming run completed under ulimit -v ${CAP_KB}kB (peak ${PEAK_KB}kB)"
+
+# A disk that is full and stays full must end the run with the
+# structured degraded outcome (exit 69), never a crash or a wedge.
+RC=0
+"$STREAM" "${STREAM_ARGS[@]}" --mem-budget=65536 \
+  --spill-dir="$SMOKE/stream-enospc" --faults=disk=enospc:1 \
+  --disk-retries=1 > "$SMOKE/stream-enospc.txt" || RC=$?
+if [[ "$RC" != 69 ]]; then
+  echo "streaming smoke: expected exit 69 on injected ENOSPC, got $RC" >&2
+  exit 1
+fi
+grep -q "STREAM DEGRADED" "$SMOKE/stream-enospc.txt"
+echo "injected ENOSPC degrades structurally (exit 69)"
+
+# A spill write that hangs forever must be revoked by the stall
+# watchdog: structured exit 75 with cause=stalled, not a wedged process.
+RC=0
+"$STREAM" "${STREAM_ARGS[@]}" --mem-budget=65536 \
+  --spill-dir="$SMOKE/stream-hang" --stall-timeout=0.25 \
+  --chaos='shard=0,attempt=0,phase=spill:1,action=hang' \
+  > "$SMOKE/stream-hang.txt" || RC=$?
+if [[ "$RC" != 75 ]]; then
+  echo "streaming smoke: expected exit 75 on hung spill, got $RC" >&2
+  exit 1
+fi
+grep -q "STREAM INTERRUPTED cause=stalled" "$SMOKE/stream-hang.txt"
+echo "hung spill write is revoked by the watchdog (exit 75)"
+
+# SIGKILL at the worst instant (spill tmp fsynced, rename pending),
+# then resume from the partition bank: output must be byte-identical to
+# the probe run above (same stream config, budgets don't matter).
+RC=0
+"$STREAM" "${STREAM_ARGS[@]}" --mem-budget=65536 \
+  --spill-dir="$SMOKE/stream-kill" --checkpoint="$SMOKE/stream-kill.snap" \
+  --chaos='shard=0,attempt=0,phase=spill:3,action=kill' \
+  > /dev/null 2>&1 || RC=$?
+if [[ "$RC" == 0 ]]; then
+  echo "streaming smoke: chaos kill did not fire" >&2
+  exit 1
+fi
+
+# The freshly-crashed spill directory must pass the offline integrity
+# check: a crash leaves orphaned *.tmp at worst, never a torn .spl chunk.
+./build-ci/tools/spill_fsck --dir="$SMOKE/stream-kill" \
+  > "$SMOKE/stream-fsck.txt"
+grep -q ", 0 bad," "$SMOKE/stream-fsck.txt"
+echo "post-crash spill directory is fsck-clean (no torn chunks)"
+
+"$STREAM" "${STREAM_ARGS[@]}" --mem-budget=65536 \
+  --spill-dir="$SMOKE/stream-kill" --checkpoint="$SMOKE/stream-kill.snap" \
+  --resume --out="$SMOKE/stream-resumed.out" > /dev/null
+cmp "$SMOKE/stream-probe.out" "$SMOKE/stream-resumed.out"
+echo "SIGKILL mid-spill resumes byte-identically from the partition bank"
 
 echo "ci.sh: all green"

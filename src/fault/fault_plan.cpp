@@ -48,6 +48,22 @@ double to_unit(std::uint64_t h) {
 
 }  // namespace
 
+const char* disk_fault_name(DiskFault f) noexcept {
+  switch (f) {
+    case DiskFault::kNone:
+      return "none";
+    case DiskFault::kSlow:
+      return "slow";
+    case DiskFault::kShortWrite:
+      return "short_write";
+    case DiskFault::kEnospc:
+      return "enospc";
+    case DiskFault::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
 void FaultConfig::validate() const {
   if (slow_fraction < 0.0 || slow_fraction > 1.0)
     raise(ErrorCode::kConfig, "FaultConfig: slow_fraction must be in [0,1]");
@@ -64,6 +80,12 @@ void FaultConfig::validate() const {
   if (retry.backoff_cap < retry.backoff_base)
     raise(ErrorCode::kConfig,
         "FaultConfig: backoff_cap must be >= backoff_base");
+  if (disk == DiskFault::kSlow && (disk_param == 0 || disk_param > 10000))
+    raise(ErrorCode::kConfig,
+          "FaultConfig: disk=slow:N needs N in [1, 10000] milliseconds");
+  if (disk == DiskFault::kEnospc && disk_param == 0)
+    raise(ErrorCode::kConfig,
+          "FaultConfig: disk=enospc:K needs K >= 1 (fail from the K-th chunk)");
 }
 
 FaultConfig FaultConfig::parse(const std::string& spec) {
@@ -120,6 +142,39 @@ FaultConfig FaultConfig::parse(const std::string& spec) {
         cfg.retry.backoff_cap = as_int();
       } else if (key == "jitter") {
         cfg.retry.jitter = as_int();
+      } else if (key == "disk") {
+        // disk=slow:N | short_write | enospc:K | corrupt
+        const std::size_t colon = value.find(':');
+        const std::string mode = value.substr(0, colon);
+        const std::string param =
+            colon == std::string::npos ? "" : value.substr(colon + 1);
+        auto param_int = [&]() -> std::uint64_t {
+          try {
+            std::size_t used = 0;
+            const std::uint64_t v = std::stoull(param, &used);
+            if (used != param.size()) throw std::invalid_argument(param);
+            return v;
+          } catch (const std::exception&) {
+            raise(ErrorCode::kParse,
+                  "FaultConfig::parse: bad disk parameter '" + param +
+                      "' in 'disk=" + value + "'");
+          }
+        };
+        if (mode == "slow") {
+          cfg.disk = DiskFault::kSlow;
+          cfg.disk_param = param_int();
+        } else if (mode == "short_write" && param.empty()) {
+          cfg.disk = DiskFault::kShortWrite;
+        } else if (mode == "enospc") {
+          cfg.disk = DiskFault::kEnospc;
+          cfg.disk_param = param_int();
+        } else if (mode == "corrupt" && param.empty()) {
+          cfg.disk = DiskFault::kCorrupt;
+        } else {
+          raise(ErrorCode::kParse,
+                "FaultConfig::parse: unknown disk fault '" + value +
+                    "' (want slow:N, short_write, enospc:K or corrupt)");
+        }
       } else {
         raise(ErrorCode::kParse, "FaultConfig::parse: unknown key '" + key +
                                     "'");
@@ -136,7 +191,9 @@ FaultPlan::FaultPlan(const FaultConfig& cfg, std::uint64_t num_banks)
     : num_banks_(num_banks),
       seed_(cfg.seed),
       drop_rate_(cfg.drop_rate),
-      retry_(cfg.retry) {
+      retry_(cfg.retry),
+      disk_(cfg.disk),
+      disk_param_(cfg.disk_param) {
   cfg.validate();
   if (num_banks == 0)
     raise(ErrorCode::kConfig, "FaultPlan: need at least one bank");
@@ -302,6 +359,8 @@ std::uint64_t FaultPlan::fingerprint() const noexcept {
   word(retry_.backoff_base);
   word(retry_.backoff_cap);
   word(retry_.jitter);
+  word(static_cast<std::uint64_t>(disk_));
+  word(disk_param_);
   for (const auto& w : slow_) {
     word(w.bank);
     word(w.onset);

@@ -47,6 +47,21 @@ struct RetryPolicy {
   std::uint64_t jitter = 8;          ///< deterministic jitter in [0, jitter]
 };
 
+/// Injected failure mode of the spill device (stream::SpillStore). The
+/// memory-system faults above degrade the simulated machine; disk faults
+/// degrade the host-side spill tier the streaming executor leans on, and
+/// must surface as bounded retries and structured Errors, never a crash
+/// or a silently short file (docs/streaming.md §failure modes).
+enum class DiskFault : std::uint8_t {
+  kNone,
+  kSlow,        ///< every write stalls for disk_param milliseconds
+  kShortWrite,  ///< every write() syscall lands only part of its bytes
+  kEnospc,      ///< writes fail as ENOSPC from the disk_param-th chunk on
+  kCorrupt,     ///< every chunk's payload is bit-flipped after the CRC
+};
+
+[[nodiscard]] const char* disk_fault_name(DiskFault f) noexcept;
+
 /// Scenario description; FaultPlan draws the affected banks from it.
 struct FaultConfig {
   std::uint64_t seed = 1;
@@ -62,9 +77,19 @@ struct FaultConfig {
   double drop_rate = 0.0;  ///< per-attempt NACK probability
   RetryPolicy retry;
 
-  /// True iff the config describes any fault at all.
+  DiskFault disk = DiskFault::kNone;  ///< spill-device failure mode
+  std::uint64_t disk_param = 0;       ///< slow: ms per write; enospc: chunks
+
+  /// True iff the config describes any memory-system fault (the modes
+  /// Machine must run fault-aware for). Disk faults are deliberately not
+  /// included: they live on the spill path, not the simulated machine.
   [[nodiscard]] bool any() const noexcept {
     return slow_fraction > 0.0 || dead_fraction > 0.0 || drop_rate > 0.0;
+  }
+
+  /// True iff the config injects a spill-device fault.
+  [[nodiscard]] bool disk_any() const noexcept {
+    return disk != DiskFault::kNone;
   }
 
   /// Throws Error{kConfig} if any parameter is out of range.
@@ -73,7 +98,8 @@ struct FaultConfig {
   /// Parses a fault spec string of comma-separated key=value pairs, e.g.
   /// "drop=0.01,slow=0.25,slow-mult=4,dead=0.125,seed=7". Keys: seed,
   /// slow, slow-mult, slow-onset, slow-dur, dead, dead-onset, drop,
-  /// retries, backoff, backoff-cap, jitter. Throws Error{kParse}
+  /// retries, backoff, backoff-cap, jitter, and the disk grammar
+  /// disk=slow:N | short_write | enospc:K | corrupt. Throws Error{kParse}
   /// on unknown keys or bad values; the result is validate()d.
   [[nodiscard]] static FaultConfig parse(const std::string& spec);
 };
@@ -136,6 +162,12 @@ class FaultPlan {
   [[nodiscard]] std::uint64_t num_banks() const noexcept { return num_banks_; }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
   [[nodiscard]] double drop_rate() const noexcept { return drop_rate_; }
+  /// Spill-device failure mode (consumed by stream::SpillStore, which
+  /// turns it into bounded retries / typed Errors; docs/streaming.md).
+  [[nodiscard]] DiskFault disk_fault() const noexcept { return disk_; }
+  [[nodiscard]] std::uint64_t disk_param() const noexcept {
+    return disk_param_;
+  }
   [[nodiscard]] const RetryPolicy& retry() const noexcept { return retry_; }
   [[nodiscard]] const std::vector<SlowWindow>& slow_windows() const noexcept {
     return slow_;
@@ -194,6 +226,8 @@ class FaultPlan {
   std::uint64_t seed_ = 1;
   double drop_rate_ = 0.0;
   RetryPolicy retry_;
+  DiskFault disk_ = DiskFault::kNone;
+  std::uint64_t disk_param_ = 0;
   std::vector<SlowWindow> slow_;    // sorted by bank
   std::vector<BankDeath> deaths_;   // sorted by bank
   std::vector<std::uint32_t> slow_begin_;  // per-bank offsets into slow_

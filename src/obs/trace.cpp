@@ -21,6 +21,10 @@ const char* trace_kind_name(TraceKind k) noexcept {
       return "retry";
     case TraceKind::kFailover:
       return "failover";
+    case TraceKind::kSpill:
+      return "spill";
+    case TraceKind::kBackPressure:
+      return "back_pressure";
   }
   return "?";
 }
@@ -155,6 +159,18 @@ void write_event(JsonWriter& w, std::uint64_t pid, const TraceEvent& ev) {
       w.key("args").begin_object();
       w.member("bank", ev.a);
       w.member("spare", ev.b);
+      w.end_object();
+      break;
+    case TraceKind::kSpill:
+    case TraceKind::kBackPressure:
+      // Streaming-executor spans: the "clock" is the slab sequence
+      // number, one lane for the whole spill tier.
+      w.member("ph", "X");
+      w.member("tid", kBankLaneBase * 2);
+      w.member("dur", ev.dur);
+      w.key("args").begin_object();
+      w.member("partition", ev.a);
+      w.member("bytes", ev.b);
       w.end_object();
       break;
   }

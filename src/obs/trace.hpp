@@ -44,8 +44,14 @@ enum class TraceKind : std::uint8_t {
   kNack,        ///< instant: attempt rejected; a = element, b = attempt
   kRetry,       ///< instant: re-issue scheduled; a = element, b = attempt
   kFailover,    ///< instant: redirected off a dead bank; a = bank, b = spare
+  kSpill,       ///< span: one spill-chunk write (ts/dur in slab sequence
+                ///< numbers, the streaming executor's clock); a = partition,
+                ///< b = bytes
+  kBackPressure,///< span: producer stalled over-budget while partitions
+                ///< evicted (slab-sequence clock); a = victim partition,
+                ///< b = bytes freed
 };
-inline constexpr std::size_t kTraceKinds = 7;
+inline constexpr std::size_t kTraceKinds = 9;
 
 [[nodiscard]] const char* trace_kind_name(TraceKind k) noexcept;
 

@@ -1,0 +1,96 @@
+#pragma once
+// The spilling / back-pressure state machine of the streaming executor,
+// ported from the `SpillingSimple.tla` model (SNIPPETS.md, Snippet 3).
+//
+// TLA variable -> field mapping:
+//   memory_used   -> memory_used (bytes instead of abstract batches)
+//   MAX_MEMORY    -> budget
+//   spilling      -> spilling (sticky once set, exactly as in the model)
+//   back_pressure -> back_pressure (recomputed as memory_used > budget
+//                    after every transition — the CheckBackPressure macro)
+//   InputReceived_Build/Probe -> admit() (a producer lands one batch)
+//   the on-disk partition moves -> evict()
+//   downstream consumption      -> release()
+//
+// The model's MemoryInvariant is
+//   memory_used <= MAX_MEMORY + PARTITIONS * THREADS
+// i.e. budget plus the largest amount producers can land between two
+// back-pressure checks. Here a single producer admits one slab at a time,
+// so the slack is one slab: memory_used <= budget + slack with
+// slack = max admitted batch size. invariant() is asserted by the
+// executor after every transition (Error{kInternal} on violation — a
+// library bug, never workload-dependent) and exhaustively model-checked
+// over every interleaving of build/probe arrivals at tiny budgets in
+// tests/stream_test.cpp.
+//
+// The struct is deliberately pure (no I/O, no allocation): the executor
+// embeds one as its accounting brain, and the property tests drive the
+// very same code over every reachable state.
+
+#include <cstdint>
+
+#include "resilience/error.hpp"
+
+namespace dxbsp::stream {
+
+struct PressureModel {
+  std::uint64_t budget = 0;  ///< MAX_MEMORY: the hard byte budget
+  std::uint64_t slack = 0;   ///< largest single admit() the producer makes
+
+  std::uint64_t memory_used = 0;
+  bool spilling = false;       ///< latched on first over-budget admit
+  bool back_pressure = false;  ///< producers must stall while set
+
+  std::uint64_t peak = 0;           ///< high-water memory_used
+  std::uint64_t spilled_bytes = 0;  ///< total evicted to disk
+
+  /// MemoryInvariant of the TLA model.
+  [[nodiscard]] bool invariant() const noexcept {
+    return memory_used <= budget + slack;
+  }
+
+  /// A producer lands `bytes` (<= slack). Callers must not admit while
+  /// back_pressure is set — the executor stalls the producer and evicts
+  /// until the pressure clears; the property test checks that the
+  /// invariant holds anyway on every legal interleaving.
+  void admit(std::uint64_t bytes) {
+    if (bytes > slack)
+      raise(ErrorCode::kInternal,
+            "PressureModel: admit larger than the declared slack");
+    memory_used += bytes;
+    if (memory_used > peak) peak = memory_used;
+    if (memory_used > budget) {
+      spilling = true;  // sticky, as in the TLA model
+      back_pressure = true;
+    }
+    check_back_pressure();
+  }
+
+  /// `bytes` were spilled to disk and freed from memory.
+  void evict(std::uint64_t bytes) {
+    sub(bytes, "evict");
+    spilled_bytes += bytes;
+    check_back_pressure();
+  }
+
+  /// `bytes` were consumed downstream and freed from memory.
+  void release(std::uint64_t bytes) {
+    sub(bytes, "release");
+    check_back_pressure();
+  }
+
+  /// The CheckBackPressure macro of the model.
+  void check_back_pressure() noexcept {
+    back_pressure = memory_used > budget;
+  }
+
+ private:
+  void sub(std::uint64_t bytes, const char* what) {
+    if (bytes > memory_used)
+      raise(ErrorCode::kInternal,
+            std::string("PressureModel: ") + what + " of more bytes than held");
+    memory_used -= bytes;
+  }
+};
+
+}  // namespace dxbsp::stream

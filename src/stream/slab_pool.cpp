@@ -1,0 +1,99 @@
+#include "stream/slab_pool.hpp"
+
+#include <algorithm>
+
+namespace dxbsp::stream {
+
+SlabPool::SlabPool(std::uint64_t budget_bytes, std::uint64_t slab_bytes) {
+  if (slab_bytes == 0)
+    raise(ErrorCode::kConfig, "SlabPool: slab size must be >= 1 byte");
+  model_.budget = budget_bytes;
+  model_.slack = slab_bytes;
+}
+
+std::size_t SlabPool::admit(std::uint64_t slab_index, std::uint64_t partition,
+                            std::vector<std::uint64_t> data) {
+  Slab slab;
+  slab.index = slab_index;
+  slab.partition = partition;
+  slab.count = data.size();
+  slab.data = std::move(data);
+  const std::uint64_t bytes = slab.bytes();
+  if (partition >= resident_bytes_.size())
+    resident_bytes_.resize(partition + 1, 0);
+  resident_bytes_[partition] += bytes;
+  slabs_.push_back(std::move(slab));
+  model_.admit(bytes);
+  assert_invariant("admit");
+  return slabs_.size() - 1;
+}
+
+std::optional<std::uint64_t> SlabPool::victim_partition() const {
+  std::optional<std::uint64_t> best;
+  std::uint64_t best_bytes = 0;
+  for (std::uint64_t p = 0; p < resident_bytes_.size(); ++p) {
+    if (resident_bytes_[p] > best_bytes) {
+      best_bytes = resident_bytes_[p];
+      best = p;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> SlabPool::resident_of(std::uint64_t partition) const {
+  std::vector<std::size_t> out;
+  for (std::size_t h = 0; h < slabs_.size(); ++h) {
+    const Slab& s = slabs_[h];
+    if (s.partition == partition && !s.spilled && !s.data.empty())
+      out.push_back(h);
+  }
+  return out;
+}
+
+void SlabPool::mark_spilled(std::size_t handle, std::uint64_t chunk) {
+  Slab& s = slabs_.at(handle);
+  if (s.spilled || s.data.empty())
+    raise(ErrorCode::kInternal, "SlabPool: spilling a non-resident slab");
+  const std::uint64_t bytes = s.bytes();
+  s.spilled = true;
+  s.chunk = chunk;
+  s.data.clear();
+  s.data.shrink_to_fit();
+  resident_bytes_[s.partition] -= bytes;
+  model_.evict(bytes);
+  assert_invariant("mark_spilled");
+}
+
+std::vector<std::uint64_t> SlabPool::take(std::size_t handle) {
+  Slab& s = slabs_.at(handle);
+  if (s.spilled || s.data.empty())
+    raise(ErrorCode::kInternal, "SlabPool: taking a non-resident slab");
+  std::vector<std::uint64_t> out = std::move(s.data);
+  s.data.clear();
+  s.data.shrink_to_fit();
+  resident_bytes_[s.partition] -= s.bytes();
+  model_.release(s.bytes());
+  assert_invariant("take");
+  return out;
+}
+
+void SlabPool::charge_restored(std::uint64_t bytes) {
+  model_.admit(bytes);
+  assert_invariant("charge_restored");
+}
+
+void SlabPool::release_restored(std::uint64_t bytes) {
+  model_.release(bytes);
+  assert_invariant("release_restored");
+}
+
+void SlabPool::assert_invariant(const char* where) const {
+  if (!model_.invariant())
+    raise(ErrorCode::kInternal,
+          std::string("SlabPool: MemoryInvariant violated after ") + where +
+              " (used " + std::to_string(model_.memory_used) + " > budget " +
+              std::to_string(model_.budget) + " + slack " +
+              std::to_string(model_.slack) + ")");
+}
+
+}  // namespace dxbsp::stream

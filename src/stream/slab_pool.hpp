@@ -1,0 +1,103 @@
+#pragma once
+// Bounded-memory slab staging for the streaming executor.
+//
+// A slab is one producer batch: a contiguous run of stream elements,
+// assigned to a spill partition. The pool owns every staged slab's
+// buffer and a PressureModel doing the byte accounting against a hard
+// budget; the MemoryInvariant (memory_used <= budget + slack, slack =
+// one slab) is asserted after every mutation — a violation is
+// Error{kInternal}, because it can only be a library bug, never a
+// property of the workload.
+//
+// The pool itself never touches disk: the executor asks it which
+// partition to evict (victim_partition: most resident bytes, ties to the
+// lowest id — deterministic, so a crash-resume re-ingests into exactly
+// the same spill layout) and tells it when a slab's bytes moved to the
+// SpillStore (mark_spilled) or were consumed (take / release_restored).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stream/pressure.hpp"
+
+namespace dxbsp::stream {
+
+/// Sentinel for "no budget": the pool never spills.
+inline constexpr std::uint64_t kUnlimitedBudget = ~0ULL / 4;
+
+struct Slab {
+  std::uint64_t index = 0;      ///< global production sequence number
+  std::uint64_t partition = 0;  ///< spill partition this slab belongs to
+  std::uint64_t count = 0;      ///< element count (survives eviction)
+  std::uint64_t chunk = 0;      ///< spill chunk id once spilled
+  bool spilled = false;
+  std::vector<std::uint64_t> data;  ///< empty once spilled or taken
+
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return count * sizeof(std::uint64_t);
+  }
+};
+
+class SlabPool {
+ public:
+  /// budget_bytes = kUnlimitedBudget disables spilling pressure;
+  /// slab_bytes is the declared slack (largest single admit).
+  SlabPool(std::uint64_t budget_bytes, std::uint64_t slab_bytes);
+
+  /// Stages a produced slab (takes ownership of the buffer). Returns the
+  /// pool-internal slab handle (an index into slabs()).
+  std::size_t admit(std::uint64_t slab_index, std::uint64_t partition,
+                    std::vector<std::uint64_t> data);
+
+  /// True while memory_used > budget: producers must stall and the
+  /// executor must evict until this clears.
+  [[nodiscard]] bool over_budget() const noexcept {
+    return model_.back_pressure;
+  }
+
+  /// The partition to evict next: most resident bytes, ties to the
+  /// lowest id. Empty when nothing is resident.
+  [[nodiscard]] std::optional<std::uint64_t> victim_partition() const;
+
+  /// Handles of the resident (in-memory, un-taken) slabs of `partition`,
+  /// in production order.
+  [[nodiscard]] std::vector<std::size_t> resident_of(
+      std::uint64_t partition) const;
+
+  /// The slab's bytes were written to the spill store as `chunk`: frees
+  /// the buffer and credits the model's evict path.
+  void mark_spilled(std::size_t handle, std::uint64_t chunk);
+
+  /// Moves a resident slab's buffer out for consumption, releasing its
+  /// bytes from the accounting.
+  [[nodiscard]] std::vector<std::uint64_t> take(std::size_t handle);
+
+  /// A spilled chunk was restored into (executor-owned) memory — charge
+  /// it while it is being processed, then release it. Restores go
+  /// through the same invariant as admits.
+  void charge_restored(std::uint64_t bytes);
+  void release_restored(std::uint64_t bytes);
+
+  [[nodiscard]] const std::vector<Slab>& slabs() const noexcept {
+    return slabs_;
+  }
+  [[nodiscard]] const PressureModel& pressure() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] std::uint64_t peak_bytes() const noexcept {
+    return model_.peak;
+  }
+  [[nodiscard]] std::uint64_t spilled_bytes() const noexcept {
+    return model_.spilled_bytes;
+  }
+
+ private:
+  void assert_invariant(const char* where) const;
+
+  PressureModel model_;
+  std::vector<Slab> slabs_;
+  std::vector<std::uint64_t> resident_bytes_;  // per partition (grown lazily)
+};
+
+}  // namespace dxbsp::stream

@@ -1,0 +1,320 @@
+#include "stream/spill_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "resilience/snapshot.hpp"  // resilience::crc32
+
+namespace dxbsp::stream {
+
+namespace {
+
+constexpr std::array<unsigned char, 6> kSpillMagic = {'D', 'X', 'S',
+                                                      'P', 'L', '1'};
+// CRC covers every byte after the CRC field itself.
+constexpr std::size_t kCrcAt = kSpillMagic.size() + sizeof(std::uint16_t);
+constexpr std::size_t kCrcBodyAt = kCrcAt + sizeof(std::uint32_t);
+
+static_assert(std::endian::native == std::endian::little,
+              "spill format assumes a little-endian host");
+
+void put_u16(std::vector<unsigned char>& out, std::uint16_t v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+std::uint16_t read_u16(const unsigned char* p) {
+  std::uint16_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint32_t read_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t read_u64(const unsigned char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+Error corrupt(const std::string& origin, const std::string& why) {
+  return Error(ErrorCode::kCorruptSnapshot, origin + ": " + why);
+}
+
+}  // namespace
+
+SpillStore::SpillStore(SpillOptions opt) : opt_(std::move(opt)) {
+  if (opt_.dir.empty())
+    raise(ErrorCode::kConfig, "SpillStore: empty spill directory");
+  std::error_code ec;
+  std::filesystem::create_directories(opt_.dir, ec);
+  if (ec)
+    raise(ErrorCode::kIo, "SpillStore: cannot create " + opt_.dir + ": " +
+                              ec.message());
+  // A crash between fsync and rename leaves a *.tmp behind; it is by
+  // construction redundant (its chunk is either fully renamed or will be
+  // re-spilled after resume), so sweep them instead of guessing.
+  for (const auto& entry : std::filesystem::directory_iterator(opt_.dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".tmp") {
+      std::filesystem::remove(entry.path(), ec);
+      ++orphans_cleaned_;
+    }
+  }
+  if (orphans_cleaned_ > 0)
+    obs::MetricsRegistry::global()
+        .counter("spill.orphans_cleaned", obs::Stability::kHost)
+        .add(orphans_cleaned_);
+}
+
+std::string SpillStore::chunk_path(std::uint64_t partition,
+                                   std::uint64_t chunk) const {
+  return opt_.dir + "/p" + std::to_string(partition) + "-c" +
+         std::to_string(chunk) + ".spl";
+}
+
+std::vector<unsigned char> SpillStore::encode(
+    std::uint64_t stream_id, std::uint64_t partition, std::uint64_t chunk,
+    std::span<const std::uint64_t> data) {
+  std::vector<unsigned char> out;
+  out.reserve(kSpillHeaderBytes + data.size() * sizeof(std::uint64_t));
+  out.insert(out.end(), kSpillMagic.begin(), kSpillMagic.end());
+  put_u16(out, static_cast<std::uint16_t>(kSpillVersion));
+  put_u32(out, 0);  // CRC placeholder, patched below
+  put_u64(out, stream_id);
+  put_u64(out, partition);
+  put_u64(out, chunk);
+  put_u64(out, data.size());
+  for (const std::uint64_t v : data) put_u64(out, v);
+  const std::uint32_t crc =
+      resilience::crc32(std::span(out).subspan(kCrcBodyAt));
+  std::memcpy(out.data() + kCrcAt, &crc, sizeof(crc));
+  return out;
+}
+
+Expected<SpillChunk> SpillStore::parse(std::span<const unsigned char> bytes,
+                                       const std::string& origin) {
+  if (bytes.size() < kSpillHeaderBytes)
+    return corrupt(origin, "file shorter than the spill header (" +
+                               std::to_string(bytes.size()) + " bytes)");
+  if (!std::equal(kSpillMagic.begin(), kSpillMagic.end(), bytes.begin()))
+    return corrupt(origin, "bad magic (not a dxbsp spill chunk)");
+  const std::uint16_t version = read_u16(bytes.data() + kSpillMagic.size());
+  if (version != kSpillVersion)
+    return corrupt(origin, "unsupported spill version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kSpillVersion) + ")");
+  const std::uint32_t stored_crc = read_u32(bytes.data() + kCrcAt);
+  const unsigned char* p = bytes.data() + kCrcBodyAt;
+  SpillChunk out;
+  out.stream_id = read_u64(p);
+  out.partition = read_u64(p + 8);
+  out.chunk = read_u64(p + 16);
+  const std::uint64_t count = read_u64(p + 24);
+
+  // The header count is untrusted: bound it by the bytes actually
+  // present before believing it (no allocation sized from the header).
+  const std::uint64_t payload = bytes.size() - kSpillHeaderBytes;
+  if (count > payload / sizeof(std::uint64_t) ||
+      payload != count * sizeof(std::uint64_t))
+    return corrupt(origin, "header claims " + std::to_string(count) +
+                               " elements but file holds " +
+                               std::to_string(payload) + " payload bytes");
+
+  const std::uint32_t actual_crc =
+      resilience::crc32(bytes.subspan(kCrcBodyAt));
+  if (actual_crc != stored_crc)
+    return corrupt(origin, "CRC mismatch (stored " +
+                               std::to_string(stored_crc) + ", computed " +
+                               std::to_string(actual_crc) + ")");
+
+  out.data.reserve(count);
+  const unsigned char* elem = bytes.data() + kSpillHeaderBytes;
+  for (std::uint64_t i = 0; i < count; ++i, elem += sizeof(std::uint64_t))
+    out.data.push_back(read_u64(elem));
+  return out;
+}
+
+void SpillStore::write(std::uint64_t partition, std::uint64_t chunk,
+                       std::span<const std::uint64_t> data) {
+  const std::uint64_t ordinal = ++write_seq_;
+  const fault::DiskFault fault = (opt_.faults != nullptr)
+                                     ? opt_.faults->disk_fault()
+                                     : fault::DiskFault::kNone;
+  const std::uint64_t fault_param =
+      (opt_.faults != nullptr) ? opt_.faults->disk_param() : 0;
+
+  // disk=slow:N — the device answers, just late. Sleep in small steps
+  // polling the cancel token so an attached Deadline/Watchdog can revoke
+  // a pathologically slow spill instead of waiting it out.
+  if (fault == fault::DiskFault::kSlow) {
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(fault_param);
+    while (std::chrono::steady_clock::now() < until) {
+      if (opt_.cancel != nullptr)
+        opt_.cancel->raise_if_expired("spill write (slow disk)");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  std::vector<unsigned char> bytes =
+      encode(opt_.stream_id, partition, chunk, data);
+  // disk=corrupt — the device acks bytes it did not store faithfully:
+  // flip one payload bit after the CRC was computed, so the damage is
+  // invisible to write() and caught by the first read-back validation.
+  if (fault == fault::DiskFault::kCorrupt && !bytes.empty())
+    bytes.back() ^= 0x01U;
+
+  const std::string path = chunk_path(partition, chunk);
+  const std::string tmp = path + ".tmp";
+  const std::uint64_t attempts = opt_.write_retries + 1;
+  std::string last_error;
+
+  for (std::uint64_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++write_retries_used_;
+      obs::MetricsRegistry::global().counter("spill.write_retries").add(1);
+    }
+    if (opt_.cancel != nullptr)
+      opt_.cancel->raise_if_expired("spill write");
+
+    // disk=enospc:K — writes succeed until the K-th chunk, then the
+    // device is full forever: every attempt fails the same way and the
+    // bounded retry loop converts it into a typed Error{kIo}.
+    if (fault == fault::DiskFault::kEnospc && ordinal >= fault_param) {
+      last_error = std::string("write failed for ") + tmp + ": " +
+                   std::strerror(ENOSPC) + " (injected)";
+      continue;
+    }
+
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      last_error = "cannot open " + tmp + ": " + std::strerror(errno);
+      continue;
+    }
+    bool failed = false;
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      std::size_t want = bytes.size() - written;
+      // disk=short_write — every syscall stores only part of what was
+      // asked (at least one byte, so the loop always makes progress and
+      // always terminates); exercises the partial-write path constantly.
+      if (fault == fault::DiskFault::kShortWrite)
+        want = std::max<std::size_t>(1, want / 2);
+      const ssize_t n = ::write(fd, bytes.data() + written, want);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        last_error = "write failed for " + tmp + ": " + std::strerror(errno);
+        failed = true;
+        break;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (!failed && ::fsync(fd) != 0) {
+      last_error = "fsync failed for " + tmp + ": " + std::strerror(errno);
+      failed = true;
+    }
+    if (::close(fd) != 0 && !failed) {
+      last_error = "close failed for " + tmp + ": " + std::strerror(errno);
+      failed = true;
+    }
+    if (failed) {
+      std::remove(tmp.c_str());  // best-effort: never leave a torn tmp
+      continue;
+    }
+
+    // The worst crash point a spill tier has: tmp durable, rename
+    // pending. phase=spill:K chaos fires here so crash tests land on
+    // exactly this state every run.
+    if (opt_.chaos != nullptr) {
+      const svc::ChaosEvent* ev = opt_.chaos->match(
+          opt_.chaos_shard, opt_.chaos_attempt, svc::ChaosPhase::kSpill,
+          ordinal);
+      if (ev != nullptr) {
+        if (ev->action == svc::ChaosAction::kHang && opt_.cancel != nullptr) {
+          // In-process hang: stop heartbeating and wait for the stall
+          // watchdog to revoke us (kStalled -> Error{kInterrupted}).
+          while (true) {
+            opt_.cancel->raise_if_expired("spill write (chaos hang)");
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        }
+        svc::chaos_execute(*ev);  // kill / exit / detached hang
+      }
+    }
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      last_error =
+          "rename " + tmp + " -> " + path + " failed: " + std::strerror(errno);
+      std::remove(tmp.c_str());
+      continue;
+    }
+    ++chunks_written_;
+    bytes_written_ += bytes.size();
+    auto& reg = obs::MetricsRegistry::global();
+    reg.counter("spill.chunks_written").add(1);
+    reg.counter("spill.bytes_written").add(bytes.size());
+    return;
+  }
+  raise(ErrorCode::kIo, "SpillStore: giving up after " +
+                            std::to_string(attempts) + " attempts: " +
+                            last_error);
+}
+
+Expected<std::vector<std::uint64_t>> SpillStore::read(
+    std::uint64_t partition, std::uint64_t chunk) const {
+  const std::string path = chunk_path(partition, chunk);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Error(ErrorCode::kIo, "SpillStore: cannot open " + path);
+  std::vector<unsigned char> bytes((std::istreambuf_iterator<char>(is)),
+                                   std::istreambuf_iterator<char>());
+  if (is.bad())
+    return Error(ErrorCode::kIo, "SpillStore: read failed for " + path);
+  Expected<SpillChunk> parsed = parse(bytes, path);
+  if (!parsed) return parsed.error();
+  const SpillChunk& c = parsed.value();
+  if (c.stream_id != opt_.stream_id)
+    return corrupt(path, "chunk belongs to stream " +
+                             std::to_string(c.stream_id) + ", expected " +
+                             std::to_string(opt_.stream_id));
+  if (c.partition != partition || c.chunk != chunk)
+    return corrupt(path, "chunk labelled p" + std::to_string(c.partition) +
+                             "-c" + std::to_string(c.chunk) +
+                             " found under p" + std::to_string(partition) +
+                             "-c" + std::to_string(chunk));
+  auto* self = const_cast<SpillStore*>(this);
+  ++self->chunks_read_;
+  obs::MetricsRegistry::global().counter("spill.chunks_read").add(1);
+  return std::move(parsed).value().data;
+}
+
+void SpillStore::remove(std::uint64_t partition, std::uint64_t chunk) noexcept {
+  std::remove(chunk_path(partition, chunk).c_str());
+}
+
+}  // namespace dxbsp::stream

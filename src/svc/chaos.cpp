@@ -72,6 +72,11 @@ ChaosPlan ChaosPlan::parse(const std::string& spec) {
           ev.point = parse_u64(value.substr(6), "point index");
           if (ev.point == 0)
             raise(ErrorCode::kParse, "chaos: point index must be >= 1");
+        } else if (value.rfind("spill:", 0) == 0) {
+          ev.phase = ChaosPhase::kSpill;
+          ev.point = parse_u64(value.substr(6), "spill index");
+          if (ev.point == 0)
+            raise(ErrorCode::kParse, "chaos: spill index must be >= 1");
         } else {
           raise(ErrorCode::kParse, "chaos: unknown phase '" + value + "'");
         }
@@ -107,7 +112,9 @@ const ChaosEvent* ChaosPlan::match(std::uint64_t shard, std::uint64_t attempt,
     if (ev.shard != shard) continue;
     if (ev.attempt && *ev.attempt != attempt) continue;
     if (ev.phase != phase) continue;
-    if (phase == ChaosPhase::kPoint && ev.point != point) continue;
+    if ((phase == ChaosPhase::kPoint || phase == ChaosPhase::kSpill) &&
+        ev.point != point)
+      continue;
     return &ev;
   }
   return nullptr;

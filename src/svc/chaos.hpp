@@ -12,11 +12,14 @@
 //   shard=I         which shard the event applies to (required)
 //   attempt=A       which lease attempt (default: every attempt —
 //                   a permanently-failing shard, the quarantine path)
-//   phase=lease | point:K | result
+//   phase=lease | point:K | result | spill:K
 //                   where in the protocol: right after the lease is
 //                   validated, after the K-th point of this attempt
-//                   completes (checkpoint + partials on disk), or just
-//                   before the result message is written
+//                   completes (checkpoint + partials on disk), just
+//                   before the result message is written, or — for the
+//                   streaming executor — mid-way through the K-th spill
+//                   chunk (tmp written and fsynced, rename still
+//                   pending: the worst crash point a spill tier has)
 //   action=kill | exit:N | hang
 //                   SIGKILL yourself, exit with code N, or stop making
 //                   progress until the coordinator's heartbeat timeout
@@ -30,14 +33,14 @@
 
 namespace dxbsp::svc {
 
-enum class ChaosPhase : std::uint8_t { kLease, kPoint, kResult };
+enum class ChaosPhase : std::uint8_t { kLease, kPoint, kResult, kSpill };
 enum class ChaosAction : std::uint8_t { kKill, kExit, kHang };
 
 struct ChaosEvent {
   std::uint64_t shard = 0;
   std::optional<std::uint64_t> attempt;  ///< nullopt = every attempt
   ChaosPhase phase = ChaosPhase::kLease;
-  std::uint64_t point = 0;  ///< for kPoint: fire after this many points
+  std::uint64_t point = 0;  ///< for kPoint/kSpill: fire at this ordinal
   ChaosAction action = ChaosAction::kKill;
   int exit_code = 70;  ///< for kExit
 };

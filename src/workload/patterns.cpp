@@ -149,4 +149,24 @@ void shuffle(std::vector<std::uint64_t>& xs, std::uint64_t seed) {
   }
 }
 
+std::uint64_t stream_element(std::uint64_t seed, std::uint64_t i,
+                             std::uint64_t space, std::uint64_t hot_every) {
+  if (space == 0)
+    throw std::invalid_argument("stream_element: space must be >= 1");
+  if (hot_every != 0 && i % hot_every == 0) return 0;
+  const std::uint64_t h = util::mix64(util::substream(seed, 7) ^ util::mix64(i));
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(h) * space) >> 64);
+}
+
+std::vector<std::uint64_t> stream_slab(std::uint64_t seed, std::uint64_t begin,
+                                       std::uint64_t count, std::uint64_t space,
+                                       std::uint64_t hot_every) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i)
+    out.push_back(stream_element(seed, begin + i, space, hot_every));
+  return out;
+}
+
 }  // namespace dxbsp::workload

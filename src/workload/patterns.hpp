@@ -67,4 +67,32 @@ namespace dxbsp::workload {
 /// several generators and algorithms need exactly this, deterministically).
 void shuffle(std::vector<std::uint64_t>& xs, std::uint64_t seed);
 
+// ---- Slab-wise (out-of-core) generators --------------------------------
+//
+// The generators above materialize the whole trace, so a billion-element
+// workload would need the very memory budget the streaming executor
+// exists to avoid. Stream generators are counter-based instead: element
+// i is a pure O(1) function of (seed, i), so any slab [begin, begin+count)
+// of the logical trace can be produced independently, in any order, and
+// twice if a crash-resume re-ingests it — always with identical bytes.
+
+/// Element `i` of the deterministic uniform stream for `seed`: a
+/// splitmix-mixed counter reduced to [0, space) by multiply-shift (no
+/// modulo bias worth caring about for simulator-sized spaces). When
+/// `hot_every` > 0, every hot_every-th element (i % hot_every == 0) hits
+/// address 0 instead — the streaming analogue of the k-hot patterns.
+[[nodiscard]] std::uint64_t stream_element(std::uint64_t seed, std::uint64_t i,
+                                           std::uint64_t space,
+                                           std::uint64_t hot_every = 0);
+
+/// Materializes elements [begin, begin+count) of the stream — one slab.
+/// stream_slab(s, 0, n, sp) == concatenation of any slab partition of
+/// [0, n), which is what makes streaming runs byte-comparable to in-RAM
+/// runs of the same workload.
+[[nodiscard]] std::vector<std::uint64_t> stream_slab(std::uint64_t seed,
+                                                     std::uint64_t begin,
+                                                     std::uint64_t count,
+                                                     std::uint64_t space,
+                                                     std::uint64_t hot_every = 0);
+
 }  // namespace dxbsp::workload
