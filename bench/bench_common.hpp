@@ -152,13 +152,16 @@ inline void emit(const util::Cli& cli, const util::Table& table) {
   std::cout << "\n";
 }
 
-/// Machine selection: --machine=j90 (default) | c90 | tera.
+/// Machine selection: --machine=j90 (default) | c90 | tera, or any full
+/// sim::MachineConfig::parse spec ("j90,cache=1024,cache-write=back").
+/// The three bare preset names short-circuit so their banner identity
+/// ("cray-j90", not the spec string parse() would stamp) is unchanged.
 inline sim::MachineConfig machine_from_cli(const util::Cli& cli) {
   const std::string name = cli.get("machine", "j90");
   if (name == "j90") return sim::MachineConfig::cray_j90();
   if (name == "c90") return sim::MachineConfig::cray_c90();
   if (name == "tera") return sim::MachineConfig::tera_like();
-  raise(ErrorCode::kConfig, "unknown --machine '" + name + "'");
+  return sim::MachineConfig::parse(name);
 }
 
 /// Builds SweepOptions from the shared resilience flags.

@@ -8,8 +8,15 @@
 //
 //   ./machine_explorer [--n=1048576] [--k=1024] [--d=14] [--p=8]
 //                      [--faults=slow=0.25,slow-mult=4,drop=0.01,...]
+//                      [--cache=LINES] [--cache-line=WORDS]
+//                      [--cache-write=through|back]
 //                      [--explain] [--trace=PATH] [--trace-capacity=N]
 //                      [--metrics=PATH]
+//
+// With --cache= every sweep point runs behind a per-processor cache
+// tier of that many lines (docs/cache.md); the --explain table then
+// shows the cache_hit term and scores each point against the
+// hit-ratio-corrected predictor.
 //
 // With --faults= the sweep runs against a seeded fault plan
 // (see fault::FaultConfig::parse for the key set) and reports the
@@ -99,8 +106,8 @@ static int run(int argc, char** argv) {
              : std::vector<std::string>{"x", "banks", "sim cycles", "dxbsp",
                                         "marginal speedup", "verdict"});
   util::Table ex({"x", "cycles", "issue_gap", "window_stall", "latency",
-                  "bank_service", "retry_backoff", "failover", "k",
-                  "bank p50", "bank p99", "bank max", "predicted",
+                  "bank_service", "retry_backoff", "failover", "cache_hit",
+                  "k", "bank p50", "bank p99", "bank max", "predicted",
                   "rel err"});
   std::uint64_t prev = 0;
   std::uint64_t chosen = 0;
@@ -113,6 +120,13 @@ static int run(int argc, char** argv) {
     cfg.bank_delay = d;
     cfg.expansion = x;
     cfg.slackness = 64 * 1024;
+    cfg.cache.capacity = cli.get_uint("cache", 0);
+    cfg.cache.line_words = cli.get_uint("cache-line", 8);
+    if (cli.has("cache-write"))
+      cfg.cache.write = cli.get("cache-write", "through") == "back"
+                            ? cache::WritePolicy::kBack
+                            : cache::WritePolicy::kThrough;
+    cfg.validate();
     sim::Machine machine(cfg);
     if (tracer) machine.set_tracer(&tracer->track(x));
     sim::BulkResult meas;
@@ -131,16 +145,18 @@ static int run(int argc, char** argv) {
       meas = machine.scatter(addrs);
     }
     if (explain) {
+      const obs::CacheObserved co{meas.cache_hits, meas.cache_misses,
+                                  meas.max_proc_miss};
       const double predicted = obs::drift_prediction(
           cfg, plan.get(), n, meas.max_proc_requests, meas.max_bank_load,
-          meas.max_location_contention);
+          meas.max_location_contention, &co);
       const double rel_err =
           predicted > 0.0
               ? static_cast<double>(meas.cycles) / predicted - 1.0
               : 0.0;
       const obs::CostBreakdown& b = meas.breakdown;
       ex.add_row(x, meas.cycles, b.issue_gap, b.window_stall, b.latency,
-                 b.bank_service, b.retry_backoff, b.failover,
+                 b.bank_service, b.retry_backoff, b.failover, b.cache_hit,
                  meas.max_location_contention, meas.bank_sketch.p50(),
                  meas.bank_sketch.p99(), meas.bank_sketch.max, predicted,
                  rel_err);

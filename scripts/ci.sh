@@ -25,7 +25,13 @@
 #    drift-band tests rerun under the sanitizers, and
 #    scripts/bench_history.py must lint the committed BENCH_*.json
 #    baselines.
-# 6. Streaming smoke (docs/streaming.md): the out-of-core pressure
+# 6. Cache smoke (docs/cache.md): a small bench_fig20_cache_sweep must
+#    detect a bank_service -> cache_hit binding crossover, its report
+#    must attribute every cycle across all seven terms and stay
+#    byte-identical across --threads=1/4, a capacity=0 machine must
+#    produce byte-identical output to one with no cache configured at
+#    all, and the tier's state machinery reruns under the sanitizers.
+# 7. Streaming smoke (docs/streaming.md): the out-of-core pressure
 #    bench's budget sweep must stay byte-equivalent to its in-RAM
 #    baseline; the same workload must complete under `ulimit -v` at
 #    probed-peak + 25%; injected ENOSPC must exit 69 (degraded) and a
@@ -34,7 +40,7 @@
 #    fsck-clean spill directory and resume byte-identically; the DXSPL1
 #    corruption fuzz (every truncation, every bit flip) runs under the
 #    sanitizers.
-# 7. Perf smoke (docs/performance.md): bench_perf_hotpath --quick on the
+# 8. Perf smoke (docs/performance.md): bench_perf_hotpath --quick on the
 #    plain (optimized) build must emit valid metrics JSON and its
 #    headline calendar/reference speedup must stay within 20% of the
 #    committed BENCH_4.json baseline (capped, so a fast dev host can't
@@ -163,13 +169,13 @@ import json, sys
 for path in sys.argv[1:]:
     doc = json.load(open(path))
     attr = doc["attribution"]
-    assert attr["schema_version"] == 1, (path, attr)
+    assert attr["schema_version"] == 2, (path, attr)
     assert attr["supersteps"] > 0, (path, attr)
     assert sum(attr["terms"].values()) == attr["cycles"], (path, attr)
     sketch = attr["bank_load"]
     assert len(sketch["counts"]) == 65, (path, len(sketch["counts"]))
     drift = doc["drift"]
-    assert drift["schema_version"] == 1, (path, drift)
+    assert drift["schema_version"] == 2, (path, drift)
     assert drift["supersteps"] == attr["supersteps"], (path, drift)
     assert drift["out_of_band"] == 0, (path, drift)
     worst = drift["worst"]
@@ -197,6 +203,54 @@ echo "faulty-sweep report is byte-identical across --threads=1/4"
 # exits non-zero here instead of surprising the first person to chart it.
 python3 scripts/bench_history.py BENCH_*.json > /dev/null
 echo "bench_history.py lint passed on committed baselines"
+
+echo "== cache smoke (two-level tier, docs/cache.md) =="
+FIG20=./build-ci/bench/bench_fig20_cache_sweep
+FIG20_ARGS=(--n=8192 --seed=1995)
+
+# Small C x x x d sweep: the run must detect at least one binding-term
+# crossover (bank_service -> cache_hit), and its report must decompose
+# every attributed cycle across all SEVEN terms exactly.
+"$FIG20" "${FIG20_ARGS[@]}" --threads=1 --report="$SMOKE/cache1.json" \
+  > "$SMOKE/cache1.out"
+grep -q "^crossover:" "$SMOKE/cache1.out"
+python3 - "$SMOKE/cache1.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+attr = doc["attribution"]
+assert attr["schema_version"] == 2, attr
+terms = attr["terms"]
+assert len(terms) == 7 and "cache_hit" in terms, sorted(terms)
+assert terms["cache_hit"] > 0, terms
+assert sum(terms.values()) == attr["cycles"], attr
+print(f"cache sweep: {attr['supersteps']} supersteps, {attr['cycles']} "
+      f"cycles fully attributed across 7 terms "
+      f"(cache_hit = {terms['cache_hit']})")
+EOF
+
+# Determinism: the cached-machine report must not depend on --threads.
+"$FIG20" "${FIG20_ARGS[@]}" --threads=4 --report="$SMOKE/cache4.json" \
+  > /dev/null
+cmp "$SMOKE/cache1.json" "$SMOKE/cache4.json"
+echo "cache sweep report is byte-identical across --threads=1/4"
+
+# capacity=0 must be byte-identical to never configuring the tier at
+# all: same explorer sweep, cache knobs present but capacity 0.
+./build-ci/examples/machine_explorer --n=20000 --k=512 --explain \
+  > "$SMOKE/cache_off.out"
+./build-ci/examples/machine_explorer --n=20000 --k=512 --explain \
+  --cache=0 --cache-line=16 --cache-write=through \
+  > "$SMOKE/cache_zero.out"
+cmp "$SMOKE/cache_off.out" "$SMOKE/cache_zero.out"
+echo "cache capacity=0 output is byte-identical to cache-off"
+
+# The tier's tag/state machinery and the cached engine-equivalence
+# scenarios rerun under the sanitizers.
+./build-ci-san/tests/cache_test
+./build-ci-san/tests/engine_equivalence_test \
+  --gtest_filter='EngineEquivalence.CacheTier*'
+echo "cache tier is sanitizer-clean"
 
 echo "== perf smoke (event-engine throughput) =="
 PERF=./build-ci/bench/bench_perf_hotpath

@@ -1,0 +1,36 @@
+#include "cache/placement.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "resilience/error.hpp"
+
+namespace dxbsp::cache {
+
+std::vector<std::uint64_t> hot_lines(std::span<const std::uint64_t> addrs,
+                                     std::uint64_t line_words,
+                                     std::uint64_t max_lines) {
+  if (line_words == 0)
+    raise(ErrorCode::kConfig, "hot_lines: line_words must be >= 1");
+  std::unordered_map<std::uint64_t, std::uint64_t> counts;
+  counts.reserve(addrs.size());
+  for (const std::uint64_t addr : addrs) ++counts[addr / line_words];
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> by_heat(
+      counts.begin(), counts.end());
+  std::sort(by_heat.begin(), by_heat.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (by_heat.size() > max_lines) by_heat.resize(max_lines);
+
+  std::vector<std::uint64_t> lines;
+  lines.reserve(by_heat.size());
+  for (const auto& [line, heat] : by_heat) lines.push_back(line);
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+}  // namespace dxbsp::cache

@@ -1,0 +1,20 @@
+#pragma once
+// Manual (red-blue-style) scratchpad placement: choose which lines live
+// in the fast tier, offline, from knowledge of the access stream — the
+// multiprocessor red-blue pebbling discipline of arXiv:2409.03898,
+// where the algorithm (not a replacement policy) decides what is red.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dxbsp::cache {
+
+/// The up-to-`max_lines` hottest lines of an address stream, by touch
+/// count. Deterministic: ties break toward the lower line id, so the
+/// placement is a pure function of the stream.
+[[nodiscard]] std::vector<std::uint64_t> hot_lines(
+    std::span<const std::uint64_t> addrs, std::uint64_t line_words,
+    std::uint64_t max_lines);
+
+}  // namespace dxbsp::cache

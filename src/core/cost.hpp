@@ -31,6 +31,38 @@ struct StepProfile {
   return std::max(m.g * s.h_proc, m.d * s.h_bank) + 2 * m.L;
 }
 
+/// The request profile of one superstep through a per-processor cache
+/// tier (sim::MachineConfig::cache, docs/cache.md). h_proc counts every
+/// issue; h_proc_miss and h_bank only the misses, which are the sole
+/// traffic the bank pipeline sees.
+struct CachedStepProfile {
+  std::uint64_t h_proc = 0;       ///< max requests issued by any processor
+  std::uint64_t h_proc_miss = 0;  ///< max cache misses by any processor
+  std::uint64_t h_bank = 0;       ///< max misses received by any bank
+  std::uint64_t hits = 0;         ///< cache-tier hits, all processors
+  std::uint64_t misses = 0;       ///< cache-tier misses, all processors
+  std::uint64_t hit_latency = 2;  ///< local service time of a hit
+  std::uint64_t total = 0;        ///< total requests (for bookkeeping)
+};
+
+/// Hit-ratio-corrected (d,x)-BSP superstep time. Two tails race: the
+/// last *hit* completes one hit latency after the final issue slot
+/// (g·(h_proc−1)), entirely locally; the *misses* form a (d,x)-BSP
+/// superstep of their own — issue term g·h_proc_miss, bank term
+/// d·h_bank, plus the 2L wire time only they pay. The superstep ends at
+/// whichever tail is later. With no hits this reduces to the flat
+/// dxbsp_step_time on the miss profile; with no misses the network terms
+/// vanish entirely.
+[[nodiscard]] inline std::uint64_t dxbsp_step_time_cached(
+    const DxBspParams& m, const CachedStepProfile& s) noexcept {
+  const std::uint64_t hit_tail =
+      s.hits > 0 ? m.g * (s.h_proc - 1) + s.hit_latency : 0;
+  const std::uint64_t miss_core =
+      s.misses > 0 ? std::max(m.g * s.h_proc_miss, m.d * s.h_bank) + 2 * m.L
+                   : 0;
+  return std::max(hit_tail, miss_core);
+}
+
 /// Plain BSP superstep time (no bank term) — the baseline the paper shows
 /// mispredicts under contention.
 [[nodiscard]] inline std::uint64_t bsp_step_time(const DxBspParams& m,

@@ -13,6 +13,7 @@ const char* cost_term_name(std::size_t i) noexcept {
     case 3: return "bank_service";
     case 4: return "retry_backoff";
     case 5: return "failover";
+    case 6: return "cache_hit";
     default: return "?";
   }
 }
@@ -25,6 +26,7 @@ std::uint64_t cost_term_value(const CostBreakdown& c, std::size_t i) noexcept {
     case 3: return c.bank_service;
     case 4: return c.retry_backoff;
     case 5: return c.failover;
+    case 6: return c.cache_hit;
     default: return 0;
   }
 }

@@ -13,6 +13,9 @@
 //   latency               — wire time, request + response (≈ 2L)
 //   bank_service          — queue wait + service at its bank (d·queue)
 //   failover              — the same, when served by a failover spare
+//   cache_hit             — local service in the processor's cache tier
+//                           (docs/cache.md; replaces latency + bank time
+//                           when the critical request hit locally)
 // so the terms sum to the measured cycles by construction — an identity
 // Machine::run enforces on every operation. Both engines latch the same
 // critical event (pop order is identical), so the breakdown is
@@ -44,10 +47,11 @@ struct CostBreakdown {
   std::uint64_t bank_service = 0;   ///< queue wait + service at the bank
   std::uint64_t retry_backoff = 0;  ///< NACK round trips + backoff delays
   std::uint64_t failover = 0;       ///< bank_service spent on a spare bank
+  std::uint64_t cache_hit = 0;      ///< local service in the cache tier
 
   [[nodiscard]] std::uint64_t total() const noexcept {
     return issue_gap + window_stall + latency + bank_service +
-           retry_backoff + failover;
+           retry_backoff + failover + cache_hit;
   }
 
   void add(const CostBreakdown& o) noexcept {
@@ -57,6 +61,7 @@ struct CostBreakdown {
     bank_service += o.bank_service;
     retry_backoff += o.retry_backoff;
     failover += o.failover;
+    cache_hit += o.cache_hit;
   }
 
   friend bool operator==(const CostBreakdown&, const CostBreakdown&) = default;
@@ -65,7 +70,7 @@ struct CostBreakdown {
 /// Number of terms in a CostBreakdown; with cost_term_name/_value this
 /// lets report writers and tables iterate the decomposition without
 /// hand-listing the fields at every call site.
-inline constexpr std::size_t kCostTerms = 6;
+inline constexpr std::size_t kCostTerms = 7;
 [[nodiscard]] const char* cost_term_name(std::size_t i) noexcept;
 [[nodiscard]] std::uint64_t cost_term_value(const CostBreakdown& c,
                                             std::size_t i) noexcept;
@@ -186,6 +191,21 @@ class CostAttributor {
     } else {
       c.bank_service = bank;
     }
+    latch(ack, c);
+  }
+
+  /// Attributes a request completed locally by the processor's cache
+  /// tier (docs/cache.md): no wire or bank time — the lifetime is issue
+  /// position + window stall + the tier's hit latency. Hits only happen
+  /// on fresh issues (a NACKed request already missed), so there is no
+  /// retry front.
+  void observe_cache_hit(std::uint64_t ack, std::uint64_t fresh_gap,
+                         std::uint64_t depart) noexcept {
+    if (any_ && ack <= best_ack_) return;
+    CostBreakdown c;
+    c.issue_gap = fresh_gap;
+    c.window_stall = depart - fresh_gap;
+    c.cache_hit = ack - depart;
     latch(ack, c);
   }
 

@@ -13,7 +13,34 @@ namespace dxbsp::obs {
 double drift_prediction(const sim::MachineConfig& cfg,
                         const fault::FaultPlan* plan, std::uint64_t n,
                         std::uint64_t h_proc, std::uint64_t h_bank,
-                        std::uint64_t location_contention) {
+                        std::uint64_t location_contention,
+                        const CacheObserved* cache) {
+  if (cache != nullptr && cache->hits + cache->misses > 0) {
+    // Hit-ratio correction: hits complete locally, so the issue stream's
+    // tail ends one hit latency after the last issue; only misses enter
+    // the bank/network core. A configured tier that saw no traffic (e.g.
+    // a bank-id workload that bypasses it) falls through to the flat
+    // predictors below.
+    const auto params = core::DxBspParams::from_config(cfg);
+    if (plan == nullptr) {
+      return static_cast<double>(core::dxbsp_step_time_cached(
+          params,
+          core::CachedStepProfile{h_proc, cache->h_proc_miss, h_bank,
+                                  cache->hits, cache->misses,
+                                  cfg.cache.hit_latency, n}));
+    }
+    const std::uint64_t hit_tail =
+        cache->hits > 0 ? params.g * (h_proc - 1) + cfg.cache.hit_latency
+                        : 0;
+    const double miss_core =
+        cache->misses > 0
+            ? stats::predict_degraded(cfg, *plan, cache->misses,
+                                      std::max<std::uint64_t>(
+                                          location_contention, 1))
+                  .cycles
+            : 0.0;
+    return std::max(static_cast<double>(hit_tail), miss_core);
+  }
   if (plan != nullptr) {
     return stats::predict_degraded(cfg, *plan, n,
                                    std::max<std::uint64_t>(
@@ -26,12 +53,14 @@ double drift_prediction(const sim::MachineConfig& cfg,
 }
 
 double DriftDetector::observe(const DriftSample& sample) {
+  const CacheObserved cache{sample.cache_hits, sample.cache_misses,
+                            sample.h_proc_miss};
   const double predicted =
       sample.config == nullptr
           ? 0.0
           : drift_prediction(*sample.config, sample.plan, sample.n,
                              sample.h_proc, sample.h_bank,
-                             sample.location_contention);
+                             sample.location_contention, &cache);
   // An unpredictable superstep (empty op, or no config) scores 0 error
   // rather than dividing by zero.
   const double rel_err =

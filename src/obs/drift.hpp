@@ -48,6 +48,9 @@ struct DriftSample {
   std::uint64_t h_proc = 0;  ///< measured max per-processor requests
   std::uint64_t h_bank = 0;  ///< measured max per-bank load
   std::uint64_t location_contention = 0;  ///< measured k
+  std::uint64_t cache_hits = 0;    ///< cache-tier hits (0 when no tier)
+  std::uint64_t cache_misses = 0;  ///< cache-tier misses (0 when no tier)
+  std::uint64_t h_proc_miss = 0;   ///< measured max per-processor misses
   CostBreakdown breakdown;
   std::uint64_t sketch_p50 = 0;
   std::uint64_t sketch_p99 = 0;
@@ -117,13 +120,26 @@ class DriftDetector {
   Snapshot snap_;
 };
 
+/// Cache-tier activity of the superstep being scored, when the machine
+/// runs a processor-cache tier (sim::MachineConfig::cache). All zeros —
+/// or a null pointer — means the flat predictors apply unchanged.
+struct CacheObserved {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t h_proc_miss = 0;  ///< max cache misses by any processor
+};
+
 /// The prediction a DriftSample is scored against (exposed for tests and
 /// machine_explorer --explain): dxbsp_step_time on the measured profile
-/// when `plan` is null, stats::predict_degraded otherwise.
+/// when `plan` is null, stats::predict_degraded otherwise. With cache
+/// activity observed, the hit-ratio-corrected core::dxbsp_step_time_cached
+/// replaces the flat healthy model, and the degraded model is fed the
+/// miss count instead of n (docs/cache.md §prediction).
 [[nodiscard]] double drift_prediction(const sim::MachineConfig& cfg,
                                       const fault::FaultPlan* plan,
                                       std::uint64_t n, std::uint64_t h_proc,
                                       std::uint64_t h_bank,
-                                      std::uint64_t location_contention);
+                                      std::uint64_t location_contention,
+                                      const CacheObserved* cache = nullptr);
 
 }  // namespace dxbsp::obs

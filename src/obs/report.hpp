@@ -29,9 +29,11 @@ namespace dxbsp::obs {
 /// "degraded" section (fleet-mode partial results) carries its own
 /// schema version too and only appears when a sweep actually degraded,
 /// so healthy merged reports stay byte-identical to serial ones.
+/// Attribution/drift schema 2 added the cache_hit term to every
+/// breakdown ("terms", "worst.breakdown") for the processor-cache tier.
 inline constexpr std::uint64_t kReportVersion = 2;
-inline constexpr std::uint64_t kAttributionSchemaVersion = 1;
-inline constexpr std::uint64_t kDriftSchemaVersion = 1;
+inline constexpr std::uint64_t kAttributionSchemaVersion = 2;
+inline constexpr std::uint64_t kDriftSchemaVersion = 2;
 inline constexpr std::uint64_t kDegradedSchemaVersion = 1;
 
 /// Build identifier baked in at configure time ("unknown" outside git).

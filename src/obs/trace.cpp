@@ -25,6 +25,10 @@ const char* trace_kind_name(TraceKind k) noexcept {
       return "spill";
     case TraceKind::kBackPressure:
       return "back_pressure";
+    case TraceKind::kCacheHit:
+      return "cache_hit";
+    case TraceKind::kWriteback:
+      return "writeback";
   }
   return "?";
 }
@@ -171,6 +175,24 @@ void write_event(JsonWriter& w, std::uint64_t pid, const TraceEvent& ev) {
       w.key("args").begin_object();
       w.member("partition", ev.a);
       w.member("bytes", ev.b);
+      w.end_object();
+      break;
+    case TraceKind::kCacheHit:
+      // Local service in the cache tier, on the processor's lane.
+      w.member("ph", "X");
+      w.member("tid", 1 + ev.b);
+      w.member("dur", ev.dur);
+      w.key("args").begin_object();
+      w.member("element", ev.a);
+      w.end_object();
+      break;
+    case TraceKind::kWriteback:
+      w.member("ph", "i");
+      w.member("tid", kBankLaneBase + ev.b);
+      w.member("s", "p");
+      w.key("args").begin_object();
+      w.member("line", ev.a);
+      w.member("bank", ev.b);
       w.end_object();
       break;
   }

@@ -50,8 +50,12 @@ enum class TraceKind : std::uint8_t {
   kBackPressure,///< span: producer stalled over-budget while partitions
                 ///< evicted (slab-sequence clock); a = victim partition,
                 ///< b = bytes freed
+  kCacheHit,    ///< span: request served in the processor's cache tier
+                ///< (docs/cache.md); a = element, b = processor
+  kWriteback,   ///< instant: fire-and-forget line write to a bank (dirty
+                ///< eviction or write-through forward); a = line, b = bank
 };
-inline constexpr std::size_t kTraceKinds = 9;
+inline constexpr std::size_t kTraceKinds = 11;
 
 [[nodiscard]] const char* trace_kind_name(TraceKind k) noexcept;
 

@@ -64,6 +64,9 @@ void put_record(std::vector<unsigned char>& out, const SnapshotRecord& r) {
   put_u64(out, b.stall_cycles);
   put_u64(out, b.port_conflicts);
   put_u64(out, b.cache_hits);
+  put_u64(out, b.cache_misses);
+  put_u64(out, b.cache_evictions);
+  put_u64(out, b.max_proc_miss);
   put_u64(out, b.combined);
   put_u64(out, b.completed);
   put_u64(out, b.retries);
@@ -78,6 +81,7 @@ void put_record(std::vector<unsigned char>& out, const SnapshotRecord& r) {
   put_u64(out, b.breakdown.bank_service);
   put_u64(out, b.breakdown.retry_backoff);
   put_u64(out, b.breakdown.failover);
+  put_u64(out, b.breakdown.cache_hit);
 }
 
 SnapshotRecord read_record(const unsigned char* p) {
@@ -100,6 +104,9 @@ SnapshotRecord read_record(const unsigned char* p) {
   b.stall_cycles = next();
   b.port_conflicts = next();
   b.cache_hits = next();
+  b.cache_misses = next();
+  b.cache_evictions = next();
+  b.max_proc_miss = next();
   b.combined = next();
   b.completed = next();
   b.retries = next();
@@ -114,6 +121,7 @@ SnapshotRecord read_record(const unsigned char* p) {
   b.breakdown.bank_service = next();
   b.breakdown.retry_backoff = next();
   b.breakdown.failover = next();
+  b.breakdown.cache_hit = next();
   return r;
 }
 
@@ -172,14 +180,35 @@ Expected<Snapshot> Snapshot::parse(std::span<const unsigned char> bytes,
     return corrupt(origin, "bad magic (not a dxbsp snapshot)");
   const unsigned char* p = bytes.data() + kMagic.size();
   const std::uint32_t version = read_u32(p);
-  if (version != kSnapshotVersion)
-    return corrupt(origin, "unsupported snapshot version " +
-                               std::to_string(version) + " (expected " +
-                               std::to_string(kSnapshotVersion) + ")");
   const std::uint32_t stored_crc = read_u32(p + 4);
   const std::uint64_t sweep_id = read_u64(p + 8);
   const std::uint64_t count = read_u64(p + 16);
   const std::uint64_t record_bytes = read_u64(p + 24);
+  if (version != kSnapshotVersion) {
+    // A retired version is only believed when the record size agrees
+    // with what that version actually wrote — a self-consistent old
+    // header is a stale checkpoint (kConfig: restart the sweep), while
+    // a version field flipped by bit rot disagrees with the current
+    // record size and stays kCorruptSnapshot. The version field sits
+    // outside the CRC span, so this cross-check is its only guard.
+    struct Retired {
+      std::uint32_t version;
+      std::uint64_t record_bytes;
+    };
+    constexpr Retired kRetired[] = {{1, (3 + 4 + 14 + 1) * 8},
+                                    {2, (3 + 4 + 15 + 1 + 6) * 8}};
+    for (const Retired& old : kRetired)
+      if (version == old.version && record_bytes == old.record_bytes)
+        return Error(ErrorCode::kConfig,
+                     origin + ": snapshot format version " +
+                         std::to_string(version) +
+                         " predates this build (current " +
+                         std::to_string(kSnapshotVersion) +
+                         "); restart the sweep from scratch");
+    return corrupt(origin, "unsupported snapshot version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kSnapshotVersion) + ")");
+  }
   if (record_bytes != kRecordBytes)
     return corrupt(origin, "record size " + std::to_string(record_bytes) +
                                " does not match this build's " +

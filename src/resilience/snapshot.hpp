@@ -13,7 +13,7 @@
 // docs/resilience.md):
 //
 //   u8  magic[8]   "DXSNAP01"
-//   u32 version    (currently 2)
+//   u32 version    (currently 3)
 //   u32 crc32      IEEE CRC-32 over every byte AFTER this field
 //   u64 sweep_id   fingerprint of (bench id, grid parameters, seed)
 //   u64 point_count
@@ -23,6 +23,10 @@
 // Loading validates magic, version, record size, payload length against
 // the actual file size (before any allocation sized from the header),
 // the CRC, and key uniqueness; any mismatch is Error{kCorruptSnapshot}.
+// One deliberate exception: a header whose version AND record size agree
+// on a *retired* format (v1 or v2) is a well-formed old checkpoint, not
+// damage, and is refused with Error{kConfig} so the caller knows to
+// restart the sweep rather than hunt for disk corruption.
 // CheckpointWriter::flush is crash-atomic: tmp file -> fsync -> rename,
 // so a checkpoint on disk is always either the old or the new complete
 // snapshot, never a torn one.
@@ -53,11 +57,13 @@ struct SnapshotRecord {
 
 /// Serialized size of one record; bumping the format bumps kVersion.
 /// Version 2 extended the record with max_location_contention and the
-/// six CostBreakdown terms (PR 5 attribution); the per-op BankLoadSketch
-/// is report-side only and deliberately not persisted — no bench prints
-/// it, so resumed sweeps stay byte-identical without it.
-inline constexpr std::uint64_t kSnapshotVersion = 2;
-inline constexpr std::uint64_t kRecordBytes = (3 + 4 + 15 + 1 + 6) * 8;
+/// six CostBreakdown terms (PR 5 attribution); version 3 with the cache
+/// tier's cache_misses / cache_evictions / max_proc_miss counters and
+/// the seventh (cache_hit) breakdown term (PR 8). The per-op
+/// BankLoadSketch is report-side only and deliberately not persisted —
+/// no bench prints it, so resumed sweeps stay byte-identical without it.
+inline constexpr std::uint64_t kSnapshotVersion = 3;
+inline constexpr std::uint64_t kRecordBytes = (3 + 4 + 18 + 1 + 7) * 8;
 inline constexpr std::uint64_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8;
 
 /// A loaded (or in-construction) snapshot.

@@ -34,7 +34,8 @@ inline void rec([[maybe_unused]] obs::TraceRing* ring,
 /// registry. Every update is commutative (docs/observability.md), so
 /// aggregate values are identical for any sweep-thread interleaving.
 void publish_bulk(const BulkResult& res, std::uint64_t failed,
-                  const BankArray& banks, const Network& net) {
+                  const BankArray& banks, const Network& net,
+                  const cache::CacheTier* tier = nullptr) {
   auto& reg = obs::MetricsRegistry::global();
   reg.counter("sim.bulk_ops").add();
   reg.counter("sim.requests").add(res.n);
@@ -63,6 +64,16 @@ void publish_bulk(const BulkResult& res, std::uint64_t failed,
       .observe(res.bank_sketch.max);
   banks.publish(reg);
   net.publish(reg);
+  // Processor-cache tier (docs/cache.md). Published only when the tier
+  // exists so uncached machines keep their exact pre-tier metric set
+  // (byte-identical reports). bank.cache_hits folds together with the
+  // bank-side MRU hits banks.publish() just added — both are "requests
+  // some cache kept off a bank pipeline".
+  if (tier != nullptr) {
+    reg.counter("bank.cache_hits").add(tier->hits());
+    reg.counter("bank.cache_misses").add(tier->misses());
+    reg.counter("bank.cache_evictions").add(tier->writebacks());
+  }
 }
 
 Network make_network(const MachineConfig& cfg) {
@@ -150,6 +161,46 @@ Machine::Machine(MachineConfig config,
   if (mapping_->num_banks() != config_.banks())
     raise(ErrorCode::kConfig,
           "Machine: mapping bank count does not match configuration");
+  if (config_.cache.enabled())
+    tier_ = std::make_unique<cache::CacheTier>(config_.cache,
+                                               config_.processors);
+}
+
+void Machine::pin_scratchpad(std::span<const std::uint64_t> line_ids) {
+  if (tier_ == nullptr || config_.cache.mode != cache::Mode::kScratchpad)
+    raise(ErrorCode::kConfig,
+          "Machine::pin_scratchpad: cache tier is not in scratchpad mode");
+  tier_->pin(line_ids);
+}
+
+void Machine::line_writeback(std::uint64_t addr, std::uint64_t depart,
+                             std::uint64_t proc, bool whole_line,
+                             BulkResult& res) {
+  // Whole-line transfers (dirty evictions) route by line index, not by
+  // the line's base word address: line bases are multiples of cache-line
+  // words, so under word-interleaved mapping every line would alias to
+  // the few banks dividing the line size (B = 8 with 8-word lines sends
+  // ALL eviction traffic to bank 0). Striding by line id spreads line
+  // transfers the way lines themselves are spread. Write-through
+  // forwards are single-word stores and keep the word's own bank.
+  const std::uint64_t line = addr / config_.cache.line_words;
+  std::uint64_t bank = mapping_->bank_of(whole_line ? line : addr);
+  const std::uint64_t arrival = network_.traverse(bank, depart, proc);
+  if (plan_ != nullptr && plan_->dead_at(bank, arrival)) {
+    const std::uint64_t spare = plan_->failover(bank, addr, arrival);
+    if (spare == fault::kNoBank) return;  // no requester to NACK
+    rec(trace_, obs::TraceKind::kFailover, arrival, 0, bank, spare);
+    bank = spare;
+    ++res.failovers;
+  }
+  const std::uint64_t scale =
+      plan_ != nullptr ? plan_->busy_multiplier(bank, arrival) : 1;
+  // serve(), not serve_addr(): a whole-line transfer neither keys the
+  // bank-side word cache nor combines with word requests.
+  const std::uint64_t served = banks_.serve(bank, arrival, scale);
+  rec(trace_, obs::TraceKind::kWriteback, arrival, 0, line, bank);
+  rec(trace_, obs::TraceKind::kBankBusy, banks_.last_start(),
+      served - banks_.last_start(), bank, 0);
 }
 
 namespace {
@@ -208,12 +259,13 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
                         bool ids_are_banks, RequestTiming* timing) {
   banks_.reset(ids.size());
   network_.reset();
+  if (tier_ != nullptr) tier_->reset();
 
   FaultyBulk out;
   BulkResult& res = out.bulk;
   res.n = ids.size();
   if (ids.empty()) {
-    publish_bulk(res, 0, banks_, network_);
+    publish_bulk(res, 0, banks_, network_, tier_.get());
     return out;
   }
 
@@ -238,6 +290,12 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   res.max_bank_load = banks_.max_load();
   res.port_conflicts = network_.port_conflicts();
   res.cache_hits = banks_.cache_hits();
+  if (tier_ != nullptr) {
+    res.cache_hits += tier_->hits();
+    res.cache_misses = tier_->misses();
+    res.cache_evictions = tier_->writebacks();
+    res.max_proc_miss = tier_->max_proc_misses();
+  }
   res.combined = banks_.combined();
   res.degraded_cycles = banks_.degraded_cycles();
   res.bank_utilization = bank_utilization_of(config_.bank_delay, res.n,
@@ -271,6 +329,11 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
     s.h_proc = res.max_proc_requests;
     s.h_bank = res.max_bank_load;
     s.location_contention = res.max_location_contention;
+    if (tier_ != nullptr) {
+      s.cache_hits = tier_->hits();
+      s.cache_misses = tier_->misses();
+      s.h_proc_miss = tier_->max_proc_misses();
+    }
     s.breakdown = res.breakdown;
     s.sketch_p50 = res.bank_sketch.p50();
     s.sketch_p99 = res.bank_sketch.p99();
@@ -284,7 +347,7 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   ++superstep_seq_;
 
   rec(trace_, obs::TraceKind::kSuperstep, 0, makespan, res.n, 0);
-  publish_bulk(res, tally.failed, banks_, network_);
+  publish_bulk(res, tally.failed, banks_, network_, tier_.get());
   return out;
 }
 
@@ -310,6 +373,14 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
     }
     return proc < n % p ? n / p + 1 : n / p;
   };
+
+  // The cache tier is consulted on fresh issues only, and only when
+  // requests carry addresses (scatter_banks has no address to cache).
+  cache::CacheTier* const tier = ids_are_banks ? nullptr : tier_.get();
+  const std::uint64_t hit_latency = config_.cache.hit_latency;
+  const bool write_through =
+      config_.cache.write == cache::WritePolicy::kThrough &&
+      config_.cache.mode == cache::Mode::kCache;
 
   std::vector<ProcState> procs(p);
   std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
@@ -342,6 +413,38 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
 
     const std::uint64_t elem = fresh ? element_of(ev.proc, ps.issued) : ev.elem;
     const std::uint64_t addr = ids[elem];
+    // j·g of a fresh issue: its position in the issue pipeline, the
+    // issue_gap term of the cost attribution (retries recover theirs
+    // from the origin recorded at their first NACK).
+    const std::uint64_t fresh_gap = fresh ? ps.issued * config_.gap : 0;
+
+    bool local_hit = false;
+    std::uint64_t ack = 0;  // when the processor learns the outcome
+    if (tier != nullptr && fresh) {
+      const cache::CacheTier::Access acc = tier->access(ev.proc, addr);
+      // Ordering contract: the victim's writeback enters the network
+      // just ahead of the miss that displaced it (and a write-through
+      // forward just ahead of nothing — the hit never leaves the CPU).
+      if (acc.writeback)
+        line_writeback(acc.victim_addr, ev.depart, ev.proc, true, res);
+      if (acc.hit) {
+        local_hit = true;
+        if (write_through) line_writeback(addr, ev.depart, ev.proc, false, res);
+        ack = ev.depart + hit_latency;
+        ++res.completed;
+        attr_.observe_cache_hit(ack, fresh_gap, ev.depart);
+        rec(trace_, obs::TraceKind::kCacheHit, ev.depart, hit_latency, elem,
+            ev.proc);
+        if (timing != nullptr) {
+          timing->issue[elem] = ev.depart;
+          timing->arrival[elem] = ev.depart;
+          timing->start[elem] = ev.depart;
+          timing->completion[elem] = ack;
+          timing->bank[elem] = RequestTiming::kUnserved;  // served locally
+        }
+      }
+    }
+    if (!local_hit) {
     std::uint64_t bank = ids_are_banks ? addr : mapping_->bank_of(addr);
     if (bank >= config_.banks())
       raise(ErrorCode::kConfig, "Machine: bank id out of range");
@@ -354,11 +457,6 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
     // the budget is spent, records as a failed request.
     bool served_ok = true;
     bool redirected = false;
-    // j·g of a fresh issue: its position in the issue pipeline, the
-    // issue_gap term of the cost attribution (retries recover theirs
-    // from the origin recorded at their first NACK).
-    const std::uint64_t fresh_gap = fresh ? ps.issued * config_.gap : 0;
-    std::uint64_t ack = 0;  // when the processor learns the outcome
     if (plan != nullptr) {
       const char* fail_reason = nullptr;
       if (plan->dead_at(bank, arrival)) {
@@ -440,6 +538,7 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
     } else {
       attr_.observe_unserved(ack, fresh, elem, fresh_gap, ev.depart);
     }
+    }  // !local_hit
     makespan = std::max(makespan, ack);
 
     // Only fresh issues advance the processor's issue pipeline; retries
@@ -501,6 +600,15 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
 
   if (!state_) state_ = std::make_unique<EngineState>();
   EngineState& st = *state_;
+
+  // Cache tier, mirroring run_reference: fresh issues only, addresses
+  // only. Tag updates happen in pop order in both engines, so hit/miss
+  // outcomes are bit-identical.
+  cache::CacheTier* const tier = ids_are_banks ? nullptr : tier_.get();
+  const std::uint64_t hit_latency = config_.cache.hit_latency;
+  const bool write_through =
+      config_.cache.write == cache::WritePolicy::kThrough &&
+      config_.cache.mode == cache::Mode::kCache;
 
   // Batched bank routing: ONE virtual dispatch per bulk op fills the
   // whole addr→bank route, replacing the per-event mapping_->bank_of
@@ -565,6 +673,29 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
         }
         const std::uint64_t elem =
             block ? proc * per + j : j * p + proc;
+        if (tier != nullptr) {
+          const cache::CacheTier::Access acc = tier->access(proc, ids[elem]);
+          if (acc.writeback)
+            line_writeback(acc.victim_addr, depart, proc, true, res);
+          if (acc.hit) {
+            if (write_through) line_writeback(ids[elem], depart, proc, false, res);
+            const std::uint64_t ack = depart + hit_latency;
+            rec(trace_, obs::TraceKind::kCacheHit, depart, hit_latency, elem,
+                proc);
+            if (timing != nullptr) {
+              timing->issue[elem] = depart;
+              timing->arrival[elem] = depart;
+              timing->start[elem] = depart;
+              timing->completion[elem] = ack;
+              timing->bank[elem] = RequestTiming::kUnserved;
+            }
+            if (ack > makespan) {
+              makespan = ack;
+              attr_.observe_cache_hit(ack, depart, depart);
+            }
+            continue;
+          }
+        }
         const std::uint64_t bank = route[elem];
         const std::uint64_t arrival = network_.traverse(bank, depart, proc);
         if constexpr (obs::kTraceCompiledIn) {
@@ -624,14 +755,38 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
 
     const std::uint64_t elem = fresh ? element_of(ev.proc, ps.issued) : ev.elem;
     const std::uint64_t addr = ids[elem];
+    const std::uint64_t fresh_gap = fresh ? ps.issued * g : 0;
+
+    bool local_hit = false;
+    std::uint64_t ack = 0;
+    if (tier != nullptr && fresh) {
+      const cache::CacheTier::Access acc = tier->access(ev.proc, addr);
+      if (acc.writeback)
+        line_writeback(acc.victim_addr, ev.depart, ev.proc, true, res);
+      if (acc.hit) {
+        local_hit = true;
+        if (write_through) line_writeback(addr, ev.depart, ev.proc, false, res);
+        ack = ev.depart + hit_latency;
+        ++res.completed;
+        attr_.observe_cache_hit(ack, fresh_gap, ev.depart);
+        rec(trace_, obs::TraceKind::kCacheHit, ev.depart, hit_latency, elem,
+            ev.proc);
+        if (timing != nullptr) {
+          timing->issue[elem] = ev.depart;
+          timing->arrival[elem] = ev.depart;
+          timing->start[elem] = ev.depart;
+          timing->completion[elem] = ack;
+          timing->bank[elem] = RequestTiming::kUnserved;  // served locally
+        }
+      }
+    }
+    if (!local_hit) {
     std::uint64_t bank = route[elem];
 
     const std::uint64_t arrival = network_.traverse(bank, ev.depart, ev.proc);
 
     bool served_ok = true;
     bool redirected = false;
-    const std::uint64_t fresh_gap = fresh ? ps.issued * g : 0;
-    std::uint64_t ack = 0;
     if (plan != nullptr) {
       const char* fail_reason = nullptr;
       if (plan->dead_at(bank, arrival)) {
@@ -707,6 +862,7 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
     } else {
       attr_.observe_unserved(ack, fresh, elem, fresh_gap, ev.depart);
     }
+    }  // !local_hit
     makespan = std::max(makespan, ack);
 
     if (fresh) {

@@ -22,6 +22,7 @@
 #include <optional>
 #include <span>
 
+#include "cache/tier.hpp"
 #include "fault/fault_plan.hpp"
 #include "mem/bank_mapping.hpp"
 #include "obs/attribution.hpp"
@@ -47,7 +48,15 @@ struct BulkResult {
   std::uint64_t last_issue = 0;     ///< cycle the final request was issued
   std::uint64_t stall_cycles = 0;   ///< total issue delay from the S window
   std::uint64_t port_conflicts = 0; ///< sectioned-network queueing events
-  std::uint64_t cache_hits = 0;     ///< bank-cache hits (if caching enabled)
+  /// Requests served without bank traffic: processor-tier cache hits
+  /// (docs/cache.md) plus bank-side [HS93] MRU hits. 0 when both caches
+  /// are disabled.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;    ///< processor-tier misses (0 when off)
+  std::uint64_t cache_evictions = 0; ///< dirty-line writebacks to banks
+  /// Most processor-tier misses charged to any one processor — the
+  /// h_proc of the miss traffic (core::dxbsp_step_time_cached).
+  std::uint64_t max_proc_miss = 0;
   std::uint64_t combined = 0;       ///< requests merged (if combining enabled)
 
   // Fault telemetry (all 0 without an injected plan).
@@ -129,7 +138,10 @@ class Machine {
     std::vector<std::uint64_t> arrival;     ///< arrival at the bank
     std::vector<std::uint64_t> start;       ///< bank service start
     std::vector<std::uint64_t> completion;  ///< response back at the CPU
-    std::vector<std::uint64_t> bank;        ///< serving bank
+    /// Serving bank. A request served by the processor-tier cache never
+    /// reached a bank: its bank slot stays kUnserved while its
+    /// completion is real (arrival/start collapse to the issue time).
+    std::vector<std::uint64_t> bank;
 
     /// Queue wait of request i (service start - bank arrival).
     [[nodiscard]] std::uint64_t wait(std::size_t i) const {
@@ -191,6 +203,15 @@ class Machine {
     drift_track_ = track;
     superstep_seq_ = 0;
   }
+
+  /// Scratchpad placement (cache-mode=scratchpad, docs/cache.md): the
+  /// given line ids (word address / cache-line words) become the pinned
+  /// contents of every processor's local store — red-blue-style manual
+  /// placement, typically from cache::hot_lines. Replaces the previous
+  /// pin set; persists across bulk operations. Error{kConfig} unless
+  /// the machine's cache tier is in scratchpad mode, or if the set
+  /// exceeds its capacity.
+  void pin_scratchpad(std::span<const std::uint64_t> line_ids);
 
   /// Attaches a fault plan: subsequent bulk operations run fault-aware
   /// (slow banks, failover off dead banks, NACK/retry). The plan must be
@@ -266,10 +287,22 @@ class Machine {
                              bool ids_are_banks, RequestTiming* timing,
                              BulkResult& res, FailTally& tally);
 
+  /// Fire-and-forget write traffic from the cache tier: traverses the
+  /// network and occupies a bank, acks to nobody. `whole_line` marks a
+  /// dirty-eviction line transfer (routed by line id); a write-through
+  /// forward is a single-word store routed by the word's own bank. A
+  /// dead bank redirects to its failover spare (counted); with no spare
+  /// the write is dropped — there is no requester to NACK.
+  void line_writeback(std::uint64_t addr, std::uint64_t depart,
+                      std::uint64_t proc, bool whole_line, BulkResult& res);
+
   MachineConfig config_;
   std::shared_ptr<const mem::BankMapping> mapping_;
   BankArray banks_;
   Network network_;
+  // Processor-tier cache (docs/cache.md); null when disabled, so the
+  // flat-memory hot paths carry a single pointer test.
+  std::unique_ptr<cache::CacheTier> tier_;
   std::shared_ptr<const fault::FaultPlan> plan_;
   const resilience::CancelToken* cancel_ = nullptr;
   obs::TraceRing* trace_ = nullptr;

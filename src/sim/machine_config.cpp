@@ -37,6 +37,7 @@ void MachineConfig::validate() const {
       raise(ErrorCode::kConfig,
           "MachineConfig: cached_delay must be in [1, bank_delay]");
   }
+  cache.validate();
 }
 
 MachineConfig MachineConfig::cray_c90() {
@@ -165,6 +166,41 @@ MachineConfig MachineConfig::parse(const std::string& spec) {
       cfg.cache_line_words = as_int();
     } else if (key == "cached-delay") {
       cfg.cached_delay = as_int();
+    } else if (key == "cache") {
+      cfg.cache.capacity = as_int();
+    } else if (key == "cache-line") {
+      cfg.cache.line_words = as_int();
+    } else if (key == "cache-assoc") {
+      cfg.cache.assoc = as_int();
+    } else if (key == "cache-latency") {
+      cfg.cache.hit_latency = as_int();
+    } else if (key == "cache-policy") {
+      if (value == "lru") {
+        cfg.cache.policy = cache::Policy::kLru;
+      } else if (value == "fifo") {
+        cfg.cache.policy = cache::Policy::kFifo;
+      } else {
+        raise(ErrorCode::kParse,
+            "MachineConfig::parse: cache-policy must be lru or fifo");
+      }
+    } else if (key == "cache-write") {
+      if (value == "through") {
+        cfg.cache.write = cache::WritePolicy::kThrough;
+      } else if (value == "back") {
+        cfg.cache.write = cache::WritePolicy::kBack;
+      } else {
+        raise(ErrorCode::kParse,
+            "MachineConfig::parse: cache-write must be through or back");
+      }
+    } else if (key == "cache-mode") {
+      if (value == "cache") {
+        cfg.cache.mode = cache::Mode::kCache;
+      } else if (value == "scratchpad") {
+        cfg.cache.mode = cache::Mode::kScratchpad;
+      } else {
+        raise(ErrorCode::kParse,
+            "MachineConfig::parse: cache-mode must be cache or scratchpad");
+      }
     } else if (key == "combine") {
       cfg.combine_requests = (value != "0" && value != "false");
     } else if (key == "dist") {

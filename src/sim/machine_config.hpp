@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/config.hpp"
+
 namespace dxbsp::sim {
 
 /// How consecutive elements of a bulk operation are assigned to
@@ -74,6 +76,13 @@ struct MachineConfig {
   /// CRCW PRAM assumes.
   bool combine_requests = false;
 
+  /// Per-processor cache/local-memory tier in front of the banks
+  /// (src/cache/, docs/cache.md). Disabled by default (capacity 0): the
+  /// machine is then bit-identical to the flat (d,x)-BSP memory system.
+  /// Distinct from the bank-side MRU cache above ([HS93]), which sits
+  /// *inside* the banks and only shortens their busy period.
+  cache::CacheConfig cache;
+
   Distribution distribution = Distribution::kBlock;
 
   [[nodiscard]] std::uint64_t banks() const noexcept {
@@ -106,7 +115,11 @@ struct MachineConfig {
   /// comma-separated overrides, e.g. "j90,p=16,d=20,combine=1" or
   /// "p=4,g=2,L=10,d=8,x=4". Keys: p, g, L, d, x, S (slackness),
   /// sections, section-period, ports, cache-lines, line-words,
-  /// cached-delay, combine (0/1), dist (block|cyclic). Throws std::invalid_argument on
+  /// cached-delay, combine (0/1), dist (block|cyclic), and the
+  /// processor-cache tier knobs cache (capacity in lines), cache-line
+  /// (words), cache-assoc (0 = fully associative), cache-policy
+  /// (lru|fifo), cache-write (through|back), cache-mode
+  /// (cache|scratchpad), cache-latency. Throws std::invalid_argument on
   /// unknown keys or presets; the result is validate()d.
   [[nodiscard]] static MachineConfig parse(const std::string& spec);
 };

@@ -136,6 +136,7 @@ void write_breakdown(JsonWriter& w, const obs::CostBreakdown& c) {
   w.member("bank_service", c.bank_service);
   w.member("retry_backoff", c.retry_backoff);
   w.member("failover", c.failover);
+  w.member("cache_hit", c.cache_hit);
   w.end_object();
 }
 
@@ -149,6 +150,7 @@ obs::CostBreakdown read_breakdown(const JsonValue& v,
   c.bank_service = d.u64("bank_service");
   c.retry_backoff = d.u64("retry_backoff");
   c.failover = d.u64("failover");
+  c.cache_hit = d.u64("cache_hit");
   outer.fail_from(d);
   return c;
 }

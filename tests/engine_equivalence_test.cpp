@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/placement.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/trace.hpp"
 #include "sim/machine.hpp"
@@ -27,6 +28,9 @@ void expect_same_bulk(const sim::BulkResult& a, const sim::BulkResult& b) {
   EXPECT_EQ(a.stall_cycles, b.stall_cycles);
   EXPECT_EQ(a.port_conflicts, b.port_conflicts);
   EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.cache_evictions, b.cache_evictions);
+  EXPECT_EQ(a.max_proc_miss, b.max_proc_miss);
   EXPECT_EQ(a.combined, b.combined);
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.retries, b.retries);
@@ -189,6 +193,72 @@ TEST(EngineEquivalence, CachingMachine) {
   cfg.cache_line_words = 8;
   cfg.cached_delay = 1;
   check_equivalent(cfg, workload::strided(8000, 1, 0));
+}
+
+TEST(EngineEquivalence, CacheTierLruWriteBack) {
+  // Processor-cache tier (docs/cache.md): LRU write-back dirties lines
+  // and fires dirty-eviction writebacks into the bank pipeline — both
+  // engines must agree on every hit, miss, victim and trace event.
+  auto cfg = base_config(sim::Distribution::kBlock);
+  cfg.cache.capacity = 64;
+  cfg.cache.line_words = 8;
+  cfg.cache.assoc = 8;
+  cfg.cache.write = cache::WritePolicy::kBack;
+  check_equivalent(cfg, workload::k_hot(8000, 2000, 1 << 14, 3));
+}
+
+TEST(EngineEquivalence, CacheTierFifoWriteThroughDirectMapped) {
+  auto cfg = base_config(sim::Distribution::kCyclic);
+  cfg.cache.capacity = 32;
+  cfg.cache.line_words = 4;
+  cfg.cache.assoc = 1;  // direct-mapped: conflict misses galore
+  cfg.cache.policy = cache::Policy::kFifo;
+  cfg.cache.write = cache::WritePolicy::kThrough;
+  check_equivalent(cfg, workload::strided(8000, 1, 0));
+}
+
+TEST(EngineEquivalence, CacheTierFullyAssociative) {
+  auto cfg = base_config(sim::Distribution::kBlock);
+  cfg.cache.capacity = 16;
+  cfg.cache.assoc = 0;  // fully associative
+  cfg.cache.write = cache::WritePolicy::kBack;
+  check_equivalent(cfg, workload::uniform_random(6000, 1 << 12, 41));
+}
+
+TEST(EngineEquivalence, CacheTierScratchpad) {
+  auto cfg = base_config(sim::Distribution::kBlock);
+  cfg.cache.capacity = 8;
+  cfg.cache.line_words = 8;
+  cfg.cache.mode = cache::Mode::kScratchpad;
+
+  const auto addrs = workload::k_hot(6000, 3000, 1 << 13, 9);
+  const auto pinned = cache::hot_lines(addrs, cfg.cache.line_words, 8);
+  sim::Machine cal(cfg);
+  sim::Machine ref(cfg);
+  cal.set_engine(sim::Machine::Engine::kCalendar);
+  ref.set_engine(sim::Machine::Engine::kReference);
+  cal.pin_scratchpad(pinned);
+  ref.pin_scratchpad(pinned);
+  for (int round = 0; round < 2; ++round)
+    expect_same_bulk(cal.scatter(addrs), ref.scatter(addrs));
+}
+
+TEST(EngineEquivalence, CacheTierWithFaults) {
+  auto cfg = base_config(sim::Distribution::kBlock);
+  cfg.cache.capacity = 32;
+  cfg.cache.write = cache::WritePolicy::kBack;
+  check_equivalent(cfg, workload::k_hot(6000, 1500, 1 << 14, 43),
+                   chaos_plan(cfg.banks()));
+}
+
+TEST(EngineEquivalence, CacheTierTightSlackness) {
+  // Window gate binding + cache hits completing ahead of misses: the
+  // general calendar path with the tier in front.
+  auto cfg = base_config(sim::Distribution::kCyclic);
+  cfg.slackness = 16;
+  cfg.cache.capacity = 64;
+  cfg.cache.write = cache::WritePolicy::kBack;
+  check_equivalent(cfg, workload::k_hot(8000, 2000, 1 << 14, 47));
 }
 
 TEST(EngineEquivalence, MultiPortBanks) {

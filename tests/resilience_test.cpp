@@ -248,6 +248,11 @@ SnapshotRecord sample_record(std::uint64_t key) {
   r.result.max_bank_load = 5;
   r.result.max_proc_requests = 9;
   r.result.stall_cycles = 2;
+  r.result.cache_hits = key * 5;
+  r.result.cache_misses = key * 3 + 1;
+  r.result.cache_evictions = key;
+  r.result.max_proc_miss = key % 7;
+  r.result.breakdown.cache_hit = key * 2;
   r.result.retries = key;
   r.result.nacks = key + 1;
   r.result.failovers = key / 2;
@@ -281,6 +286,14 @@ TEST(Snapshot, SerializeParseRoundtrip) {
     EXPECT_EQ(got.records[i].aux, snap.records[i].aux);
     EXPECT_EQ(got.records[i].result.cycles, snap.records[i].result.cycles);
     EXPECT_EQ(got.records[i].result.retries, snap.records[i].result.retries);
+    EXPECT_EQ(got.records[i].result.cache_misses,
+              snap.records[i].result.cache_misses);
+    EXPECT_EQ(got.records[i].result.cache_evictions,
+              snap.records[i].result.cache_evictions);
+    EXPECT_EQ(got.records[i].result.max_proc_miss,
+              snap.records[i].result.max_proc_miss);
+    EXPECT_EQ(got.records[i].result.breakdown.cache_hit,
+              snap.records[i].result.breakdown.cache_hit);
     EXPECT_DOUBLE_EQ(got.records[i].result.bank_utilization,
                      snap.records[i].result.bank_utilization);
   }
@@ -301,6 +314,46 @@ TEST(Snapshot, RejectsWrongVersion) {
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.error().code(), ErrorCode::kCorruptSnapshot);
   EXPECT_NE(std::string(r.error().what()).find("version"), std::string::npos);
+}
+
+// A self-consistent header from a retired format (version AND record
+// size agree on v1 or v2) is a stale checkpoint: refused with kConfig
+// and a "predates this build" message, never parsed and never a crash.
+// A version flipped by bit rot disagrees with the record size and stays
+// kCorruptSnapshot (the version field sits outside the CRC span — the
+// cross-check below is its only guard, see RejectsEverySingleBitFlip).
+TEST(Snapshot, RetiredVersionIsConfigErrorNotCorruption) {
+  auto header = [](std::uint32_t version, std::uint64_t record_bytes) {
+    std::vector<unsigned char> b = {'D', 'X', 'S', 'N', 'A', 'P', '0', '1'};
+    auto put = [&b](const void* p, std::size_t n) {
+      const auto* c = static_cast<const unsigned char*>(p);
+      b.insert(b.end(), c, c + n);
+    };
+    const std::uint32_t crc = 0;
+    const std::uint64_t sweep_id = 7, count = 0;
+    put(&version, 4);
+    put(&crc, 4);
+    put(&sweep_id, 8);
+    put(&count, 8);
+    put(&record_bytes, 8);
+    return b;
+  };
+
+  for (const auto& [version, record_bytes] :
+       {std::pair<std::uint32_t, std::uint64_t>{1, (3 + 4 + 14 + 1) * 8},
+        std::pair<std::uint32_t, std::uint64_t>{2, (3 + 4 + 15 + 1 + 6) * 8}}) {
+    const auto r = Snapshot::parse(header(version, record_bytes), "old");
+    ASSERT_FALSE(r.ok()) << "v" << version;
+    EXPECT_EQ(r.error().code(), ErrorCode::kConfig) << "v" << version;
+    EXPECT_NE(std::string(r.error().what()).find("predates"),
+              std::string::npos);
+  }
+
+  // Version 2 claiming the v3 record size is NOT a believable old
+  // checkpoint — that shape only arises from damage.
+  const auto r = Snapshot::parse(header(2, resilience::kRecordBytes), "bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ErrorCode::kCorruptSnapshot);
 }
 
 TEST(Snapshot, RejectsDuplicateKeys) {
