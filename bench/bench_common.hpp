@@ -51,6 +51,19 @@ inline bool is_execution_flag(const std::string& name) {
          name == "svc-lease";
 }
 
+/// Parses --engine=auto|calendar|reference (docs/performance.md
+/// §selector). kAuto is the default; pinning is a workload flag — it can
+/// change which code ran and therefore the selector section — so it is
+/// NOT in is_execution_flag.
+inline sim::Machine::Engine engine_from_cli(const util::Cli& cli) {
+  const std::string name = cli.get("engine", "auto");
+  if (name == "auto") return sim::Machine::Engine::kAuto;
+  if (name == "calendar") return sim::Machine::Engine::kCalendar;
+  if (name == "reference") return sim::Machine::Engine::kReference;
+  raise(ErrorCode::kConfig,
+        "--engine must be auto, calendar or reference (got '" + name + "')");
+}
+
 /// Observability wiring shared by every bench (docs/observability.md):
 ///   --trace=PATH         Chrome trace_event JSON of the simulated runs
 ///   --trace-capacity=N   retained events per track (default 65536)
@@ -58,15 +71,16 @@ inline bool is_execution_flag(const std::string& name) {
 ///   --report-csv=PATH    the same report as CSV rows
 ///   --metrics=PATH       full metrics dump (includes host metrics)
 ///   --drift-band=X       drift-detector relative-error band (default 0.25)
+///   --engine=E           pin the execution engine (default: auto)
 /// Construct one per invocation (prints the banner), attach() every
 /// Machine the bench drives (one track per sweep point), and return
 /// through finish() so the files get written — also on the interrupted
 /// (exit 75) path, where a partial report is still useful.
 ///
-/// Cost attribution and drift detection are always on (they are
-/// deterministic and cheap); their aggregates land in the report's
-/// "attribution" and "drift" sections whenever --report/--report-csv is
-/// given.
+/// Cost attribution, drift detection and the engine-selection log are
+/// always on (deterministic and cheap); their aggregates land in the
+/// report's "attribution", "drift" and "selector" sections whenever
+/// --report/--report-csv is given.
 class Obs {
  public:
   Obs(const util::Cli& cli, const std::string& id, const std::string& what)
@@ -74,7 +88,8 @@ class Obs {
         report_path_(cli.get("report", "")),
         report_csv_path_(cli.get("report-csv", "")),
         metrics_path_(cli.get("metrics", "")),
-        drift_(obs::DriftConfig{cli.get_double("drift-band", 0.25)}) {
+        drift_(obs::DriftConfig{cli.get_double("drift-band", 0.25)}),
+        engine_(engine_from_cli(cli)) {
     banner(id, what);
     info_.bench = id;
     info_.description = what;
@@ -91,12 +106,15 @@ class Obs {
   }
 
   /// Routes the machine's trace events into this run's tracer under
-  /// `track` (use the sweep-point key), and wires the machine's cost
-  /// attribution + drift samples into this run's aggregates.
+  /// `track` (use the sweep-point key), applies the --engine selection,
+  /// and wires the machine's cost attribution, drift samples and
+  /// selector rows into this run's aggregates.
   void attach(sim::Machine& machine, std::uint64_t track = 0) {
     if (tracer_) machine.set_tracer(&tracer_->track(track));
+    machine.set_engine(engine_);
     machine.set_attribution(&attribution_);
     machine.set_drift(&drift_, track);
+    machine.set_selector(&selector_, track);
   }
 
   [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
@@ -104,6 +122,10 @@ class Obs {
     return attribution_;
   }
   [[nodiscard]] obs::DriftDetector& drift() noexcept { return drift_; }
+  [[nodiscard]] obs::SelectorLog& selector() noexcept { return selector_; }
+  [[nodiscard]] sim::Machine::Engine engine() const noexcept {
+    return engine_;
+  }
   /// The run identity (fleet workers ship it in their result message).
   [[nodiscard]] const obs::RunInfo& info() const noexcept { return info_; }
 
@@ -117,12 +139,12 @@ class Obs {
     if (!report_path_.empty())
       obs::write_file(report_path_, [&](std::ostream& os) {
         obs::write_report_json(os, info_, reg, tracer_.get(), &attribution_,
-                               &drift_);
+                               &drift_, &selector_);
       });
     if (!report_csv_path_.empty())
       obs::write_file(report_csv_path_, [&](std::ostream& os) {
         obs::write_report_csv(os, info_, reg, tracer_.get(), &attribution_,
-                              &drift_);
+                              &drift_, &selector_);
       });
     if (!metrics_path_.empty())
       obs::write_file(metrics_path_, [&](std::ostream& os) {
@@ -140,6 +162,8 @@ class Obs {
   std::unique_ptr<obs::Tracer> tracer_;
   obs::AttributionAggregate attribution_;
   obs::DriftDetector drift_;
+  obs::SelectorLog selector_;
+  sim::Machine::Engine engine_ = sim::Machine::Engine::kAuto;
 };
 
 /// Emits the table as ASCII or CSV per the --csv flag.
@@ -212,7 +236,8 @@ inline std::uint64_t apply_sharding(svc::WorkerContext& worker,
   const std::string lease = cli.get("svc-lease", "");
   if (!lease.empty()) {
     worker.init(lease);
-    return worker.prepare(id, keys, opt, &obs.attribution(), &obs.drift());
+    return worker.prepare(id, keys, opt, &obs.attribution(), &obs.drift(),
+                          &obs.selector());
   }
   const std::string shard = cli.get("shard", "");
   if (!shard.empty()) {

@@ -11,6 +11,13 @@ numbers, histograms to ``{total, bounds, counts}``). Output is one row
 per metric name, one column per file — the committed baselines read as
 a trajectory. ``tools/bench_trend.cpp`` is the C++ twin.
 
+After the metric table, any ``perf.<class>.speedup_x100`` metrics are
+folded into a per-class speedup trend section: one line per workload
+class charting the auto-vs-best-fixed-engine ratio across the committed
+baselines in the order given, with the net change since the oldest
+column that has the metric (older baselines that predate a class show
+as ``-``).
+
 Stdlib only (json/sys); exits non-zero with a diagnostic on malformed
 input, which is what lets scripts/ci.sh run it as a lint over the
 committed BENCH_*.json files.
@@ -46,6 +53,41 @@ def format_cell(value):
     return str(int(value)) if isinstance(value, float) else str(value)
 
 
+SPEEDUP_PREFIX = "perf."
+SPEEDUP_SUFFIX = ".speedup_x100"
+
+
+def speedup_trends(paths, columns):
+    """Per-class speedup trend lines across the baseline columns.
+
+    Returns printable lines, or [] when no column carries a
+    ``perf.<class>.speedup_x100`` metric.
+    """
+    classes = sorted({
+        name[len(SPEEDUP_PREFIX):-len(SPEEDUP_SUFFIX)]
+        for col in columns
+        for name in col
+        if name.startswith(SPEEDUP_PREFIX) and name.endswith(SPEEDUP_SUFFIX)
+    })
+    if not classes:
+        return []
+    lines = ["", "speedup trend (auto engine vs best fixed, x):"]
+    width = max(len(c) for c in classes)
+    for cls in classes:
+        key = f"{SPEEDUP_PREFIX}{cls}{SPEEDUP_SUFFIX}"
+        cells = [
+            f"{col[key] / 100:.2f}" if key in col else "-" for col in columns
+        ]
+        have = [(p, col[key]) for p, col in zip(paths, columns) if key in col]
+        if len(have) >= 2 and have[0][1] > 0:
+            pct = 100.0 * (have[-1][1] - have[0][1]) / have[0][1]
+            net = f"  ({pct:+.1f}% since {have[0][0]})"
+        else:
+            net = ""
+        lines.append(f"  {cls.rjust(width)}  {' -> '.join(cells)}{net}")
+    return lines
+
+
 def main(argv):
     paths = argv[1:]
     if not paths:
@@ -77,6 +119,8 @@ def main(argv):
     print("-" * (sum(widths) + 2 * (len(widths) - 1)))
     for row in rows:
         emit(row)
+    for line in speedup_trends(paths, columns):
+        print(line)
     return 0
 
 

@@ -41,12 +41,18 @@
 #    corruption fuzz (every truncation, every bit flip) runs under the
 #    sanitizers.
 # 8. Perf smoke (docs/performance.md): bench_perf_hotpath --quick on the
-#    plain (optimized) build must emit valid metrics JSON and its
-#    headline calendar/reference speedup must stay within 20% of the
-#    committed BENCH_4.json baseline (capped, so a fast dev host can't
-#    commit a baseline CI machines can't reach). The sanitizer build
-#    runs the same bench for its engine cross-check but skips the
-#    throughput gate — sanitized timings measure the sanitizer.
+#    plain (optimized) build must emit valid metrics JSON, and on every
+#    one of the five headline workload classes the auto-engine
+#    (EngineSelector) speedup over the better fixed engine must stay
+#    within 20% of the committed BENCH_9.json baseline (capped, so a
+#    fast dev host can't commit a baseline CI machines can't reach).
+#    The sanitizer build runs the same bench for its engine cross-check
+#    plus the full selector test suite, but skips the throughput gate —
+#    sanitized timings measure the sanitizer.
+# 9. Scalar build leg (DXBSP_SIMD=OFF): the vectorization toggle must be
+#    a pure speed knob. A scalar build of the fig4 bench must produce a
+#    byte-identical run report, and the hotpath bench's three-engine
+#    cross-check must still pass.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -255,33 +261,60 @@ echo "cache tier is sanitizer-clean"
 echo "== perf smoke (event-engine throughput) =="
 PERF=./build-ci/bench/bench_perf_hotpath
 
-# Engine cross-check under the sanitizers (throughput numbers from a
-# sanitized build are meaningless, so no gate — the bench itself fails
-# on any calendar/reference telemetry mismatch).
+# Engine cross-check plus the selector suite under the sanitizers
+# (throughput numbers from a sanitized build are meaningless, so no
+# gate — the bench itself fails on any reference/calendar/auto
+# telemetry mismatch).
 ./build-ci-san/bench/bench_perf_hotpath --quick --reps=1 > /dev/null
-echo "sanitized engine cross-check passed"
+./build-ci-san/tests/engine_select_test > /dev/null
+echo "sanitized engine cross-check and selector suite passed"
 
 # Throughput gate on the optimized build, against the committed
-# baseline. The baseline speedup is capped at 2.5x before applying the
-# 20% tolerance: the gate catches "the calendar engine stopped being
-# faster", not host-to-host variance above the acceptance bar.
+# baseline: on every headline class the auto engine's speedup over the
+# better fixed engine must stay within 20% of BENCH_9.json. Baselines
+# are capped at 2.5x before applying the tolerance: the gate catches
+# "the selector stopped winning", not host-to-host variance above the
+# acceptance bar.
 "$PERF" --quick --metrics="$SMOKE/perf.json" > "$SMOKE/perf.txt"
 python3 -m json.tool "$SMOKE/perf.json" > /dev/null
-python3 - "$SMOKE/perf.json" BENCH_4.json <<'EOF'
+python3 - "$SMOKE/perf.json" BENCH_9.json <<'EOF'
 import json, sys
 
-KEY = "perf.uniform_p64_x4_d8.speedup_x100"
-current = json.load(open(sys.argv[1]))["metrics"][KEY]["value"]
-baseline = json.load(open(sys.argv[2]))["metrics"][KEY]["value"]
-floor = 0.8 * min(baseline, 250)
-print(f"headline speedup: current {current/100:.2f}x, "
-      f"baseline {baseline/100:.2f}x, gate >= {floor/100:.2f}x")
-if current < floor:
-    sys.exit(f"perf smoke: headline speedup {current/100:.2f}x fell below "
-             f"{floor/100:.2f}x (>20% regression vs committed baseline); "
-             "if intended, refresh BENCH_4.json (docs/performance.md)")
+CLASSES = ["uniform_p64_x4_d8", "hot_tight_window", "combining_multihot",
+           "cached_stride", "faulty_drop_retry"]
+current = json.load(open(sys.argv[1]))["metrics"]
+baseline = json.load(open(sys.argv[2]))["metrics"]
+failed = []
+for cls in CLASSES:
+    key = f"perf.{cls}.speedup_x100"
+    cur = current[key]["value"]
+    base = baseline[key]["value"]
+    floor = 0.8 * min(base, 250)
+    verdict = "ok" if cur >= floor else "FAIL"
+    print(f"{cls:>20}: current {cur/100:.2f}x, baseline {base/100:.2f}x, "
+          f"gate >= {floor/100:.2f}x [{verdict}]")
+    if cur < floor:
+        failed.append(cls)
+if failed:
+    sys.exit("perf smoke: auto-vs-best-fixed speedup regressed >20% vs the "
+             f"committed baseline on: {', '.join(failed)}; if intended, "
+             "refresh BENCH_9.json (docs/performance.md)")
 EOF
-echo "perf smoke passed"
+echo "perf smoke passed (all five headline classes gated)"
+
+echo "== scalar build leg (DXBSP_SIMD=OFF) =="
+# The vectorized kernels must be a pure speed knob: a scalar build has
+# to produce byte-identical reports and pass the same three-engine
+# cross-check. Only the two targets this leg runs are built.
+cmake -B build-ci-scalar -S . -DDXBSP_SIMD=OFF >/dev/null
+cmake --build build-ci-scalar -j"$JOBS" \
+  --target bench_fig4_contention_sweep bench_perf_hotpath
+"$OBS_BENCH" "${OBS_ARGS[@]}" --report="$SMOKE/report_vec.json" > /dev/null
+./build-ci-scalar/bench/bench_fig4_contention_sweep "${OBS_ARGS[@]}" \
+  --report="$SMOKE/report_scalar.json" > /dev/null
+cmp "$SMOKE/report_vec.json" "$SMOKE/report_scalar.json"
+./build-ci-scalar/bench/bench_perf_hotpath --quick --reps=1 > /dev/null
+echo "scalar build is byte-identical to the vectorized build"
 
 echo "== coordinator smoke (fleet mode) =="
 COORD=./build-ci/tools/sweep_coordinator

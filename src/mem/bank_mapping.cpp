@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/bits.hpp"
+#include "util/soa.hpp"
 
 namespace dxbsp::mem {
 
@@ -24,6 +25,7 @@ void InterleavedMapping::map(std::span<const std::uint64_t> addrs,
   if (addrs.size() != banks.size())
     throw std::invalid_argument("BankMapping::map: size mismatch");
   const std::uint64_t b = num_banks_;
+  DXBSP_VEC_LOOP
   for (std::size_t i = 0; i < addrs.size(); ++i) banks[i] = addrs[i] % b;
 }
 
@@ -39,6 +41,7 @@ void BitReversalMapping::map(std::span<const std::uint64_t> addrs,
   }
   const std::uint64_t mask = (1ULL << bits) - 1;
   const bool pow2 = util::is_pow2(num_banks_);
+  DXBSP_VEC_LOOP
   for (std::size_t i = 0; i < addrs.size(); ++i) {
     const std::uint64_t rev = util::reverse_bits(addrs[i] & mask, bits);
     banks[i] = pow2 ? rev : (rev * num_banks_) >> bits;
@@ -49,6 +52,7 @@ void HashedMapping::map(std::span<const std::uint64_t> addrs,
                         std::span<std::uint64_t> banks) const {
   if (addrs.size() != banks.size())
     throw std::invalid_argument("BankMapping::map: size mismatch");
+  DXBSP_VEC_LOOP
   for (std::size_t i = 0; i < addrs.size(); ++i)
     banks[i] = (hash_(addrs[i]) * num_banks_) >> 32;
 }

@@ -50,7 +50,7 @@ std::vector<TimelineRow> timeline_rows(const Tracer& tracer) {
 void write_report_json(std::ostream& os, const RunInfo& info,
                        const MetricsRegistry& metrics, const Tracer* tracer,
                        const AttributionAggregate* attribution,
-                       const DriftDetector* drift,
+                       const DriftDetector* drift, const SelectorLog* selector,
                        const DegradedInfo* degraded) {
   JsonWriter w(os);
   w.begin_object();
@@ -145,6 +145,41 @@ void write_report_json(std::ostream& os, const RunInfo& info,
     w.end_object();
   }
 
+  if (selector != nullptr) {
+    const SelectorLog::Snapshot s = selector->snapshot();
+    if (!s.rows.empty()) {
+      w.key("selector").begin_object();
+      w.member("schema_version", kSelectorSchemaVersion);
+      w.member("supersteps", static_cast<std::uint64_t>(s.rows.size()));
+      w.key("rows").begin_array();
+      for (const SelectorRow& r : s.rows) {
+        w.begin_object();
+        w.member("track", r.track);
+        w.member("step", r.step);
+        w.member("choice", engine_choice_name(r.choice));
+        w.member("n", r.n);
+        w.member("h_proc", r.h_proc);
+        w.member("window", r.window);
+        w.member("h_bank_est", r.h_bank_est);
+        w.member("fault_plan_fingerprint", r.plan_fingerprint);
+        if (r.last_binding == kNoBindingTerm)
+          w.key("last_binding").null_value();
+        else
+          w.member("last_binding",
+                   cost_term_name(static_cast<std::size_t>(r.last_binding)));
+        w.member("eligible_dense", r.eligible_dense);
+        w.member("eligible_soa", r.eligible_soa);
+        w.member("forced", r.forced);
+        w.member("fallback", r.fallback);
+        w.member("predicted_cycles", r.predicted);
+        w.member("measured_cycles", r.measured);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+  }
+
   if (degraded != nullptr) {
     w.key("degraded").begin_object();
     w.member("schema_version", kDegradedSchemaVersion);
@@ -189,7 +224,7 @@ void write_report_json(std::ostream& os, const RunInfo& info,
 void write_report_csv(std::ostream& os, const RunInfo& info,
                       const MetricsRegistry& metrics, const Tracer* tracer,
                       const AttributionAggregate* attribution,
-                      const DriftDetector* drift,
+                      const DriftDetector* drift, const SelectorLog* selector,
                       const DegradedInfo* degraded) {
   os << "section,key,value\n";
   os << "run,report_version," << kReportVersion << '\n';
@@ -236,6 +271,41 @@ void write_report_csv(std::ostream& os, const RunInfo& info,
       os << "drift,worst.mapping," << csv_escape(d.worst.mapping) << '\n';
       os << "drift,worst.fault_plan_fingerprint," << d.worst.plan_fingerprint
          << '\n';
+    }
+  }
+  if (selector != nullptr) {
+    const SelectorLog::Snapshot s = selector->snapshot();
+    if (!s.rows.empty()) {
+      os << "selector,schema_version," << kSelectorSchemaVersion << '\n';
+      os << "selector,supersteps," << s.rows.size() << '\n';
+      for (const SelectorRow& r : s.rows) {
+        const std::string key =
+            "row_" + std::to_string(r.track) + "_" + std::to_string(r.step);
+        os << "selector," << key << ".choice," << engine_choice_name(r.choice)
+           << '\n';
+        os << "selector," << key << ".n," << r.n << '\n';
+        os << "selector," << key << ".h_proc," << r.h_proc << '\n';
+        os << "selector," << key << ".window," << r.window << '\n';
+        os << "selector," << key << ".h_bank_est," << r.h_bank_est << '\n';
+        os << "selector," << key << ".fault_plan_fingerprint,"
+           << r.plan_fingerprint << '\n';
+        os << "selector," << key << ".last_binding,"
+           << (r.last_binding == kNoBindingTerm
+                   ? "none"
+                   : cost_term_name(static_cast<std::size_t>(r.last_binding)))
+           << '\n';
+        os << "selector," << key << ".eligible_dense,"
+           << (r.eligible_dense ? "true" : "false") << '\n';
+        os << "selector," << key << ".eligible_soa,"
+           << (r.eligible_soa ? "true" : "false") << '\n';
+        os << "selector," << key << ".forced," << (r.forced ? "true" : "false")
+           << '\n';
+        os << "selector," << key << ".fallback,"
+           << (r.fallback ? "true" : "false") << '\n';
+        os << "selector," << key << ".predicted_cycles," << r.predicted
+           << '\n';
+        os << "selector," << key << ".measured_cycles," << r.measured << '\n';
+      }
     }
   }
   if (degraded != nullptr) {

@@ -20,6 +20,7 @@
 #include "obs/attribution.hpp"
 #include "obs/drift.hpp"
 #include "obs/metrics.hpp"
+#include "obs/selector.hpp"
 #include "obs/trace.hpp"
 
 namespace dxbsp::obs {
@@ -35,6 +36,10 @@ inline constexpr std::uint64_t kReportVersion = 2;
 inline constexpr std::uint64_t kAttributionSchemaVersion = 2;
 inline constexpr std::uint64_t kDriftSchemaVersion = 2;
 inline constexpr std::uint64_t kDegradedSchemaVersion = 1;
+/// "selector" section: one row per superstep from the adaptive execution
+/// layer (obs/selector.hpp). Carries its own schema version, like
+/// "degraded", so adding it did not bump kReportVersion.
+inline constexpr std::uint64_t kSelectorSchemaVersion = 1;
 
 /// Build identifier baked in at configure time ("unknown" outside git).
 [[nodiscard]] const char* build_git_describe() noexcept;
@@ -70,13 +75,15 @@ struct DegradedInfo {
   std::vector<Shard> shards;  ///< the quarantined shards, by index
 };
 
-/// Writes the versioned JSON report. `tracer`, `attribution`, `drift`
-/// and `degraded` may each be null (their sections are omitted);
-/// host-stability metrics are always excluded.
+/// Writes the versioned JSON report. `tracer`, `attribution`, `drift`,
+/// `selector` and `degraded` may each be null (their sections are
+/// omitted); an empty selector log also omits its section.
+/// Host-stability metrics are always excluded.
 void write_report_json(std::ostream& os, const RunInfo& info,
                        const MetricsRegistry& metrics, const Tracer* tracer,
                        const AttributionAggregate* attribution = nullptr,
                        const DriftDetector* drift = nullptr,
+                       const SelectorLog* selector = nullptr,
                        const DegradedInfo* degraded = nullptr);
 
 /// CSV twin: `section,key,value` rows with the same content and the same
@@ -86,6 +93,7 @@ void write_report_csv(std::ostream& os, const RunInfo& info,
                       const MetricsRegistry& metrics, const Tracer* tracer,
                       const AttributionAggregate* attribution = nullptr,
                       const DriftDetector* drift = nullptr,
+                      const SelectorLog* selector = nullptr,
                       const DegradedInfo* degraded = nullptr);
 
 /// Opens `path` for writing and runs `fn(stream)`; any failure is

@@ -110,9 +110,57 @@ std::uint64_t BankArray::serve_addr(std::uint64_t bank, std::uint64_t arrival,
   return end;
 }
 
+std::uint64_t BankArray::serve_run(std::uint64_t bank,
+                                   const std::uint64_t* arrival,
+                                   std::uint64_t count) {
+  // The whole FIFO queue of one bank in one pass: start_k =
+  // max(arrival_k, free), free = start_k + d. The chain is a serial
+  // recurrence, but each iteration is two ALU ops on registers plus one
+  // sequential load — no event queue, no port scan, no per-request
+  // counter traffic, no per-request store.
+  const std::uint64_t d = delay_;
+  std::uint64_t free = free_at_[bank];
+  for (std::uint64_t k = 0; k < count; ++k) {
+    const std::uint64_t start = std::max(arrival[k], free);
+    free = start + d;
+  }
+  free_at_[bank] = free;
+  last_start_ = free - d;
+  last_combined_ = false;
+  const std::uint64_t load = load_[bank] + count;
+  load_[bank] = load;
+  max_load_ = std::max(max_load_, load);
+  total_ += count;
+  if (cancel_ != nullptr) {
+    cancel_->heartbeat();
+    cancel_->raise_if_expired("BankArray::serve_run");
+  }
+  return free;
+}
+
+void BankArray::finish_chain(const std::uint64_t* counts, std::uint64_t total,
+                             std::uint64_t final_start) {
+  const std::uint64_t nb = num_banks();
+  for (std::uint64_t b = 0; b < nb; ++b) {
+    const std::uint64_t load = load_[b] + counts[b];
+    load_[b] = load;
+    max_load_ = std::max(max_load_, load);
+  }
+  total_ += total;
+  last_start_ = final_start;
+  last_combined_ = false;
+  if (cancel_ != nullptr) {
+    cancel_->heartbeat();
+    cancel_->raise_if_expired("BankArray::finish_chain");
+  }
+}
+
 void BankArray::publish(obs::MetricsRegistry& reg) const {
   reg.counter("bank.requests").add(total_);
-  reg.counter("bank.cache_hits").add(hits_);
+  // A hit counter is only meaningful when some cache can produce hits;
+  // an unconditional zero row on uncached machines reads as "cache
+  // present, cold" (issue: retired misleading counter).
+  if (cache_.lines > 0) reg.counter("bank.cache_hits").add(hits_);
   reg.counter("bank.combined").add(combined_);
   reg.counter("bank.degraded_cycles").add(degraded_cycles_);
   reg.gauge("bank.max_load").observe(max_load_);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "obs/drift.hpp"
@@ -12,6 +13,7 @@
 #include "util/bits.hpp"
 #include "util/calendar_queue.hpp"
 #include "util/scratch.hpp"
+#include "util/soa.hpp"
 
 namespace dxbsp::sim {
 
@@ -133,18 +135,50 @@ struct EventKey {
   std::uint64_t operator()(const Event& e) const noexcept { return e.depart; }
 };
 
+/// Binary-heap scheduler with the CalendarQueue's push/pop/reset shape,
+/// so the general event loop is generic over the two. Storage persists
+/// across bulk ops (reset() keeps capacity). Pop order is the total
+/// Event order — identical to both the calendar wheel and the reference
+/// engine's priority_queue.
+struct EventHeap {
+  std::vector<Event> events;
+  void reset() noexcept { events.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  void push(const Event& e) {
+    events.push_back(e);
+    std::push_heap(events.begin(), events.end(), std::greater<>{});
+  }
+  Event pop() {
+    std::pop_heap(events.begin(), events.end(), std::greater<>{});
+    const Event e = events.back();
+    events.pop_back();
+    return e;
+  }
+};
+
 // Scratch-arena slot names (uint64 buffers).
 constexpr std::size_t kRouteSlot = 0;  // addr → bank, one per element
 constexpr std::size_t kRingSlot = 1;   // flattened completion rings
+// SoA kernel planes (docs/performance.md §soa).
+constexpr std::size_t kBktSlot = 2;   // bank-bucketed arrivals, pop order
+constexpr std::size_t kCntSlot = 3;   // per-bank count / running offset
+constexpr std::size_t kLastSlot = 4;  // per-bank last {pop, elem, arrival}
+
+// SoA kernel split (docs/performance.md §soa): up to this many banks the
+// per-bank free-time array (8 B per bank, 256 KiB at the limit) stays
+// cache-resident and the fused pop-order chain wins; beyond it, bucket
+// per bank first so each chain runs on contiguous state.
+constexpr std::uint64_t kFusedChainBanks = 1ULL << 15;
 
 }  // namespace
 
-/// Reusable calendar-engine state: allocated on first bulk op, after
-/// which a steady-state sweep performs no per-op allocations here
+/// Reusable engine state: allocated on first bulk op, after which a
+/// steady-state sweep performs no per-op allocations here
 /// (docs/performance.md §scratch).
 struct Machine::EngineState {
   util::ScratchArena arena;
   util::CalendarQueue<Event, EventKey> queue{4096};
+  EventHeap heap;
 };
 
 Machine::Machine(MachineConfig config,
@@ -271,10 +305,55 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
 
   FailTally tally;
   attr_.begin();
+
+  // Adaptive dispatch (docs/performance.md §selector): classify the op
+  // from O(1) pre-dispatch features, honor a pinned engine, and demote
+  // an ineligible choice to the nearest exact strategy.
+  EngineFeatures feat;
+  feat.n = res.n;
+  feat.processors = config_.processors;
+  feat.banks = config_.banks();
+  feat.gap = config_.gap;
+  feat.bank_delay = config_.bank_delay;
+  feat.latency = config_.latency;
+  feat.h_proc = util::ceil_div(res.n, config_.processors);
+  feat.window = std::min(config_.slackness, feat.h_proc);
+  feat.has_plan = plan_ != nullptr;
+  feat.plan_fingerprint = plan_ != nullptr ? plan_->fingerprint() : 0;
+  feat.eligible_dense = plan_ == nullptr && config_.slackness >= feat.h_proc;
+  feat.eligible_soa = feat.eligible_dense &&
+                      network_.model() == NetworkModel::kIdeal &&
+                      tier_ == nullptr && trace_ == nullptr &&
+                      timing == nullptr;
+  // Prediction is logged against the pre-dispatch memory; observe()
+  // below overwrites it, so compute before running.
+  const std::uint8_t binding_at_decide = selector_.last_binding();
+  const std::uint64_t h_bank_est = selector_.h_bank_estimate(feat);
+  const std::uint64_t predicted = selector_.predict(feat);
+
+  obs::EngineChoice choice;
+  if (engine_ == Engine::kReference) {
+    choice = obs::EngineChoice::kReference;
+  } else if (engine_ == Engine::kCalendar) {
+    choice = feat.eligible_dense ? obs::EngineChoice::kDense
+                                 : obs::EngineChoice::kCalendar;
+  } else {
+    choice = selector_.decide(feat);
+  }
+  const obs::EngineChoice raw_choice = choice;
+  // The specialized paths are only exact under their eligibility
+  // conditions; an infeasible (forced or mispredicted) choice falls back
+  // to the nearest exact strategy instead of being trusted blindly.
+  if (choice == obs::EngineChoice::kSoA && !feat.eligible_soa)
+    choice = feat.eligible_dense ? obs::EngineChoice::kDense
+                                 : obs::EngineChoice::kHeap;
+  if (choice == obs::EngineChoice::kDense && !feat.eligible_dense)
+    choice = obs::EngineChoice::kHeap;
+
   const std::uint64_t makespan =
-      engine_ == Engine::kReference
+      choice == obs::EngineChoice::kReference
           ? run_reference(ids, ids_are_banks, timing, res, tally)
-          : run_calendar(ids, ids_are_banks, timing, res, tally);
+          : run_calendar(ids, ids_are_banks, timing, res, tally, choice);
 
   if (res.completed + tally.failed != res.n)
     raise(ErrorCode::kInternal, "Machine: request conservation violated");
@@ -306,11 +385,8 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   // load distribution (served requests only — loads() never counts a
   // NACK-failed or combined slot), and the critical-event cost
   // decomposition, whose terms must reproduce the makespan exactly.
-  contention_.clear();
-  contention_.reserve(ids.size());
-  for (const std::uint64_t id : ids)
-    res.max_location_contention =
-        std::max(res.max_location_contention, contention_.bump(id));
+  res.max_location_contention =
+      std::max(res.max_location_contention, contention_.max_multiplicity(ids));
   for (const std::uint64_t load : banks_.loads())
     res.bank_sketch.observe(load);
   res.breakdown = attr_.breakdown();
@@ -344,6 +420,27 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
     s.plan = plan_.get();
     drift_->observe(s);
   }
+  if (selector_log_ != nullptr) {
+    obs::SelectorRow row;
+    row.track = selector_track_;
+    row.step = superstep_seq_;
+    row.n = res.n;
+    row.h_proc = feat.h_proc;
+    row.window = feat.window;
+    row.h_bank_est = h_bank_est;
+    row.plan_fingerprint = feat.plan_fingerprint;
+    row.predicted = predicted;
+    row.measured = res.cycles;
+    row.last_binding = binding_at_decide;
+    row.eligible_dense = feat.eligible_dense;
+    row.eligible_soa = feat.eligible_soa;
+    row.forced =
+        engine_ != Engine::kAuto || selector_.forced().has_value();
+    row.fallback = choice != raw_choice;
+    row.choice = choice;
+    selector_log_->record(row);
+  }
+  selector_.observe(res.breakdown, res.max_bank_load, res.n);
   ++superstep_seq_;
 
   rec(trace_, obs::TraceKind::kSuperstep, 0, makespan, res.n, 0);
@@ -578,7 +675,8 @@ std::uint64_t Machine::run_reference(std::span<const std::uint64_t> ids,
 std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
                                     bool ids_are_banks,
                                     RequestTiming* timing, BulkResult& res,
-                                    FailTally& tally) {
+                                    FailTally& tally,
+                                    obs::EngineChoice choice) {
   const fault::FaultPlan* plan = plan_.get();
   const std::uint64_t p = config_.processors;
   const std::uint64_t n = ids.size();
@@ -643,17 +741,28 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
     ring_total += window;
   }
   res.max_proc_requests = max_count;
+
+  // Specialization eligibility for the scheduled loop below (kAuto
+  // only: the pinned engines are frozen baselines).
+  const bool no_obs = engine_ == Engine::kAuto && tier == nullptr &&
+                      trace_ == nullptr && timing == nullptr;
+  const bool no_ring = no_obs && config_.slackness >= max_count;
+
   // Ring slot j % window is written at issue j and first read at issue
   // j + window, so stale contents from the previous bulk op are never
-  // observed — resize without zeroing.
-  if (rings.size() < ring_total)
+  // observed — resize without zeroing. The kNoRing specialization never
+  // touches the rings at all.
+  if (!no_ring && rings.size() < ring_total)
     rings.resize(static_cast<std::size_t>(ring_total));
 
   std::uint64_t makespan = 0;
   std::uint64_t events = 0;
   const std::uint64_t g = config_.gap;
 
-  if (plan == nullptr && config_.slackness >= max_count) {
+  if (choice == obs::EngineChoice::kSoA)
+    return run_soa(ids, ids_are_banks, route, res, max_count);
+
+  if (choice == obs::EngineChoice::kDense) {
     // Dense fast path. With no fault plan there are no retries, and with
     // the outstanding window never binding (S >= every per-proc count;
     // window = min(S, count) = count, and the gate index never reaches
@@ -735,10 +844,29 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
     return makespan;
   }
 
-  // General path: the calendar queue replaces the binary heap; pop order
-  // is identical (util/calendar_queue.hpp). Retry backoffs beyond the
-  // wheel horizon take the queue's internal heap fallback.
-  auto& q = st.queue;
+  // General path, scheduled by either the calendar wheel (kCalendar) or
+  // the binary heap (kHeap): pop order is identical — the total Event
+  // order — so the queue choice is pure performance
+  // (util/calendar_queue.hpp; EventHeap above). Retry backoffs beyond
+  // the wheel horizon take the calendar queue's internal heap fallback.
+  //
+  // Under kAuto two compile-time specializations shave the per-event
+  // constant without touching pop order or results (the pinned engines
+  // deliberately stay on the unspecialized loop — they are the frozen
+  // A/B baselines; docs/performance.md §selector):
+  //   kNoObs:  tier, tracer and timing are null for this op — fold the
+  //            observability branches away entirely.
+  //   kNoRing: S >= every per-processor count, so the outstanding
+  //            window provably never gates an issue — skip the
+  //            completion-ring writes (the only random-access store on
+  //            the fresh-issue path).
+  auto scheduled = [&](auto& q, auto no_obs_c, auto no_ring_c)
+      -> std::uint64_t {
+  constexpr bool kNoObs = decltype(no_obs_c)::value;
+  constexpr bool kNoRing = decltype(no_ring_c)::value;
+  obs::TraceRing* const tr = kNoObs ? nullptr : trace_;
+  RequestTiming* const tm = kNoObs ? nullptr : timing;
+  cache::CacheTier* const tierp = kNoObs ? nullptr : tier;
   q.reset();
   for (std::uint64_t i = 0; i < p; ++i)
     if (procs[i].count > 0)
@@ -759,8 +887,8 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
 
     bool local_hit = false;
     std::uint64_t ack = 0;
-    if (tier != nullptr && fresh) {
-      const cache::CacheTier::Access acc = tier->access(ev.proc, addr);
+    if (tierp != nullptr && fresh) {
+      const cache::CacheTier::Access acc = tierp->access(ev.proc, addr);
       if (acc.writeback)
         line_writeback(acc.victim_addr, ev.depart, ev.proc, true, res);
       if (acc.hit) {
@@ -769,14 +897,14 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
         ack = ev.depart + hit_latency;
         ++res.completed;
         attr_.observe_cache_hit(ack, fresh_gap, ev.depart);
-        rec(trace_, obs::TraceKind::kCacheHit, ev.depart, hit_latency, elem,
+        rec(tr, obs::TraceKind::kCacheHit, ev.depart, hit_latency, elem,
             ev.proc);
-        if (timing != nullptr) {
-          timing->issue[elem] = ev.depart;
-          timing->arrival[elem] = ev.depart;
-          timing->start[elem] = ev.depart;
-          timing->completion[elem] = ack;
-          timing->bank[elem] = RequestTiming::kUnserved;  // served locally
+        if (tm != nullptr) {
+          tm->issue[elem] = ev.depart;
+          tm->arrival[elem] = ev.depart;
+          tm->start[elem] = ev.depart;
+          tm->completion[elem] = ack;
+          tm->bank[elem] = RequestTiming::kUnserved;  // served locally
         }
       }
     }
@@ -794,7 +922,7 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
         if (spare == fault::kNoBank) {
           fail_reason = "no bank alive for failover";
         } else {
-          rec(trace_, obs::TraceKind::kFailover, arrival, 0, bank, spare);
+          rec(tr, obs::TraceKind::kFailover, arrival, 0, bank, spare);
           bank = spare;
           ++res.failovers;
           redirected = true;
@@ -803,14 +931,14 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
       if (fail_reason == nullptr && plan->drop(elem, ev.attempt)) {
         if (ev.attempt < plan->retry().max_retries) {
           ++res.nacks;
-          rec(trace_, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
+          rec(tr, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
           ack = network_.nack_return(arrival);
           if (fresh) attr_.note_origin(elem, fresh_gap, ev.depart);
           const std::uint64_t delay =
               plan->backoff_delay(elem, ev.attempt + 1);
           q.push(Event{ack + delay, elem, ev.proc, ev.attempt + 1});
           ++res.retries;
-          rec(trace_, obs::TraceKind::kRetry, ack + delay, 0, elem,
+          rec(tr, obs::TraceKind::kRetry, ack + delay, 0, elem,
               ev.attempt + 1);
           served_ok = false;
         } else {
@@ -819,7 +947,7 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
       }
       if (fail_reason != nullptr) {
         ++res.nacks;
-        rec(trace_, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
+        rec(tr, obs::TraceKind::kNack, arrival, 0, elem, ev.attempt);
         ack = network_.nack_return(arrival);
         if (tally.failed == 0) {
           tally.first_elem = elem;
@@ -832,10 +960,10 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
     }
 
     if (served_ok) {
-      if constexpr (obs::kTraceCompiledIn) {
-        if (trace_ != nullptr) {
+      if constexpr (obs::kTraceCompiledIn && !kNoObs) {
+        if (tr != nullptr) {
           const std::uint64_t free = banks_.free_at(bank);
-          rec(trace_, obs::TraceKind::kQueueDepth, arrival, 0, bank,
+          rec(tr, obs::TraceKind::kQueueDepth, arrival, 0, bank,
               free > arrival ? free - arrival : 0);
         }
       }
@@ -849,15 +977,15 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
       attr_.observe_served(ack, fresh, elem, fresh_gap, ev.depart, arrival,
                            served, latency, redirected);
       if (!banks_.last_combined())
-        rec(trace_, obs::TraceKind::kBankBusy, banks_.last_start(),
+        rec(tr, obs::TraceKind::kBankBusy, banks_.last_start(),
             served - banks_.last_start(), bank, 0);
 
-      if (timing != nullptr) {
-        timing->issue[elem] = ev.depart;
-        timing->arrival[elem] = arrival;
-        timing->start[elem] = banks_.last_start();
-        timing->completion[elem] = ack;
-        timing->bank[elem] = bank;
+      if (tm != nullptr) {
+        tm->issue[elem] = ev.depart;
+        tm->arrival[elem] = arrival;
+        tm->start[elem] = banks_.last_start();
+        tm->completion[elem] = ack;
+        tm->bank[elem] = bank;
       }
     } else {
       attr_.observe_unserved(ack, fresh, elem, fresh_gap, ev.depart);
@@ -866,20 +994,24 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
     makespan = std::max(makespan, ack);
 
     if (fresh) {
-      const std::uint64_t window = ps.window;
-      rings[ps.ring_off + ps.issued % window] = ack;
+      if constexpr (!kNoRing) {
+        rings[ps.ring_off + ps.issued % ps.window] = ack;
+      }
       ps.last_issue = ev.depart;
       ++ps.issued;
 
       if (ps.issued < ps.count) {
         std::uint64_t next = ps.last_issue + g;
-        if (ps.issued >= window) {
-          const std::uint64_t gate = rings[ps.ring_off + ps.issued % window];
-          if (gate > next) {
-            ps.stall += gate - next;
-            rec(trace_, obs::TraceKind::kStall, next, gate - next, ev.proc,
-                0);
-            next = gate;
+        if constexpr (!kNoRing) {
+          if (ps.issued >= ps.window) {
+            const std::uint64_t gate =
+                rings[ps.ring_off + ps.issued % ps.window];
+            if (gate > next) {
+              ps.stall += gate - next;
+              rec(tr, obs::TraceKind::kStall, next, gate - next, ev.proc,
+                  0);
+              next = gate;
+            }
           }
         }
         q.push(Event{next, 0, ev.proc, 0});
@@ -891,6 +1023,227 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
     res.stall_cycles += ps.stall;
     res.last_issue = std::max(res.last_issue, ps.last_issue);
   }
+  return makespan;
+  };  // scheduled
+
+  const auto run_q = [&](auto no_obs_c, auto no_ring_c) {
+    if (choice == obs::EngineChoice::kHeap)
+      return scheduled(st.heap, no_obs_c, no_ring_c);
+    return scheduled(st.queue, no_obs_c, no_ring_c);
+  };
+  if (no_ring) return run_q(std::true_type{}, std::true_type{});
+  if (no_obs) return run_q(std::true_type{}, std::false_type{});
+  return run_q(std::false_type{}, std::false_type{});
+}
+
+std::uint64_t Machine::run_soa(std::span<const std::uint64_t> ids,
+                               bool ids_are_banks,
+                               const std::uint64_t* route, BulkResult& res,
+                               std::uint64_t max_count) {
+  // SoA batched kernel (docs/performance.md §soa). Eligibility, checked
+  // by run(): no fault plan, window never binds, ideal network, no cache
+  // tier, no tracer, no per-request timing. Under those conditions
+  // processor P's j-th request departs at exactly j·g and arrives at
+  // j·g + L, so the whole op is a data-parallel pipeline over flat
+  // planes: counting-sort arrivals into contiguous per-bank buckets
+  // (stable, so each bank sees its arrivals in scheduler pop order),
+  // run the branch-free free-chain over each bucket, then latch the
+  // critical request from per-bank tail state. Bit-identical to the
+  // dense fast path.
+  const std::uint64_t n = ids.size();
+  const std::uint64_t p = config_.processors;
+  const std::uint64_t g = config_.gap;
+  const std::uint64_t latency = config_.latency;
+  const std::uint64_t nbanks = config_.banks();
+  const bool block = config_.distribution == Distribution::kBlock;
+  util::ScratchArena& arena = state_->arena;
+
+  if (!banks_.batchable(/*address_aware=*/!ids_are_banks)) {
+    // Combining, a bank-side MRU cache or multi-port banks: per-request
+    // bank state transitions can't run as a free-chain, so the counting
+    // sort buys nothing (measured: the permutation's random gathers cost
+    // more than they save). Instead walk pop order directly — exactly
+    // the dense fast path's loop, minus its dead generality: arrival is
+    // inlined (ideal network by eligibility) and the tier/trace/timing
+    // branches are gone (all null by eligibility).
+    std::uint64_t makespan = 0;
+    std::uint64_t events = 0;
+    const auto serve_one = [&](std::uint64_t elem, std::uint64_t arrival) {
+      if (cancel_ != nullptr && (++events & 0xFFFU) == 0) {
+        cancel_->heartbeat();
+        cancel_->raise_if_expired("Machine::run");
+      }
+      const std::uint64_t bank = route[elem];
+      const std::uint64_t served =
+          ids_are_banks ? banks_.serve(bank, arrival)
+                        : banks_.serve_addr(bank, arrival, ids[elem]);
+      const std::uint64_t ack = served + latency;
+      if (ack > makespan) {
+        // Same latch rule as the dense path: first strict max in pop
+        // order, depart == j·g exactly, window stall provably zero.
+        makespan = ack;
+        attr_.observe_served(ack, /*fresh=*/true, elem, arrival - latency,
+                             arrival - latency, arrival, served, latency,
+                             /*redirected=*/false);
+      }
+    };
+    if (block) {
+      const std::uint64_t per = util::ceil_div(n, p);
+      for (std::uint64_t j = 0; j < max_count; ++j) {
+        const std::uint64_t arrival = j * g + latency;
+        for (std::uint64_t proc = 0; proc < p; ++proc) {
+          const std::uint64_t elem = proc * per + j;
+          if (elem < n && j < per) serve_one(elem, arrival);
+        }
+      }
+    } else {
+      // Cyclic: pop order IS element order, p consecutive elements per
+      // departure wave.
+      std::uint64_t arrival = latency;
+      for (std::uint64_t base = 0; base < n; base += p) {
+        const std::uint64_t end = std::min(base + p, n);
+        for (std::uint64_t i = base; i < end; ++i) serve_one(i, arrival);
+        arrival += g;
+      }
+    }
+    res.completed += n;
+    res.last_issue = (max_count - 1) * g;
+    return makespan;
+  }
+
+  // Batchable banks: per-bank counts first (order-independent, so plain
+  // element order works for both distributions); they feed BankArray's
+  // load counters on the fused path and the bucket offsets on the
+  // bucketed one.
+  std::uint64_t* cnt = util::soa_plane(arena, kCntSlot, nbanks);
+  std::fill(cnt, cnt + nbanks, 0);
+  for (std::size_t i = 0; i < n; ++i) ++cnt[route[i]];
+
+  std::uint64_t best = 0;       // critical completion time
+  std::uint64_t best_elem = 0;  // its element id
+  std::uint64_t best_arr = 0;   // its bank arrival
+
+  if (nbanks <= kFusedChainBanks) {
+    // Fused free-chain kernel: the FIFO recurrence is bank-local, so
+    // one pop-order pass with a cache-resident per-bank free-time array
+    // computes exactly what bucketing would — minus the bucket scatter,
+    // which measures ~5x the cost of the whole fused pass at headline
+    // sizes. The strict-> latch keeps the FIRST pop-order max, the same
+    // request every event engine latches.
+    const std::uint64_t d = banks_.delay();
+    std::uint64_t* chain = banks_.open_chain();
+    std::uint64_t fin = 0;
+    std::uint64_t events = 0;
+    const auto chain_one = [&](std::uint64_t elem, std::uint64_t arrival) {
+      if (cancel_ != nullptr && (++events & 0xFFFU) == 0) {
+        cancel_->heartbeat();
+        cancel_->raise_if_expired("Machine::run");
+      }
+      const std::uint64_t b = route[elem];
+      const std::uint64_t f = chain[b];
+      fin = (arrival > f ? arrival : f) + d;
+      chain[b] = fin;
+      if (fin > best) {
+        best = fin;
+        best_elem = elem;
+        best_arr = arrival;
+      }
+    };
+    if (block) {
+      const std::uint64_t per = util::ceil_div(n, p);
+      for (std::uint64_t j = 0; j < max_count; ++j) {
+        const std::uint64_t arrival = j * g + latency;
+        for (std::uint64_t proc = 0; proc < p; ++proc) {
+          const std::uint64_t elem = proc * per + j;
+          if (elem < n && j < per) chain_one(elem, arrival);
+        }
+      }
+    } else {
+      // Cyclic: pop order IS element order (element k is processor
+      // k%p's (k/p)-th issue), p consecutive elements per wave.
+      std::uint64_t arrival = latency;
+      for (std::uint64_t base = 0; base < n; base += p) {
+        const std::uint64_t end = std::min(base + p, n);
+        for (std::uint64_t i = base; i < end; ++i) chain_one(i, arrival);
+        arrival += g;
+      }
+    }
+    banks_.finish_chain(cnt, n, fin - d);
+  } else {
+    // Bucketed kernel for bank arrays too large to chain in cache:
+    // prefix the counts, scatter each pop-order arrival into its bank's
+    // contiguous bucket, then run the branch-free serve_run() chain per
+    // bank. With d >= 1 completions strictly increase along a bucket,
+    // so each bank's critical candidate is its LAST request — tracked
+    // in three per-bank arrays during the scatter; globally the critical
+    // request is the max completion, ties broken by earliest pop index.
+    std::uint64_t offset = 0;
+    for (std::uint64_t b = 0; b < nbanks; ++b) {
+      const std::uint64_t c = cnt[b];
+      cnt[b] = offset;
+      offset += c;
+    }
+    std::uint64_t* bkt = util::soa_plane(arena, kBktSlot, n);
+    std::uint64_t* last = util::soa_plane(arena, kLastSlot, 3 * nbanks);
+    std::uint64_t* last_pop = last;               // pop index of last request
+    std::uint64_t* last_elem = last + nbanks;     // its element id
+    std::uint64_t* last_arr = last + 2 * nbanks;  // its bank arrival
+    if (block) {
+      const std::uint64_t per = util::ceil_div(n, p);
+      std::uint64_t out = 0;
+      for (std::uint64_t j = 0; j < max_count; ++j) {
+        const std::uint64_t arrival = j * g + latency;
+        for (std::uint64_t proc = 0; proc < p; ++proc) {
+          const std::uint64_t elem = proc * per + j;
+          if (elem < n && j < per) {
+            const std::uint64_t b = route[elem];
+            bkt[cnt[b]++] = arrival;
+            last_pop[b] = out++;
+            last_elem[b] = elem;
+            last_arr[b] = arrival;
+          }
+        }
+      }
+    } else {
+      std::uint64_t arrival = latency;
+      for (std::uint64_t base = 0; base < n; base += p) {
+        const std::uint64_t end = std::min(base + p, n);
+        for (std::uint64_t i = base; i < end; ++i) {
+          const std::uint64_t b = route[i];
+          bkt[cnt[b]++] = arrival;
+          last_pop[b] = i;
+          last_elem[b] = i;
+          last_arr[b] = arrival;
+        }
+        arrival += g;
+      }
+    }
+    // cnt[b] now holds the END of bank b's bucket (== start of b+1's).
+    std::uint64_t best_bank = 0;
+    std::uint64_t start = 0;
+    for (std::uint64_t b = 0; b < nbanks; ++b) {
+      const std::uint64_t stop = cnt[b];
+      if (stop > start) {
+        const std::uint64_t fin =
+            banks_.serve_run(b, bkt + start, stop - start);
+        if (fin > best ||
+            (fin == best && last_pop[b] < last_pop[best_bank])) {
+          best = fin;
+          best_bank = b;
+        }
+      }
+      start = stop;
+    }
+    best_elem = last_elem[best_bank];
+    best_arr = last_arr[best_bank];
+  }
+
+  const std::uint64_t makespan = best + latency;
+  attr_.observe_served(makespan, /*fresh=*/true, best_elem,
+                       best_arr - latency, best_arr - latency, best_arr, best,
+                       latency, /*redirected=*/false);
+  res.completed += n;
+  res.last_issue = (max_count - 1) * g;
   return makespan;
 }
 
@@ -926,11 +1279,8 @@ BulkResult Machine::scatter_bulk_delivery(
   // Attribution of the ablation: no issue pipeline, so the critical
   // request's lifetime is exactly wire-out + bank queue/service +
   // wire-back (makespan >= 2L holds because every request arrives at L).
-  contention_.clear();
-  contention_.reserve(addrs.size());
-  for (const std::uint64_t addr : addrs)
-    res.max_location_contention =
-        std::max(res.max_location_contention, contention_.bump(addr));
+  res.max_location_contention = std::max(res.max_location_contention,
+                                         contention_.max_multiplicity(addrs));
   for (const std::uint64_t load : banks_.loads())
     res.bank_sketch.observe(load);
   res.breakdown.latency = 2 * config_.latency;

@@ -26,12 +26,15 @@
 #include "fault/fault_plan.hpp"
 #include "mem/bank_mapping.hpp"
 #include "obs/attribution.hpp"
+#include "obs/selector.hpp"
 #include "obs/trace.hpp"
 #include "resilience/cancel.hpp"
 #include "sim/bank_array.hpp"
+#include "sim/engine_select.hpp"
 #include "sim/machine_config.hpp"
 #include "sim/network.hpp"
 #include "sim/telemetry.hpp"
+#include "util/multiplicity.hpp"
 
 namespace dxbsp::obs {
 class DriftDetector;
@@ -154,16 +157,34 @@ class Machine {
     }
   };
 
-  /// Event-engine selection (docs/performance.md). kCalendar — the
-  /// calendar-queue scheduler with batched bank routing and scratch
-  /// reuse — is the default; kReference is the original heap-based loop,
-  /// kept for differential testing and before/after benchmarking. The
-  /// two produce bit-identical BulkResult/RequestTiming/trace output
+  /// Event-engine selection (docs/performance.md). kAuto — the default —
+  /// classifies each bulk op from cheap pre-dispatch features
+  /// (EngineSelector) and dispatches it to the calendar wheel, the binary
+  /// heap, the dense fast path or the SoA batched kernel; kCalendar pins
+  /// the calendar-queue scheduler (with its dense fast path), kReference
+  /// the original heap-based loop, kept for differential testing and
+  /// before/after benchmarking. All strategies produce bit-identical
+  /// BulkResult/RequestTiming/trace output
   /// (tests/engine_equivalence_test.cpp). Compiling with
   /// -DDXBSP_REFERENCE_ENGINE pins the default to kReference.
-  enum class Engine { kCalendar, kReference };
+  enum class Engine { kCalendar, kReference, kAuto };
   void set_engine(Engine e) noexcept { engine_ = e; }
   [[nodiscard]] Engine engine() const noexcept { return engine_; }
+
+  /// Attaches the selector log (non-owning; nullptr detaches): each bulk
+  /// op appends one decision row under `track` (use the sweep-point key)
+  /// — features, choice, predicted vs measured cycles. Resets the
+  /// selector's one-superstep memory and the superstep sequence so
+  /// decision sequences are reproducible per attach point.
+  void set_selector(obs::SelectorLog* log, std::uint64_t track = 0) noexcept {
+    selector_log_ = log;
+    selector_track_ = track;
+    selector_.reset();
+    superstep_seq_ = 0;
+  }
+
+  /// The adaptive policy instance (test hook: selector().force(...)).
+  [[nodiscard]] EngineSelector& selector() noexcept { return selector_; }
 
   /// Attaches a cancellation token (non-owning; may outlive bulk ops but
   /// must outlive the Machine's use of it). The event loop polls it
@@ -281,11 +302,20 @@ class Machine {
                               bool ids_are_banks, RequestTiming* timing,
                               BulkResult& res, FailTally& tally);
 
-  /// Calendar-queue engine: batched bank routing, scratch-arena state,
-  /// and a dense fast path when the slackness window cannot bind.
+  /// Batched-routing engine hosting the scheduled paths (calendar wheel
+  /// or binary heap, per `choice`), the dense fast path and the SoA
+  /// batched kernel.
   std::uint64_t run_calendar(std::span<const std::uint64_t> ids,
                              bool ids_are_banks, RequestTiming* timing,
-                             BulkResult& res, FailTally& tally);
+                             BulkResult& res, FailTally& tally,
+                             obs::EngineChoice choice);
+
+  /// Structure-of-arrays batched kernel (docs/performance.md §soa);
+  /// exact only under EngineFeatures::eligible_soa. `route` is the
+  /// per-element bank plane already computed by run_calendar.
+  std::uint64_t run_soa(std::span<const std::uint64_t> ids,
+                        bool ids_are_banks, const std::uint64_t* route,
+                        BulkResult& res, std::uint64_t max_count);
 
   /// Fire-and-forget write traffic from the cache tier: traverses the
   /// network and occupies a bank, acks to nobody. `whole_line` marks a
@@ -309,15 +339,18 @@ class Machine {
   obs::AttributionAggregate* attr_agg_ = nullptr;
   obs::DriftDetector* drift_ = nullptr;
   std::uint64_t drift_track_ = 0;
+  obs::SelectorLog* selector_log_ = nullptr;
+  std::uint64_t selector_track_ = 0;
+  EngineSelector selector_;
   std::uint64_t superstep_seq_ = 0;
   // Per-op attribution scratch (critical-event latch + retry origins)
   // and the location-contention counting table, reused across bulk ops.
   obs::CostAttributor attr_;
-  util::FlatMap64 contention_;
+  util::MultiplicityCounter contention_;
 #ifdef DXBSP_REFERENCE_ENGINE
   Engine engine_ = Engine::kReference;
 #else
-  Engine engine_ = Engine::kCalendar;
+  Engine engine_ = Engine::kAuto;
 #endif
   // Calendar-engine working state (scheduler buckets, route vector,
   // per-processor issue state, completion rings), allocated on first use

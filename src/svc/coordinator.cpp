@@ -459,6 +459,7 @@ void Coordinator::write_merged_reports() {
   obs::MetricsRegistry merged;
   obs::AttributionAggregate attribution;
   std::optional<obs::DriftDetector> drift;
+  obs::SelectorLog selector;
   obs::RunInfo info;
   bool have_info = false;
   for (const auto& sp : states_) {
@@ -470,6 +471,7 @@ void Coordinator::write_merged_reports() {
           drift.emplace(obs::DriftConfig{a.drift.band});
         drift->merge(a.drift);
       }
+      selector.merge(obs::SelectorLog::Snapshot{a.selector});
     }
     if (!have_info && sp->result && sp->result->has_info) {
       info = sp->result->info;
@@ -490,12 +492,12 @@ void Coordinator::write_merged_reports() {
   if (!opt_.report_path.empty())
     obs::write_file(opt_.report_path, [&](std::ostream& os) {
       obs::write_report_json(os, info, merged, nullptr, &attribution,
-                             drift_ptr, degraded);
+                             drift_ptr, &selector, degraded);
     });
   if (!opt_.report_csv_path.empty())
     obs::write_file(opt_.report_csv_path, [&](std::ostream& os) {
       obs::write_report_csv(os, info, merged, nullptr, &attribution,
-                            drift_ptr, degraded);
+                            drift_ptr, &selector, degraded);
     });
 }
 

@@ -256,6 +256,32 @@ void write_aggregates_body(JsonWriter& w, const AggregatesMsg& m) {
   } else {
     w.key("drift").null_value();
   }
+
+  // Engine-selection rows (obs/selector.hpp): a compact fixed-width
+  // tuple per row, in SelectorRow field order. last_binding travels as
+  // the raw index (0xFF = none) — the report writer, not the wire,
+  // renders names.
+  w.key("selector").begin_array();
+  for (const obs::SelectorRow& r : m.selector) {
+    w.begin_object();
+    w.member("track", r.track);
+    w.member("step", r.step);
+    w.member("n", r.n);
+    w.member("h_proc", r.h_proc);
+    w.member("window", r.window);
+    w.member("h_bank_est", r.h_bank_est);
+    w.member("plan_fingerprint", r.plan_fingerprint);
+    w.member("predicted", r.predicted);
+    w.member("measured", r.measured);
+    w.member("last_binding", static_cast<std::uint64_t>(r.last_binding));
+    w.member("eligible_dense", r.eligible_dense);
+    w.member("eligible_soa", r.eligible_soa);
+    w.member("forced", r.forced);
+    w.member("fallback", r.fallback);
+    w.member("choice", static_cast<std::uint64_t>(r.choice));
+    w.end_object();
+  }
+  w.end_array();
 }
 
 Expected<AggregatesMsg> read_aggregates_body(const JsonValue& v,
@@ -337,6 +363,38 @@ Expected<AggregatesMsg> read_aggregates_body(const JsonValue& v,
       if (!wd.ok()) return wd.error();
     }
     if (!dd.ok()) return dd.error();
+  }
+
+  // Tolerant: absent on payloads from before the selector existed.
+  if (const JsonValue* sel = d.opt("selector")) {
+    if (!sel->is_array())
+      return Error(ErrorCode::kCorruptInput,
+                   origin + ": selector is not an array");
+    for (const JsonValue& rv : sel->items()) {
+      Dec rd(rv, origin + ".selector");
+      obs::SelectorRow r;
+      r.track = rd.u64("track");
+      r.step = rd.u64("step");
+      r.n = rd.u64("n");
+      r.h_proc = rd.u64("h_proc");
+      r.window = rd.u64("window");
+      r.h_bank_est = rd.u64("h_bank_est");
+      r.plan_fingerprint = rd.u64("plan_fingerprint");
+      r.predicted = rd.u64("predicted");
+      r.measured = rd.u64("measured");
+      r.last_binding = static_cast<std::uint8_t>(rd.u64("last_binding"));
+      r.eligible_dense = rd.boolean("eligible_dense");
+      r.eligible_soa = rd.boolean("eligible_soa");
+      r.forced = rd.boolean("forced");
+      r.fallback = rd.boolean("fallback");
+      const std::uint64_t choice = rd.u64("choice");
+      if (rd.ok() && choice >= obs::kEngineChoices)
+        return Error(ErrorCode::kCorruptInput,
+                     origin + ": selector choice out of range");
+      r.choice = static_cast<obs::EngineChoice>(choice);
+      if (!rd.ok()) return rd.error();
+      m.selector.push_back(r);
+    }
   }
 
   if (!d.ok()) return d.error();

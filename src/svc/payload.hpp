@@ -78,6 +78,10 @@ struct AggregatesMsg {
   obs::AttributionAggregate::Snapshot attribution;
   bool has_drift = false;
   obs::DriftDetector::Snapshot drift;
+  /// Engine-selection rows for the covered points (obs/selector.hpp);
+  /// empty when the attempt ran no supersteps. Decoded tolerantly: a
+  /// payload without the field (older worker) reads as empty.
+  std::vector<obs::SelectorRow> selector;
 };
 
 struct ResultMsg {

@@ -46,10 +46,12 @@ std::uint64_t WorkerContext::prepare(std::uint64_t base_id,
                                      resilience::SweepOptions& opt,
                                      const obs::AttributionAggregate*
                                          attribution,
-                                     const obs::DriftDetector* drift) {
+                                     const obs::DriftDetector* drift,
+                                     const obs::SelectorLog* selector) {
   if (!active_) return base_id;
   attribution_ = attribution;
   drift_ = drift;
+  selector_ = selector;
   keys = shard_.slice(keys);
   keys_ = keys;
   const std::uint64_t id = resilience::shard_sweep_id(base_id, shard_);
@@ -168,6 +170,7 @@ AggregatesMsg WorkerContext::aggregates_now(std::uint64_t covered) const {
     agg.has_drift = true;
     agg.drift = drift_->snapshot();
   }
+  if (selector_ != nullptr) agg.selector = selector_->snapshot().rows;
   return agg;
 }
 

@@ -75,14 +75,16 @@ class WorkerContext {
   /// and deadline), truncates the checkpoint to the banked prefix,
   /// installs the partial-aggregates on_progress hook, and fires any
   /// lease-phase chaos. Returns the shard-scoped sweep id (or `base_id`
-  /// unchanged when inactive). `attribution`/`drift` are the run's
-  /// aggregates (bench::Obs's); drift may be null.
+  /// unchanged when inactive). `attribution`/`drift`/`selector` are the
+  /// run's aggregates (bench::Obs's); drift and selector may be null.
   [[nodiscard]] std::uint64_t prepare(std::uint64_t base_id,
                                       std::vector<std::uint64_t>& keys,
                                       resilience::SweepOptions& opt,
                                       const obs::AttributionAggregate*
                                           attribution,
-                                      const obs::DriftDetector* drift);
+                                      const obs::DriftDetector* drift,
+                                      const obs::SelectorLog* selector =
+                                          nullptr);
 
   /// Starts the heartbeat sampler against the runner's token. Call after
   /// constructing the SweepRunner, before run().
@@ -108,6 +110,7 @@ class WorkerContext {
   std::vector<std::uint64_t> keys_;  ///< this shard's slice
   const obs::AttributionAggregate* attribution_ = nullptr;
   const obs::DriftDetector* drift_ = nullptr;
+  const obs::SelectorLog* selector_ = nullptr;
   std::chrono::steady_clock::time_point started_{};
 
   // Heartbeat sampler state.

@@ -1,0 +1,47 @@
+#pragma once
+// Structure-of-arrays request planes for the batched bank-service kernel
+// (docs/performance.md §soa). A bulk operation's per-request records are
+// split into parallel uint64 planes — route (addr→bank), pop order,
+// departure, completion, counting-sort permutation — each a ScratchArena
+// slot, so the hot loops stream contiguous memory instead of hopping
+// across AoS records and the compiler can vectorize the streaming
+// passes.
+//
+// DXBSP_VEC_LOOP marks the loops the DXBSP_SIMD CMake toggle targets:
+// with the toggle ON it expands to the compiler's vectorize/ivdep
+// pragma, with it OFF to nothing. The pragmas only *permit* the
+// transformation on loops whose semantics are iteration-independent, so
+// the scalar fallback is bit-identical by construction (ci.sh builds
+// both and diffs the outputs).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/scratch.hpp"
+
+#if defined(DXBSP_SIMD)
+#if defined(__clang__)
+#define DXBSP_VEC_LOOP _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define DXBSP_VEC_LOOP _Pragma("GCC ivdep")
+#else
+#define DXBSP_VEC_LOOP
+#endif
+#else
+#define DXBSP_VEC_LOOP
+#endif
+
+namespace dxbsp::util {
+
+/// Grows (never shrinks) the uint64 plane in `slot` to `n` elements and
+/// returns its raw base. Contents are NOT zeroed — plane users fully
+/// overwrite before reading, per the arena's lifetime rules. The pointer
+/// is valid until the next resize of the same (uint64, slot) pair.
+inline std::uint64_t* soa_plane(ScratchArena& arena, std::size_t slot,
+                                std::size_t n) {
+  auto& v = arena.vec<std::uint64_t>(slot);
+  if (v.size() < n) v.resize(n);
+  return v.data();
+}
+
+}  // namespace dxbsp::util

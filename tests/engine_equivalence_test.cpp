@@ -1,9 +1,10 @@
-// Differential tests for the two event engines: the calendar-queue
-// scheduler (default) must produce BIT-IDENTICAL results to the
-// reference priority_queue loop — BulkResult field for field,
-// RequestTiming slot for slot, trace event for event — across machine
-// features, distributions, fault scenarios and slackness regimes
-// (docs/performance.md).
+// Differential tests for the event engines: the calendar-queue
+// scheduler AND the adaptive selector (kAuto, the default) must produce
+// BIT-IDENTICAL results to the reference priority_queue loop —
+// BulkResult field for field, RequestTiming slot for slot, trace event
+// for event — across machine features, distributions, fault scenarios
+// and slackness regimes (docs/performance.md). SoA-kernel-specific and
+// selector-log scenarios live in tests/engine_select_test.cpp.
 
 #include <gtest/gtest.h>
 
@@ -67,33 +68,44 @@ void expect_same_trace(const obs::TraceRing& a, const obs::TraceRing& b) {
   }
 }
 
-/// Runs the same workload on both engines of otherwise-identical
-/// machines and asserts byte-identical outputs. Each engine runs the
-/// workload twice back-to-back so scratch-arena reuse (second bulk op
-/// hits warm buffers) is covered by the same assertions.
+/// Runs the same workload on all three engine modes of
+/// otherwise-identical machines and asserts byte-identical outputs
+/// (kAuto may pick a different path per superstep; it must never show).
+/// Each engine runs the workload twice back-to-back so scratch-arena
+/// reuse (second bulk op hits warm buffers) is covered by the same
+/// assertions. The attached tracer keeps kAuto off the SoA kernel here;
+/// tests/engine_select_test.cpp covers the tracer-free SoA path.
 void check_equivalent(sim::MachineConfig cfg,
                       const std::vector<std::uint64_t>& addrs,
                       std::shared_ptr<const fault::FaultPlan> plan = nullptr,
                       bool with_timing = true) {
   sim::Machine cal(cfg);
   sim::Machine ref(cfg);
+  sim::Machine aut(cfg);
   cal.set_engine(sim::Machine::Engine::kCalendar);
   ref.set_engine(sim::Machine::Engine::kReference);
+  aut.set_engine(sim::Machine::Engine::kAuto);
   if (plan) {
     cal.inject(plan);
     ref.inject(plan);
+    aut.inject(plan);
   }
 
   for (int round = 0; round < 2; ++round) {
     obs::TraceRing ring_cal(1 << 18);
     obs::TraceRing ring_ref(1 << 18);
+    obs::TraceRing ring_aut(1 << 18);
     cal.set_tracer(&ring_cal);
     ref.set_tracer(&ring_ref);
+    aut.set_tracer(&ring_aut);
 
     const auto out_cal = cal.scatter_faulty(addrs);
     const auto out_ref = ref.scatter_faulty(addrs);
+    const auto out_aut = aut.scatter_faulty(addrs);
     expect_same_bulk(out_cal.bulk, out_ref.bulk);
+    expect_same_bulk(out_aut.bulk, out_ref.bulk);
     ASSERT_EQ(out_cal.degraded.has_value(), out_ref.degraded.has_value());
+    ASSERT_EQ(out_aut.degraded.has_value(), out_ref.degraded.has_value());
     if (out_cal.degraded) {
       EXPECT_EQ(out_cal.degraded->failed_requests,
                 out_ref.degraded->failed_requests);
@@ -101,27 +113,41 @@ void check_equivalent(sim::MachineConfig cfg,
                 out_ref.degraded->first_failed_element);
       EXPECT_EQ(out_cal.degraded->attempts, out_ref.degraded->attempts);
       EXPECT_EQ(out_cal.degraded->reason, out_ref.degraded->reason);
+      EXPECT_EQ(out_aut.degraded->failed_requests,
+                out_ref.degraded->failed_requests);
+      EXPECT_EQ(out_aut.degraded->first_failed_element,
+                out_ref.degraded->first_failed_element);
+      EXPECT_EQ(out_aut.degraded->attempts, out_ref.degraded->attempts);
+      EXPECT_EQ(out_aut.degraded->reason, out_ref.degraded->reason);
     }
     expect_same_trace(ring_cal, ring_ref);
+    expect_same_trace(ring_aut, ring_ref);
 
     if (with_timing && !out_cal.degraded) {
-      sim::Machine::RequestTiming t_cal, t_ref;
+      sim::Machine::RequestTiming t_cal, t_ref, t_aut;
       const auto d_cal = cal.scatter_detailed(addrs, t_cal);
       const auto d_ref = ref.scatter_detailed(addrs, t_ref);
+      const auto d_aut = aut.scatter_detailed(addrs, t_aut);
       expect_same_bulk(d_cal, d_ref);
+      expect_same_bulk(d_aut, d_ref);
       expect_same_timing(t_cal, t_ref);
+      expect_same_timing(t_aut, t_ref);
     } else if (with_timing) {
       // Degraded runs throw from scatter_detailed but must still leave
       // identical timing records (kUnserved in the failed slots).
-      sim::Machine::RequestTiming t_cal, t_ref;
+      sim::Machine::RequestTiming t_cal, t_ref, t_aut;
       EXPECT_THROW((void)cal.scatter_detailed(addrs, t_cal),
                    fault::DegradedError);
       EXPECT_THROW((void)ref.scatter_detailed(addrs, t_ref),
                    fault::DegradedError);
+      EXPECT_THROW((void)aut.scatter_detailed(addrs, t_aut),
+                   fault::DegradedError);
       expect_same_timing(t_cal, t_ref);
+      expect_same_timing(t_aut, t_ref);
     }
     cal.set_tracer(nullptr);
     ref.set_tracer(nullptr);
+    aut.set_tracer(nullptr);
   }
 }
 
@@ -335,13 +361,13 @@ TEST(EngineEquivalence, GapAndLatencyVariants) {
   }
 }
 
-TEST(EngineEquivalence, DefaultEngineIsCalendar) {
+TEST(EngineEquivalence, DefaultEngineIsAuto) {
 #ifdef DXBSP_REFERENCE_ENGINE
   sim::Machine m(sim::MachineConfig::test_machine());
   EXPECT_EQ(m.engine(), sim::Machine::Engine::kReference);
 #else
   sim::Machine m(sim::MachineConfig::test_machine());
-  EXPECT_EQ(m.engine(), sim::Machine::Engine::kCalendar);
+  EXPECT_EQ(m.engine(), sim::Machine::Engine::kAuto);
 #endif
 }
 

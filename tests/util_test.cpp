@@ -17,6 +17,7 @@
 #include "util/calendar_queue.hpp"
 #include "util/cli.hpp"
 #include "util/flat_map.hpp"
+#include "util/multiplicity.hpp"
 #include "util/rng.hpp"
 #include "util/scratch.hpp"
 #include "util/stats.hpp"
@@ -544,6 +545,49 @@ TEST(FlatMap, ClearAndReserveKeepCapacity) {
   EXPECT_EQ(fm.capacity(), cap);
   EXPECT_TRUE(fm.empty());
   EXPECT_EQ(fm.find(17), nullptr);
+}
+
+// ---- MultiplicityCounter ----
+
+TEST(MultiplicityCounter, MatchesUnorderedMapCounting) {
+  util::MultiplicityCounter mc;
+  util::SplitMix64 rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 1 + rng() % 3000;
+    const std::uint64_t space = 1 + rng() % 700;  // force repeats
+    std::vector<std::uint64_t> keys(n);
+    for (auto& k : keys) k = rng() % space;
+    std::unordered_map<std::uint64_t, std::uint64_t> ref;
+    std::uint64_t want = 0;
+    for (const auto k : keys) want = std::max(want, ++ref[k]);
+    // Each call is an independent count: round r must not see round
+    // r-1's tallies (the epoch tag, not a memset, invalidates them).
+    ASSERT_EQ(mc.max_multiplicity(keys), want) << "round " << round;
+  }
+}
+
+TEST(MultiplicityCounter, EmptyAllEqualAndSentinelKeys) {
+  util::MultiplicityCounter mc;
+  EXPECT_EQ(mc.max_multiplicity({}), 0u);
+  std::vector<std::uint64_t> same(257, ~0ULL);  // sentinel-looking key
+  EXPECT_EQ(mc.max_multiplicity(same), 257u);
+  std::vector<std::uint64_t> distinct(100);
+  for (std::uint64_t i = 0; i < 100; ++i) distinct[i] = i * 977;
+  EXPECT_EQ(mc.max_multiplicity(distinct), 1u);
+}
+
+TEST(MultiplicityCounter, GrowthMidSweepKeepsCountsExact) {
+  util::MultiplicityCounter mc;
+  std::vector<std::uint64_t> small{1, 2, 1};
+  EXPECT_EQ(mc.max_multiplicity(small), 2u);
+  const std::size_t cap_before = mc.capacity();
+  std::vector<std::uint64_t> big(5000);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = i % 1250;
+  EXPECT_EQ(mc.max_multiplicity(big), 4u);
+  EXPECT_GT(mc.capacity(), cap_before);
+  // Shrinking input after growth keeps capacity and stays correct.
+  EXPECT_EQ(mc.max_multiplicity(small), 2u);
+  EXPECT_EQ(mc.max_multiplicity(big), 4u);
 }
 
 // ---- ScratchArena ----
