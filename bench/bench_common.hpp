@@ -108,14 +108,27 @@ class Obs {
   /// Routes the machine's trace events into this run's tracer under
   /// `track` (use the sweep-point key), applies the --engine selection,
   /// and wires the machine's cost attribution, drift samples and
-  /// selector rows into this run's aggregates.
+  /// selector rows into this run's aggregates. Without --trace, a fleet
+  /// worker's flight-recorder tracer (svc/worker.hpp) stands in — in
+  /// PASSIVE mode, so engine selection (and thus every deterministic
+  /// report section, selector log included) stays byte-identical to an
+  /// untraced serial run; the ring sees whatever the chosen engine
+  /// emits, at minimum each point's superstep span.
   void attach(sim::Machine& machine, std::uint64_t track = 0) {
-    if (tracer_) machine.set_tracer(&tracer_->track(track));
+    if (tracer_) {
+      machine.set_tracer(&tracer_->track(track));
+    } else if (flight_tracer_ != nullptr) {
+      machine.set_tracer(&flight_tracer_->track(track), /*passive=*/true);
+    }
     machine.set_engine(engine_);
     machine.set_attribution(&attribution_);
     machine.set_drift(&drift_, track);
     machine.set_selector(&selector_, track);
   }
+
+  /// Fleet-worker hook (apply_sharding): the flight ring's private
+  /// tracer, used only when the run has no --trace tracer of its own.
+  void set_flight_tracer(obs::Tracer* t) noexcept { flight_tracer_ = t; }
 
   [[nodiscard]] obs::Tracer* tracer() noexcept { return tracer_.get(); }
   [[nodiscard]] obs::AttributionAggregate& attribution() noexcept {
@@ -160,6 +173,7 @@ class Obs {
   std::string report_csv_path_;
   std::string metrics_path_;
   std::unique_ptr<obs::Tracer> tracer_;
+  obs::Tracer* flight_tracer_ = nullptr;
   obs::AttributionAggregate attribution_;
   obs::DriftDetector drift_;
   obs::SelectorLog selector_;
@@ -236,6 +250,13 @@ inline std::uint64_t apply_sharding(svc::WorkerContext& worker,
   const std::string lease = cli.get("svc-lease", "");
   if (!lease.empty()) {
     worker.init(lease);
+    // Flight-tail source: an explicit --trace tracer when present,
+    // otherwise the worker's own small ring via attach().
+    if (obs.tracer() != nullptr) {
+      worker.set_trace_source(obs.tracer());
+    } else {
+      obs.set_flight_tracer(worker.flight_tracer());
+    }
     return worker.prepare(id, keys, opt, &obs.attribution(), &obs.drift(),
                           &obs.selector());
   }

@@ -18,11 +18,19 @@ baselines in the order given, with the net change since the oldest
 column that has the metric (older baselines that predate a class show
 as ``-``).
 
-Stdlib only (json/sys); exits non-zero with a diagnostic on malformed
-input, which is what lets scripts/ci.sh run it as a lint over the
-committed BENCH_*.json files.
+Arguments may be glob patterns (``BENCH_*.json``), expanded here so the
+script behaves the same when a shell passes the unmatched pattern
+through verbatim. When nothing matches at all the script prints a clear
+note and exits 0 — a repo without committed baselines has no trend to
+lint, which is not an error. A literal path that is missing still
+fails: naming one exact file is a claim that it exists.
+
+Stdlib only (glob/json/sys); exits non-zero with a diagnostic on
+malformed input, which is what lets scripts/ci.sh run it as a lint over
+the committed BENCH_*.json files.
 """
 
+import glob
 import json
 import sys
 
@@ -88,12 +96,33 @@ def speedup_trends(paths, columns):
     return lines
 
 
+def expand_globs(args):
+    """Expand glob-pattern arguments; literal paths pass through."""
+    paths = []
+    for arg in args:
+        if not any(ch in arg for ch in "*?["):
+            paths.append(arg)
+            continue
+        matches = sorted(glob.glob(arg))
+        if matches:
+            paths.extend(matches)
+        else:
+            print(f"bench_history: no baselines match '{arg}'",
+                  file=sys.stderr)
+    return paths
+
+
 def main(argv):
-    paths = argv[1:]
-    if not paths:
+    args = argv[1:]
+    if not args:
         print("usage: bench_history.py FILE.json [FILE.json ...]",
               file=sys.stderr)
         return 64
+    paths = expand_globs(args)
+    if not paths:
+        print("bench_history: no baselines to fold (nothing matched); "
+              "run a bench with --metrics to create one")
+        return 0
     try:
         columns = [load_metrics(p) for p in paths]
     except (OSError, ValueError, json.JSONDecodeError) as exc:

@@ -53,6 +53,13 @@
 #    a pure speed knob. A scalar build of the fig4 bench must produce a
 #    byte-identical run report, and the hotpath bench's three-engine
 #    cross-check must still pass.
+# 10. Fleet-observability smoke (docs/observability.md §fleet): an
+#     obs-on merged report strips back to the serial run's bytes, a
+#     chaos-killed worker's flight ring surfaces as the post_mortem
+#     section (last protocol phase + trace tail), the stitched fleet
+#     timeline is valid Chrome JSON, sweep_top renders a live fleet,
+#     and the trend readers degrade gracefully when no BENCH_*.json
+#     baselines match.
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -326,8 +333,10 @@ COORD=./build-ci/tools/sweep_coordinator
 "$OBS_BENCH" "${OBS_ARGS[@]}" --report="$SMOKE/serial.json" > /dev/null
 
 # Healthy fleet: a 4-worker sharded fig4 sweep's merged report must be
-# byte-identical to the serial run's.
-"$COORD" --quiet --workers=4 --shards=4 --dir="$SMOKE/fleet" \
+# byte-identical to the serial run's. --no-obs keeps the strict cmp
+# valid (observability adds the host-time fleet section by default; the
+# fleet-observability smoke below covers the obs-on path).
+"$COORD" --quiet --no-obs --workers=4 --shards=4 --dir="$SMOKE/fleet" \
   --report="$SMOKE/fleet.json" \
   -- "$OBS_BENCH" "${OBS_ARGS[@]}" > "$SMOKE/fleet.txt"
 grep -q "FLEET completed" "$SMOKE/fleet.txt"
@@ -336,7 +345,7 @@ echo "healthy 4-worker fleet report is byte-identical to the serial run"
 
 # Crash recovery: SIGKILL one worker mid-shard (deterministically, via
 # the chaos hook) and require the same bytes again.
-"$COORD" --quiet --workers=4 --shards=4 --dir="$SMOKE/fleet-kill" \
+"$COORD" --quiet --no-obs --workers=4 --shards=4 --dir="$SMOKE/fleet-kill" \
   --report="$SMOKE/fleet-kill.json" --backoff=0.05 \
   --chaos='shard=1,attempt=0,phase=point:1,action=kill' \
   -- "$OBS_BENCH" "${OBS_ARGS[@]}" > "$SMOKE/fleet-kill.txt"
@@ -371,6 +380,105 @@ echo "coordinator scaling stays within the master-worker model band"
 ./build-ci-san/tests/svc_chaos_test > /dev/null
 ./build-ci-san/tests/svc_test > /dev/null
 echo "chaos harness is sanitizer-clean"
+
+echo "== fleet observability smoke (docs/observability.md §fleet) =="
+# Healthy obs-on fleet: the merged report gains the host-time "fleet"
+# section, but stripping the fleet/post_mortem blocks line-wise must
+# leave bytes identical to the serial report — observability may add,
+# never perturb. A healthy fleet must carry no post_mortem at all.
+"$COORD" --quiet --workers=4 --shards=4 --dir="$SMOKE/fleet-obs" \
+  --report="$SMOKE/fleet-obs.json" \
+  -- "$OBS_BENCH" "${OBS_ARGS[@]}" > "$SMOKE/fleet-obs.txt"
+python3 -m json.tool "$SMOKE/fleet-obs.json" > /dev/null
+python3 - "$SMOKE/fleet-obs.json" "$SMOKE/serial.json" <<'EOF'
+import json, sys
+
+def strip_host_sections(path):
+    out, skip, depth = [], False, 0
+    for line in open(path):
+        if not skip and (line.startswith('  "fleet": {')
+                         or line.startswith('  "post_mortem": {')):
+            skip = True
+            depth = line.count("{") - line.count("}")
+            continue
+        if skip:
+            depth += line.count("{") - line.count("}")
+            if depth <= 0:
+                skip = False
+            continue
+        out.append(line)
+    return "".join(out)
+
+obs_report, serial = sys.argv[1], sys.argv[2]
+doc = json.load(open(obs_report))
+assert "fleet" in doc, "obs-on merged report lacks the fleet section"
+assert doc["fleet"]["svc.leases_granted"] >= 4, doc["fleet"]
+assert "post_mortem" not in doc, "healthy fleet grew a post_mortem"
+assert strip_host_sections(obs_report) == strip_host_sections(serial), \
+    "deterministic sections changed under observability"
+print("fleet section present; stripped report is byte-identical to serial")
+EOF
+
+# Chaos kill with observability on: the coordinator must harvest the
+# dead attempt's flight ring and embed it as post_mortem — naming the
+# dying shard's last protocol phase and carrying trace-event tails.
+"$COORD" --quiet --workers=4 --shards=4 --dir="$SMOKE/fleet-obskill" \
+  --report="$SMOKE/fleet-obskill.json" --backoff=0.05 \
+  --chaos='shard=1,attempt=0,phase=point:1,action=kill' \
+  -- "$OBS_BENCH" "${OBS_ARGS[@]}" > "$SMOKE/fleet-obskill.txt"
+grep -q "deaths=1" "$SMOKE/fleet-obskill.txt"
+python3 - "$SMOKE/fleet-obskill.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+pm = doc["post_mortem"]
+assert pm["schema_version"] == 1, pm
+deaths = [d for d in pm["deaths"] if d["shard"] == "1/4"]
+assert deaths, f"no harvest for the killed shard: {pm}"
+d = deaths[0]
+assert d["last_phase"] == "point", d
+assert any(e["kind"] == "trace" for e in d["events"]), \
+    f"flight tail carries no trace events: {d['events']}"
+print(f"post_mortem: shard 1/4 died at phase '{d['last_phase']}' with "
+      f"{len(d['events'])} flight events ({d['records']} records, "
+      f"{d['torn']} torn)")
+EOF
+
+# The standalone flight reader must decode the harvested ring, and the
+# stitch manifest must merge coordinator + worker traces (the killed
+# attempt rendered from its flight ring) into valid Chrome JSON.
+./build-ci/tools/flight_reader "$SMOKE/fleet-obskill/shard-1.attempt-0.flight" \
+  > "$SMOKE/flight.txt"
+grep -q "phase point" "$SMOKE/flight.txt"
+./build-ci/tools/trace_stitch "$SMOKE/fleet-obskill/stitch.json" \
+  --out="$SMOKE/stitched.json"
+python3 -m json.tool "$SMOKE/stitched.json" > /dev/null
+python3 -m json.tool "$SMOKE/fleet-obskill/coordinator.trace.json" > /dev/null
+echo "flight ring decodes standalone; stitched timeline is valid JSON"
+
+# Live telemetry: sweep_top --once must render a running fleet and exit
+# 0. The fleet runs in the background; fleet.status appears on the
+# coordinator's first status publication.
+"$COORD" --quiet --workers=2 --shards=4 --dir="$SMOKE/fleet-live" \
+  -- "$OBS_BENCH" "${OBS_ARGS[@]}" > /dev/null &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+  [[ -f "$SMOKE/fleet-live/fleet.status" ]] && break
+  sleep 0.05
+done
+./build-ci/tools/sweep_top --once --dir="$SMOKE/fleet-live" \
+  > "$SMOKE/sweep_top.txt"
+grep -q "fleet:" "$SMOKE/sweep_top.txt"
+wait "$FLEET_PID"
+echo "sweep_top rendered the live fleet (and the fleet completed)"
+
+# Trend readers degrade gracefully when no baselines match: a clear
+# note and exit 0, not a stack trace — a fresh repo has no trend yet.
+./build-ci/tools/bench_trend "$SMOKE/NO_SUCH_BENCH_*.json" \
+  | grep -q "no baselines to fold"
+python3 scripts/bench_history.py "$SMOKE/NO_SUCH_BENCH_*.json" \
+  | grep -q "no baselines to fold"
+echo "bench_trend and bench_history degrade gracefully with no baselines"
 
 echo "== streaming smoke (out-of-core, docs/streaming.md) =="
 STREAM=./build-ci/bench/bench_stream_pressure

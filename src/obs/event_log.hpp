@@ -1,0 +1,89 @@
+#pragma once
+// Host-time Chrome-trace event log (docs/observability.md §fleet).
+//
+// The cycle-level Tracer (obs/trace.hpp) records *simulated* time and is
+// deterministic by contract; fleet orchestration — lease grants,
+// heartbeat lag, strikes, backoff, revocations, the merge — happens in
+// *wall-clock* time and is host-dependent by nature. EventLog is the
+// wall-clock twin: a tiny append-only log of spans/instants/counters
+// stamped in µs since a caller-chosen monotonic epoch, written out as
+// Chrome trace_event JSON (loadable in Perfetto, like the Tracer's).
+//
+// The coordinator keeps one (its own orchestration track) and each
+// worker keeps one (per-point spans); tools/trace_stitch merges them
+// onto one timeline by shifting every worker's µs timestamps with the
+// clock offset estimated from heartbeat messages (obs/stitch.hpp).
+//
+// Thread-safety: appends take a mutex (the worker's heartbeat sampler
+// and main thread may interleave); timestamps are caller-provided so a
+// span's start can predate its append.
+
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dxbsp::obs {
+
+class EventLog {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  /// `process_name` labels the trace's single process (pid 0) via a
+  /// Chrome "M" metadata event; `epoch` anchors every timestamp.
+  explicit EventLog(
+      std::string process_name,
+      std::chrono::steady_clock::time_point epoch =
+          std::chrono::steady_clock::now())
+      : process_name_(std::move(process_name)), epoch_(epoch) {}
+
+  /// µs since the epoch — the clock every record is stamped with.
+  [[nodiscard]] std::uint64_t now_us() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Complete span ("X"): [ts_us, ts_us + dur_us) on lane `tid`.
+  void span(std::string name, std::uint64_t ts_us, std::uint64_t dur_us,
+            std::uint64_t tid, Args args = {});
+
+  /// Instant ("i", thread-scoped) on lane `tid`.
+  void instant(std::string name, std::uint64_t ts_us, std::uint64_t tid,
+               Args args = {});
+
+  /// Counter sample ("C"): one numeric series per (name, tid).
+  void counter(std::string name, std::uint64_t ts_us, std::uint64_t tid,
+               std::uint64_t value);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const std::string& process_name() const noexcept {
+    return process_name_;
+  }
+
+  /// Chrome trace_event JSON (object form): the process_name metadata
+  /// event, then every record in append order, all under pid 0.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Event {
+    char ph = 'i';
+    std::string name;
+    std::uint64_t ts = 0;
+    std::uint64_t dur = 0;
+    std::uint64_t tid = 0;
+    std::uint64_t value = 0;  // counters only
+    Args args;
+  };
+
+  std::string process_name_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace dxbsp::obs

@@ -51,7 +51,9 @@ void write_report_json(std::ostream& os, const RunInfo& info,
                        const MetricsRegistry& metrics, const Tracer* tracer,
                        const AttributionAggregate* attribution,
                        const DriftDetector* drift, const SelectorLog* selector,
-                       const DegradedInfo* degraded) {
+                       const DegradedInfo* degraded,
+                       const PostMortemInfo* post_mortem,
+                       const MetricsRegistry* fleet) {
   JsonWriter w(os);
   w.begin_object();
   w.member("report_version", kReportVersion);
@@ -65,6 +67,52 @@ void write_report_json(std::ostream& os, const RunInfo& info,
   w.key("flags").begin_object();
   for (const auto& [name, value] : info.flags) w.member(name, value);
   w.end_object();
+
+  // Host-dependent fleet sections come BEFORE the deterministic ones so
+  // stripping them line-wise leaves the byte-identical remainder intact
+  // (ci compares an observability-enabled fleet report to a serial one).
+  if (fleet != nullptr) {
+    w.key("fleet").begin_object();
+    w.member("schema_version", kFleetSchemaVersion);
+    for (const auto& e : fleet->snapshot(/*include_host=*/true))
+      w.member(e.name, e.value);
+    w.end_object();
+  }
+
+  if (post_mortem != nullptr && !post_mortem->empty()) {
+    w.key("post_mortem").begin_object();
+    w.member("schema_version", kPostMortemSchemaVersion);
+    w.member("harvests",
+             static_cast<std::uint64_t>(post_mortem->harvests.size()));
+    w.key("deaths").begin_array();
+    for (const PostMortemInfo::Harvest& h : post_mortem->harvests) {
+      w.begin_object();
+      w.member("shard", h.shard);
+      w.member("attempt", h.attempt);
+      w.member("why", h.why);
+      w.member("last_phase", h.last_phase);
+      w.member("last_point", h.last_point);
+      w.member("records", h.records);
+      w.member("torn", h.torn);
+      w.key("events").begin_array();
+      for (const PostMortemInfo::Event& ev : h.events) {
+        w.begin_object();
+        w.member("kind", ev.kind);
+        w.member("name", ev.name);
+        w.member("seq", ev.seq);
+        w.member("t_us", ev.t_us);
+        w.member("a", ev.a);
+        w.member("b", ev.b);
+        w.member("c", ev.c);
+        w.member("d", ev.d);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
 
   w.key("metrics").begin_object();
   for (const auto& e : metrics.snapshot(/*include_host=*/false)) {
@@ -225,7 +273,9 @@ void write_report_csv(std::ostream& os, const RunInfo& info,
                       const MetricsRegistry& metrics, const Tracer* tracer,
                       const AttributionAggregate* attribution,
                       const DriftDetector* drift, const SelectorLog* selector,
-                      const DegradedInfo* degraded) {
+                      const DegradedInfo* degraded,
+                      const PostMortemInfo* post_mortem,
+                      const MetricsRegistry* fleet) {
   os << "section,key,value\n";
   os << "run,report_version," << kReportVersion << '\n';
   os << "run,git," << csv_escape(build_git_describe()) << '\n';
@@ -234,6 +284,32 @@ void write_report_csv(std::ostream& os, const RunInfo& info,
   os << "run,seed," << info.seed << '\n';
   for (const auto& [name, value] : info.flags)
     os << "flag," << csv_escape(name) << ',' << csv_escape(value) << '\n';
+  if (fleet != nullptr) {
+    os << "fleet,schema_version," << kFleetSchemaVersion << '\n';
+    for (const auto& e : fleet->snapshot(/*include_host=*/true))
+      os << "fleet," << csv_escape(e.name) << ',' << e.value << '\n';
+  }
+  if (post_mortem != nullptr && !post_mortem->empty()) {
+    os << "post_mortem,schema_version," << kPostMortemSchemaVersion << '\n';
+    os << "post_mortem,harvests," << post_mortem->harvests.size() << '\n';
+    for (const PostMortemInfo::Harvest& h : post_mortem->harvests) {
+      const std::string key = "shard_" + h.shard;
+      os << "post_mortem," << csv_escape(key + ".attempt") << ',' << h.attempt
+         << '\n';
+      os << "post_mortem," << csv_escape(key + ".why") << ','
+         << csv_escape(h.why) << '\n';
+      os << "post_mortem," << csv_escape(key + ".last_phase") << ','
+         << csv_escape(h.last_phase) << '\n';
+      os << "post_mortem," << csv_escape(key + ".last_point") << ','
+         << h.last_point << '\n';
+      os << "post_mortem," << csv_escape(key + ".records") << ',' << h.records
+         << '\n';
+      os << "post_mortem," << csv_escape(key + ".torn") << ',' << h.torn
+         << '\n';
+      os << "post_mortem," << csv_escape(key + ".events") << ','
+         << h.events.size() << '\n';
+    }
+  }
   for (const auto& e : metrics.snapshot(/*include_host=*/false))
     os << "metric," << csv_escape(e.name) << ',' << e.value << '\n';
   if (attribution != nullptr) {

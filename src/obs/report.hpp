@@ -32,7 +32,12 @@ namespace dxbsp::obs {
 /// so healthy merged reports stay byte-identical to serial ones.
 /// Attribution/drift schema 2 added the cache_hit term to every
 /// breakdown ("terms", "worst.breakdown") for the processor-cache tier.
-inline constexpr std::uint64_t kReportVersion = 2;
+/// Version 3 added the fleet-observability sections: "fleet" (coordinator
+/// lifecycle counters, host-stability) and "post_mortem" (flight-recorder
+/// tails harvested from dead worker attempts). Both appear only when the
+/// coordinator runs with observability on, and never in serial reports,
+/// so the deterministic sections keep their byte-identity contract.
+inline constexpr std::uint64_t kReportVersion = 3;
 inline constexpr std::uint64_t kAttributionSchemaVersion = 2;
 inline constexpr std::uint64_t kDriftSchemaVersion = 2;
 inline constexpr std::uint64_t kDegradedSchemaVersion = 1;
@@ -40,6 +45,13 @@ inline constexpr std::uint64_t kDegradedSchemaVersion = 1;
 /// layer (obs/selector.hpp). Carries its own schema version, like
 /// "degraded", so adding it did not bump kReportVersion.
 inline constexpr std::uint64_t kSelectorSchemaVersion = 1;
+/// "post_mortem" section: flight-recorder tails (obs/flight.hpp) from
+/// worker attempts that died or were revoked, harvested by the
+/// coordinator before the shard is re-queued.
+inline constexpr std::uint64_t kPostMortemSchemaVersion = 1;
+/// "fleet" section: coordinator lifecycle counters rendered from a
+/// host-stability MetricsRegistry (leases, retries, revocations, ...).
+inline constexpr std::uint64_t kFleetSchemaVersion = 1;
 
 /// Build identifier baked in at configure time ("unknown" outside git).
 [[nodiscard]] const char* build_git_describe() noexcept;
@@ -75,16 +87,49 @@ struct DegradedInfo {
   std::vector<Shard> shards;  ///< the quarantined shards, by index
 };
 
+/// Flight-recorder tails harvested from dead or revoked worker attempts
+/// (docs/observability.md §fleet). Everything here is host-dependent —
+/// timestamps, record counts, which attempt died — so the section is
+/// only written by observability-enabled fleet runs.
+struct PostMortemInfo {
+  struct Event {
+    std::string kind;   ///< flight_kind_name: phase/trace/selector/note
+    std::string name;   ///< flight_record_name: e.g. "point", "arrive"
+    std::uint64_t seq = 0;
+    std::uint64_t t_us = 0;  ///< µs since the worker's epoch
+    std::uint64_t a = 0, b = 0, c = 0, d = 0;
+  };
+  struct Harvest {
+    std::string shard;       ///< "index/count"
+    std::uint64_t attempt = 0;
+    std::string why;         ///< what killed the attempt (reap/stall text)
+    std::string last_phase;  ///< last protocol phase entered (not chaos)
+    std::uint64_t last_point = 0;  ///< points covered at the last point phase
+    std::uint64_t records = 0;     ///< valid flight records in the ring
+    std::uint64_t torn = 0;        ///< CRC-failed slots (death mid-append)
+    std::vector<Event> events;     ///< tail of the ring, oldest first
+  };
+  std::vector<Harvest> harvests;  ///< in death order
+
+  [[nodiscard]] bool empty() const noexcept { return harvests.empty(); }
+};
+
 /// Writes the versioned JSON report. `tracer`, `attribution`, `drift`,
 /// `selector` and `degraded` may each be null (their sections are
 /// omitted); an empty selector log also omits its section.
-/// Host-stability metrics are always excluded.
+/// Host-stability metrics are always excluded from "metrics"; `fleet`
+/// (when non-null) renders its OWN snapshot including host metrics into
+/// the "fleet" section, and `post_mortem` (when non-null and non-empty)
+/// adds the "post_mortem" section. Both land right after "flags" so the
+/// deterministic sections that follow keep a stable shape either way.
 void write_report_json(std::ostream& os, const RunInfo& info,
                        const MetricsRegistry& metrics, const Tracer* tracer,
                        const AttributionAggregate* attribution = nullptr,
                        const DriftDetector* drift = nullptr,
                        const SelectorLog* selector = nullptr,
-                       const DegradedInfo* degraded = nullptr);
+                       const DegradedInfo* degraded = nullptr,
+                       const PostMortemInfo* post_mortem = nullptr,
+                       const MetricsRegistry* fleet = nullptr);
 
 /// CSV twin: `section,key,value` rows with the same content and the same
 /// determinism contract. Fields are RFC 4180-escaped (csv_escape), so
@@ -94,7 +139,9 @@ void write_report_csv(std::ostream& os, const RunInfo& info,
                       const AttributionAggregate* attribution = nullptr,
                       const DriftDetector* drift = nullptr,
                       const SelectorLog* selector = nullptr,
-                      const DegradedInfo* degraded = nullptr);
+                      const DegradedInfo* degraded = nullptr,
+                      const PostMortemInfo* post_mortem = nullptr,
+                      const MetricsRegistry* fleet = nullptr);
 
 /// Opens `path` for writing and runs `fn(stream)`; any failure is
 /// Error{kIo} naming the path.

@@ -1,0 +1,59 @@
+#pragma once
+// Cross-process trace stitching (docs/observability.md §fleet): merges
+// the coordinator's orchestration trace and every worker attempt's
+// host-time trace (obs/event_log.hpp) into ONE Chrome trace_event
+// timeline, mapped onto the coordinator's monotonic clock.
+//
+// The coordinator writes a `stitch.json` manifest naming each process's
+// trace file and its clock offset in µs. Worker offsets are estimated
+// from heartbeat messages: each heartbeat carries the worker's
+// monotonic timestamp (`mono_us`, µs since its own epoch), and the
+// coordinator keeps the MINIMUM of (receive time − mono_us) over every
+// new beat. That minimum is an upper bound estimate of message latency
+// away from — and never below — the true epoch offset, and since a
+// worker's epoch necessarily postdates its lease grant, a stitched
+// worker event can never precede the grant that spawned it. Attempts
+// that died before their first heartbeat fall back to the grant
+// timestamp itself, which preserves the same ordering invariant.
+//
+// Manifest schema (plain JSON, hand-writable for tests):
+//
+//   { "stitch_version": 1,
+//     "processes": [
+//       { "label": "coordinator", "trace": "coordinator.trace.json",
+//         "offset_us": 0 },
+//       { "label": "shard 1/4 attempt 0", "trace": "...",
+//         "offset_us": 15321, "flight": "shard-1.flight" }, ... ] }
+//
+// Each entry becomes one output process (pid = entry index) with a
+// process_name metadata event. `trace` may be missing on disk (the
+// worker was SIGKILLed before writing it): the entry is then rendered
+// from its `flight` ring instead — the dead attempt still appears on
+// the stitched timeline as instants decoded from its flight recorder.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "resilience/error.hpp"
+
+namespace dxbsp::obs {
+
+inline constexpr std::uint64_t kStitchVersion = 1;
+
+struct StitchSummary {
+  std::uint64_t processes = 0;      ///< manifest entries emitted
+  std::uint64_t events = 0;         ///< merged trace events (metadata aside)
+  std::uint64_t skipped_traces = 0; ///< entries whose trace file was absent
+  std::uint64_t flight_events = 0;  ///< instants synthesized from flight rings
+};
+
+/// Reads `manifest_path`, merges every process's events shifted by its
+/// offset, sorts by mapped timestamp and writes one Chrome trace JSON to
+/// `os`. Relative paths resolve against the manifest's directory.
+/// Throws Error{kIo} for a missing manifest and Error{kCorruptInput} for
+/// a malformed one; a missing per-process trace is skipped, not fatal.
+StitchSummary stitch_traces(const std::string& manifest_path,
+                            std::ostream& os);
+
+}  // namespace dxbsp::obs

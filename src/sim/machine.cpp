@@ -321,9 +321,12 @@ FaultyBulk Machine::run(std::span<const std::uint64_t> ids,
   feat.has_plan = plan_ != nullptr;
   feat.plan_fingerprint = plan_ != nullptr ? plan_->fingerprint() : 0;
   feat.eligible_dense = plan_ == nullptr && config_.slackness >= feat.h_proc;
+  // A passive tracer (flight recorder) never steers selection; only an
+  // exact tracer forces the fully-traced engines.
   feat.eligible_soa = feat.eligible_dense &&
                       network_.model() == NetworkModel::kIdeal &&
-                      tier_ == nullptr && trace_ == nullptr &&
+                      tier_ == nullptr &&
+                      (trace_ == nullptr || trace_passive_) &&
                       timing == nullptr;
   // Prediction is logged against the pre-dispatch memory; observe()
   // below overwrites it, so compute before running.
@@ -745,7 +748,8 @@ std::uint64_t Machine::run_calendar(std::span<const std::uint64_t> ids,
   // Specialization eligibility for the scheduled loop below (kAuto
   // only: the pinned engines are frozen baselines).
   const bool no_obs = engine_ == Engine::kAuto && tier == nullptr &&
-                      trace_ == nullptr && timing == nullptr;
+                      (trace_ == nullptr || trace_passive_) &&
+                      timing == nullptr;
   const bool no_ring = no_obs && config_.slackness >= max_count;
 
   // Ring slot j % window is written at issue j and first read at issue

@@ -204,7 +204,19 @@ class Machine {
   /// Machine — rings are single-writer. Pass nullptr to detach. When
   /// tracing is compiled out (DXBSP_OBS_TRACE=0) this is accepted and
   /// ignored.
-  void set_tracer(obs::TraceRing* ring) noexcept { trace_ = ring; }
+  ///
+  /// An *exact* tracer (the default) needs every event, so it disables
+  /// the batched engines that cannot emit them — the documented --trace
+  /// observer effect. A `passive` tracer inverts that trade: engine
+  /// selection is untouched (the run stays byte-identical to an
+  /// untraced one, selector log included) and the ring receives only
+  /// the events the chosen engine happens to emit — at minimum the
+  /// per-op superstep span, everything under the unspecialized loop.
+  /// The fleet flight recorder (svc/worker.hpp) uses passive mode.
+  void set_tracer(obs::TraceRing* ring, bool passive = false) noexcept {
+    trace_ = ring;
+    trace_passive_ = passive && ring != nullptr;
+  }
   [[nodiscard]] obs::TraceRing* tracer() const noexcept { return trace_; }
 
   /// Attaches run-level attribution aggregation (non-owning; nullptr
@@ -336,6 +348,7 @@ class Machine {
   std::shared_ptr<const fault::FaultPlan> plan_;
   const resilience::CancelToken* cancel_ = nullptr;
   obs::TraceRing* trace_ = nullptr;
+  bool trace_passive_ = false;  ///< tracer observes, never steers engines
   obs::AttributionAggregate* attr_agg_ = nullptr;
   obs::DriftDetector* drift_ = nullptr;
   std::uint64_t drift_track_ = 0;

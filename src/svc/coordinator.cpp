@@ -17,7 +17,10 @@
 
 #include "obs/attribution.hpp"
 #include "obs/drift.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/stitch.hpp"
 #include "svc/wire.hpp"
 
 extern char** environ;
@@ -33,6 +36,11 @@ std::string join_argv(const std::vector<std::string>& argv) {
     out += a;
   }
   return out;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
 }  // namespace
@@ -75,6 +83,17 @@ struct Coordinator::ShardState {
   double elapsed = 0;  ///< completing attempt's wall clock
 
   std::string lease_path, hb_path, agg_path, res_path, snap_path;
+
+  // Observability bookkeeping (opt_.observability only). flight/trace
+  // paths are per-attempt so a dead attempt's artifacts survive its
+  // retry; telemetry is one live file per shard (latest attempt wins).
+  std::string flight_path, trace_path, telem_path;
+  std::uint64_t grant_us = 0;   ///< coordinator clock at the grant
+  std::uint64_t offset_us = 0;  ///< min(rx − mono_us) over new beats
+  bool saw_offset = false;
+  std::uint64_t last_completed = 0;  ///< last heartbeat's progress
+  std::uint64_t last_events = 0;     ///< last heartbeat's sim.requests
+  std::uint64_t updated_us = 0;      ///< coordinator clock at last news
 };
 
 Coordinator::Coordinator(CoordinatorOptions opt) : opt_(std::move(opt)) {
@@ -94,6 +113,13 @@ double Coordinator::now() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        epoch_)
       .count();
+}
+
+std::uint64_t Coordinator::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
 }
 
 void Coordinator::log_line(const std::string& line) const {
@@ -118,6 +144,18 @@ void Coordinator::grant(ShardState& s) {
   lease.deadline_seconds = opt_.attempt_deadline_seconds;
   lease.hb_interval_seconds = opt_.heartbeat_interval_seconds;
   lease.chaos = opt_.chaos;
+  if (opt_.observability) {
+    const std::string astem = opt_.dir + "/shard-" +
+                              std::to_string(s.spec.index) + ".attempt-" +
+                              std::to_string(s.attempt);
+    lease.flight_path = astem + ".flight";
+    lease.trace_path = astem + ".trace.json";
+    lease.telemetry_path = s.telem_path;
+    lease.flight_bytes = opt_.flight_bytes;
+    s.flight_path = lease.flight_path;
+    s.trace_path = lease.trace_path;
+    std::remove(s.telem_path.c_str());
+  }
   wire_write_file(s.lease_path, kMsgLease, encode_lease(lease));
   s.resume_base = s.banked;
 
@@ -159,6 +197,22 @@ void Coordinator::grant(ShardState& s) {
                     opt_.heartbeat_timeout_seconds * 1000.0)));
   ++fleet_.leases_granted;
   ++s.grants;
+  // The grant timestamp doubles as the stitch offset fallback for
+  // attempts that die before their first heartbeat: a worker's epoch
+  // necessarily postdates its grant, so stitched worker events mapped
+  // with it can never precede the grant span (obs/stitch.hpp).
+  s.grant_us = now_us();
+  s.saw_offset = false;
+  s.offset_us = s.grant_us;
+  s.last_completed = s.banked;
+  s.last_events = 0;
+  s.updated_us = s.grant_us;
+  if (elog_ != nullptr)
+    elog_->instant("grant shard " + s.spec.str(), s.grant_us,
+                   s.spec.index + 1,
+                   {{"attempt", std::to_string(s.attempt)},
+                    {"resume_points", std::to_string(s.banked)},
+                    {"pid", std::to_string(pid)}});
   log_line("grant shard " + s.spec.str() + " attempt " +
            std::to_string(s.attempt) + " resume_points " +
            std::to_string(s.banked) + " pid " + std::to_string(pid));
@@ -184,6 +238,10 @@ void Coordinator::fail_attempt(ShardState& s, const std::string& why) {
   s.token.reset();
   s.pid = -1;
   s.last_error = why;
+  // Harvest BEFORE the retry machinery runs: the next grant uses fresh
+  // per-attempt paths, but the post_mortem must name THIS attempt.
+  harvest(s, why);
+  end_lease_obs(s, "failed");
 
   const std::uint64_t before = s.banked;
   bank_partial(s);
@@ -192,6 +250,7 @@ void Coordinator::fail_attempt(ShardState& s, const std::string& why) {
   // count consecutive attempts that moved nothing, so "fails every N
   // points" completes while "fails at the same point forever" poisons.
   s.strikes = progressed ? 0 : s.strikes + 1;
+  if (!progressed) ++fleet_.strikes;
   ++s.attempt;
 
   if (s.strikes >= opt_.max_strikes) {
@@ -255,6 +314,7 @@ void Coordinator::on_result(ShardState& s) {
   s.watchdog.reset();
   s.token.reset();
   s.pid = -1;
+  end_lease_obs(s, "completed");
   s.total = res.total;
   s.banked = res.total;
   s.elapsed = res.elapsed_seconds;
@@ -315,6 +375,25 @@ void Coordinator::check_stalls() {
           s.saw_beat = true;
           s.last_beat = hb.value().beat;
           s.token->heartbeat();  // feed the stall watchdog
+          // Clock-offset estimate for trace stitching: (receive −
+          // worker mono) is the true epoch offset plus message latency,
+          // so the minimum over new beats tightens toward — and never
+          // crosses below — the true offset (obs/stitch.hpp).
+          const std::uint64_t rx = now_us();
+          const std::uint64_t mono = hb.value().mono_us;
+          if (opt_.observability && mono > 0 && rx > mono) {
+            const std::uint64_t off = rx - mono;
+            if (!s.saw_offset || off < s.offset_us) {
+              s.saw_offset = true;
+              s.offset_us = off;
+            }
+          }
+          s.last_completed = hb.value().completed;
+          s.last_events = hb.value().events;
+          s.updated_us = rx;
+          if (elog_ != nullptr)
+            elog_->counter("shard " + s.spec.str() + " completed", rx,
+                           s.spec.index + 1, hb.value().completed);
         }
       }
     }
@@ -329,6 +408,10 @@ void Coordinator::check_stalls() {
 
 void Coordinator::revoke(ShardState& s, const std::string& why,
                          bool already_dead) {
+  ++fleet_.revocations;
+  if (elog_ != nullptr)
+    elog_->instant("revoke shard " + s.spec.str(), now_us(),
+                   s.spec.index + 1, {{"why", why}});
   if (!already_dead && s.pid > 0) {
     ::kill(s.pid, SIGKILL);
     int status = 0;
@@ -336,6 +419,158 @@ void Coordinator::revoke(ShardState& s, const std::string& why,
     ++fleet_.worker_deaths;
   }
   fail_attempt(s, why);
+}
+
+void Coordinator::harvest(ShardState& s, const std::string& why) {
+  if (!opt_.observability || s.flight_path.empty()) return;
+  obs::PostMortemInfo::Harvest h;
+  h.shard = s.spec.str();
+  h.attempt = s.attempt;
+  h.why = why;
+  auto tail = obs::flight_read(s.flight_path);
+  if (!tail.ok()) {
+    h.why += " (flight ring unreadable: " +
+             std::string(tail.error().what()) + ")";
+    fleet_.post_mortem.harvests.push_back(std::move(h));
+    return;
+  }
+  const obs::FlightTail& t = tail.value();
+  h.records = t.valid;
+  h.torn = t.torn;
+  for (const obs::FlightRecord& r : t.records) {
+    // Chaos is bookkeeping about the injected fault, not a protocol
+    // phase the worker reached on its own — the "where did it die"
+    // answer skips it (a point-kill reads as dying at "point").
+    if (r.kind == obs::FlightKind::kPhase &&
+        r.sub != static_cast<std::uint8_t>(obs::FlightPhase::kChaos) &&
+        r.sub < obs::kFlightPhases) {
+      h.last_phase = obs::flight_phase_name(static_cast<obs::FlightPhase>(
+          r.sub));
+      if (r.sub == static_cast<std::uint8_t>(obs::FlightPhase::kPoint))
+        h.last_point = r.a;
+    }
+  }
+  constexpr std::size_t kTailEvents = 16;
+  const std::size_t first =
+      t.records.size() > kTailEvents ? t.records.size() - kTailEvents : 0;
+  for (std::size_t i = first; i < t.records.size(); ++i) {
+    const obs::FlightRecord& r = t.records[i];
+    obs::PostMortemInfo::Event ev;
+    ev.kind = obs::flight_kind_name(r.kind);
+    ev.name = obs::flight_record_name(r);
+    ev.seq = r.seq;
+    ev.t_us = r.t_us;
+    ev.a = r.a;
+    ev.b = r.b;
+    ev.c = r.c;
+    ev.d = r.d;
+    h.events.push_back(std::move(ev));
+  }
+  log_line("post-mortem shard " + s.spec.str() + " attempt " +
+           std::to_string(s.attempt) + ": " + std::to_string(h.records) +
+           " flight records, last phase '" + h.last_phase + "'");
+  fleet_.post_mortem.harvests.push_back(std::move(h));
+}
+
+void Coordinator::end_lease_obs(ShardState& s, const char* outcome) {
+  if (!opt_.observability || s.flight_path.empty()) return;
+  const std::uint64_t offset =
+      s.saw_offset ? s.offset_us : s.grant_us;
+  stitch_.push_back(StitchEntry{
+      "shard " + s.spec.str() + " attempt " + std::to_string(s.attempt),
+      basename_of(s.trace_path), basename_of(s.flight_path), offset});
+  if (elog_ != nullptr) {
+    const std::uint64_t nowu = now_us();
+    elog_->span("lease shard " + s.spec.str(), s.grant_us,
+                nowu > s.grant_us ? nowu - s.grant_us : 0, s.spec.index + 1,
+                {{"attempt", std::to_string(s.attempt)},
+                 {"outcome", outcome}});
+  }
+  s.flight_path.clear();
+  s.trace_path.clear();
+}
+
+void Coordinator::publish_fleet_status(bool force) {
+  if (!opt_.observability) return;
+  const double t = now();
+  if (!force && last_status_pub_ >= 0 && t - last_status_pub_ < 0.25) return;
+  last_status_pub_ = t;
+
+  FleetStatusMsg m;
+  m.mono_us = now_us();
+  m.shards = fleet_.shards;
+  m.completed_shards = fleet_.completed_shards;
+  m.leases_granted = fleet_.leases_granted;
+  m.retries = fleet_.retries;
+  m.worker_deaths = fleet_.worker_deaths;
+  m.stalls = fleet_.stalls;
+  m.revocations = fleet_.revocations;
+  for (const auto& sp : states_) {
+    const ShardState& s = *sp;
+    FleetStatusMsg::Shard row;
+    row.shard = s.spec.str();
+    switch (s.phase) {
+      case ShardState::Phase::kQueued: row.phase = "queued"; break;
+      case ShardState::Phase::kRunning: row.phase = "running"; break;
+      case ShardState::Phase::kDone: row.phase = "done"; break;
+      case ShardState::Phase::kPoisoned: row.phase = "poisoned"; break;
+    }
+    row.attempt = s.attempt;
+    row.completed = s.phase == ShardState::Phase::kRunning
+                        ? std::max(s.last_completed, s.banked)
+                        : s.banked;
+    row.total = s.total;
+    row.events = s.last_events;
+    row.updated_us = s.updated_us;
+    m.points_total += row.total;
+    m.points_completed += row.completed;
+    m.rows.push_back(std::move(row));
+  }
+  try {
+    wire_write_file(opt_.dir + "/fleet.status", kMsgFleetStatus,
+                    encode_fleet_status(m));
+  } catch (const Error&) {
+    // Live telemetry only — never worth failing the fleet over.
+  }
+}
+
+void Coordinator::write_observability_outputs() {
+  if (!opt_.observability) return;
+  publish_fleet_status(/*force=*/true);
+  if (elog_ != nullptr) {
+    try {
+      obs::write_file(opt_.dir + "/coordinator.trace.json",
+                      [this](std::ostream& os) {
+                        elog_->write_chrome_json(os);
+                      });
+    } catch (const Error&) {
+    }
+  }
+  try {
+    obs::write_file(opt_.dir + "/stitch.json", [this](std::ostream& os) {
+      obs::JsonWriter w(os);
+      w.begin_object();
+      w.member("stitch_version", obs::kStitchVersion);
+      w.key("processes").begin_array();
+      w.begin_object();
+      w.member("label", "coordinator");
+      w.member("trace", "coordinator.trace.json");
+      w.member("offset_us", std::uint64_t{0});
+      w.end_object();
+      for (const StitchEntry& e : stitch_) {
+        w.begin_object();
+        w.member("label", e.label);
+        w.member("trace", e.trace);
+        w.member("offset_us", e.offset_us);
+        w.member("flight", e.flight);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      os << '\n';
+    });
+  } catch (const Error&) {
+  }
 }
 
 void Coordinator::kill_all() {
@@ -363,6 +598,11 @@ FleetReport Coordinator::run() {
   states_.clear();
   fleet_ = FleetReport{};
   fleet_.shards = opt_.shards;
+  stitch_.clear();
+  last_status_pub_ = -1;
+  elog_ = opt_.observability
+              ? std::make_unique<obs::EventLog>("coordinator", epoch_)
+              : nullptr;
   for (std::uint64_t i = 0; i < opt_.shards; ++i) {
     auto s = std::make_unique<ShardState>();
     s->spec = resilience::ShardSpec{i, opt_.shards};
@@ -372,6 +612,7 @@ FleetReport Coordinator::run() {
     s->agg_path = stem + ".agg";
     s->res_path = stem + ".res";
     s->snap_path = stem + ".snap";
+    s->telem_path = stem + ".telem";
     states_.push_back(std::move(s));
   }
 
@@ -386,6 +627,11 @@ FleetReport Coordinator::run() {
       kill_all();
       fleet_.status = FleetReport::Status::kInterrupted;
       fleet_.elapsed_seconds = now();
+      if (elog_ != nullptr)
+        elog_->instant("interrupted", now_us(), 0,
+                       {{"cause", resilience::cancel_cause_name(
+                                      stop_.cause())}});
+      write_observability_outputs();
       publish_host_metrics();
       log_line("interrupted (" +
                std::string(resilience::cancel_cause_name(stop_.cause())) +
@@ -395,6 +641,7 @@ FleetReport Coordinator::run() {
 
     reap();
     check_stalls();
+    publish_fleet_status(/*force=*/false);
 
     std::uint64_t running = 0;
     std::uint64_t settled = 0;
@@ -434,6 +681,11 @@ FleetReport Coordinator::run() {
                       ? FleetReport::Status::kDegraded
                       : FleetReport::Status::kCompleted;
 
+  if (elog_ != nullptr)
+    elog_->instant("merge", now_us(), 0,
+                   {{"completed_shards",
+                     std::to_string(fleet_.completed_shards)}});
+  write_observability_outputs();
   write_merged_reports();
   publish_host_metrics();
   log_line("fleet " +
@@ -489,15 +741,39 @@ void Coordinator::write_merged_reports() {
   const obs::DegradedInfo* degraded =
       fleet_.degraded.poisoned_shards > 0 ? &fleet_.degraded : nullptr;
   const obs::DriftDetector* drift_ptr = drift ? &*drift : nullptr;
+
+  // Fleet lifecycle counters (ISSUE satellite: the coordinator's own
+  // MetricsRegistry section). Host-stability by nature — how often
+  // leases bounced depends on the machine, never on the workload.
+  obs::MetricsRegistry fleet_metrics;
+  const obs::MetricsRegistry* fleet_ptr = nullptr;
+  const obs::PostMortemInfo* post_mortem = nullptr;
+  if (opt_.observability) {
+    auto& fm = fleet_metrics;
+    const auto host = obs::Stability::kHost;
+    fm.counter("svc.leases_granted", host).add(fleet_.leases_granted);
+    fm.counter("svc.retries", host).add(fleet_.retries);
+    fm.counter("svc.revocations", host).add(fleet_.revocations);
+    fm.counter("svc.worker_deaths", host).add(fleet_.worker_deaths);
+    fm.counter("svc.stalls", host).add(fleet_.stalls);
+    fm.counter("svc.strikes", host).add(fleet_.strikes);
+    fm.counter("svc.quarantined", host)
+        .add(fleet_.degraded.poisoned_shards);
+    fleet_ptr = &fleet_metrics;
+    if (!fleet_.post_mortem.empty()) post_mortem = &fleet_.post_mortem;
+  }
+
   if (!opt_.report_path.empty())
     obs::write_file(opt_.report_path, [&](std::ostream& os) {
       obs::write_report_json(os, info, merged, nullptr, &attribution,
-                             drift_ptr, &selector, degraded);
+                             drift_ptr, &selector, degraded, post_mortem,
+                             fleet_ptr);
     });
   if (!opt_.report_csv_path.empty())
     obs::write_file(opt_.report_csv_path, [&](std::ostream& os) {
       obs::write_report_csv(os, info, merged, nullptr, &attribution,
-                            drift_ptr, &selector, degraded);
+                            drift_ptr, &selector, degraded, post_mortem,
+                            fleet_ptr);
     });
 }
 
@@ -510,6 +786,9 @@ void Coordinator::publish_host_metrics() const {
   reg.counter("svc.worker_deaths", obs::Stability::kHost)
       .add(fleet_.worker_deaths);
   reg.counter("svc.stalls", obs::Stability::kHost).add(fleet_.stalls);
+  reg.counter("svc.revocations", obs::Stability::kHost)
+      .add(fleet_.revocations);
+  reg.counter("svc.strikes", obs::Stability::kHost).add(fleet_.strikes);
   reg.counter("svc.poisoned_shards", obs::Stability::kHost)
       .add(fleet_.degraded.poisoned_shards);
 }

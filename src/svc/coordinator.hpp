@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/event_log.hpp"
 #include "obs/report.hpp"
 #include "resilience/cancel.hpp"
 #include "resilience/shard.hpp"
@@ -66,6 +67,13 @@ struct CoordinatorOptions {
   std::string report_csv_path;  ///< merged CSV run report ("" = none)
   bool handle_signals = true;  ///< route SIGINT/SIGTERM to a clean stop
   std::ostream* log = nullptr;  ///< progress lines (null = quiet)
+  /// Fleet observability (docs/observability.md §fleet): per-attempt
+  /// flight rings + host-time traces, live telemetry/status files, a
+  /// stitch manifest, and the "fleet"/"post_mortem" report sections.
+  /// Off by default at the library level so existing byte-identity
+  /// baselines hold; the sweep_coordinator CLI turns it on.
+  bool observability = false;
+  std::uint64_t flight_bytes = 64 * 1024;  ///< per-worker ring size
 };
 
 /// What the fleet did. Counters cover the whole run, all shards.
@@ -78,9 +86,12 @@ struct FleetReport {
   std::uint64_t retries = 0;        ///< re-grants after a failed attempt
   std::uint64_t worker_deaths = 0;  ///< signals + exits other than 0/75
   std::uint64_t stalls = 0;         ///< heartbeat-timeout revocations
+  std::uint64_t revocations = 0;    ///< leases the coordinator killed
+  std::uint64_t strikes = 0;        ///< no-progress failures, all shards
   std::uint64_t points_total = 0;   ///< grid points across observed shards
   std::uint64_t points_completed = 0;  ///< points banked across all shards
   obs::DegradedInfo degraded;  ///< poisoned-shard record (when any)
+  obs::PostMortemInfo post_mortem;  ///< harvested flight tails (obs mode)
   /// Per-shard wall-clock of the completing attempt, by shard index
   /// (0 when the shard never completed). Host-only; the scaling bench's
   /// raw material.
@@ -120,7 +131,12 @@ class Coordinator {
   void kill_all();
   void write_merged_reports();
   void publish_host_metrics() const;
+  void harvest(ShardState& s, const std::string& why);
+  void end_lease_obs(ShardState& s, const char* outcome);
+  void publish_fleet_status(bool force);
+  void write_observability_outputs();
   [[nodiscard]] double now() const;
+  [[nodiscard]] std::uint64_t now_us() const;
   void log_line(const std::string& line) const;
 
   CoordinatorOptions opt_;
@@ -128,6 +144,17 @@ class Coordinator {
   resilience::CancelToken stop_;  ///< fleet-level interrupt latch
   FleetReport fleet_;
   std::chrono::steady_clock::time_point epoch_{};
+
+  // Fleet observability (opt_.observability only).
+  struct StitchEntry {
+    std::string label;
+    std::string trace;   ///< file name relative to opt_.dir
+    std::string flight;  ///< file name relative to opt_.dir
+    std::uint64_t offset_us = 0;
+  };
+  std::unique_ptr<obs::EventLog> elog_;  ///< coordinator's own track
+  std::vector<StitchEntry> stitch_;      ///< one entry per finished lease
+  double last_status_pub_ = -1;          ///< fleet.status throttle
 };
 
 }  // namespace dxbsp::svc

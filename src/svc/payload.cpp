@@ -188,13 +188,11 @@ obs::BankLoadSketch read_sketch(const JsonValue& v, const std::string& origin,
   return s;
 }
 
-void write_aggregates_body(JsonWriter& w, const AggregatesMsg& m) {
-  w.member("shard", m.shard);
-  w.member("attempt", m.attempt);
-  w.member("covered", m.covered);
-
-  w.key("metrics").begin_array();
-  for (const obs::MetricsRegistry::Entry& e : m.metrics) {
+/// Metric entries travel identically in aggregates and telemetry.
+void write_metric_entries(JsonWriter& w,
+                          const std::vector<obs::MetricsRegistry::Entry>& v) {
+  w.begin_array();
+  for (const obs::MetricsRegistry::Entry& e : v) {
     w.begin_object();
     w.member("name", e.name);
     w.member("kind", obs::metric_kind_name(e.kind));
@@ -211,6 +209,46 @@ void write_aggregates_body(JsonWriter& w, const AggregatesMsg& m) {
     w.end_object();
   }
   w.end_array();
+}
+
+Expected<std::vector<obs::MetricsRegistry::Entry>> read_metric_entries(
+    const JsonValue& arr, const std::string& origin) {
+  std::vector<obs::MetricsRegistry::Entry> out;
+  for (const JsonValue& ev : arr.items()) {
+    Dec ed(ev, origin);
+    obs::MetricsRegistry::Entry e;
+    e.name = ed.str("name");
+    const std::string kind = ed.str("kind");
+    e.stability = ed.boolean("host") ? obs::Stability::kHost
+                                     : obs::Stability::kDeterministic;
+    e.value = ed.u64("value");
+    if (kind == "counter") {
+      e.kind = obs::MetricKind::kCounter;
+    } else if (kind == "gauge") {
+      e.kind = obs::MetricKind::kGauge;
+    } else if (kind == "histogram") {
+      e.kind = obs::MetricKind::kHistogram;
+      if (const JsonValue* bounds = ed.array("bounds"))
+        e.bounds = u64_array(*bounds);
+      if (const JsonValue* counts = ed.array("counts"))
+        e.bucket_counts = u64_array(*counts);
+    } else if (ed.ok()) {
+      return Error(ErrorCode::kCorruptInput,
+                   origin + ": unknown metric kind '" + kind + "'");
+    }
+    if (!ed.ok()) return ed.error();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void write_aggregates_body(JsonWriter& w, const AggregatesMsg& m) {
+  w.member("shard", m.shard);
+  w.member("attempt", m.attempt);
+  w.member("covered", m.covered);
+
+  w.key("metrics");
+  write_metric_entries(w, m.metrics);
 
   w.key("attribution").begin_object();
   w.member("supersteps", m.attribution.supersteps);
@@ -293,31 +331,9 @@ Expected<AggregatesMsg> read_aggregates_body(const JsonValue& v,
   m.covered = d.u64("covered");
 
   if (const JsonValue* arr = d.array("metrics")) {
-    for (const JsonValue& ev : arr->items()) {
-      Dec ed(ev, origin + ".metrics");
-      obs::MetricsRegistry::Entry e;
-      e.name = ed.str("name");
-      const std::string kind = ed.str("kind");
-      e.stability = ed.boolean("host") ? obs::Stability::kHost
-                                       : obs::Stability::kDeterministic;
-      e.value = ed.u64("value");
-      if (kind == "counter") {
-        e.kind = obs::MetricKind::kCounter;
-      } else if (kind == "gauge") {
-        e.kind = obs::MetricKind::kGauge;
-      } else if (kind == "histogram") {
-        e.kind = obs::MetricKind::kHistogram;
-        if (const JsonValue* bounds = ed.array("bounds"))
-          e.bounds = u64_array(*bounds);
-        if (const JsonValue* counts = ed.array("counts"))
-          e.bucket_counts = u64_array(*counts);
-      } else if (ed.ok()) {
-        return Error(ErrorCode::kCorruptInput,
-                     origin + ": unknown metric kind '" + kind + "'");
-      }
-      if (!ed.ok()) return ed.error();
-      m.metrics.push_back(std::move(e));
-    }
+    auto entries = read_metric_entries(*arr, origin + ".metrics");
+    if (!entries.ok()) return entries.error();
+    m.metrics = std::move(entries).value();
   }
 
   if (const JsonValue* attr = d.object("attribution")) {
@@ -425,6 +441,10 @@ std::string encode_lease(const LeaseMsg& m) {
     w.member("deadline_seconds", m.deadline_seconds);
     w.member("hb_interval_seconds", m.hb_interval_seconds);
     w.member("chaos", m.chaos);
+    w.member("flight_path", m.flight_path);
+    w.member("trace_path", m.trace_path);
+    w.member("telemetry_path", m.telemetry_path);
+    w.member("flight_bytes", m.flight_bytes);
   });
 }
 
@@ -441,6 +461,16 @@ Expected<LeaseMsg> decode_lease(const obs::JsonValue& v) {
   m.deadline_seconds = d.dbl("deadline_seconds");
   m.hb_interval_seconds = d.dbl("hb_interval_seconds");
   m.chaos = d.str("chaos");
+  // Observability fields arrived with report v3; read them tolerantly so
+  // a lease written before they existed still decodes (feature off).
+  if (const JsonValue* fp = d.opt("flight_path"))
+    m.flight_path = fp->is_string() ? fp->as_string() : "";
+  if (const JsonValue* tp = d.opt("trace_path"))
+    m.trace_path = tp->is_string() ? tp->as_string() : "";
+  if (const JsonValue* mp = d.opt("telemetry_path"))
+    m.telemetry_path = mp->is_string() ? mp->as_string() : "";
+  if (const JsonValue* fb = d.opt("flight_bytes"))
+    m.flight_bytes = fb->is_number() ? fb->as_u64() : 0;
   if (!d.ok()) return d.error();
   return m;
 }
@@ -452,6 +482,8 @@ std::string encode_heartbeat(const HeartbeatMsg& m) {
     w.member("beat", m.beat);
     w.member("completed", m.completed);
     w.member("total", m.total);
+    w.member("mono_us", m.mono_us);
+    w.member("events", m.events);
   });
 }
 
@@ -463,6 +495,103 @@ Expected<HeartbeatMsg> decode_heartbeat(const obs::JsonValue& v) {
   m.beat = d.u64("beat");
   m.completed = d.u64("completed");
   m.total = d.u64("total");
+  if (const JsonValue* mu = d.opt("mono_us"))
+    m.mono_us = mu->is_number() ? mu->as_u64() : 0;
+  if (const JsonValue* ev = d.opt("events"))
+    m.events = ev->is_number() ? ev->as_u64() : 0;
+  if (!d.ok()) return d.error();
+  return m;
+}
+
+std::string encode_telemetry(const TelemetryMsg& m) {
+  return encode([&](JsonWriter& w) {
+    w.member("shard", m.shard);
+    w.member("attempt", m.attempt);
+    w.member("mono_us", m.mono_us);
+    w.member("completed", m.completed);
+    w.member("resumed", m.resumed);
+    w.member("total", m.total);
+    w.member("events", m.events);
+    w.key("metrics");
+    write_metric_entries(w, m.metrics);
+  });
+}
+
+Expected<TelemetryMsg> decode_telemetry(const obs::JsonValue& v) {
+  TelemetryMsg m;
+  Dec d(v, "telemetry");
+  m.shard = d.str("shard");
+  m.attempt = d.u64("attempt");
+  m.mono_us = d.u64("mono_us");
+  m.completed = d.u64("completed");
+  m.resumed = d.u64("resumed");
+  m.total = d.u64("total");
+  m.events = d.u64("events");
+  if (const JsonValue* arr = d.array("metrics")) {
+    auto entries = read_metric_entries(*arr, "telemetry.metrics");
+    if (!entries.ok()) return entries.error();
+    m.metrics = std::move(entries).value();
+  }
+  if (!d.ok()) return d.error();
+  return m;
+}
+
+std::string encode_fleet_status(const FleetStatusMsg& m) {
+  return encode([&](JsonWriter& w) {
+    w.member("mono_us", m.mono_us);
+    w.member("shards", m.shards);
+    w.member("completed_shards", m.completed_shards);
+    w.member("leases_granted", m.leases_granted);
+    w.member("retries", m.retries);
+    w.member("worker_deaths", m.worker_deaths);
+    w.member("stalls", m.stalls);
+    w.member("revocations", m.revocations);
+    w.member("points_total", m.points_total);
+    w.member("points_completed", m.points_completed);
+    w.key("rows").begin_array();
+    for (const FleetStatusMsg::Shard& s : m.rows) {
+      w.begin_object();
+      w.member("shard", s.shard);
+      w.member("phase", s.phase);
+      w.member("attempt", s.attempt);
+      w.member("completed", s.completed);
+      w.member("total", s.total);
+      w.member("events", s.events);
+      w.member("updated_us", s.updated_us);
+      w.end_object();
+    }
+    w.end_array();
+  });
+}
+
+Expected<FleetStatusMsg> decode_fleet_status(const obs::JsonValue& v) {
+  FleetStatusMsg m;
+  Dec d(v, "fleet_status");
+  m.mono_us = d.u64("mono_us");
+  m.shards = d.u64("shards");
+  m.completed_shards = d.u64("completed_shards");
+  m.leases_granted = d.u64("leases_granted");
+  m.retries = d.u64("retries");
+  m.worker_deaths = d.u64("worker_deaths");
+  m.stalls = d.u64("stalls");
+  m.revocations = d.u64("revocations");
+  m.points_total = d.u64("points_total");
+  m.points_completed = d.u64("points_completed");
+  if (const JsonValue* rows = d.array("rows")) {
+    for (const JsonValue& rv : rows->items()) {
+      Dec rd(rv, "fleet_status.rows");
+      FleetStatusMsg::Shard s;
+      s.shard = rd.str("shard");
+      s.phase = rd.str("phase");
+      s.attempt = rd.u64("attempt");
+      s.completed = rd.u64("completed");
+      s.total = rd.u64("total");
+      s.events = rd.u64("events");
+      s.updated_us = rd.u64("updated_us");
+      if (!rd.ok()) return rd.error();
+      m.rows.push_back(std::move(s));
+    }
+  }
   if (!d.ok()) return d.error();
   return m;
 }

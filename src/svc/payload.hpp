@@ -42,6 +42,11 @@ inline constexpr const char* kMsgLease = "lease";
 inline constexpr const char* kMsgHeartbeat = "heartbeat";
 inline constexpr const char* kMsgAggregates = "aggregates";
 inline constexpr const char* kMsgResult = "result";
+/// Fleet observability (docs/observability.md §fleet): `telemetry` is
+/// the worker's periodic metrics/progress snapshot for tools/sweep_top;
+/// `fleet_status` is the coordinator's merged live view of every shard.
+inline constexpr const char* kMsgTelemetry = "telemetry";
+inline constexpr const char* kMsgFleetStatus = "fleet_status";
 
 struct LeaseMsg {
   std::string shard;  ///< "index/count" (resilience::ShardSpec::str)
@@ -57,6 +62,12 @@ struct LeaseMsg {
   double deadline_seconds = 0;     ///< per-attempt budget (<= 0 = none)
   double hb_interval_seconds = 0;  ///< heartbeat publication cadence
   std::string chaos;               ///< forwarded ChaosPlan spec ("" = none)
+  // Observability outputs, all optional ("" / 0 = feature off). Decoded
+  // tolerantly so a newer coordinator can lease to an older worker.
+  std::string flight_path;     ///< crash-safe flight ring (obs/flight.hpp)
+  std::string trace_path;      ///< host-time Chrome trace (obs/event_log.hpp)
+  std::string telemetry_path;  ///< periodic telemetry snapshot target
+  std::uint64_t flight_bytes = 0;  ///< ring size (0 = default)
 };
 
 struct HeartbeatMsg {
@@ -65,6 +76,53 @@ struct HeartbeatMsg {
   std::uint64_t beat = 0;       ///< monotone while the worker is alive
   std::uint64_t completed = 0;  ///< points done (resumed + computed)
   std::uint64_t total = 0;      ///< points in the shard slice
+  /// µs on the worker's monotonic clock when the beat was taken; the
+  /// coordinator estimates clock offsets from it for trace stitching
+  /// (obs/stitch.hpp). Tolerant: 0 from older workers.
+  std::uint64_t mono_us = 0;
+  /// Cumulative simulated events (sim.requests) this attempt — the
+  /// events/sec numerator for live telemetry. Tolerant: 0 when absent.
+  std::uint64_t events = 0;
+};
+
+/// Worker -> sweep_top: periodic progress + metrics snapshot, published
+/// atomically alongside the heartbeat. Unlike aggregates it carries
+/// host-stability metrics too: live telemetry is allowed to see
+/// wall-clock truth that the deterministic report must not.
+struct TelemetryMsg {
+  std::string shard;
+  std::uint64_t attempt = 0;
+  std::uint64_t mono_us = 0;    ///< worker clock at the snapshot
+  std::uint64_t completed = 0;  ///< points done (resumed + computed)
+  std::uint64_t resumed = 0;    ///< of which resumed from prior attempts
+  std::uint64_t total = 0;
+  std::uint64_t events = 0;     ///< cumulative sim.requests this attempt
+  std::vector<obs::MetricsRegistry::Entry> metrics;
+};
+
+/// Coordinator -> sweep_top: the merged live view, republished on a
+/// throttle from the poll loop. One row per shard.
+struct FleetStatusMsg {
+  std::uint64_t mono_us = 0;  ///< coordinator clock at publication
+  std::uint64_t shards = 0;
+  std::uint64_t completed_shards = 0;
+  std::uint64_t leases_granted = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t revocations = 0;
+  std::uint64_t points_total = 0;
+  std::uint64_t points_completed = 0;
+  struct Shard {
+    std::string shard;  ///< "index/count"
+    std::string phase;  ///< queued/running/done/poisoned
+    std::uint64_t attempt = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t total = 0;
+    std::uint64_t events = 0;      ///< last telemetry events count
+    std::uint64_t updated_us = 0;  ///< coordinator clock at last news
+  };
+  std::vector<Shard> rows;  ///< by shard index
 };
 
 struct AggregatesMsg {
@@ -102,11 +160,16 @@ struct ResultMsg {
 [[nodiscard]] std::string encode_heartbeat(const HeartbeatMsg& m);
 [[nodiscard]] std::string encode_aggregates(const AggregatesMsg& m);
 [[nodiscard]] std::string encode_result(const ResultMsg& m);
+[[nodiscard]] std::string encode_telemetry(const TelemetryMsg& m);
+[[nodiscard]] std::string encode_fleet_status(const FleetStatusMsg& m);
 
 [[nodiscard]] Expected<LeaseMsg> decode_lease(const obs::JsonValue& v);
 [[nodiscard]] Expected<HeartbeatMsg> decode_heartbeat(const obs::JsonValue& v);
 [[nodiscard]] Expected<AggregatesMsg> decode_aggregates(
     const obs::JsonValue& v);
 [[nodiscard]] Expected<ResultMsg> decode_result(const obs::JsonValue& v);
+[[nodiscard]] Expected<TelemetryMsg> decode_telemetry(const obs::JsonValue& v);
+[[nodiscard]] Expected<FleetStatusMsg> decode_fleet_status(
+    const obs::JsonValue& v);
 
 }  // namespace dxbsp::svc

@@ -1,5 +1,6 @@
 #include "svc/worker.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <span>
 #include <utility>
@@ -39,6 +40,63 @@ void WorkerContext::init(const std::string& lease_path) {
   chaos_ = ChaosPlan::parse(lease_.chaos);
   started_ = std::chrono::steady_clock::now();
   active_ = true;
+
+  // Observability sinks are best-effort: a worker that cannot open its
+  // flight ring still computes its shard (the ring's absence is itself
+  // visible to the coordinator's harvest).
+  if (!lease_.flight_path.empty()) {
+    try {
+      flight_ = std::make_unique<obs::FlightRecorder>(
+          lease_.flight_path, started_,
+          lease_.flight_bytes > 0 ? lease_.flight_bytes
+                                  : obs::kFlightDefaultBytes);
+      // A small private tracer: the ring only ever keeps the last few
+      // events per point, so a deep buffer would be wasted memory.
+      flight_tracer_ = std::make_unique<obs::Tracer>(/*ring_capacity=*/64);
+    } catch (const Error&) {
+      flight_.reset();
+      flight_tracer_.reset();
+    }
+  }
+  if (!lease_.trace_path.empty())
+    elog_ = std::make_unique<obs::EventLog>(
+        "worker shard " + lease_.shard + " attempt " +
+            std::to_string(lease_.attempt),
+        started_);
+}
+
+std::uint64_t WorkerContext::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started_)
+          .count());
+}
+
+std::uint64_t WorkerContext::sim_events_now() {
+  for (const auto& e :
+       obs::MetricsRegistry::global().snapshot(/*include_host=*/false))
+    if (e.name == "sim.requests") return e.value;
+  return 0;
+}
+
+void WorkerContext::flight_trace_tail(std::size_t limit) {
+  const obs::Tracer* src =
+      trace_source_ != nullptr ? trace_source_ : flight_tracer_.get();
+  if (flight_ == nullptr || src == nullptr) return;
+  const std::vector<std::uint64_t> ids = src->track_ids();
+  if (ids.empty()) return;
+  // The newest track is the point that just ran; its freshest events are
+  // the ones worth keeping when the process dies mid-shard.
+  const obs::TraceRing* ring = src->find(ids.back());
+  if (ring == nullptr) return;
+  const std::vector<obs::TraceEvent> events = ring->drain();
+  const std::size_t n = std::min(limit, events.size());
+  for (std::size_t i = events.size() - n; i < events.size(); ++i) {
+    const obs::TraceEvent& ev = events[i];
+    flight_->append(obs::FlightKind::kTrace,
+                    static_cast<std::uint8_t>(ev.kind), ev.ts, ev.dur, ev.a,
+                    ev.b);
+  }
 }
 
 std::uint64_t WorkerContext::prepare(std::uint64_t base_id,
@@ -106,6 +164,18 @@ std::uint64_t WorkerContext::prepare(std::uint64_t base_id,
     on_point(done, total);
   };
 
+  if (flight_ != nullptr)
+    flight_->append(obs::FlightKind::kPhase,
+                    static_cast<std::uint8_t>(obs::FlightPhase::kLease),
+                    lease_.resume_points, 0, keys_.size(), lease_.attempt);
+  if (elog_ != nullptr) {
+    last_point_us_ = now_us();
+    elog_->instant("lease", last_point_us_, 0,
+                   {{"shard", lease_.shard},
+                    {"attempt", std::to_string(lease_.attempt)},
+                    {"resume_points", std::to_string(lease_.resume_points)}});
+  }
+
   maybe_chaos(ChaosPhase::kLease);
   return id;
 }
@@ -134,6 +204,8 @@ void WorkerContext::heartbeat_loop() {
     // loops, so `beat` advances even while one point runs for a long
     // time — a wedge *inside* a point still reads as a stall upstream.
     hb.beat = (token_ != nullptr ? token_->heartbeats() : 0) + hb.completed;
+    hb.mono_us = now_us();
+    hb.events = sim_events_now();
     lock.unlock();
     try {
       wire_write_file(lease_.heartbeat_path, kMsgHeartbeat,
@@ -141,6 +213,24 @@ void WorkerContext::heartbeat_loop() {
     } catch (const Error&) {
       // A failed heartbeat write must not kill the worker; if it keeps
       // failing the coordinator sees a stall and revokes the lease.
+    }
+    if (!lease_.telemetry_path.empty()) {
+      TelemetryMsg tm;
+      tm.shard = hb.shard;
+      tm.attempt = hb.attempt;
+      tm.mono_us = hb.mono_us;
+      tm.completed = hb.completed;
+      tm.resumed = lease_.resume_points;
+      tm.total = hb.total;
+      tm.events = hb.events;
+      tm.metrics =
+          obs::MetricsRegistry::global().snapshot(/*include_host=*/true);
+      try {
+        wire_write_file(lease_.telemetry_path, kMsgTelemetry,
+                        encode_telemetry(tm));
+      } catch (const Error&) {
+        // Telemetry is for live dashboards only — same policy as above.
+      }
     }
     lock.lock();
     if (hb_cv_.wait_for(lock, period, [this] { return hb_stop_; })) return;
@@ -180,6 +270,31 @@ void WorkerContext::on_point(std::uint64_t done, std::uint64_t /*total*/) {
   // invariant "checkpoint >= banked aggregates" holds at every kill
   // point in between the two writes.
   const std::uint64_t covered = done - lease_.resume_points;
+  if (elog_ != nullptr) {
+    const std::uint64_t now = now_us();
+    elog_->span("point", last_point_us_,
+                now > last_point_us_ ? now - last_point_us_ : 0, 0,
+                {{"completed", std::to_string(done)},
+                 {"covered", std::to_string(covered)}});
+    last_point_us_ = now;
+  }
+  if (flight_ != nullptr) {
+    flight_trace_tail(/*limit=*/4);
+    if (selector_ != nullptr) {
+      const std::vector<obs::SelectorRow> rows = selector_->snapshot().rows;
+      if (!rows.empty()) {
+        const obs::SelectorRow& r = rows.back();
+        flight_->append(obs::FlightKind::kSelector,
+                        static_cast<std::uint8_t>(r.choice), r.step, r.n,
+                        r.predicted, r.measured);
+      }
+    }
+    // The point phase record goes LAST so the harvester's "last protocol
+    // phase" question reads straight off the final phase record.
+    flight_->append(obs::FlightKind::kPhase,
+                    static_cast<std::uint8_t>(obs::FlightPhase::kPoint),
+                    covered, done, keys_.size(), lease_.attempt);
+  }
   wire_write_file(lease_.aggregates_path, kMsgAggregates,
                   encode_aggregates(aggregates_now(covered)));
   maybe_chaos(ChaosPhase::kPoint, covered);
@@ -189,6 +304,24 @@ int WorkerContext::finish(const resilience::SweepReport& report,
                           const obs::RunInfo& info) {
   if (!active_) return report.ok() ? 0 : exit_code(ErrorCode::kInterrupted);
   stop_heartbeat();
+  if (flight_ != nullptr)
+    flight_->append(obs::FlightKind::kPhase,
+                    static_cast<std::uint8_t>(obs::FlightPhase::kResult),
+                    report.completed, report.resumed, report.total,
+                    lease_.attempt);
+  if (elog_ != nullptr) {
+    elog_->instant("result", now_us(), 0,
+                   {{"status", resilience::sweep_status_name(report.status)},
+                    {"completed", std::to_string(report.completed)}});
+    // Written before result-phase chaos: a worker killed at kResult
+    // still leaves its trace for the stitched timeline.
+    try {
+      obs::write_file(lease_.trace_path, [this](std::ostream& os) {
+        elog_->write_chrome_json(os);
+      });
+    } catch (const Error&) {
+    }
+  }
   maybe_chaos(ChaosPhase::kResult);
 
   ResultMsg res;
@@ -218,6 +351,14 @@ void WorkerContext::maybe_chaos(ChaosPhase phase, std::uint64_t point) {
   const ChaosEvent* ev =
       chaos_.match(shard_.index, lease_.attempt, phase, point);
   if (ev == nullptr) return;
+  // Recorded as a distinct phase so the harvest can show that chaos
+  // fired; the "last protocol phase" question skips it by design (a
+  // point-kill should read as dying at "point", not at "chaos").
+  if (flight_ != nullptr)
+    flight_->append(obs::FlightKind::kPhase,
+                    static_cast<std::uint8_t>(obs::FlightPhase::kChaos),
+                    static_cast<std::uint64_t>(phase), point, 0,
+                    lease_.attempt);
   // A hanging worker must hang *completely*: with the sampler still
   // running, heartbeats would keep advancing and the coordinator could
   // never tell this wedge from slow progress.

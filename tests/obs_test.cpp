@@ -348,7 +348,7 @@ TEST(Report, ExcludesHostMetricsAndIsDeterministic) {
   obs::write_report_json(two, info, reg, nullptr);
   EXPECT_EQ(one.str(), two.str());
   const std::string json = one.str();
-  EXPECT_NE(json.find("\"report_version\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"report_version\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"sim.cycles\": 1234"), std::string::npos);
   EXPECT_NE(json.find("\"seed\": 21"), std::string::npos);
   EXPECT_NE(json.find("\"n\": \"1024\""), std::string::npos);

@@ -191,4 +191,96 @@ TEST(SvcChaos, FleetDeadlineInterruptsAWedgedFleetInBoundedTime) {
   EXPECT_EQ(fleet.exit_code(), 75);
 }
 
+// Fleet observability (docs/observability.md §fleet). The host-time
+// "fleet" and "post_mortem" report sections are the ONLY bytes an
+// observability-enabled fleet adds over the baseline; stripping them
+// line-wise (2-space indent, brace-counted) recovers the serial report.
+std::string strip_host_sections(const std::string& report) {
+  std::istringstream in(report);
+  std::ostringstream out;
+  std::string line;
+  int skip_depth = 0;
+  while (std::getline(in, line)) {
+    if (skip_depth == 0 &&
+        (line == "  \"fleet\": {" || line == "  \"post_mortem\": {")) {
+      skip_depth = 1;
+      continue;
+    }
+    if (skip_depth > 0) {
+      for (const char c : line) {
+        if (c == '{') ++skip_depth;
+        if (c == '}') --skip_depth;
+      }
+      continue;
+    }
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+TEST(SvcChaos, ObservabilityKillHarvestsFlightTailIntoPostMortem) {
+  // The ISSUE's acceptance gate: SIGKILL a worker mid-shard and the
+  // merged report's post_mortem must name the protocol phase it died in
+  // and carry trace events from its crash-safe flight ring.
+  auto opt = fleet_options("obskill");
+  opt.observability = true;
+  opt.chaos = "shard=1,attempt=0,phase=point:1,action=kill";
+  const auto fleet = run_fleet(std::move(opt));
+  EXPECT_EQ(fleet.status, svc::FleetReport::Status::kCompleted);
+  EXPECT_EQ(fleet.worker_deaths, 1u);
+
+  ASSERT_EQ(fleet.post_mortem.harvests.size(), 1u);
+  const auto& h = fleet.post_mortem.harvests[0];
+  EXPECT_EQ(h.shard, "1/4");
+  EXPECT_EQ(h.attempt, 0u);
+  EXPECT_EQ(h.last_phase, "point") << "the kill fired INSIDE point 1";
+  EXPECT_GE(h.last_point, 1u);
+  EXPECT_GE(h.records, 1u);
+  std::uint64_t trace_events = 0;
+  for (const auto& e : h.events)
+    if (e.kind == "trace") ++trace_events;
+  EXPECT_GE(trace_events, 1u)
+      << "the flight tail must carry the dead attempt's trace records";
+
+  const std::string report = slurp(tmp_dir("obskill") + ".report.json");
+  EXPECT_NE(report.find("\"post_mortem\""), std::string::npos);
+  EXPECT_NE(report.find("\"last_phase\": \"point\""), std::string::npos);
+
+  // The artifacts flight_reader / trace_stitch consume are on disk.
+  const std::string dir = tmp_dir("obskill");
+  EXPECT_TRUE(file_exists(dir + "/stitch.json"));
+  EXPECT_TRUE(file_exists(dir + "/coordinator.trace.json"));
+  EXPECT_TRUE(file_exists(dir + "/shard-1.attempt-0.flight"));
+
+  // Chaos or not, the deterministic sections still match the baseline.
+  EXPECT_EQ(strip_host_sections(report),
+            strip_host_sections(baseline_report()));
+}
+
+TEST(SvcChaos, ObservabilityOnHealthyFleetStripsToTheBaselineReport) {
+  auto opt = fleet_options("obson");
+  opt.observability = true;
+  const auto fleet = run_fleet(std::move(opt));
+  EXPECT_EQ(fleet.status, svc::FleetReport::Status::kCompleted);
+  EXPECT_EQ(fleet.worker_deaths, 0u);
+  EXPECT_TRUE(fleet.post_mortem.empty());
+
+  const std::string report = slurp(tmp_dir("obson") + ".report.json");
+  EXPECT_NE(report.find("\"fleet\""), std::string::npos)
+      << "observability adds the fleet lifecycle-counter section";
+  EXPECT_EQ(report.find("\"post_mortem\""), std::string::npos)
+      << "no deaths, no post_mortem section";
+  EXPECT_EQ(strip_host_sections(report),
+            strip_host_sections(baseline_report()))
+      << "host-time sections are the ONLY divergence from a serial run";
+
+  const std::string dir = tmp_dir("obson");
+  EXPECT_TRUE(file_exists(dir + "/stitch.json"));
+  EXPECT_TRUE(file_exists(dir + "/fleet.status"));
+}
+
 }  // namespace

@@ -397,6 +397,203 @@ TEST(Payload, DecodersReturnErrorsInsteadOfThrowing) {
   EXPECT_FALSE(agg.ok());
   const auto res = svc::decode_result(msg.value().payload);
   EXPECT_FALSE(res.ok());
+  const auto tel = svc::decode_telemetry(msg.value().payload);
+  EXPECT_FALSE(tel.ok());
+  const auto fs = svc::decode_fleet_status(msg.value().payload);
+  EXPECT_FALSE(fs.ok());
+}
+
+TEST(Payload, LeaseCarriesObservabilityPathsAndTolerateTheirAbsence) {
+  svc::LeaseMsg m;
+  m.shard = "1/2";
+  m.checkpoint_path = "d/s.snap";
+  m.heartbeat_path = "d/s.hb";
+  m.aggregates_path = "d/s.agg";
+  m.result_path = "d/s.res";
+  m.flight_path = "d/s.flight";
+  m.trace_path = "d/s.trace.json";
+  m.telemetry_path = "d/s.telem";
+  m.flight_bytes = 4096;
+  const auto r = reencode<svc::LeaseMsg>(svc::kMsgLease, svc::encode_lease(m),
+                                         svc::decode_lease);
+  EXPECT_EQ(r.flight_path, "d/s.flight");
+  EXPECT_EQ(r.trace_path, "d/s.trace.json");
+  EXPECT_EQ(r.telemetry_path, "d/s.telem");
+  EXPECT_EQ(r.flight_bytes, 4096u);
+
+  // A pre-observability lease (no flight/trace/telemetry members) must
+  // still decode, with the features reading as off.
+  const auto old = reencode<svc::LeaseMsg>(
+      svc::kMsgLease,
+      "{\"shard\":\"1/2\",\"attempt\":0,\"resume_points\":0,"
+      "\"checkpoint_path\":\"a\",\"heartbeat_path\":\"b\","
+      "\"aggregates_path\":\"c\",\"result_path\":\"d\","
+      "\"deadline_seconds\":0,\"hb_interval_seconds\":0.05,\"chaos\":\"\"}",
+      svc::decode_lease);
+  EXPECT_EQ(old.flight_path, "");
+  EXPECT_EQ(old.telemetry_path, "");
+  EXPECT_EQ(old.flight_bytes, 0u);
+
+  const auto old_hb = reencode<svc::HeartbeatMsg>(
+      svc::kMsgHeartbeat,
+      "{\"shard\":\"1/2\",\"attempt\":0,\"beat\":3,\"completed\":1,"
+      "\"total\":4}",
+      svc::decode_heartbeat);
+  EXPECT_EQ(old_hb.mono_us, 0u);
+  EXPECT_EQ(old_hb.events, 0u);
+}
+
+TEST(Payload, TelemetryRoundTrips) {
+  svc::TelemetryMsg m;
+  m.shard = "2/4";
+  m.attempt = 1;
+  m.mono_us = 123456;
+  m.completed = 5;
+  m.resumed = 2;
+  m.total = 9;
+  m.events = 70000;
+  obs::MetricsRegistry::Entry e;
+  e.name = "sim.requests";
+  e.kind = obs::MetricKind::kCounter;
+  e.stability = obs::Stability::kDeterministic;
+  e.value = 70000;
+  m.metrics.push_back(e);
+  e.name = "svc.worker.heartbeats";
+  e.stability = obs::Stability::kHost;
+  e.value = 12;
+  m.metrics.push_back(e);
+  const auto r = reencode<svc::TelemetryMsg>(
+      svc::kMsgTelemetry, svc::encode_telemetry(m), svc::decode_telemetry);
+  EXPECT_EQ(r.shard, "2/4");
+  EXPECT_EQ(r.mono_us, 123456u);
+  EXPECT_EQ(r.completed, 5u);
+  EXPECT_EQ(r.resumed, 2u);
+  EXPECT_EQ(r.events, 70000u);
+  ASSERT_EQ(r.metrics.size(), 2u);
+  EXPECT_EQ(r.metrics[0].name, "sim.requests");
+  EXPECT_EQ(r.metrics[1].stability, obs::Stability::kHost);
+}
+
+TEST(Payload, FleetStatusRoundTrips) {
+  svc::FleetStatusMsg m;
+  m.mono_us = 5000;
+  m.shards = 4;
+  m.completed_shards = 1;
+  m.leases_granted = 5;
+  m.retries = 1;
+  m.worker_deaths = 1;
+  m.stalls = 0;
+  m.revocations = 1;
+  m.points_total = 64;
+  m.points_completed = 20;
+  m.rows.push_back({"0/4", "done", 0, 16, 16, 9000, 4000});
+  m.rows.push_back({"1/4", "running", 1, 4, 16, 2200, 4900});
+  const auto r = reencode<svc::FleetStatusMsg>(svc::kMsgFleetStatus,
+                                               svc::encode_fleet_status(m),
+                                               svc::decode_fleet_status);
+  EXPECT_EQ(r.shards, 4u);
+  EXPECT_EQ(r.revocations, 1u);
+  EXPECT_EQ(r.points_completed, 20u);
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].phase, "done");
+  EXPECT_EQ(r.rows[1].shard, "1/4");
+  EXPECT_EQ(r.rows[1].events, 2200u);
+  EXPECT_EQ(r.rows[1].updated_us, 4900u);
+}
+
+// Satellite: decoder fuzz. Every truncation and every single-bit flip
+// of every message type must come back as an Expected error (or, for
+// mutations the CRC happens to miss and JSON happens to survive, a
+// decoded value) — never a throw, crash or sanitizer report. The wire
+// level exercises framing/CRC; mutating the bare JSON payload bypasses
+// the CRC shield and drives the same corruption into the typed
+// decoders themselves.
+template <typename Decode>
+void fuzz_decoder(const std::string& type, const std::string& json,
+                  Decode decode) {
+  const std::string framed = svc::wire_frame(type, json);
+  for (std::size_t len = 0; len < framed.size(); ++len) {
+    const auto msg = svc::wire_parse(framed.substr(0, len), "fuzz");
+    if (msg.ok()) (void)decode(msg.value().payload);
+  }
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mut = framed;
+      mut[i] = static_cast<char>(mut[i] ^ (1 << bit));
+      const auto msg = svc::wire_parse(mut, "fuzz");
+      if (msg.ok()) (void)decode(msg.value().payload);
+    }
+  }
+  for (std::size_t len = 0; len < json.size(); ++len) {
+    const auto doc = obs::JsonValue::parse(json.substr(0, len), "fuzz");
+    if (doc.ok()) (void)decode(doc.value());
+  }
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mut = json;
+      mut[i] = static_cast<char>(mut[i] ^ (1 << bit));
+      const auto doc = obs::JsonValue::parse(mut, "fuzz");
+      if (doc.ok()) (void)decode(doc.value());
+    }
+  }
+}
+
+TEST(Payload, FuzzEveryTruncationAndBitFlipIsAnExpectedError) {
+  svc::LeaseMsg lease;
+  lease.shard = "1/4";
+  lease.attempt = 2;
+  lease.checkpoint_path = "d/s.snap";
+  lease.heartbeat_path = "d/s.hb";
+  lease.aggregates_path = "d/s.agg";
+  lease.result_path = "d/s.res";
+  lease.flight_path = "d/s.flight";
+  lease.telemetry_path = "d/s.telem";
+  lease.chaos = "shard=1,phase=point:2,action=kill";
+  fuzz_decoder(svc::kMsgLease, svc::encode_lease(lease), svc::decode_lease);
+
+  svc::HeartbeatMsg hb;
+  hb.shard = "1/4";
+  hb.beat = 77;
+  hb.completed = 3;
+  hb.total = 9;
+  hb.mono_us = 123456;
+  hb.events = 4096;
+  fuzz_decoder(svc::kMsgHeartbeat, svc::encode_heartbeat(hb),
+               svc::decode_heartbeat);
+
+  const svc::AggregatesMsg agg = sample_aggregates();
+  fuzz_decoder(svc::kMsgAggregates, svc::encode_aggregates(agg),
+               svc::decode_aggregates);
+
+  svc::ResultMsg res;
+  res.shard = "1/4";
+  res.status = "completed";
+  res.total = 3;
+  res.completed = 3;
+  res.has_info = true;
+  res.info.bench = "fuzz";
+  res.aggregates = agg;
+  fuzz_decoder(svc::kMsgResult, svc::encode_result(res), svc::decode_result);
+
+  svc::TelemetryMsg tel;
+  tel.shard = "1/4";
+  tel.mono_us = 999;
+  tel.completed = 2;
+  tel.total = 9;
+  tel.events = 512;
+  obs::MetricsRegistry::Entry entry;
+  entry.name = "sim.requests";
+  entry.value = 512;
+  tel.metrics.push_back(entry);
+  fuzz_decoder(svc::kMsgTelemetry, svc::encode_telemetry(tel),
+               svc::decode_telemetry);
+
+  svc::FleetStatusMsg fs;
+  fs.shards = 2;
+  fs.points_total = 8;
+  fs.rows.push_back({"0/2", "running", 0, 1, 4, 100, 50});
+  fuzz_decoder(svc::kMsgFleetStatus, svc::encode_fleet_status(fs),
+               svc::decode_fleet_status);
 }
 
 // ------------------------------------------------- worker lease handling

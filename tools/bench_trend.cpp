@@ -14,6 +14,17 @@
 // without a "metrics" section is a structured error (65/74), not a
 // silently empty column — scripts/ci.sh runs this as a lint over the
 // committed baselines.
+//
+// Arguments may be glob patterns (BENCH_*.json), expanded here so the
+// tool behaves the same from scripts that quote their globs. A pattern
+// matching nothing is reported and skipped; when NO argument matches
+// anything the tool prints a clear note and exits 0 — a repo with no
+// committed baselines yet has no trend to lint, which is not an error
+// (the python twin scripts/bench_history.py degrades identically). A
+// literal path (no glob metacharacters) that is missing still fails
+// with 74: naming one exact file is a claim that it exists.
+
+#include <glob.h>
 
 #include <fstream>
 #include <iostream>
@@ -59,16 +70,48 @@ std::map<std::string, std::string> load_metrics(const std::string& path) {
   return out;
 }
 
+/// Expands each argument with glob(3). Literal arguments (no metachars)
+/// pass through untouched so a missing exact path still errors later.
+std::vector<std::string> expand_globs(const std::vector<std::string>& args) {
+  std::vector<std::string> out;
+  for (const std::string& arg : args) {
+    if (arg.find_first_of("*?[") == std::string::npos) {
+      out.push_back(arg);
+      continue;
+    }
+    glob_t g{};
+    const int rc = ::glob(arg.c_str(), 0, nullptr, &g);
+    if (rc == 0) {
+      for (std::size_t i = 0; i < g.gl_pathc; ++i)
+        out.emplace_back(g.gl_pathv[i]);
+    } else if (rc == GLOB_NOMATCH) {
+      std::cerr << "bench_trend: no baselines match '" << arg << "'\n";
+    } else {
+      globfree(&g);
+      dxbsp::raise(dxbsp::ErrorCode::kIo,
+                   "glob failed for pattern '" + arg + "'");
+    }
+    globfree(&g);
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dxbsp;
-  std::vector<std::string> paths(argv + 1, argv + argc);
-  if (paths.empty()) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
     std::cerr << "usage: bench_trend FILE.json [FILE.json ...]\n";
     return exit_code(ErrorCode::kConfig);
   }
   try {
+    const std::vector<std::string> paths = expand_globs(args);
+    if (paths.empty()) {
+      std::cout << "bench_trend: no baselines to fold (nothing matched); "
+                   "run a bench with --metrics to create one\n";
+      return 0;
+    }
     std::vector<std::map<std::string, std::string>> columns;
     std::map<std::string, bool> names;  // sorted union of metric names
     for (const std::string& path : paths) {

@@ -25,6 +25,14 @@
 //   --report=PATH         merged JSON run report
 //   --report-csv=PATH     merged CSV run report
 //   --quiet               suppress per-lease progress lines
+//   --no-obs              disable fleet observability (on by default:
+//                         flight rings, traces, telemetry, stitch
+//                         manifest and the fleet/post_mortem report
+//                         sections — docs/observability.md §fleet).
+//                         Use it when merged reports must be
+//                         byte-comparable against serial baselines
+//                         without stripping the host-time sections.
+//   --flight-bytes=N      per-worker flight-ring size (default 65536)
 //
 // Exit codes: 0 all shards completed; 69 (EX_UNAVAILABLE) completed
 // degraded — poisoned shards recorded in the report's "degraded"
@@ -69,6 +77,8 @@ int main(int argc, char** argv) {
     opt.chaos = cli.get("chaos", "");
     opt.report_path = cli.get("report", "");
     opt.report_csv_path = cli.get("report-csv", "");
+    opt.observability = !cli.has("no-obs");
+    opt.flight_bytes = cli.get_uint("flight-bytes", 64 * 1024);
     if (!cli.has("quiet")) opt.log = &std::cerr;
 
     svc::Coordinator coordinator(std::move(opt));

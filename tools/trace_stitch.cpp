@@ -1,0 +1,53 @@
+// trace_stitch: merge a fleet's per-process traces into one timeline
+// (obs/stitch.hpp, docs/observability.md §fleet).
+//
+//   ./trace_stitch MANIFEST.json [--out=STITCHED.json]
+//
+// The manifest is the `stitch.json` the coordinator writes next to its
+// protocol files: one entry per process (the coordinator plus every
+// finished lease) naming its trace file and clock offset. The output is
+// a single Chrome trace_event JSON — load it in a trace viewer and the
+// whole fleet reads as one timeline on the coordinator's clock, lease
+// grants above the worker spans they spawned. Attempts that died before
+// writing a trace are rendered from their flight ring instead.
+//
+// Without --out the stitched JSON goes to stdout (the summary line goes
+// to stderr so the stream stays valid JSON). Exit codes: 0 on success;
+// 74 (EX_IOERR) missing manifest; 65 (EX_DATAERR) malformed manifest.
+
+#include <iostream>
+#include <string>
+
+#include "obs/report.hpp"
+#include "obs/stitch.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dxbsp;
+  try {
+    const util::Cli cli(argc, argv);
+    if (cli.positional().size() != 1) {
+      std::cerr << "usage: trace_stitch MANIFEST.json [--out=STITCHED.json]\n";
+      return exit_code(ErrorCode::kConfig);
+    }
+    const std::string manifest = cli.positional()[0];
+    const std::string out = cli.get("out", "");
+
+    obs::StitchSummary summary;
+    if (out.empty()) {
+      summary = obs::stitch_traces(manifest, std::cout);
+    } else {
+      obs::write_file(out, [&](std::ostream& os) {
+        summary = obs::stitch_traces(manifest, os);
+      });
+    }
+    std::cerr << "stitched processes=" << summary.processes
+              << " events=" << summary.events
+              << " missing_traces=" << summary.skipped_traces
+              << " flight_events=" << summary.flight_events << "\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return exit_code(e.code());
+  }
+}
